@@ -1,0 +1,195 @@
+// Package repro's top-level benchmarks regenerate the paper's tables and
+// figures as testing.B benchmarks: one benchmark per table/figure, each
+// reporting the measured virtual-time costs as custom metrics
+// (vsec/recovery and friends) so `go test -bench=.` prints the numbers
+// EXPERIMENTS.md records.
+//
+// The GPU axes are trimmed to keep benchmark wall-clock reasonable;
+// cmd/benchtab regenerates the full 12..192 sweeps.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/experiments"
+	"repro/internal/failure"
+	"repro/internal/metrics"
+	"repro/internal/models"
+)
+
+// BenchmarkTable1Models regenerates Table 1 (model characteristics).
+func BenchmarkTable1Models(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.Table1()
+		if len(tab.Rows) != 3 {
+			b.Fatalf("Table 1 rows = %d", len(tab.Rows))
+		}
+	}
+	b.ReportMetric(float64(models.VGG16.Params), "params/VGG16")
+	b.ReportMetric(float64(models.ResNet50V2.Params), "params/ResNet50V2")
+	b.ReportMetric(float64(models.NasNetMobile.Params), "params/NasNet")
+}
+
+// BenchmarkTable2Capabilities probes the capability matrix of Table 2.
+func BenchmarkTable2Capabilities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) != 4 {
+			b.Fatalf("Table 2 rows = %d", len(tab.Rows))
+		}
+	}
+}
+
+// BenchmarkFigure2RecoveryGranularity compares backward vs forward
+// recovery cost (recompute vs collective retry).
+func BenchmarkFigure2RecoveryGranularity(b *testing.B) {
+	var ehRecompute, ulRetry float64
+	for i := 0; i < b.N; i++ {
+		eh, err := experiments.Run(experiments.DefaultSetup(
+			models.ResNet50V2, 24, "down", experiments.StackElasticHorovod, failure.KillProcess))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ul, err := experiments.Run(experiments.DefaultSetup(
+			models.ResNet50V2, 24, "down", experiments.StackULFM, failure.KillProcess))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ehRecompute = eh.Recompute
+		ulRetry = ul.Critical.Get(metrics.PhaseRetry)
+	}
+	b.ReportMetric(ehRecompute, "vsec/EH-recompute")
+	b.ReportMetric(ulRetry, "vsec/ULFM-retry")
+}
+
+// BenchmarkFigure4Breakdown regenerates the Scenario I breakdown for
+// ResNet-50 on 24 GPUs and reports the headline totals.
+func BenchmarkFigure4Breakdown(b *testing.B) {
+	var ehTotal, ulProcTotal float64
+	for i := 0; i < b.N; i++ {
+		eh, err := experiments.Run(experiments.DefaultSetup(
+			models.ResNet50V2, 24, "down", experiments.StackElasticHorovod, failure.KillProcess))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ul, err := experiments.Run(experiments.DefaultSetup(
+			models.ResNet50V2, 24, "down", experiments.StackULFM, failure.KillProcess))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ehTotal, ulProcTotal = eh.Total, ul.Total
+	}
+	b.ReportMetric(ehTotal, "vsec/EH-24gpu")
+	b.ReportMetric(ulProcTotal, "vsec/ULFM-24gpu")
+}
+
+// benchSweep runs one scenario point pair and reports both stacks.
+func benchSweep(b *testing.B, spec models.Spec, scenario string, gpus int) {
+	b.Helper()
+	var eh, ul float64
+	for i := 0; i < b.N; i++ {
+		o1, err := experiments.Run(experiments.DefaultSetup(
+			spec, gpus, scenario, experiments.StackElasticHorovod, failure.KillNode))
+		if err != nil {
+			b.Fatal(err)
+		}
+		o2, err := experiments.Run(experiments.DefaultSetup(
+			spec, gpus, scenario, experiments.StackULFM, failure.KillNode))
+		if err != nil {
+			b.Fatal(err)
+		}
+		eh, ul = o1.Total, o2.Total
+	}
+	b.ReportMetric(eh, "vsec/EH")
+	b.ReportMetric(ul, "vsec/ULFM")
+	if ul > 0 {
+		b.ReportMetric(eh/ul, "x/advantage")
+	}
+}
+
+// BenchmarkFigure5VGG16, 6 and 7 regenerate the per-model sweeps at
+// representative scales (full axes via cmd/benchtab).
+func BenchmarkFigure5VGG16(b *testing.B) {
+	for _, scen := range experiments.Scenarios() {
+		for _, gpus := range []int{12, 48} {
+			b.Run(fmt.Sprintf("%s/%dgpu", scen, gpus), func(b *testing.B) {
+				benchSweep(b, models.VGG16, scen, gpus)
+			})
+		}
+	}
+}
+
+func BenchmarkFigure6ResNet50(b *testing.B) {
+	for _, scen := range experiments.Scenarios() {
+		for _, gpus := range []int{12, 48} {
+			b.Run(fmt.Sprintf("%s/%dgpu", scen, gpus), func(b *testing.B) {
+				benchSweep(b, models.ResNet50V2, scen, gpus)
+			})
+		}
+	}
+}
+
+func BenchmarkFigure7NasNet(b *testing.B) {
+	for _, scen := range experiments.Scenarios() {
+		for _, gpus := range []int{12, 48} {
+			b.Run(fmt.Sprintf("%s/%dgpu", scen, gpus), func(b *testing.B) {
+				benchSweep(b, models.NasNetMobile, scen, gpus)
+			})
+		}
+	}
+}
+
+// BenchmarkEq1CheckpointCostModel evaluates the Eq. (1) trade-off curve.
+func BenchmarkEq1CheckpointCostModel(b *testing.B) {
+	var atOne, atSixteen float64
+	for i := 0; i < b.N; i++ {
+		for _, saves := range []float64{1, 16} {
+			m := checkpoint.CostModel{
+				SaveCost:       0.02,
+				LoadCost:       0.02,
+				ReconfigCost:   3.0,
+				RecomputeCost:  checkpoint.RecomputeForInterval(100 / saves),
+				NewWorkerInit:  9.0,
+				SavesPerEpoch:  saves,
+				FaultsPerEpoch: 1,
+			}
+			if saves == 1 {
+				atOne = m.FaultRecoveryCost()
+			} else {
+				atSixteen = m.FaultRecoveryCost()
+			}
+		}
+	}
+	b.ReportMetric(atOne, "vsec/1save-per-epoch")
+	b.ReportMetric(atSixteen, "vsec/16saves-per-epoch")
+}
+
+// BenchmarkScaleTrend quantifies how the reconstruction gap widens with
+// scale (the paper: "This advantage becomes increasingly significant at
+// larger scales").
+func BenchmarkScaleTrend(b *testing.B) {
+	for _, gpus := range []int{12, 24, 48, 96} {
+		b.Run(fmt.Sprintf("%dgpu", gpus), func(b *testing.B) {
+			var gap float64
+			for i := 0; i < b.N; i++ {
+				eh, err := experiments.Run(experiments.DefaultSetup(
+					models.NasNetMobile, gpus, "down", experiments.StackElasticHorovod, failure.KillNode))
+				if err != nil {
+					b.Fatal(err)
+				}
+				ul, err := experiments.Run(experiments.DefaultSetup(
+					models.NasNetMobile, gpus, "down", experiments.StackULFM, failure.KillNode))
+				if err != nil {
+					b.Fatal(err)
+				}
+				gap = eh.Reconstruct - ul.Reconstruct
+			}
+			b.ReportMetric(gap, "vsec/gap")
+		})
+	}
+}

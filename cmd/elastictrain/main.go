@@ -1,0 +1,228 @@
+// Command elastictrain runs one elastic training job on the simulated
+// cluster, injecting a reconfiguration event, and prints the run summary:
+// final worker count, recovery cost breakdowns, loss trajectory (in real
+// training mode), and replica-consistency hashes.
+//
+// Examples:
+//
+//	elastictrain -stack ulfm -model ResNet50V2 -gpus 24 -scenario down -granularity process
+//	elastictrain -stack horovod -model VGG-16 -gpus 48 -scenario same
+//	elastictrain -stack ulfm -real -gpus 8 -scenario up -epochs 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/elastic"
+	"repro/internal/failure"
+	"repro/internal/gloo"
+	"repro/internal/horovod"
+	"repro/internal/kvstore"
+	"repro/internal/models"
+	"repro/internal/nccl"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+	"repro/internal/train"
+)
+
+func main() {
+	stack := flag.String("stack", "ulfm", "communication stack: ulfm | horovod")
+	model := flag.String("model", "ResNet50V2", "Table 1 model for virtual mode")
+	real := flag.Bool("real", false, "train the real (small) MLP instead of a virtual model")
+	gpus := flag.Int("gpus", 24, "worker count (one per simulated GPU)")
+	scenario := flag.String("scenario", "down", "reconfiguration scenario: down | same | up")
+	granularity := flag.String("granularity", "process", "failure blast / drop policy: process | node")
+	epochs := flag.Int("epochs", 3, "epochs to train")
+	failEpoch := flag.Int("fail-epoch", 1, "epoch of the reconfiguration event")
+	failStep := flag.Int("fail-step", 1, "step of the reconfiguration event")
+	mtbf := flag.Float64("mtbf", 0, "mean steps between failures (exponential); overrides -fail-epoch/-fail-step")
+	seed := flag.Int64("seed", 1, "seed for -mtbf schedules")
+	traceFile := flag.String("trace", "", "write a JSON-lines journal of recoveries/joins/completions to this file")
+	flag.Parse()
+
+	var rec *trace.Recorder
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatalf("create trace file: %v", err)
+		}
+		defer f.Close()
+		rec = trace.New(f)
+	}
+
+	gran := failure.KillProcess
+	if *granularity == "node" {
+		gran = failure.KillNode
+	}
+
+	nodes := (*gpus + 5) / 6
+	cluster := simnet.New(simnet.Summit(nodes))
+
+	var tc train.Config
+	if *real {
+		tc = train.Config{
+			Mode:       train.Real,
+			MLPSizes:   []int{16, 32, 8},
+			Seed:       1,
+			Dataset:    data.NewSynthetic(2048, 16, 8, 11),
+			BatchSize:  16,
+			Epochs:     *epochs,
+			BaseLR:     0.05,
+			Momentum:   0.9,
+			RefWorkers: *gpus,
+		}
+	} else {
+		spec, err := models.ByName(*model)
+		if err != nil {
+			fatalf("%v (known: VGG-16, ResNet50V2, NasNetMobile)", err)
+		}
+		tc = train.Config{
+			Mode:       train.Virtual,
+			Spec:       spec,
+			Epochs:     *epochs,
+			BaseLR:     0.1,
+			RefWorkers: 12,
+		}
+	}
+
+	var sched *failure.Schedule
+	switch {
+	case *mtbf > 0:
+		// Draw an exponential failure schedule over the whole run; victims
+		// are uniform over the initial ranks.
+		steps := 100
+		if !*real {
+			spec, _ := models.ByName(*model)
+			steps = spec.EpochSteps(*gpus)
+		}
+		sched = failure.MTBF(*seed, *mtbf, steps**epochs, steps, *gpus, gran)
+	case *scenario == "up":
+		sched = failure.GrowAt(*failEpoch, *failStep, *gpus)
+	default:
+		sched = failure.At(*failEpoch, *failStep, *gpus-1, gran)
+	}
+
+	switch *stack {
+	case "ulfm":
+		cfg := core.Config{
+			Train:      tc,
+			Horovod:    horovod.DefaultConfig(),
+			UseGPU:     !*real,
+			NCCL:       nccl.DefaultConfig(),
+			Scenario:   coreScenario(*scenario),
+			DropPolicy: gran,
+			Schedule:   sched,
+			Trace:      rec,
+		}
+		job, err := core.NewJob(cluster, cfg)
+		check(err)
+		res, err := job.Run()
+		check(err)
+		fmt.Printf("stack=ulfm scenario=%s granularity=%s\n", *scenario, gran)
+		printCommon(res.FinalSize, res.TotalTime, res.LossHistory, hashList(res.FinalHashes))
+		for _, ev := range res.Events {
+			fmt.Printf("event %d (%s):\n  survivors: %s\n", ev.Seq, ev.Trigger, ev.Critical)
+			if ev.Newcomer != nil {
+				fmt.Printf("  newcomers: %s\n", ev.Newcomer)
+			}
+		}
+	case "horovod":
+		kv := kvstore.New(kvstore.DefaultConfig())
+		cfg := elastic.Config{
+			Train:    tc,
+			Gloo:     gloo.DefaultConfig(),
+			Horovod:  horovod.DefaultConfig(),
+			UseGPU:   !*real,
+			NCCL:     nccl.DefaultConfig(),
+			Scenario: ehScenario(*scenario),
+			Schedule: sched,
+			Trace:    rec,
+		}
+		job, err := elastic.NewJob(cluster, kv, cfg)
+		check(err)
+		res, err := job.Run()
+		check(err)
+		fmt.Printf("stack=elastic-horovod scenario=%s (node-granularity recovery)\n", *scenario)
+		printCommon(res.FinalSize, res.TotalTime, res.LossHistory, hashList(res.FinalHashes))
+		for _, ev := range res.Events {
+			fmt.Printf("round %d (%s):\n  survivors: %s\n", ev.Round, ev.Trigger, ev.Critical)
+			if ev.Newcomer != nil {
+				fmt.Printf("  newcomers: %s\n", ev.Newcomer)
+			}
+		}
+	default:
+		fatalf("unknown -stack %q", *stack)
+	}
+}
+
+func printCommon(size int, total float64, loss []float64, hashes []uint64) {
+	fmt.Printf("final workers: %d\n", size)
+	fmt.Printf("virtual run time: %.3fs\n", total)
+	if len(loss) > 0 {
+		fmt.Printf("epoch losses:")
+		for _, l := range loss {
+			fmt.Printf(" %.4f", l)
+		}
+		fmt.Println()
+	}
+	if len(hashes) > 0 {
+		consistent := true
+		for _, h := range hashes[1:] {
+			if h != hashes[0] {
+				consistent = false
+			}
+		}
+		fmt.Printf("replica consistency: %v (%d replicas, state hash %#x)\n", consistent, len(hashes), hashes[0])
+	}
+}
+
+func hashList(m map[simnet.ProcID]uint64) []uint64 {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	out := make([]uint64, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, m[simnet.ProcID(id)])
+	}
+	return out
+}
+
+func coreScenario(s string) core.Scenario {
+	switch s {
+	case "same":
+		return core.ScenarioSame
+	case "up":
+		return core.ScenarioUp
+	default:
+		return core.ScenarioDown
+	}
+}
+
+func ehScenario(s string) elastic.Scenario {
+	switch s {
+	case "same":
+		return elastic.ScenarioSame
+	case "up":
+		return elastic.ScenarioUp
+	default:
+		return elastic.ScenarioDown
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "elastictrain: "+format+"\n", args...)
+	os.Exit(1)
+}

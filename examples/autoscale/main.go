@@ -1,0 +1,43 @@
+// Autoscale (the paper's Scenario III): start training with the workers
+// that are available and absorb new resources as they come online,
+// doubling the worker count mid-run. Compares how the two stacks pay for
+// the expansion: Elastic Horovod interrupts everyone with a full reset +
+// re-rendezvous; ULFM merges the newcomers at an epoch boundary while
+// training continues.
+//
+// Run with:
+//
+//	go run ./examples/autoscale
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/failure"
+	"repro/internal/models"
+)
+
+func main() {
+	fmt.Println("Scenario III: double the workers of a NasNetMobile run at every scale")
+	fmt.Println()
+	fmt.Printf("%8s  %22s  %22s\n", "GPUs", "Elastic Horovod (s)", "ULFM MPI (s)")
+	for _, gpus := range []int{12, 24, 48} {
+		eh, err := experiments.Run(experiments.DefaultSetup(
+			models.NasNetMobile, gpus, "up", experiments.StackElasticHorovod, failure.KillNode))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ul, err := experiments.Run(experiments.DefaultSetup(
+			models.NasNetMobile, gpus, "up", experiments.StackULFM, failure.KillNode))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d  %22.3f  %22.3f   (%d -> %d workers)\n",
+			gpus, eh.Total, ul.Total, gpus, eh.FinalSize)
+	}
+	fmt.Println()
+	fmt.Println("Both stacks pay the same one-time software init on the new workers;")
+	fmt.Println("the difference is the reconfiguration of the existing ones.")
+}

@@ -1,0 +1,58 @@
+// Downscale (the paper's Scenario I) head-to-head: the same single-GPU
+// failure during ResNet-50 training on 24 simulated GPUs, recovered by
+// Elastic Horovod (checkpoint rollback + Gloo re-rendezvous, node
+// blacklisting) and by ULFM resilient collectives (revoke / agree /
+// shrink / retry, process-granular). Prints both Figure-4-style cost
+// breakdowns side by side.
+//
+// Run with:
+//
+//	go run ./examples/downscale
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/failure"
+	"repro/internal/metrics"
+	"repro/internal/models"
+)
+
+func main() {
+	eh, err := experiments.Run(experiments.DefaultSetup(
+		models.ResNet50V2, 24, "down", experiments.StackElasticHorovod, failure.KillProcess))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ul, err := experiments.Run(experiments.DefaultSetup(
+		models.ResNet50V2, 24, "down", experiments.StackULFM, failure.KillProcess))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Scenario I: one GPU fails during ResNet-50 training on 24 GPUs")
+	fmt.Println()
+	fmt.Printf("Elastic Horovod (drops the whole node, %d GPUs left):\n  %s\n\n",
+		eh.FinalSize, eh.Critical)
+	fmt.Printf("ULFM resilient collectives (drops one process, %d GPUs left):\n  %s\n\n",
+		ul.FinalSize, ul.Critical)
+
+	t := &metrics.Table{
+		Title:   "Cost segments (seconds)",
+		Headers: []string{"segment", "Elastic Horovod", "ULFM MPI", "speedup"},
+	}
+	seg := func(name string, a, b float64) {
+		sp := "-"
+		if b > 0 {
+			sp = fmt.Sprintf("%.1fx", a/b)
+		}
+		t.AddRow(name, fmt.Sprintf("%.3f", a), fmt.Sprintf("%.3f", b), sp)
+	}
+	seg("communicator reconstruction", eh.Reconstruct, ul.Reconstruct)
+	seg("state re-initialization", eh.StateInit, ul.StateInit)
+	seg("re-computation", eh.Recompute, ul.Recompute)
+	seg("TOTAL", eh.Total, ul.Total)
+	fmt.Println(t)
+}

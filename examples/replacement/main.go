@@ -1,0 +1,80 @@
+// Replacement (the paper's Scenario II): keep the worker count stable by
+// spawning substitutes for failed workers. With ULFM the survivors finish
+// the interrupted epoch in degraded mode (forward recovery) while the
+// replacements initialize in the background; the newcomers merge at the
+// next epoch boundary and receive the training state from the survivors,
+// so they start at epoch i+1 — exactly the timeline the paper describes.
+//
+// Run with:
+//
+//	go run ./examples/replacement
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/failure"
+	"repro/internal/horovod"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/train"
+)
+
+func main() {
+	cluster := simnet.New(simnet.Config{
+		Nodes:              2,
+		ProcsPerNode:       4,
+		IntraNodeLatency:   1.5e-6,
+		InterNodeLatency:   3e-6,
+		IntraNodeBandwidth: 50e9,
+		InterNodeBandwidth: 4e9,
+		DetectLatency:      2e-3,
+		SpawnDelay:         3, // scheduler + binary load for the replacement
+	})
+
+	cfg := core.Config{
+		Train: train.Config{
+			Mode:       train.Real,
+			MLPSizes:   []int{8, 24, 4},
+			Seed:       1,
+			Dataset:    data.NewSynthetic(640, 8, 4, 3),
+			BatchSize:  10,
+			Epochs:     6,
+			BaseLR:     0.05,
+			Momentum:   0.9,
+			RefWorkers: 8,
+		},
+		Horovod:    horovod.DefaultConfig(),
+		Scenario:   core.ScenarioSame, // replace what fails
+		DropPolicy: failure.KillProcess,
+		Schedule:   failure.At(2, 2, 5, failure.KillProcess),
+	}
+
+	job, err := core.NewJob(cluster, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := job.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("worker count: 8 -> failure -> %d (replaced)\n\n", res.FinalSize)
+	for _, ev := range res.Events {
+		fmt.Printf("survivors' recovery (epoch continues in degraded mode):\n  %s\n", ev.Critical)
+		if ev.Newcomer != nil {
+			fmt.Printf("replacement worker (initialized in the background, joins at the next epoch):\n  %s\n", ev.Newcomer)
+			fmt.Printf("\nnote: new-worker-init (%.1fs) overlaps with continued training —\n",
+				ev.Newcomer.Get(metrics.PhaseNewWorkerInit))
+			fmt.Println("the survivors never stop; only merge-newcomers + state-sync touch them.")
+		}
+	}
+	fmt.Print("\nepoch losses:")
+	for _, l := range res.LossHistory {
+		fmt.Printf(" %.4f", l)
+	}
+	fmt.Println()
+}

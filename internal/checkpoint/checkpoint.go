@@ -1,0 +1,130 @@
+// Package checkpoint implements the in-memory checkpointing that the
+// baseline's backward recovery rolls back to, plus the paper's Eq. (1)
+// recovery-cost model.
+//
+// Matching the paper's evaluation setup, only memory checkpoints are
+// modeled ("we've limited our focus to memory checkpoints"): saving is a
+// local copy of model + optimizer state; parallel-file-system costs are
+// out of scope.
+package checkpoint
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Snapshot is one saved training state.
+type Snapshot struct {
+	Epoch      int
+	Step       int // optimizer step within the epoch at save time
+	Model      tensor.Vector
+	Optimizer  tensor.Vector
+	LR         float64
+	WorldSize  int
+	SavedAtSec float64 // virtual time of the save
+}
+
+// Bytes returns the snapshot's in-memory size.
+func (s *Snapshot) Bytes() int64 {
+	return (tensor.Vector(s.Model).Bytes()) + (tensor.Vector(s.Optimizer).Bytes()) + 64
+}
+
+// Store holds each worker's latest memory checkpoint. In Elastic Horovod
+// the in-memory state object lives in the training script on every
+// worker; the store is keyed by worker identity.
+type Store struct {
+	mu    sync.Mutex
+	last  map[int]*Snapshot
+	saves int
+	loads int
+}
+
+// NewStore returns an empty checkpoint store.
+func NewStore() *Store {
+	return &Store{last: make(map[int]*Snapshot)}
+}
+
+// Save records worker w's snapshot, replacing any earlier one (memory
+// checkpointing keeps only the latest state).
+func (st *Store) Save(w int, s *Snapshot) {
+	cp := *s
+	cp.Model = s.Model.Clone()
+	cp.Optimizer = s.Optimizer.Clone()
+	st.mu.Lock()
+	st.last[w] = &cp
+	st.saves++
+	st.mu.Unlock()
+}
+
+// Load returns worker w's latest snapshot, or an error when none exists
+// (a fresh worker has no local checkpoint — it must sync from survivors).
+func (st *Store) Load(w int) (*Snapshot, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.last[w]
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: no snapshot for worker %d", w)
+	}
+	st.loads++
+	cp := *s
+	cp.Model = s.Model.Clone()
+	cp.Optimizer = s.Optimizer.Clone()
+	return &cp, nil
+}
+
+// Drop forgets worker w's snapshot (worker left the job).
+func (st *Store) Drop(w int) {
+	st.mu.Lock()
+	delete(st.last, w)
+	st.mu.Unlock()
+}
+
+// Stats reports save/load counts (for overhead accounting in tests).
+func (st *Store) Stats() (saves, loads int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.saves, st.loads
+}
+
+// --- Eq. (1): cost model ---------------------------------------------------
+
+// CostModel carries the per-event costs of checkpoint-based fault
+// recovery, in seconds, as decomposed by the paper's Eq. (1).
+type CostModel struct {
+	SaveCost       float64 // C_checkpoint_saving: one save
+	LoadCost       float64 // C_checkpoint_loading: one load at recovery
+	ReconfigCost   float64 // C_re-configuration: rebuild communication context
+	RecomputeCost  float64 // C_re-compute_from_checkpoint: lost work re-execution
+	NewWorkerInit  float64 // C_new_worker_init: software init of joining workers
+	SavesPerEpoch  float64 // freq_saving, in saves per epoch
+	FaultsPerEpoch float64 // Count_fault, in faults per epoch
+}
+
+// FaultRecoveryCost evaluates Eq. (1) over one epoch:
+//
+//	C = C_save × freq_save + Count_fault × (C_load + C_reconfig +
+//	    C_recompute + C_new_worker_init)
+func (m CostModel) FaultRecoveryCost() float64 {
+	return m.SaveCost*m.SavesPerEpoch +
+		m.FaultsPerEpoch*(m.LoadCost+m.ReconfigCost+m.RecomputeCost+m.NewWorkerInit)
+}
+
+// RecomputeForInterval models C_re-compute as the expected re-execution
+// time when checkpoints are taken every intervalSec of training: on
+// average half an interval of work is lost per fault.
+func RecomputeForInterval(intervalSec float64) float64 {
+	return intervalSec / 2
+}
+
+// OptimalInterval returns the checkpoint interval minimizing
+// save-plus-recompute cost for a given fault rate (Young's
+// approximation: sqrt(2 × C_save / λ)).
+func OptimalInterval(saveCost, faultsPerSec float64) float64 {
+	if faultsPerSec <= 0 {
+		return 0 // never checkpoint if nothing fails
+	}
+	return math.Sqrt(2 * saveCost / faultsPerSec)
+}

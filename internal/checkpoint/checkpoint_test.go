@@ -1,0 +1,147 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func snap(epoch int, v float32) *Snapshot {
+	return &Snapshot{
+		Epoch: epoch,
+		Model: tensor.Vector{v, v + 1},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st := NewStore()
+	st.Save(3, snap(5, 1))
+	got, err := st.Load(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 5 || got.Model[0] != 1 {
+		t.Fatalf("Load = %+v", got)
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	st := NewStore()
+	if _, err := st.Load(9); err == nil {
+		t.Fatal("Load of missing worker should fail")
+	}
+}
+
+func TestSaveIsolation(t *testing.T) {
+	st := NewStore()
+	s := snap(1, 1)
+	st.Save(0, s)
+	s.Model[0] = 99 // caller mutates after save
+	got, _ := st.Load(0)
+	if got.Model[0] != 1 {
+		t.Fatal("Save did not deep-copy the snapshot")
+	}
+	got.Model[0] = 77 // loader mutates
+	again, _ := st.Load(0)
+	if again.Model[0] != 1 {
+		t.Fatal("Load did not deep-copy the snapshot")
+	}
+}
+
+func TestSaveReplaces(t *testing.T) {
+	st := NewStore()
+	st.Save(0, snap(1, 1))
+	st.Save(0, snap(2, 2))
+	got, _ := st.Load(0)
+	if got.Epoch != 2 {
+		t.Fatalf("latest snapshot epoch = %d, want 2", got.Epoch)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	st := NewStore()
+	st.Save(0, snap(1, 1))
+	st.Drop(0)
+	if _, err := st.Load(0); err == nil {
+		t.Fatal("dropped snapshot should be gone")
+	}
+}
+
+func TestStats(t *testing.T) {
+	st := NewStore()
+	st.Save(0, snap(1, 1))
+	st.Save(1, snap(1, 1))
+	st.Load(0)
+	saves, loads := st.Stats()
+	if saves != 2 || loads != 1 {
+		t.Fatalf("Stats = (%d, %d)", saves, loads)
+	}
+}
+
+func TestSnapshotBytes(t *testing.T) {
+	s := &Snapshot{Model: tensor.New(10), Optimizer: tensor.New(5)}
+	if got := s.Bytes(); got != 40+20+64 {
+		t.Fatalf("Bytes = %d", got)
+	}
+}
+
+func TestEq1FaultRecoveryCost(t *testing.T) {
+	m := CostModel{
+		SaveCost:       0.5,
+		LoadCost:       0.3,
+		ReconfigCost:   10,
+		RecomputeCost:  20,
+		NewWorkerInit:  5,
+		SavesPerEpoch:  4,
+		FaultsPerEpoch: 2,
+	}
+	want := 0.5*4 + 2*(0.3+10+20+5)
+	if got := m.FaultRecoveryCost(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Eq1 = %v, want %v", got, want)
+	}
+}
+
+func TestEq1TradeOff(t *testing.T) {
+	// More frequent checkpoints: higher save cost, lower recompute cost.
+	base := CostModel{SaveCost: 1, LoadCost: 0, ReconfigCost: 0, NewWorkerInit: 0, FaultsPerEpoch: 1}
+	epochSec := 100.0
+
+	sparse := base
+	sparse.SavesPerEpoch = 1
+	sparse.RecomputeCost = RecomputeForInterval(epochSec / 1)
+
+	dense := base
+	dense.SavesPerEpoch = 20
+	dense.RecomputeCost = RecomputeForInterval(epochSec / 20)
+
+	if !(dense.FaultRecoveryCost() < sparse.FaultRecoveryCost()) {
+		t.Fatalf("with faults, dense checkpoints should win: dense=%v sparse=%v",
+			dense.FaultRecoveryCost(), sparse.FaultRecoveryCost())
+	}
+
+	// Without faults, saving is pure overhead.
+	sparse.FaultsPerEpoch = 0
+	dense.FaultsPerEpoch = 0
+	if !(dense.FaultRecoveryCost() > sparse.FaultRecoveryCost()) {
+		t.Fatal("without faults, sparse checkpoints should win")
+	}
+}
+
+func TestRecomputeForInterval(t *testing.T) {
+	if got := RecomputeForInterval(10); got != 5 {
+		t.Fatalf("RecomputeForInterval = %v", got)
+	}
+}
+
+func TestOptimalInterval(t *testing.T) {
+	// Young's approximation: sqrt(2*C/λ).
+	got := OptimalInterval(2, 1.0/3600)
+	want := math.Sqrt(2 * 2 * 3600)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("OptimalInterval = %v, want %v", got, want)
+	}
+	if OptimalInterval(2, 0) != 0 {
+		t.Fatal("zero fault rate should give 0 (never checkpoint)")
+	}
+}

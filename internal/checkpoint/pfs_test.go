@@ -1,0 +1,106 @@
+package checkpoint
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/vtime"
+)
+
+func pfsSnap(n int) *Snapshot {
+	return &Snapshot{Epoch: 1, Model: tensor.New(n)}
+}
+
+func TestPFSSaveLoadRoundTrip(t *testing.T) {
+	p := NewPFS()
+	var clk vtime.Clock
+	s := pfsSnap(1000)
+	s.Model[5] = 7
+	p.Save(&clk, 3, s)
+	got, err := p.Load(&clk, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Model[5] != 7 {
+		t.Fatalf("Model[5] = %v", got.Model[5])
+	}
+	if _, err := p.Load(&clk, 99); err == nil {
+		t.Fatal("missing snapshot should error")
+	}
+	w, r := p.Traffic()
+	if w <= 0 || r <= 0 {
+		t.Fatalf("traffic = (%d, %d)", w, r)
+	}
+}
+
+func TestPFSChargesTransferTime(t *testing.T) {
+	p := NewPFS()
+	var clk vtime.Clock
+	s := pfsSnap(25_000_000) // 100 MB
+	p.Save(&clk, 0, s)
+	want := p.OpenLatency + float64(s.Bytes())/p.WriteBW
+	if got := clk.Now(); got < want*0.99 || got > want*1.01 {
+		t.Fatalf("save time = %v, want ~%v", got, want)
+	}
+}
+
+func TestPFSBandwidthSharing(t *testing.T) {
+	// Two concurrent writers serialize on the shared pipe: the later one
+	// finishes roughly twice as late as a lone writer.
+	p := NewPFS()
+	var a, b vtime.Clock
+	s := pfsSnap(25_000_000)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); p.Save(&a, 0, s) }()
+	go func() { defer wg.Done(); p.Save(&b, 1, s) }()
+	wg.Wait()
+	transfer := float64(s.Bytes()) / p.WriteBW
+	later := a.Now()
+	if b.Now() > later {
+		later = b.Now()
+	}
+	// Both transfers serialize on the shared pipe: the later finisher pays
+	// its open latency plus two full transfer slots.
+	want := p.OpenLatency + 2*transfer
+	if later < want*0.99 {
+		t.Fatalf("second writer finished at %v, want >= %v", later, want)
+	}
+}
+
+func TestPFSIsolation(t *testing.T) {
+	p := NewPFS()
+	var clk vtime.Clock
+	s := pfsSnap(4)
+	p.Save(&clk, 0, s)
+	s.Model[0] = 42
+	got, _ := p.Load(&clk, 0)
+	if got.Model[0] != 0 {
+		t.Fatal("PFS did not deep-copy on save")
+	}
+}
+
+func TestMemoryVsPFSTable(t *testing.T) {
+	rows := MemoryVsPFSTable(98<<20, []int{6, 24, 96}, 10e9)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// PFS cost must grow with worker count; memory cost must not.
+	if rows[0][1] != rows[2][1] {
+		t.Fatal("memory cost should be scale-invariant")
+	}
+	if !(rows[2][2] > rows[0][2]) {
+		t.Fatalf("PFS cost should grow with writers: %v", rows)
+	}
+}
+
+func TestPFSSaveTime(t *testing.T) {
+	p := NewPFS()
+	one := p.SaveTime(1, 100<<20)
+	many := p.SaveTime(24, 100<<20)
+	// Transfer time scales with writer count; the open latency amortizes.
+	if !(many-p.OpenLatency > (one-p.OpenLatency)*23.9) {
+		t.Fatalf("24 writers should cost ~24x the transfer: %v vs %v", one, many)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/failure"
+)
+
+// Property: for random failure schedules (up to 3 process failures at
+// arbitrary steps, including concurrent ones), a downscale run completes
+// with exactly the surviving workers, bitwise-identical replicas, and a
+// loss history for every epoch.
+func TestRandomFailureSchedulesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const workers, epochs = 6, 5
+		nFail := rng.Intn(3) + 1
+		victims := map[int]bool{}
+		var evs []failure.Event
+		for len(victims) < nFail {
+			v := rng.Intn(workers)
+			if victims[v] {
+				continue
+			}
+			victims[v] = true
+			evs = append(evs, failure.Event{
+				// Epochs 1..3 so the last epoch runs clean.
+				Epoch: 1 + rng.Intn(3),
+				Step:  rng.Intn(3),
+				Type:  failure.Fail,
+				Rank:  v,
+				Kind:  failure.KillProcess,
+			})
+		}
+		// Events must be in firing order for the schedule cursor.
+		for i := 1; i < len(evs); i++ {
+			for j := i; j > 0; j-- {
+				a, b := evs[j-1], evs[j]
+				if b.Epoch < a.Epoch || (b.Epoch == a.Epoch && b.Step < a.Step) {
+					evs[j-1], evs[j] = b, a
+				}
+			}
+		}
+
+		cl := testCluster(2, 3)
+		cfg := baseCfg(workers, epochs)
+		cfg.Schedule = &failure.Schedule{Events: evs}
+		j, err := NewJob(cl, cfg)
+		if err != nil {
+			return false
+		}
+		res, err := j.Run()
+		if err != nil {
+			t.Logf("seed %d: run error: %v (events %+v)", seed, err, evs)
+			return false
+		}
+		if res.FinalSize != workers-nFail {
+			t.Logf("seed %d: final size %d, want %d", seed, res.FinalSize, workers-nFail)
+			return false
+		}
+		if len(res.FinalHashes) != workers-nFail {
+			return false
+		}
+		var first uint64
+		got := false
+		for _, h := range res.FinalHashes {
+			if !got {
+				first, got = h, true
+			} else if h != first {
+				t.Logf("seed %d: replica divergence (events %+v)", seed, evs)
+				return false
+			}
+		}
+		return len(res.LossHistory) == epochs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/failure"
+)
+
+// TestReclaimLostSamples: with the flag on, a downscale recovery schedules
+// the dead worker's unvisited samples for the next epoch, and the run
+// stays consistent.
+func TestReclaimLostSamples(t *testing.T) {
+	cl := testCluster(2, 3)
+	cfg := baseCfg(6, 5)
+	cfg.Train.ReclaimLostSamples = true
+	cfg.Schedule = failure.At(1, 1, 4, failure.KillProcess)
+	res := runJob(t, cl, cfg)
+	if res.FinalSize != 5 {
+		t.Fatalf("final size = %d", res.FinalSize)
+	}
+	assertConsistentReplicas(t, res, 5)
+	assertLossDecreases(t, res.LossHistory)
+}
+
+// TestReclaimRequiresDownScenario: the carryover cannot reach newcomers,
+// so replacement/upscale configurations are rejected.
+func TestReclaimRequiresDownScenario(t *testing.T) {
+	cl := testCluster(2, 3)
+	cfg := baseCfg(6, 5)
+	cfg.Train.ReclaimLostSamples = true
+	cfg.Scenario = ScenarioSame
+	if _, err := NewJob(cl, cfg); err == nil {
+		t.Fatal("ReclaimLostSamples with ScenarioSame should be rejected")
+	}
+}
+
+// TestReclaimCoversMoreData: compare epochs-after-failure with and without
+// reclamation — with the flag, the post-failure epoch runs more optimizer
+// steps (the reclaimed batches), so the trajectory differs while both
+// remain consistent.
+func TestReclaimChangesTrajectory(t *testing.T) {
+	run := func(reclaim bool) *Result {
+		cl := testCluster(2, 3)
+		cfg := baseCfg(6, 5)
+		cfg.Train.ReclaimLostSamples = reclaim
+		cfg.Schedule = failure.At(1, 1, 4, failure.KillProcess)
+		return runJob(t, cl, cfg)
+	}
+	with := run(true)
+	without := run(false)
+	assertConsistentReplicas(t, with, 5)
+	assertConsistentReplicas(t, without, 5)
+	same := true
+	for p, h := range with.FinalHashes {
+		if without.FinalHashes[p] != h {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("reclaimed samples should alter the training trajectory")
+	}
+}

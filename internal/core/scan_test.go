@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+)
+
+// TestFailureScheduleScan drives the recovery machinery through 150
+// deterministic pseudo-random schedules of 1-3 process failures
+// (including concurrent and adjacent-step ones), each with a real-time
+// watchdog so a recovery deadlock fails fast instead of hanging the
+// suite. This complements TestRandomFailureSchedulesProperty with a wider
+// fixed corpus.
+func TestFailureScheduleScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scan")
+	}
+	for it := 0; it < 150; it++ {
+		seed := int64(it) * 7919
+		rng := rand.New(rand.NewSource(seed))
+		const workers, epochs = 6, 5
+		nFail := rng.Intn(3) + 1
+		victims := map[int]bool{}
+		var evs []failure.Event
+		for len(victims) < nFail {
+			v := rng.Intn(workers)
+			if victims[v] {
+				continue
+			}
+			victims[v] = true
+			evs = append(evs, failure.Event{
+				Epoch: 1 + rng.Intn(3), Step: rng.Intn(3),
+				Type: failure.Fail, Rank: v, Kind: failure.KillProcess,
+			})
+		}
+		for i := 1; i < len(evs); i++ {
+			for j := i; j > 0; j-- {
+				a, b := evs[j-1], evs[j]
+				if b.Epoch < a.Epoch || (b.Epoch == a.Epoch && b.Step < a.Step) {
+					evs[j-1], evs[j] = b, a
+				}
+			}
+		}
+		cl := testCluster(2, 3)
+		cfg := baseCfg(workers, epochs)
+		cfg.Schedule = &failure.Schedule{Events: evs}
+		j, err := NewJob(cl, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type outcome struct {
+			res *Result
+			err error
+		}
+		ch := make(chan outcome, 1)
+		go func() {
+			res, err := j.Run()
+			ch <- outcome{res, err}
+		}()
+		select {
+		case o := <-ch:
+			if o.err != nil {
+				t.Fatalf("iter %d (events %+v): %v", it, evs, o.err)
+			}
+			if o.res.FinalSize != workers-nFail {
+				t.Fatalf("iter %d (events %+v): final size %d, want %d", it, evs, o.res.FinalSize, workers-nFail)
+			}
+			var first uint64
+			got := false
+			for _, h := range o.res.FinalHashes {
+				if !got {
+					first, got = h, true
+				} else if h != first {
+					t.Fatalf("iter %d (events %+v): replica divergence", it, evs)
+				}
+			}
+			if len(o.res.LossHistory) != epochs {
+				t.Fatalf("iter %d: loss history %d entries, want %d", it, len(o.res.LossHistory), epochs)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("iter %d (events %+v): recovery deadlock", it, evs)
+		}
+	}
+}
+
+// TestReclaimScheduleScan repeats a smaller scan with sample reclamation
+// enabled, checking the carryover paths under overlapping failures.
+func TestReclaimScheduleScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scan")
+	}
+	for it := 0; it < 60; it++ {
+		rng := rand.New(rand.NewSource(int64(it)*31337 + 7))
+		const workers, epochs = 6, 5
+		nFail := rng.Intn(2) + 1
+		victims := map[int]bool{}
+		var evs []failure.Event
+		for len(victims) < nFail {
+			v := rng.Intn(workers)
+			if victims[v] {
+				continue
+			}
+			victims[v] = true
+			evs = append(evs, failure.Event{
+				Epoch: 1 + rng.Intn(3), Step: rng.Intn(3),
+				Type: failure.Fail, Rank: v, Kind: failure.KillProcess,
+			})
+		}
+		for i := 1; i < len(evs); i++ {
+			for j := i; j > 0; j-- {
+				a, b := evs[j-1], evs[j]
+				if b.Epoch < a.Epoch || (b.Epoch == a.Epoch && b.Step < a.Step) {
+					evs[j-1], evs[j] = b, a
+				}
+			}
+		}
+		cl := testCluster(2, 3)
+		cfg := baseCfg(workers, epochs)
+		cfg.Train.ReclaimLostSamples = true
+		cfg.Schedule = &failure.Schedule{Events: evs}
+		j, err := NewJob(cl, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type outcome struct {
+			res *Result
+			err error
+		}
+		ch := make(chan outcome, 1)
+		go func() {
+			res, err := j.Run()
+			ch <- outcome{res, err}
+		}()
+		select {
+		case o := <-ch:
+			if o.err != nil {
+				t.Fatalf("iter %d (events %+v): %v", it, evs, o.err)
+			}
+			var first uint64
+			got := false
+			for _, h := range o.res.FinalHashes {
+				if !got {
+					first, got = h, true
+				} else if h != first {
+					t.Fatalf("iter %d (events %+v): replica divergence with reclamation", it, evs)
+				}
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("iter %d (events %+v): deadlock with reclamation", it, evs)
+		}
+	}
+}

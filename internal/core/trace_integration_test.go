@@ -1,0 +1,52 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/trace"
+)
+
+// TestTraceJournal checks that a run with a failure emits a coherent
+// journal: recovery records with ULFM phases, one finish per survivor,
+// and a run summary.
+func TestTraceJournal(t *testing.T) {
+	var buf bytes.Buffer
+	cl := testCluster(2, 3)
+	cfg := baseCfg(6, 4)
+	cfg.Schedule = failure.At(1, 1, 4, failure.KillProcess)
+	cfg.Trace = trace.New(&buf)
+	res := runJob(t, cl, cfg)
+	if res.FinalSize != 5 {
+		t.Fatalf("final size = %d", res.FinalSize)
+	}
+	kinds := map[string]int{}
+	sawShrink := false
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev trace.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad journal line %q: %v", line, err)
+		}
+		kinds[ev.Kind]++
+		if ev.Kind == "recovery" && ev.Phases["shrink"] >= 0 {
+			if _, ok := ev.Phases["retry-collective"]; ok {
+				sawShrink = true
+			}
+		}
+	}
+	if kinds["finish"] != 5 {
+		t.Fatalf("finish records = %d, want 5", kinds["finish"])
+	}
+	if kinds["run"] != 1 {
+		t.Fatalf("run records = %d, want 1", kinds["run"])
+	}
+	if kinds["recovery"] < 5 {
+		t.Fatalf("recovery records = %d, want >= 5 (one per survivor)", kinds["recovery"])
+	}
+	if !sawShrink {
+		t.Fatal("no recovery record carries the ULFM phases")
+	}
+}

@@ -1,0 +1,122 @@
+// Package data provides deterministic synthetic datasets and the dynamic
+// sharding logic elastic training needs: when the worker set changes
+// between epochs, the shards are recomputed so that every sample is still
+// visited exactly once per epoch by exactly one live worker.
+//
+// It substitutes for the ImageNet/Fruits-360 datasets of the paper: the
+// learnable task is a teacher network's argmax, which a small MLP can fit,
+// so convergence through elasticity events is measurable.
+package data
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Synthetic is a deterministic classification dataset: x ~ U[-1,1]^dim,
+// label = argmax(T·x) for a fixed random teacher matrix T. Samples are
+// generated on demand from the index, so sharding is trivial and storage
+// is O(1).
+type Synthetic struct {
+	N       int // dataset size
+	Dim     int
+	Classes int
+	seed    int64
+	teacher []float64 // Classes x Dim
+}
+
+// NewSynthetic builds a dataset with the given shape and seed.
+func NewSynthetic(n, dim, classes int, seed int64) *Synthetic {
+	rng := rand.New(rand.NewSource(seed))
+	teacher := make([]float64, classes*dim)
+	for i := range teacher {
+		teacher[i] = rng.NormFloat64()
+	}
+	return &Synthetic{N: n, Dim: dim, Classes: classes, seed: seed, teacher: teacher}
+}
+
+// Sample returns example idx (features and label), deterministically.
+func (d *Synthetic) Sample(idx int) ([]float32, int) {
+	rng := rand.New(rand.NewSource(d.seed ^ int64(idx)*-0x61C8864680B583EB)) // golden-ratio mix
+	x := make([]float32, d.Dim)
+	for i := range x {
+		x[i] = rng.Float32()*2 - 1
+	}
+	best, bestv := 0, math.Inf(-1)
+	for c := 0; c < d.Classes; c++ {
+		var s float64
+		row := d.teacher[c*d.Dim : (c+1)*d.Dim]
+		for i, xv := range x {
+			s += row[i] * float64(xv)
+		}
+		if s > bestv {
+			best, bestv = c, s
+		}
+	}
+	return x, best
+}
+
+// Batch materializes the given sample indices.
+func (d *Synthetic) Batch(indices []int) ([][]float32, []int) {
+	xs := make([][]float32, len(indices))
+	ys := make([]int, len(indices))
+	for i, idx := range indices {
+		xs[i], ys[i] = d.Sample(idx)
+	}
+	return xs, ys
+}
+
+// Shard computes worker w's sample indices for an epoch, given the live
+// worker count. The epoch seeds a deterministic permutation so every
+// worker computes identical shards without communication — exactly what a
+// re-sharding step after an elasticity event needs. Leftover samples
+// (N mod workers) go to the lowest-ranked workers, one each.
+func (d *Synthetic) Shard(epoch, worker, workers int) []int {
+	if workers <= 0 || worker < 0 || worker >= workers {
+		return nil
+	}
+	perm := epochPerm(d.N, int64(epoch)*1000003+d.seed)
+	per := d.N / workers
+	extra := d.N % workers
+	lo := worker*per + min(worker, extra)
+	n := per
+	if worker < extra {
+		n++
+	}
+	return perm[lo : lo+n]
+}
+
+// epochPerm is a deterministic Fisher-Yates permutation of [0,n).
+func epochPerm(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	return perm
+}
+
+// Batches splits a shard into minibatches of size b (last batch may be
+// short).
+func Batches(shard []int, b int) [][]int {
+	if b <= 0 {
+		b = 1
+	}
+	var out [][]int
+	for lo := 0; lo < len(shard); lo += b {
+		hi := lo + b
+		if hi > len(shard) {
+			hi = len(shard)
+		}
+		out = append(out, shard[lo:hi])
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,141 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleDeterministic(t *testing.T) {
+	ds := NewSynthetic(100, 8, 4, 1)
+	x1, y1 := ds.Sample(42)
+	x2, y2 := ds.Sample(42)
+	if y1 != y2 {
+		t.Fatal("labels differ for same index")
+	}
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatal("features differ for same index")
+		}
+	}
+	if y1 < 0 || y1 >= 4 {
+		t.Fatalf("label %d out of range", y1)
+	}
+}
+
+func TestLabelsUseAllClasses(t *testing.T) {
+	ds := NewSynthetic(500, 8, 4, 2)
+	seen := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		_, y := ds.Sample(i)
+		seen[y] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("only %d classes appear in 500 samples", len(seen))
+	}
+}
+
+func TestShardExactPartition(t *testing.T) {
+	ds := NewSynthetic(103, 4, 3, 3) // deliberately not divisible
+	for _, workers := range []int{1, 2, 3, 5, 7, 12} {
+		seen := make(map[int]int)
+		total := 0
+		for w := 0; w < workers; w++ {
+			shard := ds.Shard(7, w, workers)
+			total += len(shard)
+			for _, idx := range shard {
+				seen[idx]++
+			}
+		}
+		if total != 103 {
+			t.Fatalf("workers=%d: total %d, want 103", workers, total)
+		}
+		for idx, n := range seen {
+			if n != 1 {
+				t.Fatalf("workers=%d: sample %d visited %d times", workers, idx, n)
+			}
+		}
+	}
+}
+
+// Property: for any epoch and worker count, shards partition the dataset.
+func TestShardPartitionProperty(t *testing.T) {
+	ds := NewSynthetic(97, 4, 3, 5)
+	f := func(epoch uint8, w uint8) bool {
+		workers := int(w%16) + 1
+		seen := make(map[int]bool)
+		for wk := 0; wk < workers; wk++ {
+			for _, idx := range ds.Shard(int(epoch), wk, workers) {
+				if seen[idx] {
+					return false
+				}
+				seen[idx] = true
+			}
+		}
+		return len(seen) == 97
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardBalance(t *testing.T) {
+	ds := NewSynthetic(100, 4, 3, 1)
+	for w := 0; w < 7; w++ {
+		n := len(ds.Shard(0, w, 7))
+		if n < 14 || n > 15 {
+			t.Fatalf("worker %d shard size %d, want 14 or 15", w, n)
+		}
+	}
+}
+
+func TestShardChangesWithEpoch(t *testing.T) {
+	ds := NewSynthetic(100, 4, 3, 1)
+	a := ds.Shard(0, 0, 4)
+	b := ds.Shard(1, 0, 4)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("shards should be reshuffled each epoch")
+	}
+}
+
+func TestShardInvalidArgs(t *testing.T) {
+	ds := NewSynthetic(10, 2, 2, 1)
+	if got := ds.Shard(0, 5, 3); got != nil {
+		t.Fatalf("out-of-range worker should give nil, got %v", got)
+	}
+	if got := ds.Shard(0, 0, 0); got != nil {
+		t.Fatalf("zero workers should give nil, got %v", got)
+	}
+}
+
+func TestBatches(t *testing.T) {
+	shard := []int{1, 2, 3, 4, 5, 6, 7}
+	bs := Batches(shard, 3)
+	if len(bs) != 3 || len(bs[0]) != 3 || len(bs[2]) != 1 {
+		t.Fatalf("Batches = %v", bs)
+	}
+	if got := Batches(shard, 0); len(got) != 7 {
+		t.Fatalf("batch size 0 should degrade to 1, got %d batches", len(got))
+	}
+	if got := Batches(nil, 4); got != nil {
+		t.Fatalf("empty shard should give no batches, got %v", got)
+	}
+}
+
+func TestBatchMaterialization(t *testing.T) {
+	ds := NewSynthetic(50, 6, 3, 9)
+	xs, ys := ds.Batch([]int{0, 10, 20})
+	if len(xs) != 3 || len(ys) != 3 || len(xs[0]) != 6 {
+		t.Fatalf("Batch shapes wrong: %d %d", len(xs), len(ys))
+	}
+	x0, y0 := ds.Sample(10)
+	if ys[1] != y0 || xs[1][0] != x0[0] {
+		t.Fatal("Batch content mismatch with Sample")
+	}
+}

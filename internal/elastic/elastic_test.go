@@ -1,0 +1,255 @@
+package elastic
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/failure"
+	"repro/internal/gloo"
+	"repro/internal/horovod"
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/nccl"
+	"repro/internal/simnet"
+	"repro/internal/train"
+)
+
+func testCluster(nodes, ppn int) (*simnet.Cluster, *kvstore.Store) {
+	cl := simnet.New(simnet.Config{
+		Nodes:              nodes,
+		ProcsPerNode:       ppn,
+		IntraNodeLatency:   1e-6,
+		InterNodeLatency:   30e-6,
+		IntraNodeBandwidth: 20e9,
+		InterNodeBandwidth: 3e9,
+		DetectLatency:      1e-3,
+		SpawnDelay:         2,
+	})
+	return cl, kvstore.New(kvstore.DefaultConfig())
+}
+
+func realTrainCfg(workers, epochs int) train.Config {
+	return train.Config{
+		Mode:       train.Real,
+		MLPSizes:   []int{8, 16, 4},
+		Seed:       3,
+		Dataset:    data.NewSynthetic(360, 8, 4, 7),
+		BatchSize:  10,
+		Epochs:     epochs,
+		BaseLR:     0.05,
+		Momentum:   0.9,
+		RefWorkers: workers,
+	}
+}
+
+func baseCfg(workers, epochs int) Config {
+	return Config{
+		Train:    realTrainCfg(workers, epochs),
+		Gloo:     gloo.DefaultConfig(),
+		Horovod:  horovod.DefaultConfig(),
+		Scenario: ScenarioDown,
+		Schedule: failure.None(),
+	}
+}
+
+func runJob(t *testing.T, cl *simnet.Cluster, kv *kvstore.Store, cfg Config) *Result {
+	t.Helper()
+	j, err := NewJob(cl, kv, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func assertConsistentReplicas(t *testing.T, res *Result, want int) {
+	t.Helper()
+	if len(res.FinalHashes) != want {
+		t.Fatalf("%d final replicas, want %d", len(res.FinalHashes), want)
+	}
+	var first uint64
+	got := false
+	for p, h := range res.FinalHashes {
+		if !got {
+			first, got = h, true
+			continue
+		}
+		if h != first {
+			t.Fatalf("replica divergence at proc %d: %v", p, res.FinalHashes)
+		}
+	}
+}
+
+func TestBaselineTrainsWithoutFailures(t *testing.T) {
+	cl, kv := testCluster(2, 3)
+	res := runJob(t, cl, kv, baseCfg(6, 4))
+	if len(res.Events) != 0 {
+		t.Fatalf("unexpected events: %v", res.Events)
+	}
+	if res.FinalSize != 6 {
+		t.Fatalf("final size = %d", res.FinalSize)
+	}
+	assertConsistentReplicas(t, res, 6)
+	if len(res.LossHistory) < 2 || res.LossHistory[len(res.LossHistory)-1] >= res.LossHistory[0] {
+		t.Fatalf("loss did not decrease: %v", res.LossHistory)
+	}
+}
+
+func TestBaselineDownscaleDropsWholeNode(t *testing.T) {
+	cl, kv := testCluster(2, 3)
+	cfg := baseCfg(6, 4)
+	cfg.Schedule = failure.At(1, 1, 4, failure.KillProcess) // single process fails...
+	res := runJob(t, cl, kv, cfg)
+	// ...but Elastic Horovod blacklists the whole node: 6 - 3 = 3 left.
+	if res.FinalSize != 3 {
+		t.Fatalf("final size = %d, want 3 (node blacklisting)", res.FinalSize)
+	}
+	assertConsistentReplicas(t, res, 3)
+	if len(res.Events) != 1 {
+		t.Fatalf("events = %d, want 1", len(res.Events))
+	}
+	ev := res.Events[0]
+	if ev.Trigger != "failure" {
+		t.Fatalf("trigger = %q", ev.Trigger)
+	}
+	// The Figure 4 phases must all be present on the critical path.
+	for _, ph := range []metrics.Phase{
+		metrics.PhaseDetect, metrics.PhaseShutdown, metrics.PhaseReinitElastic,
+		metrics.PhaseReinitGloo, metrics.PhaseRendezvousLocal,
+		metrics.PhaseRendezvousGlob, metrics.PhaseStateSync, metrics.PhaseRecompute,
+	} {
+		if ev.Critical.Get(ph) <= 0 {
+			t.Fatalf("phase %s missing from breakdown: %v", ph, ev.Critical)
+		}
+	}
+	// Detection is timeout-driven: at least the Gloo failure timeout.
+	if d := ev.Critical.Get(metrics.PhaseDetect); d < cfg.Gloo.FailureTimeout*0.9 {
+		t.Fatalf("detect = %v, want >= Gloo timeout %v", d, cfg.Gloo.FailureTimeout)
+	}
+}
+
+func TestBaselineReplacementKeepsSize(t *testing.T) {
+	cl, kv := testCluster(2, 3)
+	cfg := baseCfg(6, 5)
+	cfg.Scenario = ScenarioSame
+	cfg.Schedule = failure.At(1, 1, 2, failure.KillProcess)
+	res := runJob(t, cl, kv, cfg)
+	if res.FinalSize != 6 {
+		t.Fatalf("final size = %d, want 6 (node replaced)", res.FinalSize)
+	}
+	// 3 survivors + 3 replacements (node granularity).
+	assertConsistentReplicas(t, res, 6)
+	ev := res.Events[0]
+	if ev.Newcomer == nil || ev.Newcomer.Get(metrics.PhaseNewWorkerInit) <= 0 {
+		t.Fatal("newcomer breakdown missing")
+	}
+	if ev.Newcomer.Get(metrics.PhaseReinitGloo) <= 0 {
+		t.Fatal("newcomers must pay the Gloo rendezvous too")
+	}
+}
+
+func TestBaselineUpscale(t *testing.T) {
+	cl, kv := testCluster(1, 4)
+	cfg := baseCfg(4, 5)
+	cfg.Scenario = ScenarioUp
+	cfg.Schedule = failure.GrowAt(1, 1, 4)
+	res := runJob(t, cl, kv, cfg)
+	if res.FinalSize != 8 {
+		t.Fatalf("final size = %d, want 8", res.FinalSize)
+	}
+	assertConsistentReplicas(t, res, 8)
+	ev := res.Events[0]
+	if ev.Trigger != "upscale" {
+		t.Fatalf("trigger = %q", ev.Trigger)
+	}
+	// Graceful reset: no exception catching, no recompute, but the full
+	// re-rendezvous is still paid — Elastic Horovod's weakness.
+	if ev.Critical.Get(metrics.PhaseDetect) != 0 {
+		t.Fatal("graceful upscale should not catch exceptions")
+	}
+	if ev.Critical.Get(metrics.PhaseRecompute) != 0 {
+		t.Fatal("graceful upscale should not recompute")
+	}
+	if ev.Critical.Get(metrics.PhaseReinitGloo) <= 0 {
+		t.Fatal("upscale must still re-init Gloo")
+	}
+}
+
+func TestBaselineVirtualModeWithGPU(t *testing.T) {
+	cl, kv := testCluster(4, 6)
+	cfg := Config{
+		Train: train.Config{
+			Mode:       train.Virtual,
+			Spec:       models.ResNet50V2,
+			Epochs:     2,
+			BaseLR:     0.1,
+			RefWorkers: 12,
+		},
+		Gloo:     gloo.DefaultConfig(),
+		Horovod:  horovod.DefaultConfig(),
+		UseGPU:   true,
+		NCCL:     nccl.DefaultConfig(),
+		Scenario: ScenarioDown,
+		Schedule: failure.At(1, 1, 7, failure.KillProcess),
+	}
+	res := runJob(t, cl, kv, cfg)
+	if res.FinalSize != 18 {
+		t.Fatalf("final size = %d, want 18 (one node of 6 dropped)", res.FinalSize)
+	}
+	ev := res.Events[0]
+	if ev.Critical.Get(metrics.PhaseGPUReinit) <= 0 {
+		t.Fatal("NCCL reinit missing")
+	}
+	if ev.Critical.Get(metrics.PhaseStateSync) <= 0 {
+		t.Fatal("state sync missing")
+	}
+}
+
+func TestBaselineRecomputeGrowsWithLostWork(t *testing.T) {
+	// A failure later in the epoch loses more steps since the epoch-start
+	// commit, so the recompute phase must grow.
+	recomputeAt := func(step int) float64 {
+		cl, kv := testCluster(2, 2)
+		cfg := baseCfg(4, 4)
+		cfg.Schedule = failure.At(1, step, 1, failure.KillProcess)
+		res := runJob(t, cl, kv, cfg)
+		if len(res.Events) != 1 {
+			t.Fatalf("events = %d", len(res.Events))
+		}
+		return res.Events[0].Critical.Get(metrics.PhaseRecompute)
+	}
+	early := recomputeAt(1)
+	late := recomputeAt(7)
+	if !(late > early) {
+		t.Fatalf("recompute should grow with lost steps: early=%v late=%v", early, late)
+	}
+}
+
+func TestBaselineCommitEverySteps(t *testing.T) {
+	cl, kv := testCluster(2, 2)
+	cfg := baseCfg(4, 4)
+	cfg.CommitEverySteps = 2
+	cfg.Schedule = failure.At(1, 7, 1, failure.KillProcess)
+	res := runJob(t, cl, kv, cfg)
+	// With commits every 2 steps, at most ~2 steps of recompute; compare
+	// against epoch-only commits which lose ~7.
+	cl2, kv2 := testCluster(2, 2)
+	cfg2 := baseCfg(4, 4)
+	cfg2.Schedule = failure.At(1, 7, 1, failure.KillProcess)
+	res2 := runJob(t, cl2, kv2, cfg2)
+	if !(res.Events[0].Critical.Get(metrics.PhaseRecompute) < res2.Events[0].Critical.Get(metrics.PhaseRecompute)) {
+		t.Fatalf("frequent commits should reduce recompute: %v vs %v",
+			res.Events[0].Critical.Get(metrics.PhaseRecompute),
+			res2.Events[0].Critical.Get(metrics.PhaseRecompute))
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	if ScenarioDown.String() != "down" || ScenarioSame.String() != "same" || ScenarioUp.String() != "up" {
+		t.Fatal("Scenario.String wrong")
+	}
+}

@@ -1,0 +1,51 @@
+package elastic
+
+import (
+	"testing"
+
+	"repro/internal/failure"
+)
+
+// TestBaselineTwoFailures: two node-costing failures across epochs; the
+// baseline resets twice and keeps shrinking (node granularity).
+func TestBaselineTwoFailures(t *testing.T) {
+	cl, kv := testCluster(4, 2)
+	cfg := baseCfg(8, 6)
+	cfg.Schedule = &failure.Schedule{Events: []failure.Event{
+		{Epoch: 1, Step: 1, Type: failure.Fail, Rank: 7, Kind: failure.KillProcess},
+		{Epoch: 3, Step: 1, Type: failure.Fail, Rank: 0, Kind: failure.KillProcess},
+	}}
+	res := runJob(t, cl, kv, cfg)
+	// Each process failure costs its whole 2-proc node: 8 -> 6 -> 4.
+	if res.FinalSize != 4 {
+		t.Fatalf("final size = %d, want 4", res.FinalSize)
+	}
+	assertConsistentReplicas(t, res, 4)
+	if len(res.Events) != 2 {
+		t.Fatalf("events = %d, want 2", len(res.Events))
+	}
+}
+
+// TestBaselineFailureThenUpscale mixes a failure reset with a later
+// graceful grow.
+func TestBaselineFailureThenUpscale(t *testing.T) {
+	cl, kv := testCluster(3, 2)
+	cfg := baseCfg(6, 7)
+	cfg.Scenario = ScenarioUp
+	cfg.Schedule = &failure.Schedule{Events: []failure.Event{
+		{Epoch: 1, Step: 1, Type: failure.Fail, Rank: 5, Kind: failure.KillProcess},
+		{Epoch: 3, Step: 1, Type: failure.Grow, Add: 4},
+	}}
+	res := runJob(t, cl, kv, cfg)
+	// 6 -> 4 (node dropped) -> 8 (4 added, node-rounded: 4 = 2 nodes of 2).
+	if res.FinalSize != 8 {
+		t.Fatalf("final size = %d, want 8", res.FinalSize)
+	}
+	assertConsistentReplicas(t, res, 8)
+	if len(res.Events) != 2 {
+		t.Fatalf("events = %d, want 2", len(res.Events))
+	}
+	if res.Events[0].Trigger != "failure" || res.Events[1].Trigger != "upscale" {
+		t.Fatalf("triggers = %q, %q", res.Events[0].Trigger, res.Events[1].Trigger)
+	}
+}

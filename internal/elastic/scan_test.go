@@ -1,0 +1,85 @@
+package elastic
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+)
+
+// TestBaselineScheduleScan drives the baseline's reset pipeline through a
+// corpus of pseudo-random multi-failure schedules with a deadlock
+// watchdog. Victims are drawn from distinct nodes so node blacklisting
+// leaves every event addressable.
+func TestBaselineScheduleScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scan")
+	}
+	for it := 0; it < 100; it++ {
+		rng := rand.New(rand.NewSource(int64(it) * 104729))
+		const nodes, ppn, epochs = 4, 2, 5
+		workers := nodes * ppn
+		nFail := rng.Intn(3) + 1
+		usedNodes := map[int]bool{}
+		var evs []failure.Event
+		for len(usedNodes) < nFail {
+			node := rng.Intn(nodes)
+			if usedNodes[node] {
+				continue
+			}
+			usedNodes[node] = true
+			evs = append(evs, failure.Event{
+				Epoch: 1 + rng.Intn(3), Step: rng.Intn(3),
+				Type: failure.Fail, Rank: node*ppn + rng.Intn(ppn),
+				Kind: failure.KillProcess,
+			})
+		}
+		for i := 1; i < len(evs); i++ {
+			for j := i; j > 0; j-- {
+				a, b := evs[j-1], evs[j]
+				if b.Epoch < a.Epoch || (b.Epoch == a.Epoch && b.Step < a.Step) {
+					evs[j-1], evs[j] = b, a
+				}
+			}
+		}
+		cl, kv := testCluster(nodes, ppn)
+		cfg := baseCfg(workers, epochs)
+		cfg.Schedule = &failure.Schedule{Events: evs}
+		j, err := NewJob(cl, kv, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type outcome struct {
+			res *Result
+			err error
+		}
+		ch := make(chan outcome, 1)
+		go func() {
+			res, err := j.Run()
+			ch <- outcome{res, err}
+		}()
+		select {
+		case o := <-ch:
+			if o.err != nil {
+				t.Fatalf("iter %d (events %+v): %v", it, evs, o.err)
+			}
+			// Node blacklisting: each failure costs a whole node.
+			want := workers - nFail*ppn
+			if o.res.FinalSize != want {
+				t.Fatalf("iter %d (events %+v): final size %d, want %d", it, evs, o.res.FinalSize, want)
+			}
+			var first uint64
+			got := false
+			for _, h := range o.res.FinalHashes {
+				if !got {
+					first, got = h, true
+				} else if h != first {
+					t.Fatalf("iter %d (events %+v): replica divergence", it, evs)
+				}
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("iter %d (events %+v): reset deadlock", it, evs)
+		}
+	}
+}

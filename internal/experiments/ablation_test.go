@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+)
+
+func cell(t *testing.T, tab interface{ String() string }, row, col int) float64 {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(tab.String()), "\n")
+	// lines: title, header, separator, rows...
+	fields := strings.Fields(lines[3+row])
+	v, err := strconv.ParseFloat(strings.TrimSuffix(fields[col], "%"), 64)
+	if err != nil {
+		t.Fatalf("cell(%d,%d) = %q: %v", row, col, fields[col], err)
+	}
+	return v
+}
+
+func TestAllreduceAlgoAblation(t *testing.T) {
+	tab, err := AllreduceAlgoTable(12, []int{1024, 262144})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Large payloads: bandwidth-optimal schedules (auto=ring,
+	// hierarchical) should beat recursive doubling, which moves the full
+	// buffer log2(p) times.
+	auto := cell(t, tab, 1, 1)
+	rec := cell(t, tab, 1, 2)
+	hier := cell(t, tab, 1, 3)
+	if !(auto < rec) {
+		t.Fatalf("large payload: ring (%v ms) should beat recursive doubling (%v ms)", auto, rec)
+	}
+	if hier <= 0 {
+		t.Fatalf("hierarchical time = %v", hier)
+	}
+}
+
+func TestFusionAblation(t *testing.T) {
+	tab, err := FusionTable(models.NasNetMobile, 12, []int64{1 << 20, 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupsSmall := cell(t, tab, 0, 1)
+	groupsBig := cell(t, tab, 1, 1)
+	if !(groupsSmall > groupsBig) {
+		t.Fatalf("smaller threshold must produce more fusion groups: %v vs %v", groupsSmall, groupsBig)
+	}
+	msSmall := cell(t, tab, 0, 2)
+	msBig := cell(t, tab, 1, 2)
+	// NasNet has 1126 tiny tensors: heavy fusion (64 MB) should not be
+	// slower than 1 MB fusion.
+	if msBig > msSmall*1.05 {
+		t.Fatalf("large fusion threshold should not be slower: %v vs %v ms", msBig, msSmall)
+	}
+}
+
+func TestCacheAblation(t *testing.T) {
+	tab, err := CacheTable(models.NasNetMobile, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onStep2 := cell(t, tab, 0, 2)
+	offStep2 := cell(t, tab, 1, 2)
+	// With the cache, the second step skips negotiation and must be
+	// cheaper than without it.
+	if !(onStep2 < offStep2) {
+		t.Fatalf("cached step2 (%v ms) should beat uncached (%v ms)", onStep2, offStep2)
+	}
+}
+
+func TestDetectionTimeoutAblation(t *testing.T) {
+	tab, err := DetectionTimeoutTable([]float64{0.5, 4.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shortDetect := cell(t, tab, 0, 1)
+	longDetect := cell(t, tab, 1, 1)
+	if !(shortDetect < longDetect) {
+		t.Fatalf("detect should track the timeout: %v vs %v", shortDetect, longDetect)
+	}
+	shortTotal := cell(t, tab, 0, 2)
+	longTotal := cell(t, tab, 1, 2)
+	if !(longTotal-shortTotal > 3.0) {
+		t.Fatalf("timeout delta should dominate recovery delta: %v vs %v", shortTotal, longTotal)
+	}
+}
+
+func TestGoodputUnderFailures(t *testing.T) {
+	tab, err := GoodputTable(models.NasNetMobile, 12, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// ULFM efficiency must exceed the baseline's at every failure count.
+	for r := range tab.Rows {
+		ehEff := cell(t, tab, r, 2)
+		ulEff := cell(t, tab, r, 4)
+		if !(ulEff > ehEff) {
+			t.Fatalf("row %d: ULFM efficiency %v%% should beat EH %v%%", r, ulEff, ehEff)
+		}
+	}
+	// More failures, lower efficiency for the baseline.
+	if !(cell(t, tab, 1, 2) < cell(t, tab, 0, 2)) {
+		t.Fatal("EH efficiency should degrade with failure count")
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/nccl"
+	"repro/internal/simnet"
+	"repro/internal/vtime"
+)
+
+// Calibration sanity: the virtual-time costs must match closed-form
+// expectations of the LogP/ring models, so the figures rest on a cost
+// model that does what DESIGN.md §5 says.
+
+func TestCalibrationRingAllreduce(t *testing.T) {
+	// 24 ranks on 4 Summit nodes, 98 MB (ResNet-50 gradients) on the host
+	// fabric: ring moves 2(n-1)/n of the buffer through each rank's
+	// 23/6 GB/s share.
+	cl := simnet.New(simnet.Summit(4))
+	procs := cl.Procs()
+	const bytes = 98 << 20
+	errs := simnet.RunAll(cl, procs, func(rank int, ep *simnet.Endpoint) error {
+		p := mpi.Attach(ep)
+		comm, err := mpi.World(p, procs)
+		if err != nil {
+			return err
+		}
+		return mpi.AllreduceVirtual(comm, bytes)
+	})
+	if err := simnet.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	share := 23e9 / 6
+	want := 2 * float64(23) / 24 * bytes / share
+	got := cl.MaxTime()
+	if got < want*0.9 || got > want*1.5 {
+		t.Fatalf("ring allreduce = %.4fs, closed form %.4fs (allow +50%% for latency terms)", got, want)
+	}
+}
+
+func TestCalibrationNCCLAllreduce(t *testing.T) {
+	cfg := nccl.DefaultConfig()
+	var clk vtime.Clock
+	c := nccl.Init(&clk, cfg, 24)
+	const bytes = 98 << 20
+	share := cfg.InjectionBW / 6
+	want := 2 * float64(23) / 24 * bytes / share
+	got := c.AllreduceTime(bytes)
+	if math.Abs(got-want) > want*0.1 {
+		t.Fatalf("NCCL allreduce = %.4fs, closed form %.4fs", got, want)
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gloo"
+	"repro/internal/kvstore"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// Property: the two communication libraries compute identical allreduce
+// results for the same inputs — the numerical foundation for comparing
+// the stacks' costs while claiming equivalent semantics.
+func TestGlooAndMPIAllreduceAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := rng.Intn(6) + 2
+		elems := rng.Intn(300) + 1
+		inputs := make([][]float32, p)
+		for r := range inputs {
+			inputs[r] = make([]float32, elems)
+			for i := range inputs[r] {
+				inputs[r][i] = float32(rng.Intn(64)) // exact in float32
+			}
+		}
+
+		run := func(lib string) ([][]float32, bool) {
+			cl := simnet.New(simnet.Config{
+				Nodes: 1, ProcsPerNode: p,
+				IntraNodeLatency: 1e-6, InterNodeLatency: 3e-6,
+				IntraNodeBandwidth: 1e9, InterNodeBandwidth: 1e9,
+				DetectLatency: 1e-3,
+			})
+			procs := cl.Procs()
+			out := make([][]float32, p)
+			var mu sync.Mutex
+			kv := kvstore.New(kvstore.DefaultConfig())
+			errs := simnet.RunAll(cl, procs, func(rank int, ep *simnet.Endpoint) error {
+				data := append([]float32(nil), inputs[rank]...)
+				switch lib {
+				case "mpi":
+					mp := mpi.Attach(ep)
+					comm, err := mpi.World(mp, procs)
+					if err != nil {
+						return err
+					}
+					if err := mpi.Allreduce(comm, data, mpi.OpSum); err != nil {
+						return err
+					}
+				case "gloo":
+					ctx, err := gloo.Connect(ep, kv, gloo.DefaultConfig(), 1, rank, p)
+					if err != nil {
+						return err
+					}
+					defer ctx.Close()
+					if err := ctx.Allreduce(data); err != nil {
+						return err
+					}
+				}
+				mu.Lock()
+				out[rank] = data
+				mu.Unlock()
+				return nil
+			})
+			return out, simnet.FirstError(errs) == nil
+		}
+
+		a, okA := run("mpi")
+		b, okB := run("gloo")
+		if !okA || !okB {
+			return false
+		}
+		for r := 0; r < p; r++ {
+			for i := 0; i < elems; i++ {
+				if a[r][i] != b[r][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,295 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4) on the simulated testbed:
+//
+//	Table 1  — benchmark model characteristics
+//	Table 2  — recovery capability matrix (probed empirically)
+//	Figure 2 — backward vs forward recovery granularity
+//	Figure 4 — Scenario I cost breakdown, ResNet-50 on 24 GPUs
+//	Figures 5-7 — recovery/reconfiguration cost sweeps for VGG-16,
+//	              ResNet-50, NasNetMobile over 12..192 GPUs
+//	Eq. (1)  — checkpoint recovery cost model
+//
+// Absolute numbers come from the calibrated virtual-time cost model, so
+// they are not expected to match the paper's wall-clock values; the shape
+// of each result (who wins, how gaps scale, where costs concentrate) is
+// the reproduction target.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/elastic"
+	"repro/internal/failure"
+	"repro/internal/gloo"
+	"repro/internal/horovod"
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/nccl"
+	"repro/internal/simnet"
+	"repro/internal/train"
+)
+
+// GPUsPerNode matches the Summit testbed.
+const GPUsPerNode = 6
+
+// Stack identifies the system under test.
+type Stack string
+
+const (
+	StackElasticHorovod Stack = "elastic-horovod"
+	StackULFM           Stack = "ulfm-mpi"
+)
+
+// Setup bundles the knobs shared by all experiments.
+type Setup struct {
+	Spec     models.Spec
+	GPUs     int
+	Scenario string // "down", "same", "up"
+	Stack    Stack
+	// Granularity selects the blast radius / drop policy ("process" or
+	// "node"). Elastic Horovod always recovers at node granularity; the
+	// injected failure can still be a single process.
+	Granularity failure.Kind
+	Epochs      int
+	// StepsPerEpoch fixes the optimizer steps per epoch at the chosen
+	// scale so recompute losses are comparable across scales.
+	StepsPerEpoch int
+	FailEpoch     int
+	FailStep      int
+}
+
+// DefaultSetup returns the standard single-event experiment: fail (or
+// grow) at epoch 1, step 1 of a 3-epoch run with 4 steps per epoch.
+func DefaultSetup(spec models.Spec, gpus int, scenario string, stack Stack, gran failure.Kind) Setup {
+	return Setup{
+		Spec:          spec,
+		GPUs:          gpus,
+		Scenario:      scenario,
+		Stack:         stack,
+		Granularity:   gran,
+		Epochs:        3,
+		StepsPerEpoch: 4,
+		FailEpoch:     1,
+		FailStep:      1,
+	}
+}
+
+// trimmedSpec pins the per-scale steps/epoch so every run performs the
+// same number of optimizer steps regardless of GPU count.
+func (s Setup) trimmedSpec() models.Spec {
+	spec := s.Spec
+	spec.StepsEpoch = s.StepsPerEpoch * s.GPUs / 12
+	if spec.StepsEpoch < s.StepsPerEpoch {
+		spec.StepsEpoch = s.StepsPerEpoch
+	}
+	return spec
+}
+
+func (s Setup) nodes() int {
+	n := (s.GPUs + GPUsPerNode - 1) / GPUsPerNode
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (s Setup) trainCfg() train.Config {
+	return train.Config{
+		Mode:       train.Virtual,
+		Spec:       s.trimmedSpec(),
+		Epochs:     s.Epochs,
+		BaseLR:     0.1,
+		RefWorkers: 12,
+	}
+}
+
+func (s Setup) schedule() *failure.Schedule {
+	if s.Scenario == "up" {
+		return failure.GrowAt(s.FailEpoch, s.FailStep, s.GPUs) // double
+	}
+	// Victim: last rank (resides on the last node).
+	return failure.At(s.FailEpoch, s.FailStep, s.GPUs-1, s.Granularity)
+}
+
+// Outcome is one experiment run's cost summary.
+type Outcome struct {
+	Setup       Setup
+	Critical    *metrics.Breakdown // survivor critical path
+	Newcomer    *metrics.Breakdown // newcomer critical path (nil if none)
+	FinalSize   int
+	Reconstruct float64 // communicator reconstruction + rendezvous
+	StateInit   float64 // training-state reinitialization for newcomers
+	Recompute   float64 // backward-recovery re-execution
+	Total       float64
+}
+
+// Run executes one single-event experiment and decomposes its cost into
+// the paper's three segments.
+func Run(s Setup) (*Outcome, error) {
+	cl := simnet.Summit(s.nodes())
+	cluster := simnet.New(cl)
+
+	var crit, newc *metrics.Breakdown
+	var finalSize int
+	switch s.Stack {
+	case StackElasticHorovod:
+		kv := kvstore.New(kvstore.DefaultConfig())
+		cfg := elastic.Config{
+			Train:    s.trainCfg(),
+			Gloo:     gloo.DefaultConfig(),
+			Horovod:  horovod.DefaultConfig(),
+			UseGPU:   true,
+			NCCL:     nccl.DefaultConfig(),
+			Scenario: ehScenario(s.Scenario),
+			Schedule: s.schedule(),
+		}
+		job, err := elastic.NewJob(cluster, kv, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := job.Run()
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Events) != 1 {
+			return nil, fmt.Errorf("experiments: %d events recorded, want 1", len(res.Events))
+		}
+		crit, newc = res.Events[0].Critical, res.Events[0].Newcomer
+		finalSize = res.FinalSize
+	case StackULFM:
+		cfg := core.Config{
+			Train:      s.trainCfg(),
+			Horovod:    horovod.DefaultConfig(),
+			UseGPU:     true,
+			NCCL:       nccl.DefaultConfig(),
+			Scenario:   coreScenario(s.Scenario),
+			DropPolicy: s.Granularity,
+			Schedule:   s.schedule(),
+		}
+		job, err := core.NewJob(cluster, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := job.Run()
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Events) != 1 {
+			return nil, fmt.Errorf("experiments: %d events recorded, want 1", len(res.Events))
+		}
+		crit, newc = res.Events[0].Critical, res.Events[0].Newcomer
+		finalSize = res.FinalSize
+	default:
+		return nil, fmt.Errorf("experiments: unknown stack %q", s.Stack)
+	}
+
+	out := &Outcome{Setup: s, Critical: crit, Newcomer: newc, FinalSize: finalSize}
+	out.Reconstruct = sumPhases(crit,
+		metrics.PhaseDetect, metrics.PhaseShutdown, metrics.PhaseReinitElastic,
+		metrics.PhaseReinitGloo, metrics.PhaseRendezvousLocal, metrics.PhaseRendezvousGlob,
+		metrics.PhaseRevoke, metrics.PhaseAgree, metrics.PhaseShrink,
+		metrics.PhaseRetry, metrics.PhaseMerge, metrics.PhaseGPUReinit,
+	)
+	out.StateInit = sumPhases(crit, metrics.PhaseStateSync)
+	if newc != nil {
+		out.StateInit += sumPhases(newc, metrics.PhaseNewWorkerInit, metrics.PhaseStateSync)
+	}
+	out.Recompute = sumPhases(crit, metrics.PhaseRecompute)
+	out.Total = out.Reconstruct + out.StateInit + out.Recompute
+	return out, nil
+}
+
+func newKV() *kvstore.Store { return kvstore.New(kvstore.DefaultConfig()) }
+
+// newEHJob builds a baseline job for a setup with an explicit Gloo config.
+func newEHJob(cl *simnet.Cluster, kv *kvstore.Store, s Setup, gcfg gloo.Config) (*elastic.Job, error) {
+	return elastic.NewJob(cl, kv, elastic.Config{
+		Train:    s.trainCfg(),
+		Gloo:     gcfg,
+		Horovod:  horovod.DefaultConfig(),
+		UseGPU:   true,
+		NCCL:     nccl.DefaultConfig(),
+		Scenario: ehScenario(s.Scenario),
+		Schedule: s.schedule(),
+	})
+}
+
+// runFull runs the setup end to end with a custom event schedule and
+// returns the total virtual run time.
+func runFull(s Setup, sched *failure.Schedule) (float64, error) {
+	cl := simnet.New(simnet.Summit(s.nodes()))
+	switch s.Stack {
+	case StackElasticHorovod:
+		job, err := elastic.NewJob(cl, newKV(), elastic.Config{
+			Train:    s.trainCfg(),
+			Gloo:     gloo.DefaultConfig(),
+			Horovod:  horovod.DefaultConfig(),
+			UseGPU:   true,
+			NCCL:     nccl.DefaultConfig(),
+			Scenario: ehScenario(s.Scenario),
+			Schedule: sched,
+		})
+		if err != nil {
+			return 0, err
+		}
+		res, err := job.Run()
+		if err != nil {
+			return 0, err
+		}
+		return res.TotalTime, nil
+	case StackULFM:
+		job, err := core.NewJob(cl, core.Config{
+			Train:      s.trainCfg(),
+			Horovod:    horovod.DefaultConfig(),
+			UseGPU:     true,
+			NCCL:       nccl.DefaultConfig(),
+			Scenario:   coreScenario(s.Scenario),
+			DropPolicy: s.Granularity,
+			Schedule:   sched,
+		})
+		if err != nil {
+			return 0, err
+		}
+		res, err := job.Run()
+		if err != nil {
+			return 0, err
+		}
+		return res.TotalTime, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown stack %q", s.Stack)
+}
+
+func sumPhases(b *metrics.Breakdown, phases ...metrics.Phase) float64 {
+	if b == nil {
+		return 0
+	}
+	var t float64
+	for _, p := range phases {
+		t += b.Get(p)
+	}
+	return t
+}
+
+func ehScenario(s string) elastic.Scenario {
+	switch s {
+	case "same":
+		return elastic.ScenarioSame
+	case "up":
+		return elastic.ScenarioUp
+	default:
+		return elastic.ScenarioDown
+	}
+}
+
+func coreScenario(s string) core.Scenario {
+	switch s {
+	case "same":
+		return core.ScenarioSame
+	case "up":
+		return core.ScenarioUp
+	default:
+		return core.ScenarioDown
+	}
+}

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/failure"
+	"repro/internal/metrics"
+	"repro/internal/models"
+)
+
+// Figure4 reproduces the paper's Figure 4: the detailed cost breakdown of
+// Scenario I (downscaling recovery) when training ResNet-50 across 24
+// GPUs, for both stacks at both granularities. Elastic Horovod recovers a
+// single-process failure at node granularity (its only policy), dropping
+// 24 -> 18; ULFM can drop just the process (24 -> 23) or the node.
+func Figure4() (*metrics.Table, error) {
+	variants := []struct {
+		label string
+		stack Stack
+		gran  failure.Kind
+	}{
+		{"EH process-fault (node drop)", StackElasticHorovod, failure.KillProcess},
+		{"EH node-fault", StackElasticHorovod, failure.KillNode},
+		{"ULFM drop process", StackULFM, failure.KillProcess},
+		{"ULFM drop node", StackULFM, failure.KillNode},
+	}
+	outs := make([]*Outcome, len(variants))
+	for i, v := range variants {
+		o, err := Run(DefaultSetup(models.ResNet50V2, 24, "down", v.stack, v.gran))
+		if err != nil {
+			return nil, fmt.Errorf("figure4 %s: %w", v.label, err)
+		}
+		outs[i] = o
+	}
+	// Collect the union of phases in first-seen order.
+	var phases []metrics.Phase
+	seen := map[metrics.Phase]bool{}
+	for _, o := range outs {
+		for _, p := range o.Critical.Phases() {
+			if !seen[p] {
+				seen[p] = true
+				phases = append(phases, p)
+			}
+		}
+	}
+	t := &metrics.Table{
+		Title:   "Figure 4: Scenario I cost breakdown (s), ResNet-50 across 24 GPUs",
+		Headers: []string{"phase"},
+	}
+	for _, v := range variants {
+		t.Headers = append(t.Headers, v.label)
+	}
+	for _, p := range phases {
+		row := []string{string(p)}
+		for _, o := range outs {
+			row = append(row, fmt.Sprintf("%.4f", o.Critical.Get(p)))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"TOTAL"}
+	for _, o := range outs {
+		row = append(row, fmt.Sprintf("%.4f", o.Critical.Total()))
+	}
+	t.AddRow(row...)
+	row = []string{"final GPUs"}
+	for _, o := range outs {
+		row = append(row, fmt.Sprintf("%d", o.FinalSize))
+	}
+	t.AddRow(row...)
+	return t, nil
+}
+
+// SweepScales is the paper's GPU axis for Figures 5-7 ("scaling from 12
+// GPUs to utmost 192 GPUs").
+var SweepScales = []int{12, 24, 48, 96, 192}
+
+// SweepVariants are the (stack, granularity) series plotted per scenario.
+type SweepVariant struct {
+	Name  string
+	Stack Stack
+	Gran  failure.Kind
+}
+
+// Variants lists the comparable configurations: Elastic Horovod only
+// supports node-granularity recovery; ULFM supports both.
+func Variants() []SweepVariant {
+	return []SweepVariant{
+		{"EH/node", StackElasticHorovod, failure.KillNode},
+		{"ULFM/process", StackULFM, failure.KillProcess},
+		{"ULFM/node", StackULFM, failure.KillNode},
+	}
+}
+
+// Scenarios lists the paper's three dynamic-training scenarios.
+func Scenarios() []string { return []string{"down", "same", "up"} }
+
+// SweepFigure reproduces one of Figures 5-7: the total
+// recovery/reconfiguration cost for a model across scenarios, stacks, and
+// scales. Series are named "<scenario>/<variant>".
+func SweepFigure(spec models.Spec, scales []int) (*metrics.Figure, error) {
+	f := &metrics.Figure{
+		Title:  fmt.Sprintf("Costs (s) of recovering/reconfiguring workers, %s", spec.Name),
+		XLabel: "GPUs",
+		YLabel: "seconds",
+	}
+	for _, scen := range Scenarios() {
+		for _, v := range Variants() {
+			if scen == "up" && v.Gran == failure.KillProcess && v.Stack == StackULFM {
+				// Upscale has no failed entity; keep one ULFM series.
+				continue
+			}
+			for _, gpus := range scales {
+				o, err := Run(DefaultSetup(spec, gpus, scen, v.Stack, v.Gran))
+				if err != nil {
+					return nil, fmt.Errorf("sweep %s %s %d: %w", scen, v.Name, gpus, err)
+				}
+				f.Set(scen+"/"+v.Name, gpus, o.Total)
+			}
+		}
+	}
+	return f, nil
+}
+
+// SweepSegments returns the per-segment decomposition (reconstruct /
+// state-init / recompute) for one scenario of a sweep, mirroring how the
+// paper's bars are stacked.
+func SweepSegments(spec models.Spec, scenario string, scales []int) (*metrics.Figure, error) {
+	f := &metrics.Figure{
+		Title:  fmt.Sprintf("%s scenario %q: cost segments (s)", spec.Name, scenario),
+		XLabel: "GPUs",
+	}
+	for _, v := range Variants() {
+		if scenario == "up" && v.Gran == failure.KillProcess && v.Stack == StackULFM {
+			continue
+		}
+		for _, gpus := range scales {
+			o, err := Run(DefaultSetup(spec, gpus, scenario, v.Stack, v.Gran))
+			if err != nil {
+				return nil, err
+			}
+			f.Set(v.Name+"/reconstruct", gpus, o.Reconstruct)
+			f.Set(v.Name+"/state-init", gpus, o.StateInit)
+			f.Set(v.Name+"/recompute", gpus, o.Recompute)
+		}
+	}
+	return f, nil
+}
+
+// ScaleTrendTable quantifies the paper's closing observation — "this
+// advantage becomes increasingly significant at larger scales" — as the
+// absolute and relative reconstruction gap between the stacks per scale.
+func ScaleTrendTable(spec models.Spec, scales []int) (*metrics.Table, error) {
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("Scale trend: communicator reconstruction gap, %s, downscale", spec.Name),
+		Headers: []string{"GPUs", "EH reconstruct (s)", "ULFM reconstruct (s)", "gap (s)", "ratio"},
+	}
+	for _, gpus := range scales {
+		eh, err := Run(DefaultSetup(spec, gpus, "down", StackElasticHorovod, failure.KillNode))
+		if err != nil {
+			return nil, err
+		}
+		ul, err := Run(DefaultSetup(spec, gpus, "down", StackULFM, failure.KillNode))
+		if err != nil {
+			return nil, err
+		}
+		ratio := "-"
+		if ul.Reconstruct > 0 {
+			ratio = fmt.Sprintf("%.1fx", eh.Reconstruct/ul.Reconstruct)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", gpus),
+			fmt.Sprintf("%.3f", eh.Reconstruct),
+			fmt.Sprintf("%.3f", ul.Reconstruct),
+			fmt.Sprintf("%.3f", eh.Reconstruct-ul.Reconstruct),
+			ratio,
+		)
+	}
+	return t, nil
+}
+
+// Figure2 quantifies the recovery-granularity contrast of the paper's
+// Figure 2: backward recovery re-executes training work since the last
+// checkpoint, while the resilient allreduce retries only the failed
+// collective.
+func Figure2() (*metrics.Table, error) {
+	eh, err := Run(DefaultSetup(models.ResNet50V2, 24, "down", StackElasticHorovod, failure.KillProcess))
+	if err != nil {
+		return nil, err
+	}
+	ul, err := Run(DefaultSetup(models.ResNet50V2, 24, "down", StackULFM, failure.KillProcess))
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title:   "Figure 2: recovery granularity — backward (checkpoint) vs forward (resilient collective)",
+		Headers: []string{"approach", "recovery unit", "recompute (s)", "retry (s)", "total recovery (s)"},
+	}
+	t.AddRow("Elastic Horovod (backward)", "minibatches since checkpoint",
+		fmt.Sprintf("%.3f", eh.Recompute), "0.000", fmt.Sprintf("%.3f", eh.Total))
+	t.AddRow("ULFM resilient collective (forward)", "single collective",
+		fmt.Sprintf("%.3f", ul.Recompute),
+		fmt.Sprintf("%.3f", ul.Critical.Get(metrics.PhaseRetry)),
+		fmt.Sprintf("%.3f", ul.Total))
+	return t, nil
+}
+
+// Eq1Table evaluates the paper's Eq. (1) cost model over checkpointing
+// frequencies, using reconfiguration costs measured on the simulated
+// testbed.
+func Eq1Table() (*metrics.Table, error) {
+	eh, err := Run(DefaultSetup(models.ResNet50V2, 24, "same", StackElasticHorovod, failure.KillNode))
+	if err != nil {
+		return nil, err
+	}
+	spec := models.ResNet50V2
+	epochSec := float64(spec.EpochSteps(24)) * spec.StepTime() * 4 // rough epoch duration
+	t := &metrics.Table{
+		Title:   "Eq. (1): checkpoint fault-recovery cost per epoch (s), measured reconfiguration costs",
+		Headers: []string{"saves/epoch", "faults/epoch=0", "faults/epoch=1", "faults/epoch=4"},
+	}
+	saveCost := float64(spec.GradientBytes()*2) / 10e9
+	for _, saves := range []float64{1, 2, 4, 8, 16, 32} {
+		row := []string{fmt.Sprintf("%.0f", saves)}
+		for _, faults := range []float64{0, 1, 4} {
+			m := checkpoint.CostModel{
+				SaveCost:       saveCost,
+				LoadCost:       saveCost,
+				ReconfigCost:   eh.Reconstruct,
+				RecomputeCost:  checkpoint.RecomputeForInterval(epochSec / saves),
+				NewWorkerInit:  eh.StateInit,
+				SavesPerEpoch:  saves,
+				FaultsPerEpoch: faults,
+			}
+			row = append(row, fmt.Sprintf("%.3f", m.FaultRecoveryCost()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/elastic"
+	"repro/internal/failure"
+	"repro/internal/gloo"
+	"repro/internal/horovod"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/train"
+)
+
+// Training-quality experiments: beyond recovery cost, verify that both
+// recovery styles preserve learning, and quantify the difference in how
+// much data each style effectively uses.
+
+func qualityCluster() *simnet.Cluster {
+	return simnet.New(simnet.Config{
+		Nodes:              4,
+		ProcsPerNode:       2,
+		IntraNodeLatency:   1.5e-6,
+		InterNodeLatency:   3e-6,
+		IntraNodeBandwidth: 50e9,
+		InterNodeBandwidth: 4e9,
+		PerMessageOverhead: 1e-6,
+		DetectLatency:      2e-3,
+		SpawnDelay:         1,
+	})
+}
+
+func qualityTrain(epochs int) train.Config {
+	return train.Config{
+		Mode:        train.Real,
+		MLPSizes:    []int{8, 32, 4},
+		Seed:        17,
+		Dataset:     data.NewSynthetic(800, 8, 4, 23),
+		BatchSize:   10,
+		Epochs:      epochs,
+		BaseLR:      0.05,
+		Momentum:    0.9,
+		RefWorkers:  8,
+		WarmupSteps: 10,
+	}
+}
+
+type qualityRun struct {
+	finalLoss  float64
+	losses     []float64
+	finalSize  int
+	consistent bool
+	totalTime  float64
+}
+
+func runQualityUL(sched *failure.Schedule, scen core.Scenario, epochs int) (*qualityRun, error) {
+	job, err := core.NewJob(qualityCluster(), core.Config{
+		Train:      qualityTrain(epochs),
+		Horovod:    horovod.DefaultConfig(),
+		Scenario:   scen,
+		DropPolicy: failure.KillProcess,
+		Schedule:   sched,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := job.Run()
+	if err != nil {
+		return nil, err
+	}
+	return summarizeQuality(res.LossHistory, res.FinalSize, res.FinalHashes, res.TotalTime)
+}
+
+func runQualityEH(sched *failure.Schedule, scen elastic.Scenario, epochs int) (*qualityRun, error) {
+	job, err := elastic.NewJob(qualityCluster(), newKV(), elastic.Config{
+		Train:    qualityTrain(epochs),
+		Gloo:     gloo.DefaultConfig(),
+		Horovod:  horovod.DefaultConfig(),
+		Scenario: scen,
+		Schedule: sched,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := job.Run()
+	if err != nil {
+		return nil, err
+	}
+	return summarizeQuality(res.LossHistory, res.FinalSize, res.FinalHashes, res.TotalTime)
+}
+
+func summarizeQuality(losses []float64, size int, hashes map[simnet.ProcID]uint64, total float64) (*qualityRun, error) {
+	if len(losses) == 0 {
+		return nil, fmt.Errorf("experiments: no loss history recorded")
+	}
+	q := &qualityRun{
+		finalLoss: losses[len(losses)-1],
+		losses:    losses,
+		finalSize: size,
+		totalTime: total,
+	}
+	q.consistent = true
+	var first uint64
+	got := false
+	for _, h := range hashes {
+		if !got {
+			first, got = h, true
+		} else if h != first {
+			q.consistent = false
+		}
+	}
+	return q, nil
+}
+
+// ConvergenceTable trains the same real task under both stacks with and
+// without a failure, reporting final losses, replica consistency, and
+// wall time — learning must survive both recovery styles.
+func ConvergenceTable() (*metrics.Table, error) {
+	const epochs = 8
+	fail := func() *failure.Schedule { return failure.At(3, 2, 6, failure.KillProcess) }
+
+	base, err := runQualityUL(failure.None(), core.ScenarioDown, epochs)
+	if err != nil {
+		return nil, err
+	}
+	ulDown, err := runQualityUL(fail(), core.ScenarioDown, epochs)
+	if err != nil {
+		return nil, err
+	}
+	ulSame, err := runQualityUL(fail(), core.ScenarioSame, epochs)
+	if err != nil {
+		return nil, err
+	}
+	ehDown, err := runQualityEH(fail(), elastic.ScenarioDown, epochs)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &metrics.Table{
+		Title:   "Extension: convergence through recovery (real MLP, 8 workers, failure at epoch 3)",
+		Headers: []string{"run", "final-loss", "workers", "replicas-consistent", "virtual-time(s)"},
+	}
+	add := func(name string, q *qualityRun) {
+		t.AddRow(name,
+			fmt.Sprintf("%.4f", q.finalLoss),
+			fmt.Sprintf("%d", q.finalSize),
+			fmt.Sprintf("%v", q.consistent),
+			fmt.Sprintf("%.2f", q.totalTime))
+	}
+	add("failure-free", base)
+	add("ULFM-down", ulDown)
+	add("ULFM-replace", ulSame)
+	add("EH-down(node)", ehDown)
+	return t, nil
+}
+
+// PFSTable quantifies the checkpointing cost the paper's memory-only
+// assumption hides: per-checkpoint cost on a shared parallel file system
+// vs in-memory copies, across worker counts, for the Table 1 model state
+// sizes.
+func PFSTable() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Extension: checkpoint target cost (s per save) — memory vs parallel file system",
+		Headers: []string{"workers", "memory (ResNet-50)", "PFS (ResNet-50)", "memory (VGG-16)", "PFS (VGG-16)"},
+	}
+	p := checkpoint.NewPFS()
+	const memBW = 10e9
+	resnet := int64(2 * 25_600_000 * 4)
+	vgg := int64(2 * 143_700_000 * 4)
+	for _, n := range []int{6, 24, 96, 192} {
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.4f", float64(resnet)/memBW),
+			fmt.Sprintf("%.4f", p.SaveTime(n, resnet)),
+			fmt.Sprintf("%.4f", float64(vgg)/memBW),
+			fmt.Sprintf("%.4f", p.SaveTime(n, vgg)),
+		)
+	}
+	return t
+}

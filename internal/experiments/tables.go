@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/elastic"
+	"repro/internal/failure"
+	"repro/internal/gloo"
+	"repro/internal/horovod"
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/simnet"
+	"repro/internal/train"
+)
+
+// Table1 regenerates the paper's Table 1: Keras benchmark applications.
+func Table1() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Table 1: Keras benchmark applications",
+		Headers: []string{"Model", "Trainable", "Depth", "Total Parameters", "Size (MB)"},
+	}
+	for _, m := range models.All() {
+		t.AddRow(
+			m.Name,
+			fmt.Sprintf("%d", m.Trainable),
+			fmt.Sprintf("%d", m.Depth),
+			fmt.Sprintf("%.1fM", float64(m.Params)/1e6),
+			fmt.Sprintf("%.0f", m.SizeMB),
+		)
+	}
+	return t
+}
+
+// Table2 regenerates the paper's Table 2 — the recovery capability matrix
+// — by probing the two stacks: each capability is exercised on a tiny real
+// training job and marked supported only when the worker count changes by
+// exactly the requested amount.
+func Table2() (*metrics.Table, error) {
+	t := &metrics.Table{
+		Title:   "Table 2: Recovery capabilities of different communication libraries",
+		Headers: []string{"Dynamic training scenarios", "Elastic Horovod", "ULFM MPI"},
+	}
+	type probe struct {
+		name string
+		eh   func() (bool, error)
+		ul   func() (bool, error)
+	}
+	probes := []probe{
+		{
+			name: "Recovery by process",
+			// Supported iff a single process failure removes exactly one
+			// worker.
+			eh: func() (bool, error) { return probeEH(failureProbe{kind: failure.KillProcess, wantDelta: -1}) },
+			ul: func() (bool, error) { return probeUL(failureProbe{kind: failure.KillProcess, wantDelta: -1}) },
+		},
+		{
+			name: "Recovery by node",
+			eh:   func() (bool, error) { return probeEH(failureProbe{kind: failure.KillNode, wantDelta: -2}) },
+			ul:   func() (bool, error) { return probeUL(failureProbe{kind: failure.KillNode, wantDelta: -2}) },
+		},
+		{
+			name: "Autoscaling by process",
+			eh:   func() (bool, error) { return probeEH(failureProbe{grow: 1, wantDelta: +1}) },
+			ul:   func() (bool, error) { return probeUL(failureProbe{grow: 1, wantDelta: +1}) },
+		},
+		{
+			name: "Autoscaling by node",
+			eh:   func() (bool, error) { return probeEH(failureProbe{grow: 2, wantDelta: +2}) },
+			ul:   func() (bool, error) { return probeUL(failureProbe{grow: 2, wantDelta: +2}) },
+		},
+	}
+	for _, p := range probes {
+		ehOK, err := p.eh()
+		if err != nil {
+			return nil, fmt.Errorf("table2 probe %q (EH): %w", p.name, err)
+		}
+		ulOK, err := p.ul()
+		if err != nil {
+			return nil, fmt.Errorf("table2 probe %q (ULFM): %w", p.name, err)
+		}
+		t.AddRow(p.name, mark(ehOK), mark(ulOK))
+	}
+	return t, nil
+}
+
+func mark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "no"
+}
+
+// failureProbe describes a capability probe on a 2-node x 2-proc cluster.
+type failureProbe struct {
+	kind      failure.Kind
+	grow      int // >0: upscale probe instead of failure
+	wantDelta int // expected worker-count change for "supported"
+}
+
+func probeCluster() *simnet.Cluster {
+	return simnet.New(simnet.Config{
+		Nodes:              2,
+		ProcsPerNode:       2,
+		IntraNodeLatency:   1e-6,
+		InterNodeLatency:   3e-6,
+		IntraNodeBandwidth: 50e9,
+		InterNodeBandwidth: 4e9,
+		DetectLatency:      1e-3,
+		SpawnDelay:         0.5,
+	})
+}
+
+func probeTrain() train.Config {
+	return train.Config{
+		Mode:       train.Real,
+		MLPSizes:   []int{6, 8, 3},
+		Seed:       1,
+		Dataset:    data.NewSynthetic(96, 6, 3, 5),
+		BatchSize:  8,
+		Epochs:     3,
+		BaseLR:     0.05,
+		Momentum:   0.9,
+		RefWorkers: 4,
+	}
+}
+
+func probeSchedule(p failureProbe) (*failure.Schedule, string) {
+	if p.grow > 0 {
+		return failure.GrowAt(1, 1, p.grow), "up"
+	}
+	return failure.At(1, 1, 3, p.kind), "down"
+}
+
+func probeEH(p failureProbe) (bool, error) {
+	cl := probeCluster()
+	kv := kvstore.New(kvstore.DefaultConfig())
+	sched, scen := probeSchedule(p)
+	cfg := elastic.Config{
+		Train:    probeTrain(),
+		Gloo:     gloo.DefaultConfig(),
+		Horovod:  horovod.DefaultConfig(),
+		Scenario: ehScenario(scen),
+		Schedule: sched,
+	}
+	job, err := elastic.NewJob(cl, kv, cfg)
+	if err != nil {
+		return false, err
+	}
+	res, err := job.Run()
+	if err != nil {
+		return false, err
+	}
+	return res.FinalSize == 4+p.wantDelta, nil
+}
+
+func probeUL(p failureProbe) (bool, error) {
+	cl := probeCluster()
+	sched, scen := probeSchedule(p)
+	drop := p.kind
+	cfg := core.Config{
+		Train:      probeTrain(),
+		Horovod:    horovod.DefaultConfig(),
+		Scenario:   coreScenario(scen),
+		DropPolicy: drop,
+		Schedule:   sched,
+	}
+	job, err := core.NewJob(cl, cfg)
+	if err != nil {
+		return false, err
+	}
+	res, err := job.Run()
+	if err != nil {
+		return false, err
+	}
+	return res.FinalSize == 4+p.wantDelta, nil
+}

@@ -1,0 +1,130 @@
+package failure
+
+import (
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+func testCluster() *simnet.Cluster {
+	return simnet.New(simnet.Config{
+		Nodes: 2, ProcsPerNode: 3,
+		IntraNodeLatency: 1e-6, InterNodeLatency: 3e-6,
+		IntraNodeBandwidth: 1e9, InterNodeBandwidth: 1e9,
+	})
+}
+
+func TestPendingFiresOnceInOrder(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Epoch: 0, Step: 5, Type: Fail, Rank: 1},
+		{Epoch: 1, Step: 2, Type: Grow, Add: 4},
+	}}
+	if ev := s.Pending(0, 4); ev != nil {
+		t.Fatalf("fired early: %+v", ev)
+	}
+	ev := s.Pending(0, 5)
+	if ev == nil || ev.Rank != 1 {
+		t.Fatalf("Pending(0,5) = %+v", ev)
+	}
+	if ev := s.Pending(0, 6); ev != nil {
+		t.Fatalf("event fired twice: %+v", ev)
+	}
+	if s.Remaining() != 1 {
+		t.Fatalf("Remaining = %d", s.Remaining())
+	}
+	// Second event fires when the point is passed, even if skipped over.
+	ev = s.Pending(2, 0)
+	if ev == nil || ev.Type != Grow || ev.Add != 4 {
+		t.Fatalf("Pending(2,0) = %+v", ev)
+	}
+	if s.Remaining() != 0 {
+		t.Fatal("schedule not exhausted")
+	}
+}
+
+func TestCloneIndependentCursor(t *testing.T) {
+	s := At(0, 3, 2, KillProcess)
+	c := s.Clone()
+	if s.Pending(0, 3) == nil {
+		t.Fatal("original should fire")
+	}
+	if c.Pending(0, 3) == nil {
+		t.Fatal("clone cursor should be independent")
+	}
+	var nilSched *Schedule
+	if nilSched.Clone() == nil {
+		t.Fatal("nil Clone should give empty schedule")
+	}
+	if nilSched.Pending(0, 0) != nil {
+		t.Fatal("nil schedule should never fire")
+	}
+	if nilSched.Remaining() != 0 {
+		t.Fatal("nil Remaining should be 0")
+	}
+}
+
+func TestGrowAt(t *testing.T) {
+	s := GrowAt(1, 0, 12)
+	ev := s.Pending(1, 0)
+	if ev == nil || ev.Type != Grow || ev.Add != 12 {
+		t.Fatalf("GrowAt event = %+v", ev)
+	}
+}
+
+func TestNone(t *testing.T) {
+	if None().Pending(99, 99) != nil {
+		t.Fatal("None should never fire")
+	}
+}
+
+func TestFireProcess(t *testing.T) {
+	c := testCluster()
+	Fire(c, 1, KillProcess)
+	if !c.IsDead(1) {
+		t.Fatal("victim alive")
+	}
+	if c.IsDead(0) || c.IsDead(2) {
+		t.Fatal("process kill took out neighbors")
+	}
+}
+
+func TestFireNode(t *testing.T) {
+	c := testCluster()
+	Fire(c, 1, KillNode)
+	for _, p := range []simnet.ProcID{0, 1, 2} {
+		if !c.IsDead(p) {
+			t.Fatalf("proc %d should be dead with node blast", p)
+		}
+	}
+	if c.IsDead(3) {
+		t.Fatal("other node affected")
+	}
+}
+
+func TestMTBFDeterministicAndBounded(t *testing.T) {
+	a := MTBF(42, 50, 500, 100, 8, KillProcess)
+	b := MTBF(42, 50, 500, 100, 8, KillProcess)
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("MTBF not deterministic")
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("expected some failures with mean 50 over 500 steps")
+	}
+	for i, ev := range a.Events {
+		if ev.Epoch < 0 || ev.Epoch >= 5 || ev.Step < 0 || ev.Step >= 100 {
+			t.Fatalf("event %d out of range: %+v", i, ev)
+		}
+		if ev.Rank < 0 || ev.Rank >= 8 {
+			t.Fatalf("event %d rank out of range: %+v", i, ev)
+		}
+		if b.Events[i] != ev {
+			t.Fatal("MTBF sequences diverge")
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KillProcess.String() != "process" || KillNode.String() != "node" {
+		t.Fatal("Kind.String wrong")
+	}
+}

@@ -1,0 +1,86 @@
+package gloo
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestVirtualCollectives(t *testing.T) {
+	c, kv := newCluster(2, 2)
+	var total float64
+	connectAll(t, c, kv, 3, func(ctx *Context) error {
+		if err := ctx.AllreduceVirtual(10 << 20); err != nil {
+			return err
+		}
+		if err := ctx.BcastVirtual(5<<20, 1); err != nil {
+			return err
+		}
+		if ctx.Rank() == 0 {
+			total = ctx.Clock().Now()
+		}
+		return nil
+	})
+	if total <= 0 {
+		t.Fatal("virtual collectives should advance the clock")
+	}
+}
+
+func TestVirtualAllreduceCostScales(t *testing.T) {
+	timeFor := func(bytes int64) float64 {
+		c, kv := newCluster(2, 2)
+		var dur float64
+		connectAll(t, c, kv, 1, func(ctx *Context) error {
+			// Warmup to synchronize, then measure the op alone (Connect's
+			// rendezvous cost would otherwise dominate small payloads).
+			if err := ctx.AllreduceVirtual(64); err != nil {
+				return err
+			}
+			t0 := ctx.Clock().Now()
+			if err := ctx.AllreduceVirtual(bytes); err != nil {
+				return err
+			}
+			if ctx.Rank() == 0 {
+				dur = ctx.Clock().Now() - t0
+			}
+			return nil
+		})
+		return dur
+	}
+	small := timeFor(1 << 20)
+	big := timeFor(32 << 20)
+	if !(big > small*8) {
+		t.Fatalf("virtual cost should scale with bytes: %v vs %v", small, big)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c, kv := newCluster(1, 2)
+	connectAll(t, c, kv, 7, func(ctx *Context) error {
+		if ctx.Round() != 7 {
+			return fmt.Errorf("Round = %d", ctx.Round())
+		}
+		if ctx.Clock() == nil || ctx.Endpoint() == nil {
+			return fmt.Errorf("nil accessors")
+		}
+		if ctx.Endpoint().ID() != ctx.Endpoint().Cluster().Endpoint(ctx.Endpoint().ID()).ID() {
+			return fmt.Errorf("endpoint identity broken")
+		}
+		return nil
+	})
+}
+
+func TestBcastVirtualSingleRank(t *testing.T) {
+	c, kv := newCluster(1, 1)
+	ep := c.Endpoint(0)
+	ctx, err := Connect(ep, kv, DefaultConfig(), 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	if err := ctx.BcastVirtual(1<<20, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.AllreduceVirtual(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,288 @@
+package gloo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/kvstore"
+	"repro/internal/simnet"
+)
+
+func newCluster(nodes, ppn int) (*simnet.Cluster, *kvstore.Store) {
+	c := simnet.New(simnet.Config{
+		Nodes:              nodes,
+		ProcsPerNode:       ppn,
+		IntraNodeLatency:   1e-6,
+		InterNodeLatency:   30e-6, // Gloo runs over TCP
+		IntraNodeBandwidth: 20e9,
+		InterNodeBandwidth: 3e9,
+		DetectLatency:      1e-3,
+		SpawnDelay:         5,
+	})
+	return c, kvstore.New(kvstore.DefaultConfig())
+}
+
+func connectAll(t *testing.T, c *simnet.Cluster, kv *kvstore.Store, round int, body func(ctx *Context) error) {
+	t.Helper()
+	procs := c.LiveProcs()
+	errs := simnet.RunAll(c, procs, func(rank int, ep *simnet.Endpoint) error {
+		ctx, err := Connect(ep, kv, DefaultConfig(), round, rank, len(procs))
+		if err != nil {
+			return err
+		}
+		defer ctx.Close()
+		return body(ctx)
+	})
+	if err := simnet.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectAndAllreduce(t *testing.T) {
+	c, kv := newCluster(2, 3)
+	var mu sync.Mutex
+	results := map[int]float32{}
+	connectAll(t, c, kv, 1, func(ctx *Context) error {
+		if ctx.Size() != 6 {
+			return fmt.Errorf("size = %d", ctx.Size())
+		}
+		data := []float32{float32(ctx.Rank() + 1), 10}
+		if err := ctx.Allreduce(data); err != nil {
+			return err
+		}
+		mu.Lock()
+		results[ctx.Rank()] = data[0]
+		mu.Unlock()
+		if data[1] != 60 {
+			return fmt.Errorf("elem1 = %v, want 60", data[1])
+		}
+		return nil
+	})
+	for r, v := range results {
+		if v != 21 {
+			t.Fatalf("rank %d = %v, want 21", r, v)
+		}
+	}
+}
+
+func TestAllreduceLargeVector(t *testing.T) {
+	c, kv := newCluster(1, 4)
+	connectAll(t, c, kv, 1, func(ctx *Context) error {
+		data := make([]float32, 10000)
+		for i := range data {
+			data[i] = 1
+		}
+		if err := ctx.Allreduce(data); err != nil {
+			return err
+		}
+		for i, v := range data {
+			if v != 4 {
+				return fmt.Errorf("elem %d = %v, want 4", i, v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestBcastChain(t *testing.T) {
+	c, kv := newCluster(1, 5)
+	connectAll(t, c, kv, 2, func(ctx *Context) error {
+		data := make([]float32, 8)
+		if ctx.Rank() == 3 {
+			for i := range data {
+				data[i] = float32(i * i)
+			}
+		}
+		if err := ctx.Bcast(data, 3); err != nil {
+			return err
+		}
+		for i := range data {
+			if data[i] != float32(i*i) {
+				return fmt.Errorf("rank %d elem %d = %v", ctx.Rank(), i, data[i])
+			}
+		}
+		return nil
+	})
+}
+
+func TestRendezvousCostGrowsWithScale(t *testing.T) {
+	timeFor := func(nodes, ppn int) float64 {
+		c, kv := newCluster(nodes, ppn)
+		connectAll(t, c, kv, 1, func(ctx *Context) error { return nil })
+		return c.MaxTime()
+	}
+	small := timeFor(2, 3)
+	big := timeFor(16, 3)
+	if !(big > small*2) {
+		t.Fatalf("rendezvous cost should grow superlinearly-ish with scale: %v vs %v", small, big)
+	}
+}
+
+func TestFailurePoisonsContext(t *testing.T) {
+	c, kv := newCluster(2, 3)
+	procs := c.LiveProcs()
+	const victim = 2
+	var mu sync.Mutex
+	poisoned := 0
+	var ready sync.WaitGroup
+	ready.Add(len(procs))
+	errs := simnet.RunAll(c, procs, func(rank int, ep *simnet.Endpoint) error {
+		ctx, err := Connect(ep, kv, DefaultConfig(), 1, rank, len(procs))
+		if err != nil {
+			return err
+		}
+		// Warmup collective plus a harness barrier, so the kill cannot
+		// race with anyone's in-flight warmup.
+		warm := make([]float32, 4)
+		if err := ctx.Allreduce(warm); err != nil {
+			return err
+		}
+		ready.Done()
+		ready.Wait()
+		if rank == victim {
+			c.Kill(ep.ID())
+			return nil
+		}
+		data := make([]float32, 5000)
+		err = ctx.Allreduce(data)
+		if err == nil {
+			return fmt.Errorf("rank %d: allreduce should fail after death", rank)
+		}
+		if !ctx.Poisoned() {
+			return fmt.Errorf("rank %d: context should be poisoned", rank)
+		}
+		// Every subsequent operation fails fast.
+		if err := ctx.Allreduce(data); !errors.Is(err, ErrPoisoned) {
+			return fmt.Errorf("rank %d: second op = %v, want ErrPoisoned", rank, err)
+		}
+		mu.Lock()
+		poisoned++
+		mu.Unlock()
+		return nil
+	})
+	if err := simnet.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	if poisoned != 5 {
+		t.Fatalf("%d survivors poisoned, want 5", poisoned)
+	}
+}
+
+func TestFailureChargesDetectionTimeout(t *testing.T) {
+	c, kv := newCluster(1, 2)
+	procs := c.LiveProcs()
+	cfg := DefaultConfig()
+	var survivorTime float64
+	var ready sync.WaitGroup
+	ready.Add(len(procs))
+	errs := simnet.RunAll(c, procs, func(rank int, ep *simnet.Endpoint) error {
+		ctx, err := Connect(ep, kv, cfg, 1, rank, 2)
+		if err != nil {
+			return err
+		}
+		warm := make([]float32, 4)
+		if err := ctx.Allreduce(warm); err != nil {
+			return err
+		}
+		ready.Done()
+		ready.Wait()
+		if rank == 0 {
+			c.Kill(ep.ID())
+			return nil
+		}
+		before := ep.Clock.Now()
+		if err := ctx.Allreduce(make([]float32, 100)); err == nil {
+			return fmt.Errorf("allreduce should fail")
+		}
+		survivorTime = ep.Clock.Now() - before
+		return nil
+	})
+	if err := simnet.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	if survivorTime < cfg.FailureTimeout*0.999 {
+		t.Fatalf("failure surfaced after %v, want >= Gloo timeout %v", survivorTime, cfg.FailureTimeout)
+	}
+}
+
+func TestReRendezvousAfterFailure(t *testing.T) {
+	// The Elastic Horovod recovery path: context dies, survivors connect a
+	// fresh round with new ranks.
+	c, kv := newCluster(1, 3)
+	procs := c.LiveProcs()
+	var ready sync.WaitGroup
+	ready.Add(len(procs))
+	errs := simnet.RunAll(c, procs, func(rank int, ep *simnet.Endpoint) error {
+		ctx, err := Connect(ep, kv, DefaultConfig(), 1, rank, 3)
+		if err != nil {
+			return err
+		}
+		warm := make([]float32, 4)
+		if err := ctx.Allreduce(warm); err != nil {
+			return err
+		}
+		ready.Done()
+		ready.Wait()
+		if rank == 1 {
+			c.Kill(ep.ID())
+			return nil
+		}
+		if err := ctx.Allreduce(make([]float32, 10)); err == nil {
+			return fmt.Errorf("should fail")
+		}
+		ctx.Close()
+		// Survivors re-rendezvous: ranks 0 and 2 become 0 and 1.
+		newRank := map[int]int{0: 0, 2: 1}[rank]
+		ctx2, err := Connect(ep, kv, DefaultConfig(), 2, newRank, 2)
+		if err != nil {
+			return fmt.Errorf("re-rendezvous failed: %w", err)
+		}
+		defer ctx2.Close()
+		data := []float32{1}
+		if err := ctx2.Allreduce(data); err != nil {
+			return err
+		}
+		if data[0] != 2 {
+			return fmt.Errorf("post-recovery allreduce = %v, want 2", data[0])
+		}
+		return nil
+	})
+	if err := simnet.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectValidatesArgs(t *testing.T) {
+	c, kv := newCluster(1, 1)
+	ep := c.Endpoint(0)
+	if _, err := Connect(ep, kv, DefaultConfig(), 1, 2, 2); err == nil {
+		t.Fatal("rank >= size should fail")
+	}
+	if _, err := Connect(ep, kv, DefaultConfig(), 1, 0, 0); err == nil {
+		t.Fatal("size 0 should fail")
+	}
+}
+
+func TestSingleRankContext(t *testing.T) {
+	c, kv := newCluster(1, 1)
+	ep := c.Endpoint(0)
+	ctx, err := Connect(ep, kv, DefaultConfig(), 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	data := []float32{5}
+	if err := ctx.Allreduce(data); err != nil || data[0] != 5 {
+		t.Fatalf("single-rank allreduce = %v, %v", data, err)
+	}
+}
+
+func TestCloseClearsRendezvousKeys(t *testing.T) {
+	c, kv := newCluster(1, 2)
+	connectAll(t, c, kv, 9, func(ctx *Context) error { return nil })
+	if kv.Len() != 0 {
+		t.Fatalf("rendezvous keys left behind: %d", kv.Len())
+	}
+}

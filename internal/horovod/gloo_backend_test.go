@@ -1,0 +1,64 @@
+package horovod
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/nccl"
+	"repro/internal/tensor"
+)
+
+func TestGlooBackendBcastAndVirtuals(t *testing.T) {
+	runGloo(t, 1, 3, DefaultConfig(), func(w *Worker) error {
+		// Real broadcast through the Gloo backend.
+		state := make(tensor.Vector, 32)
+		if w.Rank() == 0 {
+			state.FillRandom(3, 1)
+		}
+		if err := w.BroadcastState(state, 0); err != nil {
+			return err
+		}
+		want := make(tensor.Vector, 32)
+		want.FillRandom(3, 1)
+		if state.Hash() != want.Hash() {
+			return fmt.Errorf("rank %d: bcast mismatch", w.Rank())
+		}
+		// Virtual paths on the Gloo backend.
+		if err := w.Backend().AllreduceVirtual(1 << 20); err != nil {
+			return err
+		}
+		if err := w.Backend().BcastVirtual(1<<20, 0); err != nil {
+			return err
+		}
+		if w.Backend().Clock() == nil {
+			return fmt.Errorf("nil clock")
+		}
+		return nil
+	})
+}
+
+func TestGlooBackendVirtualStep(t *testing.T) {
+	runGloo(t, 2, 2, DefaultConfig(), func(w *Worker) error {
+		return w.AllreduceGradsVirtual("m", []int{1000, 2000, 500})
+	})
+}
+
+func TestBroadcastStateVirtualWithGPU(t *testing.T) {
+	cfg := DefaultConfig()
+	runMPI(t, 1, 4, cfg, func(w *Worker) error {
+		// Rebuild the worker with a GPU communicator so the virtual state
+		// sync takes the NCCL path (small host control + GPU bcast).
+		gcfg := cfg
+		gcfg.GPU = nccl.Init(w.Backend().Clock(), nccl.DefaultConfig(), w.Size())
+		gw := NewWorker(w.Backend(), gcfg)
+		return gw.BroadcastStateVirtual(50<<20, 0)
+	})
+}
+
+func TestNewWorkerDefaultsFusion(t *testing.T) {
+	runMPI(t, 1, 1, Config{FusionBytes: -5}, func(w *Worker) error {
+		// Invalid fusion size falls back to the 64 MB default; a large
+		// request must still work.
+		return w.AllreduceGrads([]string{"a"}, []tensor.Vector{make(tensor.Vector, 10)})
+	})
+}

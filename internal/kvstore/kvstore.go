@@ -1,0 +1,291 @@
+// Package kvstore implements the rendezvous key-value service used by the
+// Gloo bootstrap and the elastic driver, standing in for the etcd/Redis
+// style stores that Elastic Horovod's rendezvous relies on.
+//
+// The store is shared in memory, but every operation charges the calling
+// process's virtual clock with a configurable round-trip latency, and
+// blocking waits complete no earlier than the (virtual) time the awaited
+// value was written plus a polling interval — reproducing the cost profile
+// that makes KV-based rendezvous expensive at scale in the paper.
+package kvstore
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/vtime"
+)
+
+// Config is the store's cost model.
+type Config struct {
+	// OpLatency is the client-observed round-trip time of a single store
+	// operation (network + service).
+	OpLatency float64
+	// PollInterval is how often a blocked waiter polls the store; waits
+	// that actually block complete on a poll boundary.
+	PollInterval float64
+}
+
+// DefaultConfig matches a LAN-attached etcd-like service.
+func DefaultConfig() Config {
+	return Config{OpLatency: 0.5e-3, PollInterval: 10e-3}
+}
+
+type entry struct {
+	value   []byte
+	wroteAt float64 // virtual time the write became visible
+}
+
+// Store is a shared KV service with virtual-time accounting. All methods
+// are safe for concurrent use.
+type Store struct {
+	cfg  Config
+	mu   sync.Mutex
+	cond *sync.Cond
+	data map[string]entry
+	cnt  map[string]counter
+}
+
+type counter struct {
+	value   int64
+	wroteAt float64
+}
+
+// New creates an empty store with the given cost model.
+func New(cfg Config) *Store {
+	s := &Store{
+		cfg:  cfg,
+		data: make(map[string]entry),
+		cnt:  make(map[string]counter),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Config returns the store's cost model.
+func (s *Store) Config() Config { return s.cfg }
+
+// Put writes key=value, charging clk one operation. The write becomes
+// visible at the writer's post-operation time.
+func (s *Store) Put(clk *vtime.Clock, key string, value []byte) {
+	clk.Advance(s.cfg.OpLatency)
+	at := clk.Now()
+	v := append([]byte(nil), value...)
+	s.mu.Lock()
+	s.data[key] = entry{value: v, wroteAt: at}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Get reads a key, charging clk one operation. ok is false when absent.
+func (s *Store) Get(clk *vtime.Clock, key string) (value []byte, ok bool) {
+	clk.Advance(s.cfg.OpLatency)
+	s.mu.Lock()
+	e, ok := s.data[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	clk.AdvanceTo(e.wroteAt + s.cfg.OpLatency)
+	return append([]byte(nil), e.value...), true
+}
+
+// Delete removes a key, charging clk one operation.
+func (s *Store) Delete(clk *vtime.Clock, key string) {
+	clk.Advance(s.cfg.OpLatency)
+	s.mu.Lock()
+	delete(s.data, key)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// DeletePrefix removes every key with the given prefix (namespace
+// teardown between rendezvous rounds), charging clk one operation.
+func (s *Store) DeletePrefix(clk *vtime.Clock, prefix string) {
+	clk.Advance(s.cfg.OpLatency)
+	s.mu.Lock()
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			delete(s.data, k)
+		}
+	}
+	for k := range s.cnt {
+		if strings.HasPrefix(k, prefix) {
+			delete(s.cnt, k)
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// List returns the sorted keys carrying the given prefix, charging clk one
+// operation.
+func (s *Store) List(clk *vtime.Clock, prefix string) []string {
+	clk.Advance(s.cfg.OpLatency)
+	s.mu.Lock()
+	var keys []string
+	var latest float64
+	for k, e := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+			if e.wroteAt > latest {
+				latest = e.wroteAt
+			}
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	clk.AdvanceTo(latest + s.cfg.OpLatency)
+	return keys
+}
+
+// Wait blocks until key exists (or cancel is closed), then returns its
+// value. The caller's clock lands on a poll boundary no earlier than the
+// write time. Returns ok=false only when canceled.
+func (s *Store) Wait(clk *vtime.Clock, key string, cancel <-chan struct{}) (value []byte, ok bool) {
+	stop := s.watchCancel(cancel)
+	defer stop()
+	s.mu.Lock()
+	for {
+		if e, found := s.data[key]; found {
+			s.mu.Unlock()
+			s.chargeWait(clk, e.wroteAt)
+			return append([]byte(nil), e.value...), true
+		}
+		if canceled(cancel) {
+			s.mu.Unlock()
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// WaitN blocks until at least n keys exist under prefix (or cancel closes)
+// and returns them sorted. Returns ok=false only when canceled.
+func (s *Store) WaitN(clk *vtime.Clock, prefix string, n int, cancel <-chan struct{}) (keys []string, ok bool) {
+	stop := s.watchCancel(cancel)
+	defer stop()
+	s.mu.Lock()
+	for {
+		var got []string
+		var latest float64
+		for k, e := range s.data {
+			if strings.HasPrefix(k, prefix) {
+				got = append(got, k)
+				if e.wroteAt > latest {
+					latest = e.wroteAt
+				}
+			}
+		}
+		if len(got) >= n {
+			s.mu.Unlock()
+			sort.Strings(got)
+			s.chargeWait(clk, latest)
+			return got, true
+		}
+		if canceled(cancel) {
+			s.mu.Unlock()
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// Add atomically adds delta to a named counter and returns the new value,
+// charging clk one operation. Counters live in a separate namespace from
+// keys.
+func (s *Store) Add(clk *vtime.Clock, key string, delta int64) int64 {
+	clk.Advance(s.cfg.OpLatency)
+	at := clk.Now()
+	s.mu.Lock()
+	c := s.cnt[key]
+	c.value += delta
+	if at > c.wroteAt {
+		c.wroteAt = at
+	}
+	s.cnt[key] = c
+	v := c.value
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return v
+}
+
+// Counter returns the current value of a counter, charging clk one
+// operation.
+func (s *Store) Counter(clk *vtime.Clock, key string) int64 {
+	clk.Advance(s.cfg.OpLatency)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cnt[key].value
+}
+
+// WaitAtLeast blocks until the counter reaches at least n (or cancel
+// closes). Returns the observed value and ok=false only when canceled.
+func (s *Store) WaitAtLeast(clk *vtime.Clock, key string, n int64, cancel <-chan struct{}) (int64, bool) {
+	stop := s.watchCancel(cancel)
+	defer stop()
+	s.mu.Lock()
+	for {
+		c := s.cnt[key]
+		if c.value >= n {
+			s.mu.Unlock()
+			s.chargeWait(clk, c.wroteAt)
+			return c.value, true
+		}
+		if canceled(cancel) {
+			s.mu.Unlock()
+			return c.value, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// chargeWait advances clk for a completed wait: one op latency, and if the
+// value appeared after the waiter arrived, completion rounds up to the
+// next poll boundary after the write.
+func (s *Store) chargeWait(clk *vtime.Clock, wroteAt float64) {
+	arrived := clk.Now()
+	clk.Advance(s.cfg.OpLatency)
+	if wroteAt > arrived {
+		clk.AdvanceTo(wroteAt + s.cfg.PollInterval)
+	}
+}
+
+// watchCancel wakes all waiters when cancel closes so blocked Wait calls
+// can observe it. Returns a stop func the caller must defer.
+func (s *Store) watchCancel(cancel <-chan struct{}) func() {
+	if cancel == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-cancel:
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}
+
+func canceled(cancel <-chan struct{}) bool {
+	if cancel == nil {
+		return false
+	}
+	select {
+	case <-cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// Len reports the number of keys (not counters) currently stored.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}

@@ -1,0 +1,245 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+func newTest() *Store {
+	return New(Config{OpLatency: 1e-3, PollInterval: 10e-3})
+}
+
+func TestPutGet(t *testing.T) {
+	s := newTest()
+	var clk vtime.Clock
+	s.Put(&clk, "a", []byte("x"))
+	v, ok := s.Get(&clk, "a")
+	if !ok || string(v) != "x" {
+		t.Fatalf("Get = (%q, %v)", v, ok)
+	}
+	if _, ok := s.Get(&clk, "missing"); ok {
+		t.Fatal("Get(missing) should report absent")
+	}
+	// Two ops for put+get at minimum... plus visibility alignment.
+	if clk.Now() < 3e-3 {
+		t.Fatalf("clock %v, want >= 3 op latencies", clk.Now())
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := newTest()
+	var clk vtime.Clock
+	buf := []byte("abc")
+	s.Put(&clk, "k", buf)
+	buf[0] = 'z' // caller mutates after Put; store must be unaffected
+	v, _ := s.Get(&clk, "k")
+	if string(v) != "abc" {
+		t.Fatalf("store did not copy on Put: %q", v)
+	}
+	v[0] = 'q'
+	v2, _ := s.Get(&clk, "k")
+	if string(v2) != "abc" {
+		t.Fatalf("store did not copy on Get: %q", v2)
+	}
+}
+
+func TestDeleteAndPrefix(t *testing.T) {
+	s := newTest()
+	var clk vtime.Clock
+	s.Put(&clk, "r1/a", nil)
+	s.Put(&clk, "r1/b", nil)
+	s.Put(&clk, "r2/a", nil)
+	s.Add(&clk, "r1/count", 3)
+	s.Delete(&clk, "r1/a")
+	if _, ok := s.Get(&clk, "r1/a"); ok {
+		t.Fatal("deleted key still present")
+	}
+	s.DeletePrefix(&clk, "r1/")
+	if got := s.List(&clk, "r1/"); len(got) != 0 {
+		t.Fatalf("prefix delete left %v", got)
+	}
+	if got := s.Counter(&clk, "r1/count"); got != 0 {
+		t.Fatalf("prefix delete left counter %d", got)
+	}
+	if got := s.List(&clk, "r2/"); len(got) != 1 {
+		t.Fatalf("unrelated prefix affected: %v", got)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	s := newTest()
+	var clk vtime.Clock
+	for _, k := range []string{"p/3", "p/1", "p/2"} {
+		s.Put(&clk, k, nil)
+	}
+	got := s.List(&clk, "p/")
+	want := []string{"p/1", "p/2", "p/3"}
+	if len(got) != 3 {
+		t.Fatalf("List = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWaitBlocksUntilPut(t *testing.T) {
+	s := newTest()
+	var waiter, writer vtime.Clock
+	writer.Advance(5) // writer is ahead in virtual time
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got []byte
+	var ok bool
+	go func() {
+		defer wg.Done()
+		got, ok = s.Wait(&waiter, "late", nil)
+	}()
+	s.Put(&writer, "late", []byte("v"))
+	wg.Wait()
+	if !ok || string(got) != "v" {
+		t.Fatalf("Wait = (%q, %v)", got, ok)
+	}
+	// Waiter cannot observe the value before it was written (causality):
+	// write happened at writer time 5+op; waiter must land at or after
+	// write + poll interval.
+	if waiter.Now() < 5+1e-3+10e-3 {
+		t.Fatalf("waiter clock %v violates causality", waiter.Now())
+	}
+}
+
+func TestWaitImmediateNoPollPenalty(t *testing.T) {
+	s := newTest()
+	var clk vtime.Clock
+	s.Put(&clk, "k", nil) // clk now 1ms, write visible at 1ms
+	before := clk.Now()
+	if _, ok := s.Wait(&clk, "k", nil); !ok {
+		t.Fatal("Wait on existing key failed")
+	}
+	// Value already present: only one op latency, no poll rounding.
+	if got := clk.Now() - before; got > 1.1e-3 {
+		t.Fatalf("immediate Wait charged %v, want ~1 op", got)
+	}
+}
+
+func TestWaitCancel(t *testing.T) {
+	s := newTest()
+	var clk vtime.Clock
+	cancel := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := s.Wait(&clk, "never", cancel)
+		done <- ok
+	}()
+	close(cancel)
+	if ok := <-done; ok {
+		t.Fatal("canceled Wait returned ok=true")
+	}
+}
+
+func TestWaitN(t *testing.T) {
+	s := newTest()
+	clks := make([]vtime.Clock, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.Put(&clks[i], fmt.Sprintf("rdv/%d", i), nil)
+			keys, ok := s.WaitN(&clks[i], "rdv/", 4, nil)
+			if !ok || len(keys) != 4 {
+				t.Errorf("rank %d WaitN = (%v, %v)", i, keys, ok)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestCounters(t *testing.T) {
+	s := newTest()
+	var clk vtime.Clock
+	if got := s.Add(&clk, "c", 2); got != 2 {
+		t.Fatalf("Add = %d, want 2", got)
+	}
+	if got := s.Add(&clk, "c", 3); got != 5 {
+		t.Fatalf("Add = %d, want 5", got)
+	}
+	if got := s.Counter(&clk, "c"); got != 5 {
+		t.Fatalf("Counter = %d, want 5", got)
+	}
+	if got := s.Counter(&clk, "absent"); got != 0 {
+		t.Fatalf("absent Counter = %d, want 0", got)
+	}
+}
+
+func TestWaitAtLeast(t *testing.T) {
+	s := newTest()
+	var a, b vtime.Clock
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, ok := s.WaitAtLeast(&a, "arrivals", 2, nil)
+		if !ok || v < 2 {
+			t.Errorf("WaitAtLeast = (%d, %v)", v, ok)
+		}
+	}()
+	s.Add(&b, "arrivals", 1)
+	s.Add(&b, "arrivals", 1)
+	wg.Wait()
+}
+
+func TestWaitAtLeastCancel(t *testing.T) {
+	s := newTest()
+	var clk vtime.Clock
+	cancel := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := s.WaitAtLeast(&clk, "never", 10, cancel)
+		done <- ok
+	}()
+	close(cancel)
+	if ok := <-done; ok {
+		t.Fatal("canceled WaitAtLeast returned ok=true")
+	}
+}
+
+func TestConcurrentAddsAreAtomic(t *testing.T) {
+	s := newTest()
+	const workers, each = 8, 500
+	var wg sync.WaitGroup
+	clks := make([]vtime.Clock, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.Add(&clks[w], "n", 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var clk vtime.Clock
+	if got := s.Counter(&clk, "n"); got != workers*each {
+		t.Fatalf("Counter = %d, want %d", got, workers*each)
+	}
+}
+
+func TestLen(t *testing.T) {
+	s := newTest()
+	var clk vtime.Clock
+	if s.Len() != 0 {
+		t.Fatal("new store not empty")
+	}
+	s.Put(&clk, "a", nil)
+	s.Put(&clk, "b", nil)
+	s.Put(&clk, "a", nil) // overwrite
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}

@@ -1,0 +1,275 @@
+// Package metrics provides the cost-accounting vocabulary of the
+// evaluation: named recovery phases (matching the paper's Figure 4 cost
+// breakdown), per-event breakdown records, and plain-text table/series
+// formatting used by cmd/benchtab to regenerate every table and figure.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Phase names one segment of a recovery/reconfiguration timeline. The
+// Elastic Horovod phases mirror the paper's Figure 4 breakdown; the ULFM
+// phases mirror Section 3's recovery pipeline.
+type Phase string
+
+const (
+	// Shared phases.
+	PhaseDetect        Phase = "catch-exception" // failure surfaces to the framework
+	PhaseShutdown      Phase = "shutdown"        // stop outstanding operations
+	PhaseStateSync     Phase = "state-sync"      // (re)broadcast training state
+	PhaseNewWorkerInit Phase = "new-worker-init" // software init of joining workers
+	PhaseRecompute     Phase = "recompute"       // re-execute lost training work
+	PhaseGPUReinit     Phase = "nccl-reinit"     // rebuild the GPU communicator
+
+	// Elastic Horovod (baseline) phases.
+	PhaseReinitElastic   Phase = "reinit-elastic-mode" // driver reset + host discovery
+	PhaseReinitGloo      Phase = "reinit-gloo"         // Gloo context rendezvous + connect
+	PhaseRendezvousLocal Phase = "rendezvous-local"    // per-node rendezvous resume
+	PhaseRendezvousGlob  Phase = "rendezvous-global"   // global rendezvous resume
+
+	// ULFM phases.
+	PhaseRevoke Phase = "revoke"
+	PhaseAgree  Phase = "agree"
+	PhaseShrink Phase = "shrink"
+	PhaseMerge  Phase = "merge-newcomers"
+	PhaseRetry  Phase = "retry-collective"
+)
+
+// Breakdown is an ordered phase → seconds record for one recovery event.
+type Breakdown struct {
+	order []Phase
+	vals  map[Phase]float64
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{vals: make(map[Phase]float64)}
+}
+
+// Add accumulates sec into the named phase, preserving first-seen order.
+func (b *Breakdown) Add(p Phase, sec float64) {
+	if sec < 0 {
+		sec = 0
+	}
+	if _, ok := b.vals[p]; !ok {
+		b.order = append(b.order, p)
+	}
+	b.vals[p] += sec
+}
+
+// Get returns the accumulated seconds for a phase (0 when absent).
+func (b *Breakdown) Get(p Phase) float64 { return b.vals[p] }
+
+// Phases returns the phases in first-seen order.
+func (b *Breakdown) Phases() []Phase { return append([]Phase(nil), b.order...) }
+
+// Total returns the sum over all phases.
+func (b *Breakdown) Total() float64 {
+	var t float64
+	for _, v := range b.vals {
+		t += v
+	}
+	return t
+}
+
+// Merge adds o's phases into b (keeping b's ordering first).
+func (b *Breakdown) Merge(o *Breakdown) {
+	for _, p := range o.order {
+		b.Add(p, o.vals[p])
+	}
+}
+
+// MaxOver merges per-rank breakdowns by taking, for each phase, the
+// maximum across ranks — the critical-path view a wall-clock measurement
+// reports.
+func MaxOver(bs ...*Breakdown) *Breakdown {
+	out := NewBreakdown()
+	for _, b := range bs {
+		if b == nil {
+			continue
+		}
+		for _, p := range b.order {
+			if v := b.vals[p]; v > out.vals[p] {
+				if _, ok := out.vals[p]; !ok {
+					out.order = append(out.order, p)
+				}
+				out.vals[p] = v
+			}
+		}
+	}
+	return out
+}
+
+// String renders the breakdown as "phase=1.234s ..." in order.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	for i, p := range b.order {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%s=%.3fs", p, b.vals[p])
+	}
+	return sb.String()
+}
+
+// --- tables ----------------------------------------------------------------
+
+// Table is a simple text table with a title, used by the harness to print
+// the paper's tables and figure series.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (fields with commas or quotes
+// are quoted), with the title as a comment line.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString("# " + t.Title + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			sb.WriteString(c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// --- series -----------------------------------------------------------------
+
+// Series is a named line in a figure: y-values indexed by x.
+type Series struct {
+	Name string
+	Y    map[int]float64
+}
+
+// Figure is a set of series over common x-values (e.g. GPU counts).
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []int
+	Series []*Series
+}
+
+// AddSeries creates (or returns) the named series.
+func (f *Figure) AddSeries(name string) *Series {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	s := &Series{Name: name, Y: make(map[int]float64)}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Set records a point; x is appended to the x-axis if new.
+func (f *Figure) Set(series string, x int, y float64) {
+	s := f.AddSeries(series)
+	s.Y[x] = y
+	for _, v := range f.X {
+		if v == x {
+			return
+		}
+	}
+	f.X = append(f.X, x)
+	sort.Ints(f.X)
+}
+
+// Get returns the y-value for a series at x (0 if unset).
+func (f *Figure) Get(series string, x int) float64 {
+	for _, s := range f.Series {
+		if s.Name == series {
+			return s.Y[x]
+		}
+	}
+	return 0
+}
+
+// Table renders the figure as a table: one row per x, one column per
+// series — the textual equivalent of the paper's plots.
+func (f *Figure) Table() *Table {
+	t := &Table{Title: f.Title}
+	t.Headers = append(t.Headers, f.XLabel)
+	for _, s := range f.Series {
+		t.Headers = append(t.Headers, s.Name)
+	}
+	for _, x := range f.X {
+		row := []string{fmt.Sprintf("%d", x)}
+		for _, s := range f.Series {
+			if y, ok := s.Y[x]; ok {
+				row = append(row, fmt.Sprintf("%.3f", y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// String renders the figure's table form.
+func (f *Figure) String() string { return f.Table().String() }
+
+// CSV renders the figure's table form as CSV.
+func (f *Figure) CSV() string { return f.Table().CSV() }

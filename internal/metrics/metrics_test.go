@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBreakdownAddOrderTotal(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(PhaseDetect, 2)
+	b.Add(PhaseShrink, 0.5)
+	b.Add(PhaseDetect, 1) // accumulate
+	b.Add(PhaseRetry, -3) // clamped to 0
+	if got := b.Get(PhaseDetect); got != 3 {
+		t.Fatalf("detect = %v", got)
+	}
+	if got := b.Total(); got != 3.5 {
+		t.Fatalf("Total = %v", got)
+	}
+	ph := b.Phases()
+	if len(ph) != 3 || ph[0] != PhaseDetect || ph[1] != PhaseShrink {
+		t.Fatalf("Phases = %v", ph)
+	}
+	if s := b.String(); !strings.Contains(s, "catch-exception=3.000s") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewBreakdown()
+	a.Add(PhaseDetect, 1)
+	b := NewBreakdown()
+	b.Add(PhaseDetect, 2)
+	b.Add(PhaseRevoke, 0.1)
+	a.Merge(b)
+	if a.Get(PhaseDetect) != 3 || a.Get(PhaseRevoke) != 0.1 {
+		t.Fatalf("Merge wrong: %v", a)
+	}
+}
+
+func TestMaxOver(t *testing.T) {
+	a := NewBreakdown()
+	a.Add(PhaseDetect, 1)
+	a.Add(PhaseShrink, 5)
+	b := NewBreakdown()
+	b.Add(PhaseDetect, 2)
+	m := MaxOver(a, b, nil)
+	if m.Get(PhaseDetect) != 2 || m.Get(PhaseShrink) != 5 {
+		t.Fatalf("MaxOver = %v", m)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"a", "long-header"}}
+	tb.AddRow("x", "1")
+	tb.AddRow("yyyy", "2")
+	out := tb.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "long-header") {
+		t.Fatalf("table = %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("table has %d lines: %q", len(lines), out)
+	}
+}
+
+func TestFigureSetGetTable(t *testing.T) {
+	f := &Figure{Title: "fig", XLabel: "gpus"}
+	f.Set("ulfm", 24, 1.5)
+	f.Set("gloo", 24, 20)
+	f.Set("ulfm", 12, 1.0)
+	if got := f.Get("ulfm", 24); got != 1.5 {
+		t.Fatalf("Get = %v", got)
+	}
+	if got := f.Get("missing", 24); got != 0 {
+		t.Fatalf("missing series Get = %v", got)
+	}
+	if len(f.X) != 2 || f.X[0] != 12 || f.X[1] != 24 {
+		t.Fatalf("X = %v (should be sorted, deduped)", f.X)
+	}
+	f.Set("ulfm", 24, 1.6) // overwrite, no new x
+	if len(f.X) != 2 {
+		t.Fatalf("X grew on overwrite: %v", f.X)
+	}
+	out := f.String()
+	if !strings.Contains(out, "gpus") || !strings.Contains(out, "1.600") {
+		t.Fatalf("figure table = %q", out)
+	}
+	// Missing point renders as "-".
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing point should render as dash: %q", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"a", "b"}}
+	tb.AddRow("x,y", `quo"te`)
+	tb.AddRow("plain", "2")
+	out := tb.CSV()
+	if !strings.Contains(out, "# T\n") {
+		t.Fatalf("missing title comment: %q", out)
+	}
+	if !strings.Contains(out, `"x,y","quo""te"`) {
+		t.Fatalf("CSV quoting wrong: %q", out)
+	}
+	if !strings.Contains(out, "plain,2\n") {
+		t.Fatalf("plain row wrong: %q", out)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := &Figure{Title: "fig", XLabel: "x"}
+	f.Set("s", 1, 2.5)
+	out := f.CSV()
+	if !strings.Contains(out, "x,s") || !strings.Contains(out, "1,2.500") {
+		t.Fatalf("figure CSV = %q", out)
+	}
+}

@@ -1,0 +1,241 @@
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// CNN is a small, genuinely trainable convolutional network for image-like
+// synthetic inputs: one 2D convolution layer (ReLU), 2x2 average pooling,
+// and a dense softmax head. It complements the MLP as a second real
+// workload whose gradient tensors have the conv/dense size skew of the
+// paper's benchmark networks (a few large kernels plus small biases).
+type CNN struct {
+	Img     int // input is Img x Img, single channel
+	Filters int // conv output channels
+	K       int // kernel size (odd, same-padding)
+	Classes int
+
+	ConvW tensor.Vector // Filters x K x K
+	ConvB tensor.Vector // Filters
+	FCW   tensor.Vector // Classes x (Filters * pooled * pooled)
+	FCB   tensor.Vector // Classes
+}
+
+// NewCNN builds a deterministic CNN. Img must be even (for 2x2 pooling)
+// and K odd (for same-padding).
+func NewCNN(img, filters, k, classes int, seed int64) *CNN {
+	if img%2 != 0 {
+		panic("models: CNN image size must be even")
+	}
+	if k%2 == 0 {
+		panic("models: CNN kernel size must be odd")
+	}
+	m := &CNN{Img: img, Filters: filters, K: k, Classes: classes}
+	m.ConvW = tensor.New(filters * k * k)
+	m.ConvW.FillRandom(seed, float32(math.Sqrt(2.0/float64(k*k))))
+	m.ConvB = tensor.New(filters)
+	pooled := img / 2
+	fcIn := filters * pooled * pooled
+	m.FCW = tensor.New(classes * fcIn)
+	m.FCW.FillRandom(seed+1, float32(math.Sqrt(2.0/float64(fcIn))))
+	m.FCB = tensor.New(classes)
+	return m
+}
+
+// Params returns the trainable tensors in schedule order.
+func (m *CNN) Params() []tensor.Vector {
+	return []tensor.Vector{m.ConvW, m.ConvB, m.FCW, m.FCB}
+}
+
+// ParamCount returns the total trainable parameter count.
+func (m *CNN) ParamCount() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p)
+	}
+	return n
+}
+
+// ZeroGrads returns gradient buffers shaped like Params.
+func (m *CNN) ZeroGrads() []tensor.Vector {
+	ps := m.Params()
+	out := make([]tensor.Vector, len(ps))
+	for i, p := range ps {
+		out[i] = tensor.New(len(p))
+	}
+	return out
+}
+
+// forward computes the full activation set for one example.
+type cnnActs struct {
+	conv   []float32 // Filters x Img x Img, post-ReLU
+	preact []float32 // pre-ReLU conv output
+	pooled []float32 // Filters x (Img/2) x (Img/2)
+	logits []float32
+}
+
+func (m *CNN) forward(x []float32) *cnnActs {
+	img, f, k := m.Img, m.Filters, m.K
+	half := k / 2
+	a := &cnnActs{
+		conv:   make([]float32, f*img*img),
+		preact: make([]float32, f*img*img),
+		pooled: make([]float32, f*(img/2)*(img/2)),
+		logits: make([]float32, m.Classes),
+	}
+	// Convolution with same-padding.
+	for c := 0; c < f; c++ {
+		for y := 0; y < img; y++ {
+			for xx := 0; xx < img; xx++ {
+				s := m.ConvB[c]
+				for ky := 0; ky < k; ky++ {
+					iy := y + ky - half
+					if iy < 0 || iy >= img {
+						continue
+					}
+					for kx := 0; kx < k; kx++ {
+						ix := xx + kx - half
+						if ix < 0 || ix >= img {
+							continue
+						}
+						s += m.ConvW[c*k*k+ky*k+kx] * x[iy*img+ix]
+					}
+				}
+				idx := c*img*img + y*img + xx
+				a.preact[idx] = s
+				if s > 0 {
+					a.conv[idx] = s
+				}
+			}
+		}
+	}
+	// 2x2 average pooling.
+	p := img / 2
+	for c := 0; c < f; c++ {
+		for y := 0; y < p; y++ {
+			for xx := 0; xx < p; xx++ {
+				var s float32
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						s += a.conv[c*img*img+(2*y+dy)*img+(2*xx+dx)]
+					}
+				}
+				a.pooled[c*p*p+y*p+xx] = s / 4
+			}
+		}
+	}
+	// Dense head.
+	fcIn := f * p * p
+	for cl := 0; cl < m.Classes; cl++ {
+		s := m.FCB[cl]
+		row := m.FCW[cl*fcIn : (cl+1)*fcIn]
+		for i, v := range a.pooled {
+			s += row[i] * v
+		}
+		a.logits[cl] = s
+	}
+	return a
+}
+
+// Forward returns the logits for one flattened Img x Img example.
+func (m *CNN) Forward(x []float32) []float32 {
+	return m.forward(x).logits
+}
+
+// LossAndGrad runs forward+backward for a batch, accumulating averaged
+// gradients into grads (shaped like Params); returns mean loss and
+// accuracy.
+func (m *CNN) LossAndGrad(xs [][]float32, ys []int, grads []tensor.Vector) (loss, acc float64) {
+	if len(grads) != 4 {
+		panic(fmt.Sprintf("models: CNN gradient shape mismatch: %d", len(grads)))
+	}
+	for _, g := range grads {
+		g.Zero()
+	}
+	img, f, k := m.Img, m.Filters, m.K
+	half := k / 2
+	p := img / 2
+	fcIn := f * p * p
+	inv := 1 / float32(len(xs))
+
+	for bi, x := range xs {
+		a := m.forward(x)
+		probs, l, correct := softmaxLoss(a.logits, ys[bi])
+		loss += l
+		if correct {
+			acc++
+		}
+		delta := probs
+		delta[ys[bi]] -= 1
+
+		// Dense head gradients + pooled delta.
+		dPooled := make([]float32, fcIn)
+		for cl := 0; cl < m.Classes; cl++ {
+			d := delta[cl] * inv
+			grads[3][cl] += d
+			row := grads[2][cl*fcIn : (cl+1)*fcIn]
+			wrow := m.FCW[cl*fcIn : (cl+1)*fcIn]
+			for i, v := range a.pooled {
+				row[i] += d * v
+				dPooled[i] += delta[cl] * wrow[i]
+			}
+		}
+		// Un-pool (average): each conv cell gets 1/4 of its pool's delta,
+		// gated by the ReLU.
+		dConv := make([]float32, f*img*img)
+		for c := 0; c < f; c++ {
+			for y := 0; y < p; y++ {
+				for xx := 0; xx < p; xx++ {
+					d := dPooled[c*p*p+y*p+xx] / 4
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							idx := c*img*img + (2*y+dy)*img + (2*xx + dx)
+							if a.preact[idx] > 0 {
+								dConv[idx] = d
+							}
+						}
+					}
+				}
+			}
+		}
+		// Convolution gradients.
+		for c := 0; c < f; c++ {
+			for y := 0; y < img; y++ {
+				for xx := 0; xx < img; xx++ {
+					d := dConv[c*img*img+y*img+xx]
+					if d == 0 {
+						continue
+					}
+					grads[1][c] += d * inv
+					for ky := 0; ky < k; ky++ {
+						iy := y + ky - half
+						if iy < 0 || iy >= img {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := xx + kx - half
+							if ix < 0 || ix >= img {
+								continue
+							}
+							grads[0][c*k*k+ky*k+kx] += d * x[iy*img+ix] * inv
+						}
+					}
+				}
+			}
+		}
+	}
+	return loss / float64(len(xs)), acc / float64(len(xs))
+}
+
+// StateHash fingerprints the parameters.
+func (m *CNN) StateHash() uint64 {
+	return tensor.Concat(m.Params()).Hash()
+}
+
+// State and SetState snapshot/restore the flat parameter vector.
+func (m *CNN) State() tensor.Vector { return tensor.Concat(m.Params()) }
+
+func (m *CNN) SetState(flat tensor.Vector) { tensor.SplitLike(flat, m.Params()) }

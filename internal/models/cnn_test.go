@@ -1,0 +1,136 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/optimizer"
+)
+
+func testCNN() *CNN { return NewCNN(8, 4, 3, 3, 5) }
+
+// imageBatch adapts the synthetic dataset's flat vectors as 8x8 images.
+func imageBatch(ds *data.Synthetic, idxs []int) ([][]float32, []int) {
+	xs := make([][]float32, len(idxs))
+	ys := make([]int, len(idxs))
+	for i, idx := range idxs {
+		x, y := ds.Sample(idx)
+		xs[i] = x
+		ys[i] = y
+	}
+	return xs, ys
+}
+
+func TestCNNShapes(t *testing.T) {
+	m := testCNN()
+	if got := m.ParamCount(); got != 4*3*3+4+3*(4*4*4)+3 {
+		t.Fatalf("ParamCount = %d", got)
+	}
+	out := m.Forward(make([]float32, 64))
+	if len(out) != 3 {
+		t.Fatalf("Forward len = %d", len(out))
+	}
+	if len(m.Params()) != 4 || len(m.ZeroGrads()) != 4 {
+		t.Fatal("Params/ZeroGrads shape wrong")
+	}
+}
+
+func TestCNNDeterministicInit(t *testing.T) {
+	if NewCNN(8, 4, 3, 3, 5).StateHash() != NewCNN(8, 4, 3, 3, 5).StateHash() {
+		t.Fatal("same seed differs")
+	}
+	if NewCNN(8, 4, 3, 3, 5).StateHash() == NewCNN(8, 4, 3, 3, 6).StateHash() {
+		t.Fatal("different seeds match")
+	}
+}
+
+func TestCNNInvalidShapesPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCNN(7, 4, 3, 3, 1) }, // odd image
+		func() { NewCNN(8, 4, 4, 3, 1) }, // even kernel
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Numerical gradient check for the CNN backward pass.
+func TestCNNGradientCheck(t *testing.T) {
+	m := testCNN()
+	ds := data.NewSynthetic(16, 64, 3, 9)
+	xs, ys := imageBatch(ds, []int{0, 1})
+	grads := m.ZeroGrads()
+	m.LossAndGrad(xs, ys, grads)
+
+	const eps = 1e-3
+	checked := 0
+	for pi, p := range m.Params() {
+		stride := len(p)/6 + 1
+		for j := 0; j < len(p); j += stride {
+			orig := p[j]
+			p[j] = orig + eps
+			lp, _ := m.LossAndGrad(xs, ys, m.ZeroGrads())
+			p[j] = orig - eps
+			lm, _ := m.LossAndGrad(xs, ys, m.ZeroGrads())
+			p[j] = orig
+			want := (lp - lm) / (2 * eps)
+			got := float64(grads[pi][j])
+			if d := math.Abs(want - got); d > 3e-2 {
+				t.Fatalf("param[%d][%d]: analytic %v vs numeric %v", pi, j, got, want)
+			}
+			checked++
+		}
+	}
+	if checked < 15 {
+		t.Fatalf("only %d params checked", checked)
+	}
+}
+
+func TestCNNLearns(t *testing.T) {
+	ds := data.NewSynthetic(256, 64, 3, 11)
+	m := testCNN()
+	opt := optimizer.NewSGD(0.1, 0.9)
+	grads := m.ZeroGrads()
+
+	var first, last float64
+	for epoch := 0; epoch < 12; epoch++ {
+		shard := ds.Shard(epoch, 0, 1)
+		var el float64
+		batches := data.Batches(shard, 16)
+		for _, b := range batches {
+			xs, ys := imageBatch(ds, b)
+			l, _ := m.LossAndGrad(xs, ys, grads)
+			el += l
+			opt.Step(m.Params(), grads)
+		}
+		el /= float64(len(batches))
+		if epoch == 0 {
+			first = el
+		}
+		last = el
+	}
+	if last > first*0.7 {
+		t.Fatalf("CNN did not learn: first %v last %v", first, last)
+	}
+}
+
+func TestCNNStateRoundTrip(t *testing.T) {
+	m := testCNN()
+	h := m.StateHash()
+	snap := m.State()
+	m.ConvW[0] += 1
+	if m.StateHash() == h {
+		t.Fatal("hash unchanged after perturbation")
+	}
+	m.SetState(snap)
+	if m.StateHash() != h {
+		t.Fatal("SetState did not restore")
+	}
+}

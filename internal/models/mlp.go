@@ -1,0 +1,202 @@
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MLP is a small, genuinely trainable multi-layer perceptron with ReLU
+// hidden activations and a softmax cross-entropy head. It validates that
+// elastic training with resilient collectives preserves learning: replicas
+// must stay synchronized and the loss must decrease through failures,
+// replacements, and joins.
+type MLP struct {
+	Sizes []int // layer widths, input first, classes last
+	W     []tensor.Vector
+	B     []tensor.Vector
+}
+
+// NewMLP builds an MLP with the given layer widths, deterministically
+// initialized from seed (He-style scaling).
+func NewMLP(sizes []int, seed int64) *MLP {
+	if len(sizes) < 2 {
+		panic("models: MLP needs at least input and output widths")
+	}
+	m := &MLP{Sizes: append([]int(nil), sizes...)}
+	for l := 0; l+1 < len(sizes); l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := tensor.New(in * out)
+		scale := float32(math.Sqrt(2.0 / float64(in)))
+		w.FillRandom(seed+int64(l)*7919, scale)
+		m.W = append(m.W, w)
+		m.B = append(m.B, tensor.New(out))
+	}
+	return m
+}
+
+// Params returns the trainable tensors in schedule order (W0,B0,W1,B1,...).
+func (m *MLP) Params() []tensor.Vector {
+	out := make([]tensor.Vector, 0, 2*len(m.W))
+	for l := range m.W {
+		out = append(out, m.W[l], m.B[l])
+	}
+	return out
+}
+
+// ParamCount returns the total number of trainable parameters.
+func (m *MLP) ParamCount() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p)
+	}
+	return n
+}
+
+// ZeroGrads returns gradient tensors shaped like Params.
+func (m *MLP) ZeroGrads() []tensor.Vector {
+	ps := m.Params()
+	out := make([]tensor.Vector, len(ps))
+	for i, p := range ps {
+		out[i] = tensor.New(len(p))
+	}
+	return out
+}
+
+// Forward computes the logits for one example.
+func (m *MLP) Forward(x []float32) []float32 {
+	a := x
+	for l := range m.W {
+		a = m.layerForward(l, a, l+1 < len(m.W))
+	}
+	return a
+}
+
+func (m *MLP) layerForward(l int, in []float32, relu bool) []float32 {
+	ni, no := m.Sizes[l], m.Sizes[l+1]
+	out := make([]float32, no)
+	w := m.W[l]
+	for o := 0; o < no; o++ {
+		s := m.B[l][o]
+		row := w[o*ni : (o+1)*ni]
+		for i, x := range in {
+			s += row[i] * x
+		}
+		if relu && s < 0 {
+			s = 0
+		}
+		out[o] = s
+	}
+	return out
+}
+
+// LossAndGrad runs forward+backward for a batch of examples, accumulating
+// parameter gradients (averaged over the batch) into grads (shaped like
+// Params) and returning the mean cross-entropy loss and accuracy.
+func (m *MLP) LossAndGrad(xs [][]float32, ys []int, grads []tensor.Vector) (loss float64, acc float64) {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("models: batch mismatch %d vs %d", len(xs), len(ys)))
+	}
+	if len(grads) != 2*len(m.W) {
+		panic("models: gradient shape mismatch")
+	}
+	for _, g := range grads {
+		g.Zero()
+	}
+	nl := len(m.W)
+	inv := 1 / float32(len(xs))
+	for bi, x := range xs {
+		// Forward pass, keeping activations.
+		acts := make([][]float32, nl+1)
+		acts[0] = x
+		for l := 0; l < nl; l++ {
+			acts[l+1] = m.layerForward(l, acts[l], l+1 < nl)
+		}
+		logits := acts[nl]
+		probs, l2, correct := softmaxLoss(logits, ys[bi])
+		loss += l2
+		if correct {
+			acc++
+		}
+		// Backward pass.
+		delta := probs // dL/dlogits = probs - onehot
+		delta[ys[bi]] -= 1
+		for l := nl - 1; l >= 0; l-- {
+			ni, no := m.Sizes[l], m.Sizes[l+1]
+			gw := grads[2*l]
+			gb := grads[2*l+1]
+			in := acts[l]
+			for o := 0; o < no; o++ {
+				d := delta[o] * inv
+				gb[o] += d
+				row := gw[o*ni : (o+1)*ni]
+				for i, a := range in {
+					row[i] += d * a
+				}
+			}
+			if l > 0 {
+				prev := make([]float32, ni)
+				w := m.W[l]
+				for o := 0; o < no; o++ {
+					d := delta[o]
+					row := w[o*ni : (o+1)*ni]
+					for i := range prev {
+						prev[i] += d * row[i]
+					}
+				}
+				// ReLU derivative of the hidden activation.
+				for i := range prev {
+					if acts[l][i] <= 0 {
+						prev[i] = 0
+					}
+				}
+				delta = prev
+			}
+		}
+	}
+	return loss / float64(len(xs)), acc / float64(len(xs))
+}
+
+// softmaxLoss returns the softmax probabilities (reused as the gradient
+// buffer), the cross-entropy loss, and whether argmax matched the label.
+func softmaxLoss(logits []float32, label int) ([]float32, float64, bool) {
+	maxv := logits[0]
+	argmax := 0
+	for i, v := range logits {
+		if v > maxv {
+			maxv, argmax = v, i
+		}
+	}
+	var sum float64
+	probs := make([]float32, len(logits))
+	for i, v := range logits {
+		e := math.Exp(float64(v - maxv))
+		probs[i] = float32(e)
+		sum += e
+	}
+	for i := range probs {
+		probs[i] = float32(float64(probs[i]) / sum)
+	}
+	p := float64(probs[label])
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return probs, -math.Log(p), argmax == label
+}
+
+// StateHash fingerprints the full parameter state for replica-consistency
+// checks.
+func (m *MLP) StateHash() uint64 {
+	return tensor.Concat(m.Params()).Hash()
+}
+
+// SetState overwrites the parameters from a flat snapshot.
+func (m *MLP) SetState(flat tensor.Vector) {
+	tensor.SplitLike(flat, m.Params())
+}
+
+// State returns a flat snapshot of the parameters.
+func (m *MLP) State() tensor.Vector {
+	return tensor.Concat(m.Params())
+}

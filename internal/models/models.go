@@ -1,0 +1,133 @@
+// Package models describes the paper's benchmark networks and provides a
+// small really-trainable network for correctness validation.
+//
+// The paper's Table 1 selects three Keras applications by trainable
+// parameter size, because the parameter size and tensor-count distribution
+// determine the allreduce traffic: VGG-16 (143.7M params / 549 MB),
+// ResNet50V2 (25.6M / 98 MB), NasNetMobile (5.3M / 23 MB). ImageNet-scale
+// training on V100s is substituted by parameter-exact synthetic
+// descriptors: the tensor schedule (sizes and count) and the per-step
+// compute-time model reproduce the communication and computation profile
+// without materializing the networks.
+package models
+
+import (
+	"fmt"
+	"math"
+)
+
+// Spec describes a benchmark model: the columns of the paper's Table 1
+// plus the performance-model constants the experiments need.
+type Spec struct {
+	Name       string
+	Trainable  int     // number of trainable tensors (Table 1 "Trainable")
+	Depth      int     // topological depth (Table 1 "Depth")
+	Params     int     // total trainable parameters (Table 1 "Total Parameters")
+	SizeMB     float64 // parameter size in MB (Table 1 "Size (MB)")
+	StepTimeS  float64 // fwd+bwd seconds per minibatch per GPU (V100, batch 32)
+	StepsEpoch int     // optimizer steps per epoch at the reference scale
+}
+
+// The three Table 1 models.
+var (
+	VGG16 = Spec{
+		Name:       "VGG-16",
+		Trainable:  32,
+		Depth:      16,
+		Params:     143_700_000,
+		SizeMB:     549,
+		StepTimeS:  0.360,
+		StepsEpoch: 100,
+	}
+	ResNet50V2 = Spec{
+		Name:       "ResNet50V2",
+		Trainable:  272,
+		Depth:      307,
+		Params:     25_600_000,
+		SizeMB:     98,
+		StepTimeS:  0.230,
+		StepsEpoch: 100,
+	}
+	NasNetMobile = Spec{
+		Name:       "NasNetMobile",
+		Trainable:  1126,
+		Depth:      389,
+		Params:     5_300_000,
+		SizeMB:     23,
+		StepTimeS:  0.110,
+		StepsEpoch: 100,
+	}
+)
+
+// All lists the Table 1 models in the paper's order.
+func All() []Spec { return []Spec{VGG16, ResNet50V2, NasNetMobile} }
+
+// ByName returns the spec with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("models: unknown model %q", name)
+}
+
+// GradientBytes returns the total gradient traffic per optimizer step in
+// bytes (float32 parameters).
+func (s Spec) GradientBytes() int64 { return int64(s.Params) * 4 }
+
+// TensorSchedule returns the per-tensor element counts, largest first —
+// the order gradients become ready during backprop is roughly
+// output-layer-first, and output layers hold the bulk of parameters in
+// these CNNs. The schedule is deterministic, has exactly s.Trainable
+// entries, and sums exactly to s.Params, with a heavy-tailed size
+// distribution mirroring real networks (a few huge kernels, many small
+// bias/batch-norm vectors).
+func (s Spec) TensorSchedule() []int {
+	n := s.Trainable
+	sizes := make([]int, n)
+	// Geometric-ish decay: tensor i gets weight r^i. Choose r so the
+	// largest tensor is ~35-50% of the total for small n (VGG-like) and
+	// flatter for large n (NasNet-like).
+	r := math.Pow(0.01, 1.0/float64(n)) // last tensor ~1% the weight of the first
+	weights := make([]float64, n)
+	var wsum float64
+	for i := range weights {
+		weights[i] = math.Pow(r, float64(i))
+		wsum += weights[i]
+	}
+	assigned := 0
+	for i := range sizes {
+		sz := int(float64(s.Params) * weights[i] / wsum)
+		if sz < 1 {
+			sz = 1
+		}
+		sizes[i] = sz
+		assigned += sz
+	}
+	// Fix rounding drift on the largest tensor.
+	sizes[0] += s.Params - assigned
+	if sizes[0] < 1 {
+		panic("models: schedule rounding underflow")
+	}
+	return sizes
+}
+
+// StepTime returns the fwd+bwd compute time for one minibatch on one GPU.
+// Weak scaling: per-GPU batch is fixed, so compute time is scale-invariant.
+func (s Spec) StepTime() float64 { return s.StepTimeS }
+
+// EpochSteps returns optimizer steps per epoch when the global dataset is
+// sharded over `workers` GPUs with a fixed per-GPU batch (weak scaling on
+// a fixed dataset: more workers means fewer steps per epoch).
+func (s Spec) EpochSteps(workers int) int {
+	if workers <= 0 {
+		return s.StepsEpoch
+	}
+	// Reference: StepsEpoch steps at 12 GPUs.
+	steps := s.StepsEpoch * 12 / workers
+	if steps < 1 {
+		steps = 1
+	}
+	return steps
+}

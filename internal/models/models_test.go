@@ -1,0 +1,190 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/optimizer"
+)
+
+func TestTable1Specs(t *testing.T) {
+	// The numbers the paper's Table 1 reports.
+	cases := []struct {
+		spec      Spec
+		trainable int
+		depth     int
+		params    int
+		sizeMB    float64
+	}{
+		{VGG16, 32, 16, 143_700_000, 549},
+		{ResNet50V2, 272, 307, 25_600_000, 98},
+		{NasNetMobile, 1126, 389, 5_300_000, 23},
+	}
+	for _, tc := range cases {
+		s := tc.spec
+		if s.Trainable != tc.trainable || s.Depth != tc.depth || s.Params != tc.params || s.SizeMB != tc.sizeMB {
+			t.Fatalf("%s spec = %+v, want Table 1 values", s.Name, s)
+		}
+		// Size column consistency: params * 4B ≈ SizeMB (the paper rounds).
+		gotMB := float64(s.Params) * 4 / 1e6
+		if gotMB < s.SizeMB*0.9 || gotMB > s.SizeMB*1.1 {
+			t.Fatalf("%s: params*4 = %.0f MB inconsistent with SizeMB %v", s.Name, gotMB, s.SizeMB)
+		}
+	}
+}
+
+func TestAllAndByName(t *testing.T) {
+	if got := len(All()); got != 3 {
+		t.Fatalf("All() = %d models", got)
+	}
+	s, err := ByName("VGG-16")
+	if err != nil || s.Params != VGG16.Params {
+		t.Fatalf("ByName = %+v, %v", s, err)
+	}
+	if _, err := ByName("AlexNet"); err == nil {
+		t.Fatal("ByName should fail for unknown model")
+	}
+}
+
+func TestTensorScheduleInvariants(t *testing.T) {
+	for _, s := range All() {
+		sched := s.TensorSchedule()
+		if len(sched) != s.Trainable {
+			t.Fatalf("%s: schedule has %d tensors, want %d", s.Name, len(sched), s.Trainable)
+		}
+		sum := 0
+		for i, sz := range sched {
+			if sz < 1 {
+				t.Fatalf("%s: tensor %d size %d", s.Name, i, sz)
+			}
+			if i > 0 && sz > sched[i-1] {
+				t.Fatalf("%s: schedule not descending at %d", s.Name, i)
+			}
+			sum += sz
+		}
+		if sum != s.Params {
+			t.Fatalf("%s: schedule sums to %d, want %d", s.Name, sum, s.Params)
+		}
+	}
+}
+
+func TestGradientBytes(t *testing.T) {
+	if got := VGG16.GradientBytes(); got != int64(143_700_000)*4 {
+		t.Fatalf("GradientBytes = %d", got)
+	}
+}
+
+func TestEpochSteps(t *testing.T) {
+	s := ResNet50V2
+	if a, b := s.EpochSteps(12), s.EpochSteps(24); a != 2*b {
+		t.Fatalf("doubling workers should halve steps: %d vs %d", a, b)
+	}
+	if got := s.EpochSteps(0); got != s.StepsEpoch {
+		t.Fatalf("EpochSteps(0) = %d", got)
+	}
+	if got := s.EpochSteps(100000); got != 1 {
+		t.Fatalf("EpochSteps should floor at 1, got %d", got)
+	}
+}
+
+func TestMLPForwardShapes(t *testing.T) {
+	m := NewMLP([]int{4, 8, 3}, 1)
+	out := m.Forward([]float32{1, 0, -1, 0.5})
+	if len(out) != 3 {
+		t.Fatalf("Forward output len %d", len(out))
+	}
+	if m.ParamCount() != 4*8+8+8*3+3 {
+		t.Fatalf("ParamCount = %d", m.ParamCount())
+	}
+	if len(m.Params()) != 4 {
+		t.Fatalf("Params len = %d", len(m.Params()))
+	}
+}
+
+func TestMLPDeterministicInit(t *testing.T) {
+	a := NewMLP([]int{4, 8, 3}, 7)
+	b := NewMLP([]int{4, 8, 3}, 7)
+	if a.StateHash() != b.StateHash() {
+		t.Fatal("same seed must give same init")
+	}
+	c := NewMLP([]int{4, 8, 3}, 8)
+	if a.StateHash() == c.StateHash() {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+// Numerical gradient check: backprop must match finite differences.
+func TestMLPGradientCheck(t *testing.T) {
+	m := NewMLP([]int{3, 5, 2}, 3)
+	xs := [][]float32{{0.5, -0.2, 0.8}}
+	ys := []int{1}
+	grads := m.ZeroGrads()
+	m.LossAndGrad(xs, ys, grads)
+
+	params := m.Params()
+	const eps = 1e-3
+	checked := 0
+	for pi, p := range params {
+		for j := 0; j < len(p); j += 3 { // sample every 3rd param
+			orig := p[j]
+			p[j] = orig + eps
+			lp, _ := m.LossAndGrad(xs, ys, m.ZeroGrads())
+			p[j] = orig - eps
+			lm, _ := m.LossAndGrad(xs, ys, m.ZeroGrads())
+			p[j] = orig
+			want := (lp - lm) / (2 * eps)
+			got := float64(grads[pi][j])
+			if diff := want - got; diff > 2e-2 || diff < -2e-2 {
+				t.Fatalf("param[%d][%d]: analytic %v vs numeric %v", pi, j, got, want)
+			}
+			checked++
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("gradient check covered only %d params", checked)
+	}
+}
+
+// The MLP must actually learn the synthetic task.
+func TestMLPLearnsSyntheticTask(t *testing.T) {
+	ds := data.NewSynthetic(512, 8, 4, 11)
+	m := NewMLP([]int{8, 32, 4}, 5)
+	opt := optimizer.NewSGD(0.2, 0.9)
+	grads := m.ZeroGrads()
+
+	var firstLoss, lastLoss float64
+	for epoch := 0; epoch < 30; epoch++ {
+		shard := ds.Shard(epoch, 0, 1)
+		var epochLoss float64
+		batches := data.Batches(shard, 32)
+		for _, b := range batches {
+			xs, ys := ds.Batch(b)
+			loss, _ := m.LossAndGrad(xs, ys, grads)
+			epochLoss += loss
+			opt.Step(m.Params(), grads)
+		}
+		epochLoss /= float64(len(batches))
+		if epoch == 0 {
+			firstLoss = epochLoss
+		}
+		lastLoss = epochLoss
+	}
+	if lastLoss > firstLoss*0.5 {
+		t.Fatalf("MLP did not learn: first %v last %v", firstLoss, lastLoss)
+	}
+}
+
+func TestMLPStateRoundTrip(t *testing.T) {
+	m := NewMLP([]int{4, 6, 2}, 1)
+	snap := m.State()
+	h := m.StateHash()
+	// Perturb, then restore.
+	m.Params()[0][0] += 1
+	if m.StateHash() == h {
+		t.Fatal("hash should change after perturbation")
+	}
+	m.SetState(snap)
+	if m.StateHash() != h {
+		t.Fatal("SetState did not restore the exact state")
+	}
+}

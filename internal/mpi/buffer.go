@@ -1,0 +1,202 @@
+package mpi
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// Op identifies a reduction operator. All supported operators are
+// commutative and associative, as required by the tree and ring
+// reduction schedules.
+type Op int
+
+const (
+	OpSum Op = iota
+	OpProd
+	OpMax
+	OpMin
+	OpBAnd // bitwise AND (integer types only)
+	OpBOr  // bitwise OR  (integer types only)
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "sum"
+	case OpProd:
+		return "prod"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	case OpBAnd:
+		return "band"
+	case OpBOr:
+		return "bor"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Number constrains element types usable in reductions.
+type Number interface {
+	~int | ~int32 | ~int64 | ~uint8 | ~uint32 | ~uint64 | ~float32 | ~float64
+}
+
+// buf abstracts a collective's working buffer so one implementation of
+// each algorithm serves real typed data (numBuf), opaque copyable data
+// (rawBuf), and virtual payloads that only exercise the cost model
+// (virtBuf — used to simulate multi-hundred-MB gradient tensors without
+// allocating them).
+type buf interface {
+	length() int               // logical element count
+	bytesFor(n int) int64      // wire size of n elements
+	extract(lo, hi int) any    // copy out [lo,hi) for sending
+	setIn(lo, hi int, pay any) // overwrite [lo,hi) with a received payload
+	reduceIn(lo, hi int, pay any, op Op)
+}
+
+// --- numeric buffers ---------------------------------------------------
+
+type numBuf[T Number] struct{ v []T }
+
+func (b numBuf[T]) length() int { return len(b.v) }
+
+func (b numBuf[T]) bytesFor(n int) int64 {
+	var z T
+	return int64(n) * int64(unsafe.Sizeof(z))
+}
+
+func (b numBuf[T]) extract(lo, hi int) any {
+	out := make([]T, hi-lo)
+	copy(out, b.v[lo:hi])
+	return out
+}
+
+func (b numBuf[T]) setIn(lo, hi int, pay any) {
+	copy(b.v[lo:hi], pay.([]T))
+}
+
+func (b numBuf[T]) reduceIn(lo, hi int, pay any, op Op) {
+	in := pay.([]T)
+	dst := b.v[lo:hi]
+	reduceSlice(dst, in, op)
+}
+
+func reduceSlice[T Number](dst, in []T, op Op) {
+	switch op {
+	case OpSum:
+		for i := range dst {
+			dst[i] += in[i]
+		}
+	case OpProd:
+		for i := range dst {
+			dst[i] *= in[i]
+		}
+	case OpMax:
+		for i := range dst {
+			if in[i] > dst[i] {
+				dst[i] = in[i]
+			}
+		}
+	case OpMin:
+		for i := range dst {
+			if in[i] < dst[i] {
+				dst[i] = in[i]
+			}
+		}
+	case OpBAnd:
+		for i := range dst {
+			dst[i] = bitAnd(dst[i], in[i])
+		}
+	case OpBOr:
+		for i := range dst {
+			dst[i] = bitOr(dst[i], in[i])
+		}
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %v", op))
+	}
+}
+
+// bitAnd and bitOr implement bitwise operators over the Number constraint
+// by round-tripping through uint64 bit patterns; they panic on floating
+// payloads, which have no meaningful bitwise reduction in this stack.
+func bitAnd[T Number](a, b T) T { return fromBits[T](toBits(a) & toBits(b)) }
+func bitOr[T Number](a, b T) T  { return fromBits[T](toBits(a) | toBits(b)) }
+
+func toBits[T Number](v T) uint64 {
+	switch x := any(v).(type) {
+	case int:
+		return uint64(x)
+	case int32:
+		return uint64(uint32(x))
+	case int64:
+		return uint64(x)
+	case uint8:
+		return uint64(x)
+	case uint32:
+		return uint64(x)
+	case uint64:
+		return x
+	default:
+		panic("mpi: bitwise op on non-integer type")
+	}
+}
+
+func fromBits[T Number](v uint64) T {
+	var z T
+	switch any(z).(type) {
+	case int:
+		return T(v)
+	case int32:
+		return T(int32(uint32(v)))
+	case int64:
+		return T(int64(v))
+	case uint8:
+		return T(uint8(v))
+	case uint32:
+		return T(uint32(v))
+	case uint64:
+		return T(v)
+	default:
+		panic("mpi: bitwise op on non-integer type")
+	}
+}
+
+// --- opaque copy-only buffers (bcast/gather of non-numeric data) -------
+
+type rawBuf[T any] struct{ v []T }
+
+func (b rawBuf[T]) length() int { return len(b.v) }
+
+func (b rawBuf[T]) bytesFor(n int) int64 {
+	var z T
+	return int64(n) * int64(unsafe.Sizeof(z))
+}
+
+func (b rawBuf[T]) extract(lo, hi int) any {
+	out := make([]T, hi-lo)
+	copy(out, b.v[lo:hi])
+	return out
+}
+
+func (b rawBuf[T]) setIn(lo, hi int, pay any) {
+	copy(b.v[lo:hi], pay.([]T))
+}
+
+func (b rawBuf[T]) reduceIn(lo, hi int, pay any, op Op) {
+	panic("mpi: reduction on non-numeric buffer")
+}
+
+// --- virtual buffers ----------------------------------------------------
+
+// virtBuf models a payload of a given byte size without storing it: one
+// logical element per byte, nil payloads on the wire. The cost model sees
+// the exact traffic the real tensor would generate.
+type virtBuf struct{ bytes int64 }
+
+func (b virtBuf) length() int                        { return int(b.bytes) }
+func (b virtBuf) bytesFor(n int) int64               { return int64(n) }
+func (b virtBuf) extract(lo, hi int) any             { return nil }
+func (b virtBuf) setIn(lo, hi int, pay any)          {}
+func (b virtBuf) reduceIn(lo, hi int, pay any, o Op) {}

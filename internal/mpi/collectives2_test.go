@@ -1,0 +1,262 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simnet"
+)
+
+func TestReduceScatterBlock(t *testing.T) {
+	const p = 4
+	const n = 3 // block length
+	var mu sync.Mutex
+	got := map[int][]float64{}
+	world(t, 1, p, func(c *Comm) error {
+		data := make([]float64, p*n)
+		for i := range data {
+			data[i] = float64(c.Rank()*100 + i)
+		}
+		recv := make([]float64, n)
+		if err := ReduceScatterBlock(c, data, recv, OpSum); err != nil {
+			return err
+		}
+		mu.Lock()
+		got[c.Rank()] = recv
+		mu.Unlock()
+		return nil
+	})
+	// Expected block r element j: sum over ranks of (rank*100 + r*n + j).
+	for r := 0; r < p; r++ {
+		for j := 0; j < n; j++ {
+			var want float64
+			for rk := 0; rk < p; rk++ {
+				want += float64(rk*100 + r*n + j)
+			}
+			if got[r][j] != want {
+				t.Fatalf("rank %d block[%d] = %v, want %v", r, j, got[r][j], want)
+			}
+		}
+	}
+}
+
+func TestReduceScatterBlockSingle(t *testing.T) {
+	world(t, 1, 1, func(c *Comm) error {
+		data := []float64{1, 2}
+		recv := make([]float64, 2)
+		if err := ReduceScatterBlock(c, data, recv, OpSum); err != nil {
+			return err
+		}
+		if recv[0] != 1 || recv[1] != 2 {
+			return fmt.Errorf("recv = %v", recv)
+		}
+		return nil
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	const p = 5
+	var mu sync.Mutex
+	got := map[int][]int32{}
+	world(t, 1, p, func(c *Comm) error {
+		send := make([]int32, p*2)
+		for dst := 0; dst < p; dst++ {
+			send[2*dst] = int32(c.Rank()*10 + dst)
+			send[2*dst+1] = int32(-(c.Rank()*10 + dst))
+		}
+		recv := make([]int32, p*2)
+		if err := Alltoall(c, send, recv); err != nil {
+			return err
+		}
+		mu.Lock()
+		got[c.Rank()] = recv
+		mu.Unlock()
+		return nil
+	})
+	for r := 0; r < p; r++ {
+		for src := 0; src < p; src++ {
+			want := int32(src*10 + r)
+			if got[r][2*src] != want || got[r][2*src+1] != -want {
+				t.Fatalf("rank %d block from %d = %v, want ±%d", r, src, got[r][2*src:2*src+2], want)
+			}
+		}
+	}
+}
+
+func TestAlltoallBadLengths(t *testing.T) {
+	world(t, 1, 2, func(c *Comm) error {
+		if err := Alltoall(c, []int{1, 2, 3}, make([]int, 3)); err == nil {
+			return fmt.Errorf("odd lengths should fail for 2 ranks")
+		}
+		return nil
+	})
+}
+
+func TestScanInclusive(t *testing.T) {
+	const p = 6
+	var mu sync.Mutex
+	got := map[int]float64{}
+	world(t, 2, 3, func(c *Comm) error {
+		data := []float64{float64(c.Rank() + 1)}
+		if err := Scan(c, data, OpSum); err != nil {
+			return err
+		}
+		mu.Lock()
+		got[c.Rank()] = data[0]
+		mu.Unlock()
+		return nil
+	})
+	for r := 0; r < p; r++ {
+		want := float64((r + 1) * (r + 2) / 2)
+		if got[r] != want {
+			t.Fatalf("rank %d scan = %v, want %v", r, got[r], want)
+		}
+	}
+}
+
+func TestExscanExclusive(t *testing.T) {
+	const p = 5
+	var mu sync.Mutex
+	got := map[int]float64{}
+	world(t, 1, p, func(c *Comm) error {
+		data := []float64{float64(c.Rank() + 1)}
+		if err := Exscan(c, data, OpSum); err != nil {
+			return err
+		}
+		mu.Lock()
+		got[c.Rank()] = data[0]
+		mu.Unlock()
+		return nil
+	})
+	for r := 0; r < p; r++ {
+		want := float64(r * (r + 1) / 2) // sum of 1..r
+		if got[r] != want {
+			t.Fatalf("rank %d exscan = %v, want %v", r, got[r], want)
+		}
+	}
+}
+
+func TestAllreduceRecursiveDoubling(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 5, 6, 7, 8} {
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			var mu sync.Mutex
+			got := map[int][]float64{}
+			world(t, 1, p, func(c *Comm) error {
+				data := []float64{float64(c.Rank() + 1), float64(c.Rank() * 2)}
+				if err := AllreduceRecursiveDoubling(c, data, OpSum); err != nil {
+					return err
+				}
+				mu.Lock()
+				got[c.Rank()] = data
+				mu.Unlock()
+				return nil
+			})
+			want0 := float64(p*(p+1)) / 2
+			want1 := float64(p * (p - 1))
+			for r := 0; r < p; r++ {
+				if got[r][0] != want0 || got[r][1] != want1 {
+					t.Fatalf("p=%d rank %d = %v, want [%v %v]", p, r, got[r], want0, want1)
+				}
+			}
+		})
+	}
+}
+
+func TestAllreduceHierarchical(t *testing.T) {
+	for _, shape := range []struct{ nodes, ppn int }{{1, 4}, {2, 3}, {4, 2}, {3, 1}} {
+		t.Run(fmt.Sprintf("%dx%d", shape.nodes, shape.ppn), func(t *testing.T) {
+			p := shape.nodes * shape.ppn
+			var mu sync.Mutex
+			got := map[int]float64{}
+			world(t, shape.nodes, shape.ppn, func(c *Comm) error {
+				data := make([]float64, 50)
+				for i := range data {
+					data[i] = float64(c.Rank() + 1)
+				}
+				if err := AllreduceHierarchical(c, data, OpSum); err != nil {
+					return err
+				}
+				mu.Lock()
+				got[c.Rank()] = data[7]
+				mu.Unlock()
+				return nil
+			})
+			want := float64(p*(p+1)) / 2
+			for r := 0; r < p; r++ {
+				if got[r] != want {
+					t.Fatalf("rank %d = %v, want %v", r, got[r], want)
+				}
+			}
+		})
+	}
+}
+
+// Property: all three allreduce algorithms agree with the serial sum.
+func TestAllreduceAlgorithmsAgreeProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		p := int(sz%6) + 2
+		rng := rand.New(rand.NewSource(seed))
+		elems := rng.Intn(200) + 1
+		inputs := make([][]float64, p)
+		want := make([]float64, elems)
+		for r := range inputs {
+			inputs[r] = make([]float64, elems)
+			for i := range inputs[r] {
+				inputs[r][i] = float64(rng.Intn(100))
+				want[i] += inputs[r][i]
+			}
+		}
+		for _, algo := range []string{"auto", "recdouble", "hier"} {
+			okAll := true
+			var mu sync.Mutex
+			c2 := newTestCluster(1, p)
+			procs := c2.Procs()
+			errs := runAllWorld(c2, procs, func(c *Comm) error {
+				data := append([]float64(nil), inputs[c.Rank()]...)
+				var err error
+				switch algo {
+				case "auto":
+					err = Allreduce(c, data, OpSum)
+				case "recdouble":
+					err = AllreduceRecursiveDoubling(c, data, OpSum)
+				case "hier":
+					err = AllreduceHierarchical(c, data, OpSum)
+				}
+				if err != nil {
+					return err
+				}
+				for i := range data {
+					if data[i] != want[i] {
+						mu.Lock()
+						okAll = false
+						mu.Unlock()
+						break
+					}
+				}
+				return nil
+			})
+			if err := simnet.FirstError(errs); err != nil || !okAll {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runAllWorld runs body at every rank over a fresh world on c.
+func runAllWorld(c *simnet.Cluster, procs []simnet.ProcID, body func(comm *Comm) error) map[simnet.ProcID]error {
+	return simnet.RunAll(c, procs, func(rank int, ep *simnet.Endpoint) error {
+		p := Attach(ep)
+		comm, err := World(p, procs)
+		if err != nil {
+			return err
+		}
+		return body(comm)
+	})
+}

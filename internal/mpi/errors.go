@@ -1,0 +1,63 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/simnet"
+)
+
+// ProcFailedError is the analogue of MPI_ERR_PROC_FAILED: the operation
+// could not achieve its semantics at the local rank because a participating
+// process failed. Rank is the failed rank within the operation's
+// communicator (-1 when the failed process is known only by ProcID, e.g. a
+// detector notice for a process outside the communicator's rank order).
+type ProcFailedError struct {
+	Comm uint64
+	Rank int
+	Proc simnet.ProcID
+}
+
+func (e *ProcFailedError) Error() string {
+	return fmt.Sprintf("mpi: comm %#x: process failure (rank %d, proc %d)", e.Comm, e.Rank, e.Proc)
+}
+
+// RevokedError is the analogue of MPI_ERR_REVOKED: the communicator was
+// revoked and all non-recovery operations on it must be abandoned.
+type RevokedError struct {
+	Comm uint64
+}
+
+func (e *RevokedError) Error() string {
+	return fmt.Sprintf("mpi: comm %#x has been revoked", e.Comm)
+}
+
+// IsProcFailed reports whether err is (or wraps) a process-failure error.
+func IsProcFailed(err error) bool {
+	var pf *ProcFailedError
+	return errors.As(err, &pf)
+}
+
+// IsRevoked reports whether err is (or wraps) a revocation error.
+func IsRevoked(err error) bool {
+	var rv *RevokedError
+	return errors.As(err, &rv)
+}
+
+// IsFault reports whether err is one of the ULFM-recoverable error
+// classes (process failure or revocation), as opposed to a usage or
+// harness error.
+func IsFault(err error) bool {
+	return IsProcFailed(err) || IsRevoked(err)
+}
+
+// translate converts simnet transport errors into MPI error classes.
+func (c *Comm) translate(err error) error {
+	if err == nil {
+		return nil
+	}
+	if proc, ok := simnet.IsPeerFailed(err); ok {
+		return &ProcFailedError{Comm: c.id, Rank: c.rankOfProc(proc), Proc: proc}
+	}
+	return err
+}

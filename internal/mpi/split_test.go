@@ -1,0 +1,124 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestDupIsolatesTraffic(t *testing.T) {
+	world(t, 1, 3, func(c *Comm) error {
+		dup, err := c.Dup()
+		if err != nil {
+			return err
+		}
+		if dup.ID() == c.ID() {
+			return fmt.Errorf("dup kept the parent context id")
+		}
+		if dup.Size() != c.Size() || dup.Rank() != c.Rank() {
+			return fmt.Errorf("dup changed topology")
+		}
+		// Interleave ops on both comms: tags must not collide.
+		if c.Rank() == 0 {
+			if err := Send(c, 1, 5, []int{1}); err != nil {
+				return err
+			}
+			if err := Send(dup, 1, 5, []int{2}); err != nil {
+				return err
+			}
+		}
+		if c.Rank() == 1 {
+			a, err := Recv[int](dup, 0, 5)
+			if err != nil {
+				return err
+			}
+			b, err := Recv[int](c, 0, 5)
+			if err != nil {
+				return err
+			}
+			if a[0] != 2 || b[0] != 1 {
+				return fmt.Errorf("cross-comm tag collision: %v %v", a, b)
+			}
+		}
+		return Barrier(dup)
+	})
+}
+
+func TestSplitByParity(t *testing.T) {
+	const p = 6
+	var mu sync.Mutex
+	info := map[int][3]int{} // parent rank -> (sub size, sub rank, sum)
+	world(t, 2, 3, func(c *Comm) error {
+		color := c.Rank() % 2
+		sub, err := c.Split(color, c.Rank())
+		if err != nil {
+			return err
+		}
+		if sub == nil {
+			return fmt.Errorf("rank %d got nil subcomm", c.Rank())
+		}
+		data := []float64{float64(c.Rank())}
+		if err := Allreduce(sub, data, OpSum); err != nil {
+			return err
+		}
+		mu.Lock()
+		info[c.Rank()] = [3]int{sub.Size(), sub.Rank(), int(data[0])}
+		mu.Unlock()
+		return nil
+	})
+	// Evens: 0+2+4=6; odds: 1+3+5=9.
+	for r := 0; r < p; r++ {
+		want := 6
+		if r%2 == 1 {
+			want = 9
+		}
+		got := info[r]
+		if got[0] != 3 {
+			t.Fatalf("rank %d sub size = %d", r, got[0])
+		}
+		if got[2] != want {
+			t.Fatalf("rank %d sub sum = %d, want %d", r, got[2], want)
+		}
+		if got[1] != r/2 {
+			t.Fatalf("rank %d sub rank = %d, want %d", r, got[1], r/2)
+		}
+	}
+}
+
+func TestSplitKeyOrdersRanks(t *testing.T) {
+	world(t, 1, 4, func(c *Comm) error {
+		// Reverse the order via keys.
+		sub, err := c.Split(0, -c.Rank())
+		if err != nil {
+			return err
+		}
+		wantRank := c.Size() - 1 - c.Rank()
+		if sub.Rank() != wantRank {
+			return fmt.Errorf("rank %d got sub rank %d, want %d", c.Rank(), sub.Rank(), wantRank)
+		}
+		return Barrier(sub)
+	})
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	world(t, 1, 4, func(c *Comm) error {
+		color := 0
+		if c.Rank() == 3 {
+			color = -1 // MPI_UNDEFINED
+		}
+		sub, err := c.Split(color, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 3 {
+			if sub != nil {
+				return fmt.Errorf("undefined color should yield nil")
+			}
+			return nil
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("sub size = %d, want 3", sub.Size())
+		}
+		return Barrier(sub)
+	})
+}

@@ -1,0 +1,377 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/simnet"
+)
+
+// This file implements the ULFM fault-tolerance primitives:
+//
+//   FailureAck / FailureGetAcked  <->  MPIX_Comm_failure_ack / _get_acked
+//   Revoke                        <->  MPIX_Comm_revoke
+//   Agree                        <->  MPIX_Comm_agree
+//   Shrink                        <->  MPIX_Comm_shrink
+//   Grow / Join                   <->  MPI_Comm_spawn + intercomm merge
+//
+// Agree and Shrink operate on revoked communicators, as the specification
+// requires — they are the recovery path.
+
+// tagJoin is the plain endpoint tag used to hand membership to newly
+// spawned processes that do not yet own a communicator. It lives far below
+// any communicator tag (which all carry a context id in the high bits).
+const tagJoin = 7
+
+// agreement message kinds.
+const (
+	agreeContrib = iota
+	agreeDecided
+)
+
+type agreeMsg struct {
+	Kind   int
+	Round  int
+	Flags  uint32
+	Failed []simnet.ProcID // sender's failure knowledge within the comm
+}
+
+type joinInfo struct {
+	CommID uint64
+	Procs  []simnet.ProcID
+	Failed []simnet.ProcID
+}
+
+// FailureAck acknowledges all currently known process failures, so that
+// subsequent Agree calls do not raise errors for them and
+// FailureGetAcked reports them.
+func (c *Comm) FailureAck() {
+	_ = c.p.Poll()
+	for id := range c.p.failed {
+		c.p.acked[id] = true
+	}
+}
+
+// FailureGetAcked returns the ranks of this communicator whose failure has
+// been acknowledged.
+func (c *Comm) FailureGetAcked() []int {
+	var out []int
+	for r, pr := range c.procs {
+		if c.p.acked[pr] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Revoke marks the communicator revoked everywhere: locally at once, and
+// remotely through a resilient flood (every process forwards the notice on
+// first sight). Pending and future non-recovery operations on the
+// communicator abort with RevokedError.
+func (c *Comm) Revoke() {
+	c.p.applyRevoke(c.id)
+}
+
+// Agree runs fault-tolerant agreement over the communicator's surviving
+// members: it returns the bitwise AND of the flags contributed by the
+// processes that participated in the decision, with the guarantee that
+// every surviving caller returns the same value, regardless of failures
+// during the protocol. If a member failure had not been acknowledged
+// before the call, the agreed value is returned together with a
+// ProcFailedError, mirroring MPIX_Comm_agree semantics.
+func (c *Comm) Agree(flags uint32) (uint32, error) {
+	val, failed, err := c.agreeFull(flags)
+	if err != nil {
+		return val, err
+	}
+	for _, pr := range failed {
+		if !c.p.acked[pr] {
+			return val, &ProcFailedError{Comm: c.id, Rank: c.rankOfProc(pr), Proc: pr}
+		}
+	}
+	return val, nil
+}
+
+// failedProcOf extracts the failed process from either transport-level
+// (simnet) or MPI-level process-failure errors.
+func failedProcOf(err error) (simnet.ProcID, bool) {
+	if proc, ok := simnet.IsPeerFailed(err); ok {
+		return proc, true
+	}
+	var pf *ProcFailedError
+	if errors.As(err, &pf) {
+		return pf.Proc, true
+	}
+	return 0, false
+}
+
+// agreeFull is the protocol engine shared by Agree and Shrink. It returns
+// the agreed flags and the agreed set of failed member processes.
+//
+// The protocol is a rotating-coordinator consensus backed by the perfect
+// failure detector the simulated runtime provides (failure notices are
+// delivered to every live process, and receives from dead processes fail):
+//
+//   - Round k's coordinator is the comm member with rank k mod n.
+//   - Every non-coordinator sends its contribution (flags + failure
+//     knowledge) to the coordinator and waits for the decision.
+//   - The coordinator collects contributions from every member it does not
+//     know to be dead, decides (AND of flags, union of failure sets), and
+//     floods the decision to all live members.
+//   - Any process receiving a decision re-floods it once and adopts it, so
+//     a coordinator crash after a partial flood cannot strand survivors.
+//   - If the coordinator dies before deciding, survivors move to the next
+//     round.
+func (c *Comm) agreeFull(flags uint32) (uint32, []simnet.ProcID, error) {
+	_ = c.p.Poll()
+	seq := c.nextAgreeSeq()
+	tag := c.agreeTag(seq)
+	me := c.rank
+	n := c.Size()
+	if n == 1 {
+		return flags, c.failedMembers(), nil
+	}
+
+	scope := &opScope{comm: c, members: c.memberSet(), abortOnRevoke: false}
+	c.p.begin(scope)
+	defer c.p.end()
+
+	// Contributions can reach this rank before it becomes their round's
+	// coordinator (it may still be awaiting an earlier round's decision).
+	// They are stashed, not discarded, and replayed when coordinating.
+	var stash []*simnet.Message
+
+	flood := func(dec agreeMsg) {
+		for r, pr := range c.procs {
+			if r == me || c.p.failed[pr] {
+				continue
+			}
+			_ = c.p.ep.Send(pr, tag, dec, int64(16+8*len(dec.Failed)))
+		}
+	}
+
+	for round := 0; round < 4*n+16; round++ {
+		coord := round % n
+		if c.p.failed[c.procs[coord]] {
+			continue // everyone skips known-dead coordinators
+		}
+		if coord == me {
+			dec, decided, err := c.coordinateRound(tag, flags, flood, &stash)
+			if err != nil {
+				return 0, nil, err
+			}
+			if decided {
+				return dec.Flags, dec.Failed, nil
+			}
+			continue
+		}
+		// Participant: contribute, then wait for a decision or for the
+		// coordinator's death.
+		contrib := agreeMsg{Kind: agreeContrib, Round: round, Flags: flags, Failed: c.failedMembers()}
+		if err := c.p.ep.Send(c.procs[coord], tag, contrib, int64(16+8*len(contrib.Failed))); err != nil {
+			if proc, ok := failedProcOf(err); ok {
+				c.p.noteFailure(proc)
+				continue // coordinator died; next round
+			}
+			return 0, nil, err
+		}
+		dec, ok, err := c.awaitDecision(tag, c.procs[coord], flood, &stash)
+		if err != nil {
+			return 0, nil, err
+		}
+		if ok {
+			return dec.Flags, dec.Failed, nil
+		}
+		// Coordinator died before deciding; advance to the next round.
+	}
+	return 0, nil, fmt.Errorf("mpi: comm %#x: agreement did not converge", c.id)
+}
+
+// coordinateRound runs the coordinator side of one agreement round: it
+// collects one contribution from every member not known dead, decides,
+// and floods. It may instead adopt a decision flooded by a crashed
+// earlier coordinator.
+func (c *Comm) coordinateRound(tag int, flags uint32, flood func(agreeMsg), stash *[]*simnet.Message) (dec agreeMsg, decided bool, err error) {
+	me := c.rank
+	agreedFlags := flags
+	union := make(map[simnet.ProcID]bool)
+	for _, pr := range c.failedMembers() {
+		union[pr] = true
+	}
+	pending := make(map[int]bool)
+	for r, pr := range c.procs {
+		if r != me && !c.p.failed[pr] {
+			pending[r] = true
+		}
+	}
+	drop := func(pr simnet.ProcID) {
+		c.p.noteFailure(pr)
+		union[pr] = true
+		if r := c.rankOfProc(pr); r >= 0 {
+			delete(pending, r)
+		}
+	}
+	apply := func(m *simnet.Message) (agreeMsg, bool, error) {
+		msg, ok := m.Data.(agreeMsg)
+		if !ok {
+			return dec, false, fmt.Errorf("mpi: comm %#x: malformed agreement message", c.id)
+		}
+		switch msg.Kind {
+		case agreeDecided:
+			// An earlier coordinator's flood outlived it. Adopt, re-flood.
+			flood(msg)
+			return msg, true, nil
+		case agreeContrib:
+			agreedFlags &= msg.Flags
+			for _, pr := range msg.Failed {
+				drop(pr)
+			}
+			delete(pending, c.rankOfProc(m.From))
+		}
+		return dec, false, nil
+	}
+	// Replay contributions that arrived while awaiting earlier rounds.
+	replay := *stash
+	*stash = nil
+	for _, m := range replay {
+		if d, done, aerr := apply(m); done || aerr != nil {
+			return d, done, aerr
+		}
+	}
+	for len(pending) > 0 {
+		m, rerr := c.p.ep.Recv(simnet.AnySource, tag)
+		if rerr != nil {
+			if proc, ok := failedProcOf(rerr); ok {
+				drop(proc)
+				continue
+			}
+			return dec, false, c.translate(rerr)
+		}
+		if d, done, aerr := apply(m); done || aerr != nil {
+			return d, done, aerr
+		}
+	}
+	out := agreeMsg{Kind: agreeDecided, Flags: agreedFlags, Failed: setToList(union)}
+	flood(out)
+	return out, true, nil
+}
+
+// awaitDecision waits for a decision flood or the coordinator's death.
+// ok=false means the coordinator died undecided and the caller should move
+// to the next round.
+func (c *Comm) awaitDecision(tag int, coordProc simnet.ProcID, flood func(agreeMsg), stash *[]*simnet.Message) (agreeMsg, bool, error) {
+	for {
+		m, err := c.p.ep.Recv(simnet.AnySource, tag)
+		if err != nil {
+			if proc, ok := failedProcOf(err); ok {
+				c.p.noteFailure(proc)
+				if proc == coordProc {
+					return agreeMsg{}, false, nil
+				}
+				continue // some other member died; keep waiting
+			}
+			return agreeMsg{}, false, c.translate(err)
+		}
+		msg, ok := m.Data.(agreeMsg)
+		if !ok {
+			return agreeMsg{}, false, fmt.Errorf("mpi: comm %#x: malformed agreement message", c.id)
+		}
+		if msg.Kind == agreeDecided {
+			flood(msg)
+			return msg, true, nil
+		}
+		// A contribution addressed to us as a (future) coordinator: stash
+		// it for replay when we coordinate, and merge its failure
+		// knowledge. If the gossip reveals that our current coordinator is
+		// dead, advance — the detector notice alone would no longer abort
+		// this wait, because the failure is now "already known".
+		*stash = append(*stash, m)
+		for _, pr := range msg.Failed {
+			c.p.noteFailure(pr)
+		}
+		if c.p.failed[coordProc] {
+			return agreeMsg{}, false, nil
+		}
+	}
+}
+
+// Shrink agrees on the failed-member set and returns a new communicator
+// containing exactly the survivors, in parent rank order. It works on
+// revoked communicators. Every survivor obtains the same membership and
+// the same new context id without further communication.
+func (c *Comm) Shrink() (*Comm, error) {
+	_, failed, err := c.agreeFull(^uint32(0))
+	if err != nil {
+		return nil, err
+	}
+	deadSet := make(map[simnet.ProcID]bool, len(failed))
+	for _, pr := range failed {
+		c.p.noteFailure(pr)
+		deadSet[pr] = true
+	}
+	var survivors []simnet.ProcID
+	for _, pr := range c.procs {
+		if !deadSet[pr] {
+			survivors = append(survivors, pr)
+		}
+	}
+	return newComm(c.p, c.deriveID(), survivors)
+}
+
+// Grow admits newly spawned processes into a fresh communicator formed by
+// the members of c (in rank order) followed by newProcs. It is collective
+// over c; rank 0 hands each newcomer its membership via a join message.
+// The newcomers must call Join on their side.
+func (c *Comm) Grow(newProcs []simnet.ProcID) (*Comm, error) {
+	if err := c.checkCollective(); err != nil {
+		return nil, err
+	}
+	newID := c.deriveID()
+	all := append(c.Procs(), newProcs...)
+	if c.rank == 0 {
+		ji := joinInfo{CommID: newID, Procs: all, Failed: c.p.KnownFailed()}
+		for _, np := range newProcs {
+			if err := c.p.ep.Send(np, tagJoin, ji, int64(32+8*len(all))); err != nil {
+				return nil, c.translate(err)
+			}
+		}
+	}
+	return newComm(c.p, newID, all)
+}
+
+// Join is called by a newly spawned process to receive its communicator
+// from an ongoing Grow. It blocks until the join message arrives.
+func Join(p *Proc) (*Comm, error) {
+	m, err := p.ep.Recv(simnet.AnySource, tagJoin)
+	if err != nil {
+		return nil, err
+	}
+	ji, ok := m.Data.(joinInfo)
+	if !ok {
+		return nil, fmt.Errorf("mpi: malformed join message from proc %d", m.From)
+	}
+	for _, pr := range ji.Failed {
+		p.noteFailure(pr)
+	}
+	return newComm(p, ji.CommID, ji.Procs)
+}
+
+// failedMembers lists this comm's member processes locally known failed.
+func (c *Comm) failedMembers() []simnet.ProcID {
+	var out []simnet.ProcID
+	for _, pr := range c.procs {
+		if c.p.failed[pr] {
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+func setToList(set map[simnet.ProcID]bool) []simnet.ProcID {
+	out := make([]simnet.ProcID, 0, len(set))
+	for pr := range set {
+		out = append(out, pr)
+	}
+	sortProcs(out)
+	return out
+}

@@ -1,0 +1,122 @@
+// Package nccl models the GPU-side collective library both stacks in the
+// paper delegate GPU work to ("we delegated all GPU computation and
+// communication tasks to NCCL"). Because NCCL is the common term on both
+// sides of the comparison, it is implemented as a calibrated cost model: a
+// communicator with an initialization cost that grows with the GPU count,
+// and hierarchical-ring collective timings over NVLink / node-injection
+// bandwidths. Like the real library, it has no fault tolerance: a failure
+// breaks the communicator, which must be recreated from scratch.
+package nccl
+
+import (
+	"errors"
+
+	"repro/internal/vtime"
+)
+
+// ErrBroken is returned by operations on a communicator that lost a
+// member. NCCL cannot shrink or repair; the owner must re-init.
+var ErrBroken = errors.New("nccl: communicator is broken")
+
+// Config calibrates the cost model. Defaults mirror Summit-class nodes.
+type Config struct {
+	GPUsPerNode int
+	NVLinkBW    float64 // bytes/s available to a GPU within the node
+	InjectionBW float64 // bytes/s per node to the fabric
+	RingLatency float64 // per-hop latency
+	InitBase    float64 // communicator bootstrap constant
+	InitPerGPU  float64 // per-rank share of communicator setup
+}
+
+// DefaultConfig matches the paper's testbed shape: 6 V100s per node,
+// NVLink ~50 GB/s, 23 GB/s node injection bandwidth.
+func DefaultConfig() Config {
+	return Config{
+		GPUsPerNode: 6,
+		NVLinkBW:    50e9,
+		InjectionBW: 23e9,
+		RingLatency: 6e-6,
+		InitBase:    0.25,
+		InitPerGPU:  0.012,
+	}
+}
+
+// Communicator is a GPU collective domain over n ranks.
+type Communicator struct {
+	cfg    Config
+	n      int
+	broken bool
+}
+
+// Init creates a communicator over nGPUs ranks, charging the caller's
+// clock the initialization cost (every rank pays it; calls are collective
+// and roughly simultaneous).
+func Init(clk *vtime.Clock, cfg Config, nGPUs int) *Communicator {
+	clk.Advance(InitTime(cfg, nGPUs))
+	return &Communicator{cfg: cfg, n: nGPUs}
+}
+
+// InitTime returns the communicator bootstrap cost for nGPUs ranks.
+func InitTime(cfg Config, nGPUs int) float64 {
+	return cfg.InitBase + cfg.InitPerGPU*float64(nGPUs)
+}
+
+// Size returns the rank count.
+func (c *Communicator) Size() int { return c.n }
+
+// Broken reports whether the communicator has lost a member.
+func (c *Communicator) Broken() bool { return c.broken }
+
+// Break marks the communicator unusable (a member died).
+func (c *Communicator) Break() { c.broken = true }
+
+// AllreduceTime returns the modeled ring-allreduce duration for a payload
+// of the given size: each rank moves 2(n-1)/n of the buffer through its
+// narrowest link share.
+func (c *Communicator) AllreduceTime(bytes int64) float64 {
+	return collTime(c.cfg, c.n, bytes, 2)
+}
+
+// BcastTime returns the modeled ring-broadcast duration.
+func (c *Communicator) BcastTime(bytes int64) float64 {
+	return collTime(c.cfg, c.n, bytes, 1)
+}
+
+// Allreduce advances the clock by the allreduce cost, or fails if the
+// communicator is broken.
+func (c *Communicator) Allreduce(clk *vtime.Clock, bytes int64) error {
+	if c.broken {
+		return ErrBroken
+	}
+	clk.Advance(c.AllreduceTime(bytes))
+	return nil
+}
+
+// Bcast advances the clock by the broadcast cost, or fails if broken.
+func (c *Communicator) Bcast(clk *vtime.Clock, bytes int64) error {
+	if c.broken {
+		return ErrBroken
+	}
+	clk.Advance(c.BcastTime(bytes))
+	return nil
+}
+
+// collTime is the hierarchical ring model: volume-factor × (n-1)/n of the
+// buffer per rank through min(NVLink, per-GPU injection share), plus hop
+// latencies.
+func collTime(cfg Config, n int, bytes int64, volumeFactor float64) float64 {
+	if n <= 1 || bytes <= 0 {
+		return 0
+	}
+	nodes := (n + cfg.GPUsPerNode - 1) / cfg.GPUsPerNode
+	perGPU := cfg.NVLinkBW
+	if nodes > 1 {
+		gpusPerNode := float64(n) / float64(nodes)
+		share := cfg.InjectionBW / gpusPerNode
+		if share < perGPU {
+			perGPU = share
+		}
+	}
+	frac := float64(n-1) / float64(n)
+	return volumeFactor*frac*float64(bytes)/perGPU + 2*float64(n-1)*cfg.RingLatency
+}

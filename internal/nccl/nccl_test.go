@@ -1,0 +1,85 @@
+package nccl
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+func TestInitChargesClock(t *testing.T) {
+	var clk vtime.Clock
+	cfg := DefaultConfig()
+	c := Init(&clk, cfg, 24)
+	if c.Size() != 24 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	want := cfg.InitBase + cfg.InitPerGPU*24
+	if got := clk.Now(); got != want {
+		t.Fatalf("init cost = %v, want %v", got, want)
+	}
+}
+
+func TestInitTimeGrowsWithScale(t *testing.T) {
+	cfg := DefaultConfig()
+	if !(InitTime(cfg, 192) > InitTime(cfg, 12)) {
+		t.Fatal("init time should grow with GPU count")
+	}
+}
+
+func TestAllreduceTimeScalesWithBytes(t *testing.T) {
+	cfg := DefaultConfig()
+	c := &Communicator{cfg: cfg, n: 24}
+	small := c.AllreduceTime(23 << 20)
+	big := c.AllreduceTime(549 << 20)
+	if !(big > small*10) {
+		t.Fatalf("VGG-sized allreduce should dwarf NasNet-sized: %v vs %v", big, small)
+	}
+}
+
+func TestAllreduceSingleRankFree(t *testing.T) {
+	c := &Communicator{cfg: DefaultConfig(), n: 1}
+	if got := c.AllreduceTime(1 << 30); got != 0 {
+		t.Fatalf("single-rank allreduce cost = %v, want 0", got)
+	}
+}
+
+func TestInterNodeBottleneck(t *testing.T) {
+	cfg := DefaultConfig()
+	intra := &Communicator{cfg: cfg, n: 6}  // one node
+	inter := &Communicator{cfg: cfg, n: 12} // two nodes
+	bytes := int64(100 << 20)
+	if !(inter.AllreduceTime(bytes) > intra.AllreduceTime(bytes)) {
+		t.Fatal("crossing nodes should be slower than NVLink-only")
+	}
+}
+
+func TestBrokenCommunicator(t *testing.T) {
+	var clk vtime.Clock
+	c := Init(&clk, DefaultConfig(), 4)
+	if c.Broken() {
+		t.Fatal("fresh communicator broken")
+	}
+	before := clk.Now()
+	if err := c.Allreduce(&clk, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() <= before {
+		t.Fatal("allreduce did not advance clock")
+	}
+	c.Break()
+	if err := c.Allreduce(&clk, 1<<20); !errors.Is(err, ErrBroken) {
+		t.Fatalf("allreduce on broken comm = %v, want ErrBroken", err)
+	}
+	if err := c.Bcast(&clk, 1<<20); !errors.Is(err, ErrBroken) {
+		t.Fatalf("bcast on broken comm = %v, want ErrBroken", err)
+	}
+}
+
+func TestBcastCheaperThanAllreduce(t *testing.T) {
+	c := &Communicator{cfg: DefaultConfig(), n: 24}
+	b := int64(98 << 20)
+	if !(c.BcastTime(b) < c.AllreduceTime(b)) {
+		t.Fatal("bcast moves half the volume of allreduce")
+	}
+}

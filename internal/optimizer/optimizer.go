@@ -1,0 +1,253 @@
+// Package optimizer implements the optimizers the training loops use
+// (SGD, SGD with momentum, Adam) plus the learning-rate policies elastic
+// training needs when the worker count changes: linear scaling with the
+// effective batch size and gradual warmup (Goyal et al., cited by the
+// paper as the standard remedy for convergence at scale).
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters from gradients. Implementations carry
+// per-parameter state (momentum, moments) that is part of the training
+// state checkpoints and newcomer synchronization must include.
+type Optimizer interface {
+	// Step applies one update. params and grads are parallel tensor lists.
+	Step(params, grads []tensor.Vector)
+	// LR returns the current learning rate.
+	LR() float64
+	// SetLR overrides the base learning rate (elastic rescaling).
+	SetLR(lr float64)
+	// State returns a flat snapshot of optimizer state (may be empty).
+	State() tensor.Vector
+	// SetState restores a snapshot produced by State.
+	SetState(tensor.Vector)
+	// Name identifies the optimizer.
+	Name() string
+}
+
+// --- SGD (optionally with momentum) --------------------------------------
+
+// SGD is stochastic gradient descent with optional Nesterov-free momentum.
+type SGD struct {
+	lr       float64
+	momentum float64
+	vel      []tensor.Vector
+}
+
+// NewSGD returns plain SGD when momentum is 0.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{lr: lr, momentum: momentum}
+}
+
+func (s *SGD) Name() string     { return "sgd" }
+func (s *SGD) LR() float64      { return s.lr }
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+func (s *SGD) Step(params, grads []tensor.Vector) {
+	if len(params) != len(grads) {
+		panic(fmt.Sprintf("optimizer: %d params vs %d grads", len(params), len(grads)))
+	}
+	if s.momentum == 0 {
+		for i, p := range params {
+			p.AXPY(float32(-s.lr), grads[i])
+		}
+		return
+	}
+	if s.vel == nil {
+		s.vel = zerosLike(params)
+	}
+	mu := float32(s.momentum)
+	for i, p := range params {
+		v := s.vel[i]
+		g := grads[i]
+		for j := range v {
+			v[j] = mu*v[j] + g[j]
+		}
+		p.AXPY(float32(-s.lr), v)
+	}
+}
+
+func (s *SGD) State() tensor.Vector {
+	if s.vel == nil {
+		return nil
+	}
+	return tensor.Concat(s.vel)
+}
+
+func (s *SGD) SetState(flat tensor.Vector) {
+	if len(flat) == 0 {
+		s.vel = nil
+		return
+	}
+	if s.vel == nil {
+		panic("optimizer: SetState before shapes known; call Step once or seed velocities")
+	}
+	tensor.SplitLike(flat, s.vel)
+}
+
+// EnsureState allocates velocity buffers shaped like params so that
+// SetState can restore into a fresh optimizer (newcomer initialization).
+func (s *SGD) EnsureState(params []tensor.Vector) {
+	if s.momentum != 0 && s.vel == nil {
+		s.vel = zerosLike(params)
+	}
+}
+
+// --- Adam ----------------------------------------------------------------
+
+// Adam implements the Adam optimizer.
+type Adam struct {
+	lr, beta1, beta2, eps float64
+	t                     int
+	m, v                  []tensor.Vector
+}
+
+// NewAdam returns Adam with standard defaults for unset values.
+func NewAdam(lr float64) *Adam {
+	return &Adam{lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8}
+}
+
+func (a *Adam) Name() string     { return "adam" }
+func (a *Adam) LR() float64      { return a.lr }
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+func (a *Adam) Step(params, grads []tensor.Vector) {
+	if a.m == nil {
+		a.m = zerosLike(params)
+		a.v = zerosLike(params)
+	}
+	a.t++
+	b1c := 1 - math.Pow(a.beta1, float64(a.t))
+	b2c := 1 - math.Pow(a.beta2, float64(a.t))
+	for i, p := range params {
+		g := grads[i]
+		m, v := a.m[i], a.v[i]
+		for j := range p {
+			gj := float64(g[j])
+			mj := a.beta1*float64(m[j]) + (1-a.beta1)*gj
+			vj := a.beta2*float64(v[j]) + (1-a.beta2)*gj*gj
+			m[j] = float32(mj)
+			v[j] = float32(vj)
+			p[j] -= float32(a.lr * (mj / b1c) / (math.Sqrt(vj/b2c) + a.eps))
+		}
+	}
+}
+
+func (a *Adam) State() tensor.Vector {
+	if a.m == nil {
+		return tensor.Vector{float32(a.t)}
+	}
+	out := tensor.Vector{float32(a.t)}
+	out = append(out, tensor.Concat(a.m)...)
+	out = append(out, tensor.Concat(a.v)...)
+	return out
+}
+
+func (a *Adam) SetState(flat tensor.Vector) {
+	if len(flat) == 0 {
+		a.t, a.m, a.v = 0, nil, nil
+		return
+	}
+	a.t = int(flat[0])
+	rest := flat[1:]
+	if a.m == nil {
+		panic("optimizer: Adam.SetState before EnsureState")
+	}
+	half := len(rest) / 2
+	tensor.SplitLike(rest[:half], a.m)
+	tensor.SplitLike(rest[half:], a.v)
+}
+
+// EnsureState allocates moment buffers shaped like params.
+func (a *Adam) EnsureState(params []tensor.Vector) {
+	if a.m == nil {
+		a.m = zerosLike(params)
+		a.v = zerosLike(params)
+	}
+}
+
+// --- learning-rate policy -------------------------------------------------
+
+// LRPolicy computes the learning rate under elastic worker-count changes:
+// linear scaling with the worker count relative to a reference, plus a
+// warmup ramp over the first WarmupSteps after any size change.
+type LRPolicy struct {
+	BaseLR      float64 // LR at RefWorkers
+	RefWorkers  int
+	WarmupSteps int
+
+	target      float64
+	start       float64
+	sinceChange int
+}
+
+// NewLRPolicy returns a policy with the given base configuration.
+func NewLRPolicy(baseLR float64, refWorkers, warmupSteps int) *LRPolicy {
+	p := &LRPolicy{BaseLR: baseLR, RefWorkers: refWorkers, WarmupSteps: warmupSteps}
+	p.target = baseLR
+	p.start = baseLR
+	p.sinceChange = warmupSteps // no initial warmup
+	return p
+}
+
+// Resize adjusts the target LR for a new worker count (linear scaling) and
+// restarts the warmup ramp from the current LR. Without warmup the ramp is
+// unused, and the start is pinned to the new target so that the policy
+// state is a pure function of the final worker count — overlapping
+// failure recoveries can resize different ranks a different number of
+// times, and any path-dependent state would diverge replicas.
+func (p *LRPolicy) Resize(workers int) {
+	cur := p.LRAt()
+	p.target = p.BaseLR * float64(workers) / float64(p.RefWorkers)
+	if p.WarmupSteps == 0 {
+		p.start = p.target
+	} else {
+		p.start = cur
+	}
+	p.sinceChange = 0
+}
+
+// Tick advances one optimizer step and returns the LR to use.
+func (p *LRPolicy) Tick() float64 {
+	lr := p.LRAt()
+	if p.sinceChange < p.WarmupSteps {
+		p.sinceChange++
+	}
+	return lr
+}
+
+// Snapshot exports the policy's dynamic state (target, ramp start, steps
+// since the last resize) for state synchronization: a worker joining
+// mid-ramp must adopt the survivors' ramp exactly or replicas diverge.
+func (p *LRPolicy) Snapshot() (target, start float64, sinceChange int) {
+	return p.target, p.start, p.sinceChange
+}
+
+// Restore overwrites the dynamic state from a snapshot.
+func (p *LRPolicy) Restore(target, start float64, sinceChange int) {
+	p.target = target
+	p.start = start
+	p.sinceChange = sinceChange
+}
+
+// LRAt returns the current LR without advancing.
+func (p *LRPolicy) LRAt() float64 {
+	if p.WarmupSteps == 0 || p.sinceChange >= p.WarmupSteps {
+		return p.target
+	}
+	f := float64(p.sinceChange) / float64(p.WarmupSteps)
+	return p.start + (p.target-p.start)*f
+}
+
+func zerosLike(params []tensor.Vector) []tensor.Vector {
+	out := make([]tensor.Vector, len(params))
+	for i, p := range params {
+		out[i] = tensor.New(len(p))
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func params1(v float32) []tensor.Vector { return []tensor.Vector{{v}} }
+
+func TestSGDPlainStep(t *testing.T) {
+	opt := NewSGD(0.1, 0)
+	p := params1(1.0)
+	opt.Step(p, params1(2.0)) // p -= 0.1*2
+	if math.Abs(float64(p[0][0])-0.8) > 1e-6 {
+		t.Fatalf("p = %v, want 0.8", p[0][0])
+	}
+	if opt.Name() != "sgd" || opt.LR() != 0.1 {
+		t.Fatal("metadata wrong")
+	}
+	opt.SetLR(0.2)
+	if opt.LR() != 0.2 {
+		t.Fatal("SetLR failed")
+	}
+	if opt.State() != nil {
+		t.Fatal("plain SGD should have empty state")
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	opt := NewSGD(0.1, 0.9)
+	p := params1(0)
+	opt.Step(p, params1(1)) // v=1, p=-0.1
+	opt.Step(p, params1(1)) // v=1.9, p=-0.29
+	if math.Abs(float64(p[0][0])+0.29) > 1e-6 {
+		t.Fatalf("p = %v, want -0.29", p[0][0])
+	}
+	if got := opt.State(); len(got) != 1 || math.Abs(float64(got[0])-1.9) > 1e-6 {
+		t.Fatalf("State = %v, want [1.9]", got)
+	}
+}
+
+func TestSGDStateRoundTrip(t *testing.T) {
+	opt := NewSGD(0.1, 0.9)
+	p := params1(0)
+	opt.Step(p, params1(1))
+	st := opt.State()
+
+	fresh := NewSGD(0.1, 0.9)
+	fresh.EnsureState(p)
+	fresh.SetState(st)
+	p2 := params1(-0.1)
+	fresh.Step(p2, params1(1))
+
+	opt.Step(p, params1(1))
+	if p[0][0] != p2[0][0] {
+		t.Fatalf("restored optimizer diverged: %v vs %v", p[0][0], p2[0][0])
+	}
+}
+
+func TestSGDMismatchedShapesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSGD(0.1, 0).Step(params1(0), nil)
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(x) = (x-3)^2; gradient 2(x-3).
+	opt := NewAdam(0.1)
+	p := params1(0)
+	for i := 0; i < 500; i++ {
+		g := params1(2 * (p[0][0] - 3))
+		opt.Step(p, g)
+	}
+	if math.Abs(float64(p[0][0])-3) > 0.05 {
+		t.Fatalf("Adam converged to %v, want 3", p[0][0])
+	}
+}
+
+func TestAdamStateRoundTrip(t *testing.T) {
+	opt := NewAdam(0.05)
+	p := params1(1)
+	for i := 0; i < 3; i++ {
+		opt.Step(p, params1(0.5))
+	}
+	st := opt.State()
+	v1 := p[0][0]
+
+	fresh := NewAdam(0.05)
+	fresh.EnsureState(p)
+	fresh.SetState(st)
+	pa := params1(v1)
+	pb := params1(v1)
+	fresh.Step(pa, params1(0.5))
+	opt.Step(pb, params1(0.5))
+	if pa[0][0] != pb[0][0] {
+		t.Fatalf("restored Adam diverged: %v vs %v", pa[0][0], pb[0][0])
+	}
+}
+
+func TestAdamSetStateEmptyResets(t *testing.T) {
+	opt := NewAdam(0.1)
+	p := params1(0)
+	opt.Step(p, params1(1))
+	opt.SetState(nil)
+	if st := opt.State(); len(st) != 1 || st[0] != 0 {
+		t.Fatalf("reset state = %v", st)
+	}
+}
+
+func TestLRPolicyLinearScaling(t *testing.T) {
+	pol := NewLRPolicy(0.1, 12, 0)
+	if got := pol.Tick(); got != 0.1 {
+		t.Fatalf("initial LR = %v", got)
+	}
+	pol.Resize(24)
+	if got := pol.Tick(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("LR after doubling workers = %v, want 0.2", got)
+	}
+	pol.Resize(6)
+	if got := pol.Tick(); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("LR after shrinking = %v, want 0.05", got)
+	}
+}
+
+func TestLRPolicyWarmupRamp(t *testing.T) {
+	pol := NewLRPolicy(0.1, 12, 10)
+	// No warmup initially.
+	if got := pol.Tick(); got != 0.1 {
+		t.Fatalf("initial LR = %v, want no warmup at start", got)
+	}
+	pol.Resize(24) // target 0.2, ramp from 0.1 over 10 steps
+	first := pol.Tick()
+	if first != 0.1 {
+		t.Fatalf("warmup step 0 = %v, want start 0.1", first)
+	}
+	var last float64
+	for i := 0; i < 15; i++ {
+		last = pol.Tick()
+	}
+	if math.Abs(last-0.2) > 1e-12 {
+		t.Fatalf("post-warmup LR = %v, want 0.2", last)
+	}
+	// Ramp must be monotone.
+	pol2 := NewLRPolicy(0.1, 12, 5)
+	pol2.Resize(24)
+	prev := -1.0
+	for i := 0; i < 7; i++ {
+		lr := pol2.Tick()
+		if lr < prev {
+			t.Fatalf("warmup not monotone: %v after %v", lr, prev)
+		}
+		prev = lr
+	}
+}

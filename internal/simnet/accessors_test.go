@@ -1,0 +1,135 @@
+package simnet
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestEndpointAccessors(t *testing.T) {
+	cfg := testConfig(2, 2)
+	c := New(cfg)
+	ep := c.Endpoint(3)
+	if ep.Node() != 1 {
+		t.Fatalf("Node = %d, want 1", ep.Node())
+	}
+	if ep.Cluster() != c {
+		t.Fatal("Cluster accessor broken")
+	}
+	if got := c.Config(); got.ProcsPerNode != cfg.ProcsPerNode {
+		t.Fatal("Config accessor broken")
+	}
+	if ep.QueueLen() != 0 {
+		t.Fatal("fresh endpoint has queued messages")
+	}
+	if err := c.Endpoint(0).Send(3, 1, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ep.QueueLen() != 1 {
+		t.Fatalf("QueueLen = %d, want 1", ep.QueueLen())
+	}
+	before := ep.Clock.Now()
+	ep.Compute(2.5)
+	if ep.Clock.Now()-before != 2.5 {
+		t.Fatal("Compute did not advance clock")
+	}
+}
+
+func TestCtlHandlerAccessor(t *testing.T) {
+	c := New(testConfig(1, 1))
+	ep := c.Endpoint(0)
+	if ep.CtlHandler() != nil {
+		t.Fatal("fresh endpoint has a handler")
+	}
+	h := func(m *Message) error { return nil }
+	ep.SetCtlHandler(h)
+	if ep.CtlHandler() == nil {
+		t.Fatal("handler not installed")
+	}
+}
+
+func TestDoneChannel(t *testing.T) {
+	c := New(testConfig(1, 2))
+	ep := c.Endpoint(0)
+	select {
+	case <-ep.Done():
+		t.Fatal("Done closed before death")
+	default:
+	}
+	c.Kill(0)
+	select {
+	case <-ep.Done():
+	default:
+		t.Fatal("Done not closed after Kill")
+	}
+	// Killing twice is idempotent (no double-close panic).
+	c.Kill(0)
+}
+
+func TestWakeInterruptsNothing(t *testing.T) {
+	// Wake on an idle endpoint must be harmless.
+	c := New(testConfig(1, 1))
+	c.Endpoint(0).Wake()
+}
+
+func TestAddNode(t *testing.T) {
+	c := New(testConfig(1, 1))
+	n := c.AddNode()
+	if len(c.ProcsOnNode(n)) != 0 {
+		t.Fatal("new node not empty")
+	}
+	ep, err := c.Spawn(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Node() != n {
+		t.Fatal("spawned on wrong node")
+	}
+}
+
+func TestLiveEndpoints(t *testing.T) {
+	c := New(testConfig(1, 3))
+	c.Kill(1)
+	eps := c.LiveEndpoints()
+	if len(eps) != 2 || eps[0].ID() != 0 || eps[1].ID() != 2 {
+		t.Fatalf("LiveEndpoints = %v", eps)
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	pf := &PeerFailedError{Proc: 5}
+	if !strings.Contains(pf.Error(), "5") {
+		t.Fatalf("PeerFailedError = %q", pf.Error())
+	}
+	up := &UnknownProcError{Proc: 9}
+	if !strings.Contains(up.Error(), "unknown process 9") {
+		t.Fatalf("UnknownProcError = %q", up.Error())
+	}
+	if _, ok := IsPeerFailed(errors.New("other")); ok {
+		t.Fatal("IsPeerFailed misclassifies")
+	}
+}
+
+func TestTryRecvOnDeadAndCtl(t *testing.T) {
+	c := New(testConfig(1, 2))
+	ep := c.Endpoint(1)
+	seen := 0
+	ep.SetCtlHandler(func(m *Message) error {
+		if m.Tag == CtlPeerDown {
+			seen++
+		}
+		return nil
+	})
+	c.Kill(0)
+	// TryRecv drains the ctl notice even with no data.
+	if m, err := ep.TryRecv(AnySource, 1); err != nil || m != nil {
+		t.Fatalf("TryRecv = (%v, %v)", m, err)
+	}
+	if seen != 1 {
+		t.Fatalf("ctl notices seen = %d", seen)
+	}
+	c.Kill(1)
+	if _, err := ep.TryRecv(AnySource, 1); !errors.Is(err, ErrDead) {
+		t.Fatalf("TryRecv on dead = %v, want ErrDead", err)
+	}
+}

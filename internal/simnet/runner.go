@@ -1,0 +1,91 @@
+package simnet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Group runs one goroutine per process, the standard harness for SPMD
+// programs on the simulated cluster.
+type Group struct {
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	errs map[ProcID]error
+}
+
+// NewGroup returns an empty group.
+func NewGroup() *Group {
+	return &Group{errs: make(map[ProcID]error)}
+}
+
+// Go launches fn on its own goroutine for endpoint ep. The function's
+// error (if any) is recorded under the endpoint's process ID. A panic in
+// fn is converted into an error rather than crashing the whole harness.
+func (g *Group) Go(ep *Endpoint, fn func(ep *Endpoint) error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				g.record(ep.ID(), fmt.Errorf("simnet: rank panicked: %v", r))
+			}
+		}()
+		if err := fn(ep); err != nil {
+			g.record(ep.ID(), err)
+		}
+	}()
+}
+
+func (g *Group) record(id ProcID, err error) {
+	g.mu.Lock()
+	g.errs[id] = err
+	g.mu.Unlock()
+}
+
+// Wait blocks until every launched goroutine returns and reports the
+// per-process errors (nil when all succeeded).
+func (g *Group) Wait() map[ProcID]error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.errs) == 0 {
+		return nil
+	}
+	out := make(map[ProcID]error, len(g.errs))
+	for k, v := range g.errs {
+		out[k] = v
+	}
+	return out
+}
+
+// RunAll runs fn once per listed process and waits for completion.
+// rank is the index of the process within ids.
+func RunAll(c *Cluster, ids []ProcID, fn func(rank int, ep *Endpoint) error) map[ProcID]error {
+	g := NewGroup()
+	for i, id := range ids {
+		ep := c.Endpoint(id)
+		if ep == nil {
+			g.record(id, &UnknownProcError{Proc: id})
+			continue
+		}
+		rank := i
+		g.Go(ep, func(ep *Endpoint) error { return fn(rank, ep) })
+	}
+	return g.Wait()
+}
+
+// FirstError returns an arbitrary-but-deterministic (lowest proc ID) error
+// from a RunAll result, or nil.
+func FirstError(errs map[ProcID]error) error {
+	var bestID ProcID = -1
+	var best error
+	for id, err := range errs {
+		if err == nil {
+			continue
+		}
+		if best == nil || id < bestID {
+			bestID, best = id, err
+		}
+	}
+	return best
+}

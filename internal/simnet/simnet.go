@@ -1,0 +1,110 @@
+// Package simnet simulates an HPC cluster for the elastic training stack.
+//
+// The simulation substitutes for the Summit system used in the paper: a
+// set of nodes, each hosting a fixed number of processes (one per GPU),
+// connected by links with configurable latency and bandwidth. Processes
+// are goroutines exchanging messages through in-memory mailboxes; each
+// process owns a virtual clock (vtime.Clock) advanced by communication
+// and computation costs, so experiments report calibrated virtual seconds
+// while the protocols themselves (collectives, revocation, agreement,
+// rendezvous) execute for real.
+//
+// Failures are first class: processes or whole nodes can be killed at any
+// point. Sends to a dead process fail, receives from a dead process fail
+// after a modeled detection delay, and every blocked receiver is woken so
+// recovery protocols can run. New processes can be spawned on existing or
+// fresh nodes to model replacement and upscaling.
+package simnet
+
+import (
+	"fmt"
+)
+
+// ProcID identifies a process (rank container) in the cluster. IDs are
+// global and never reused, so a respawned worker is distinguishable from
+// the failed one it replaces.
+type ProcID int
+
+// NodeID identifies a physical node.
+type NodeID int
+
+// AnySource matches any sender in Recv.
+const AnySource ProcID = -1
+
+// Reserved tag space: tags below CtlTagBase are control-plane tags used by
+// higher layers (ULFM revocation, join notifications). Recv surfaces them
+// through the endpoint's control handler instead of matching them.
+const CtlTagBase = -1000
+
+// Config describes the simulated machine and its cost model. All times are
+// virtual seconds, bandwidths are bytes per virtual second.
+type Config struct {
+	Nodes        int // initial node count
+	ProcsPerNode int // processes (GPUs) per node
+
+	// Link model, LogP-style: arrival = send_time + latency + bytes/bw,
+	// with a per-message software overhead charged to the sender (LogP's
+	// "o": marshalling, syscalls, NIC doorbells) — the term that makes
+	// tensor fusion matter.
+	IntraNodeLatency   float64 // between processes on one node
+	InterNodeLatency   float64 // between processes on different nodes
+	IntraNodeBandwidth float64 // shared-memory / NVLink-ish
+	InterNodeBandwidth float64 // per-process share of node injection bw
+	PerMessageOverhead float64 // sender-side cost per message
+
+	// DetectLatency models how long the runtime needs to flag a peer as
+	// dead once a receive is posted against it (in-band detection, as in
+	// ULFM). Timeout-driven stacks (Gloo) layer their own timeout on top.
+	DetectLatency float64
+
+	// SpawnDelay models launching a new process: scheduler allocation,
+	// binary + library load. The paper observes ~seconds for new-worker
+	// software initialization; model-state initialization is charged
+	// separately by the training layer.
+	SpawnDelay float64
+}
+
+// Summit returns a configuration calibrated to the paper's testbed: nodes
+// with 6 GPUs (one process per GPU), 23 GB/s node injection bandwidth,
+// microsecond-scale MPI latencies.
+func Summit(nodes int) Config {
+	return Config{
+		Nodes:              nodes,
+		ProcsPerNode:       6,
+		IntraNodeLatency:   1.5e-6,
+		InterNodeLatency:   3.0e-6,
+		IntraNodeBandwidth: 50e9,
+		InterNodeBandwidth: 23e9 / 6,
+		PerMessageOverhead: 1.0e-6,
+		DetectLatency:      2e-3,
+		SpawnDelay:         5.0,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("simnet: Nodes must be positive, got %d", c.Nodes)
+	case c.ProcsPerNode <= 0:
+		return fmt.Errorf("simnet: ProcsPerNode must be positive, got %d", c.ProcsPerNode)
+	case c.IntraNodeBandwidth <= 0 || c.InterNodeBandwidth <= 0:
+		return fmt.Errorf("simnet: bandwidths must be positive")
+	case c.IntraNodeLatency < 0 || c.InterNodeLatency < 0 || c.DetectLatency < 0 || c.SpawnDelay < 0 || c.PerMessageOverhead < 0:
+		return fmt.Errorf("simnet: latencies must be non-negative")
+	}
+	return nil
+}
+
+// Message is a unit of communication between processes. Data is an opaque
+// payload (typically a typed slice copied by the sender); Bytes drives the
+// bandwidth cost model and may exceed the in-memory size of Data when the
+// payload stands in for a larger simulated buffer.
+type Message struct {
+	From     ProcID
+	To       ProcID
+	Tag      int
+	Data     any
+	Bytes    int64
+	ArriveAt float64 // virtual arrival time at the destination
+}

@@ -1,0 +1,194 @@
+// Package tensor provides the flat float32 buffers, elementwise math, and
+// fusion-packing utilities that the training and communication layers
+// operate on. Gradients and parameters in this stack are plain []float32,
+// matching the wire format the paper's allreduce traffic is made of
+// (4 bytes per trainable parameter).
+package tensor
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Vector is a flat float32 tensor.
+type Vector []float32
+
+// New returns a zeroed vector of length n.
+func New(n int) Vector { return make(Vector, n) }
+
+// Clone returns an independent copy.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Zero sets every element to 0.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// FillRandom fills v with deterministic pseudo-random values in
+// [-scale, scale] derived from seed.
+func (v Vector) FillRandom(seed int64, scale float32) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range v {
+		v[i] = (rng.Float32()*2 - 1) * scale
+	}
+}
+
+// Add accumulates o into v elementwise.
+func (v Vector) Add(o Vector) {
+	for i := range v {
+		v[i] += o[i]
+	}
+}
+
+// AXPY computes v += a*o.
+func (v Vector) AXPY(a float32, o Vector) {
+	for i := range v {
+		v[i] += a * o[i]
+	}
+}
+
+// Scale multiplies every element by a.
+func (v Vector) Scale(a float32) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// Dot returns the inner product of v and o.
+func (v Vector) Dot(o Vector) float64 {
+	var s float64
+	for i := range v {
+		s += float64(v[i]) * float64(o[i])
+	}
+	return s
+}
+
+// L2Norm returns the Euclidean norm.
+func (v Vector) L2Norm() float64 {
+	return math.Sqrt(v.Dot(v))
+}
+
+// MaxAbs returns the largest absolute element value.
+func (v Vector) MaxAbs() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(float64(x)); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Hash returns a content hash of the vector's bit patterns, used to verify
+// that model replicas stay bitwise synchronized across recoveries.
+func (v Vector) Hash() uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, x := range v {
+		u := math.Float32bits(x)
+		b[0] = byte(u)
+		b[1] = byte(u >> 8)
+		b[2] = byte(u >> 16)
+		b[3] = byte(u >> 24)
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// Bytes returns the wire size of the vector.
+func (v Vector) Bytes() int64 { return int64(len(v)) * 4 }
+
+// --- fusion --------------------------------------------------------------
+
+// FusionGroup is one fused buffer: the indices of the tensors packed into
+// it and their total element count.
+type FusionGroup struct {
+	Tensors []int
+	Elems   int
+}
+
+// PlanFusion groups tensors (given by element counts, in order) into fused
+// buffers of at most capElems elements each, preserving order — the
+// strategy Horovod's fusion buffer uses (HOROVOD_FUSION_THRESHOLD). A
+// tensor larger than the capacity gets a group of its own.
+func PlanFusion(sizes []int, capElems int) []FusionGroup {
+	if capElems <= 0 {
+		capElems = 1
+	}
+	var groups []FusionGroup
+	cur := FusionGroup{}
+	for i, n := range sizes {
+		if cur.Elems > 0 && cur.Elems+n > capElems {
+			groups = append(groups, cur)
+			cur = FusionGroup{}
+		}
+		cur.Tensors = append(cur.Tensors, i)
+		cur.Elems += n
+		if cur.Elems >= capElems {
+			groups = append(groups, cur)
+			cur = FusionGroup{}
+		}
+	}
+	if cur.Elems > 0 || len(cur.Tensors) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups
+}
+
+// Pack copies the group's tensors into a single fused buffer.
+func Pack(g FusionGroup, tensors []Vector) Vector {
+	out := make(Vector, 0, g.Elems)
+	for _, ti := range g.Tensors {
+		out = append(out, tensors[ti]...)
+	}
+	return out
+}
+
+// Unpack splits a fused buffer back into the group's tensors, overwriting
+// them in place. It panics if the buffer length does not match the group.
+func Unpack(g FusionGroup, fused Vector, tensors []Vector) {
+	off := 0
+	for _, ti := range g.Tensors {
+		n := len(tensors[ti])
+		copy(tensors[ti], fused[off:off+n])
+		off += n
+	}
+	if off != len(fused) {
+		panic(fmt.Sprintf("tensor: unpack length mismatch: consumed %d of %d", off, len(fused)))
+	}
+}
+
+// Concat flattens a list of vectors into one (used for full-model state
+// snapshots and broadcasts).
+func Concat(tensors []Vector) Vector {
+	total := 0
+	for _, t := range tensors {
+		total += len(t)
+	}
+	out := make(Vector, 0, total)
+	for _, t := range tensors {
+		out = append(out, t...)
+	}
+	return out
+}
+
+// SplitLike splits a flat vector into pieces shaped like the given
+// tensors, overwriting them. It panics on length mismatch.
+func SplitLike(flat Vector, tensors []Vector) {
+	off := 0
+	for _, t := range tensors {
+		copy(t, flat[off:off+len(t)])
+		off += len(t)
+	}
+	if off != len(flat) {
+		panic(fmt.Sprintf("tensor: split length mismatch: consumed %d of %d", off, len(flat)))
+	}
+}

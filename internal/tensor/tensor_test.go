@@ -1,0 +1,198 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	v := Vector{1, 2, 3}
+	o := Vector{10, 20, 30}
+	v.Add(o)
+	if v[0] != 11 || v[2] != 33 {
+		t.Fatalf("Add = %v", v)
+	}
+	v.AXPY(2, Vector{1, 1, 1})
+	if v[0] != 13 || v[1] != 24 {
+		t.Fatalf("AXPY = %v", v)
+	}
+	v.Scale(0.5)
+	if v[0] != 6.5 {
+		t.Fatalf("Scale = %v", v)
+	}
+	v.Zero()
+	if v[0] != 0 || v[2] != 0 {
+		t.Fatalf("Zero = %v", v)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Vector{1, 2}
+	c := v.Clone()
+	c[0] = 9
+	if v[0] != 1 {
+		t.Fatal("Clone is not independent")
+	}
+}
+
+func TestDotNormMaxAbs(t *testing.T) {
+	v := Vector{3, 4}
+	if got := v.Dot(Vector{1, 2}); got != 11 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := v.L2Norm(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("L2Norm = %v", got)
+	}
+	if got := (Vector{-7, 2}).MaxAbs(); got != 7 {
+		t.Fatalf("MaxAbs = %v", got)
+	}
+}
+
+func TestFillRandomDeterministic(t *testing.T) {
+	a, b := New(100), New(100)
+	a.FillRandom(42, 1)
+	b.FillRandom(42, 1)
+	if a.Hash() != b.Hash() {
+		t.Fatal("same seed should give same fill")
+	}
+	c := New(100)
+	c.FillRandom(43, 1)
+	if a.Hash() == c.Hash() {
+		t.Fatal("different seeds should differ")
+	}
+	for _, x := range a {
+		if x < -1 || x > 1 {
+			t.Fatalf("value %v out of [-1,1]", x)
+		}
+	}
+}
+
+func TestHashDetectsChange(t *testing.T) {
+	v := New(10)
+	v.FillRandom(1, 1)
+	h := v.Hash()
+	v[5] += 1e-6
+	if v.Hash() == h {
+		t.Fatal("hash did not change after mutation")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if got := New(10).Bytes(); got != 40 {
+		t.Fatalf("Bytes = %d", got)
+	}
+}
+
+func TestPlanFusionRespectsCapacity(t *testing.T) {
+	sizes := []int{10, 20, 30, 5, 100, 1}
+	groups := PlanFusion(sizes, 50)
+	seen := map[int]bool{}
+	for _, g := range groups {
+		if g.Elems > 50 && len(g.Tensors) > 1 {
+			t.Fatalf("group %v exceeds capacity with multiple tensors", g)
+		}
+		total := 0
+		for _, ti := range g.Tensors {
+			if seen[ti] {
+				t.Fatalf("tensor %d in two groups", ti)
+			}
+			seen[ti] = true
+			total += sizes[ti]
+		}
+		if total != g.Elems {
+			t.Fatalf("group elems %d != sum %d", g.Elems, total)
+		}
+	}
+	if len(seen) != len(sizes) {
+		t.Fatalf("fusion lost tensors: %d of %d", len(seen), len(sizes))
+	}
+}
+
+func TestPlanFusionOversizeTensorOwnGroup(t *testing.T) {
+	groups := PlanFusion([]int{200}, 50)
+	if len(groups) != 1 || groups[0].Elems != 200 {
+		t.Fatalf("oversize tensor should form its own group: %v", groups)
+	}
+}
+
+func TestPlanFusionZeroCap(t *testing.T) {
+	groups := PlanFusion([]int{1, 2, 3}, 0)
+	if len(groups) != 3 {
+		t.Fatalf("cap<=0 should degrade to per-tensor groups, got %v", groups)
+	}
+}
+
+// Property: fusion always partitions the tensor list in order.
+func TestPlanFusionPartitionProperty(t *testing.T) {
+	f := func(raw []uint16, cap16 uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sizes := make([]int, len(raw))
+		for i, r := range raw {
+			sizes[i] = int(r%1000) + 1
+		}
+		capElems := int(cap16%2000) + 1
+		groups := PlanFusion(sizes, capElems)
+		next := 0
+		for _, g := range groups {
+			for _, ti := range g.Tensors {
+				if ti != next {
+					return false
+				}
+				next++
+			}
+		}
+		return next == len(sizes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	tensors := []Vector{{1, 2}, {3}, {4, 5, 6}}
+	groups := PlanFusion([]int{2, 1, 3}, 4)
+	for _, g := range groups {
+		fused := Pack(g, tensors)
+		if len(fused) != g.Elems {
+			t.Fatalf("packed %d, want %d", len(fused), g.Elems)
+		}
+		for i := range fused {
+			fused[i] *= 10
+		}
+		Unpack(g, fused, tensors)
+	}
+	want := []Vector{{10, 20}, {30}, {40, 50, 60}}
+	for i := range want {
+		for j := range want[i] {
+			if tensors[i][j] != want[i][j] {
+				t.Fatalf("tensors = %v", tensors)
+			}
+		}
+	}
+}
+
+func TestConcatSplitRoundTrip(t *testing.T) {
+	ts := []Vector{{1, 2}, {3, 4, 5}}
+	flat := Concat(ts)
+	if len(flat) != 5 || flat[4] != 5 {
+		t.Fatalf("Concat = %v", flat)
+	}
+	flat[0] = 9
+	out := []Vector{New(2), New(3)}
+	SplitLike(flat, out)
+	if out[0][0] != 9 || out[1][2] != 5 {
+		t.Fatalf("SplitLike = %v", out)
+	}
+}
+
+func TestSplitLikePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SplitLike(Vector{1, 2, 3}, []Vector{New(2)})
+}

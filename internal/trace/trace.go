@@ -1,0 +1,109 @@
+// Package trace records structured, machine-readable event journals from
+// elastic training runs: reconfiguration events with their per-phase cost
+// breakdowns, worker joins/exits, and run summaries, as JSON lines. The
+// journal is what an operator would ingest into their observability stack;
+// the tests and tools in this repo use it for post-hoc analysis of
+// recovery behavior.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Event is one journal record. Times are virtual seconds.
+type Event struct {
+	T      float64            `json:"t"`                // virtual time of emission
+	Proc   int                `json:"proc"`             // emitting process
+	Kind   string             `json:"kind"`             // "recovery", "join", "finish", "run"
+	Seq    int                `json:"seq,omitempty"`    // reconfiguration sequence/round
+	Reason string             `json:"reason,omitempty"` // "failure", "upscale", ...
+	Phases map[string]float64 `json:"phases,omitempty"` // per-phase seconds
+	Extra  map[string]any     `json:"extra,omitempty"`
+}
+
+// Recorder serializes events to a writer. All methods are safe for
+// concurrent use, and a nil *Recorder discards everything, so callers can
+// emit unconditionally.
+type Recorder struct {
+	mu     sync.Mutex
+	enc    *json.Encoder
+	events int
+	err    error
+}
+
+// New builds a recorder over w (pass nil to discard).
+func New(w io.Writer) *Recorder {
+	if w == nil {
+		return nil
+	}
+	return &Recorder{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event. Errors are sticky and reported by Err.
+func (r *Recorder) Emit(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	if err := r.enc.Encode(&ev); err != nil {
+		r.err = err
+		return
+	}
+	r.events++
+}
+
+// Recovery emits a reconfiguration event with its cost breakdown.
+func (r *Recorder) Recovery(t float64, proc, seq int, reason string, bd *metrics.Breakdown, newcomer bool) {
+	if r == nil {
+		return
+	}
+	ev := Event{T: t, Proc: proc, Kind: "recovery", Seq: seq, Reason: reason}
+	if bd != nil {
+		ev.Phases = make(map[string]float64)
+		for _, p := range bd.Phases() {
+			ev.Phases[string(p)] = bd.Get(p)
+		}
+	}
+	if newcomer {
+		ev.Kind = "join"
+	}
+	r.Emit(ev)
+}
+
+// Finish emits a worker-completion record.
+func (r *Recorder) Finish(t float64, proc, rank, size int) {
+	r.Emit(Event{T: t, Proc: proc, Kind: "finish", Extra: map[string]any{"rank": rank, "size": size}})
+}
+
+// Run emits a run summary.
+func (r *Recorder) Run(t float64, size int, events int) {
+	r.Emit(Event{T: t, Proc: -1, Kind: "run", Extra: map[string]any{"final_size": size, "events": events}})
+}
+
+// Count reports how many events were written.
+func (r *Recorder) Count() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.events
+}
+
+// Err reports the first write error, if any.
+func (r *Recorder) Err() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(Event{Kind: "x"})
+	r.Recovery(1, 0, 1, "failure", nil, false)
+	r.Finish(1, 0, 0, 4)
+	r.Run(1, 4, 0)
+	if r.Count() != 0 || r.Err() != nil {
+		t.Fatal("nil recorder should discard silently")
+	}
+	if New(nil) != nil {
+		t.Fatal("New(nil) should return nil")
+	}
+}
+
+func TestEmitJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(&buf)
+	bd := metrics.NewBreakdown()
+	bd.Add(metrics.PhaseRevoke, 0.001)
+	bd.Add(metrics.PhaseShrink, 0.002)
+	r.Recovery(1.5, 3, 1, "failure", bd, false)
+	r.Recovery(2.0, 9, 1, "failure", bd, true) // newcomer -> "join"
+	r.Finish(3.0, 3, 0, 5)
+	r.Run(3.1, 5, 1)
+	if r.Count() != 4 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != "recovery" || ev.Phases["revoke"] != 0.001 || ev.Phases["shrink"] != 0.002 {
+		t.Fatalf("recovery event = %+v", ev)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != "join" {
+		t.Fatalf("newcomer kind = %q", ev.Kind)
+	}
+	if err := json.Unmarshal([]byte(lines[3]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != "run" || ev.Extra["final_size"].(float64) != 5 {
+		t.Fatalf("run event = %+v", ev)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n > 1 {
+		return 0, bytes.ErrTooLarge
+	}
+	return len(p), nil
+}
+
+func TestStickyError(t *testing.T) {
+	r := New(&failWriter{})
+	r.Emit(Event{Kind: "a"})
+	r.Emit(Event{Kind: "b"}) // fails
+	r.Emit(Event{Kind: "c"}) // skipped
+	if r.Count() != 1 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	if r.Err() == nil {
+		t.Fatal("expected sticky error")
+	}
+}

@@ -1,0 +1,97 @@
+package train
+
+import (
+	"testing"
+)
+
+func reclaimCfg() Config {
+	c := realCfg()
+	c.ReclaimLostSamples = true
+	return c
+}
+
+func TestCarryoverRoundTrip(t *testing.T) {
+	s, _ := NewState(reclaimCfg())
+	s.SetCarryover([]int{5, 9, 13})
+	got := s.Carryover()
+	if len(got) != 3 || got[1] != 9 {
+		t.Fatalf("Carryover = %v", got)
+	}
+	s.SetCarryover(nil)
+	if len(s.Carryover()) != 0 {
+		t.Fatal("carryover not cleared")
+	}
+}
+
+func TestEffectiveShardsWithCarryPartition(t *testing.T) {
+	s, _ := NewState(reclaimCfg())
+	carry := []int{1000, 1001, 1002, 1003, 1004}
+	s.SetCarryover(carry)
+	const workers = 3
+	seen := map[int]int{}
+	for r := 0; r < workers; r++ {
+		for _, idx := range s.effectiveShard(r, workers) {
+			seen[idx]++
+		}
+	}
+	// Base shards partition the dataset, carry adds its five indices.
+	if len(seen) != s.Cfg.Dataset.N+len(carry) {
+		t.Fatalf("covered %d samples, want %d", len(seen), s.Cfg.Dataset.N+len(carry))
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Fatalf("sample %d visited %d times", idx, n)
+		}
+	}
+}
+
+func TestStepsPerEpochGrowsWithCarry(t *testing.T) {
+	s, _ := NewState(reclaimCfg())
+	base := s.StepsPerEpoch(4)
+	carry := make([]int, 200) // 50 extra samples per rank, batch 16
+	for i := range carry {
+		carry[i] = i
+	}
+	s.SetCarryover(carry)
+	withCarry := s.StepsPerEpoch(4)
+	if !(withCarry > base) {
+		t.Fatalf("steps should grow with carry: %d vs %d", base, withCarry)
+	}
+}
+
+func TestUnvisitedAfter(t *testing.T) {
+	s, _ := NewState(reclaimCfg())
+	// Rank 0's shard: 64 samples, batch 16 -> 4 batches.
+	all := s.UnvisitedAfter(0, 4, 0)
+	if len(all) != 64 {
+		t.Fatalf("unvisited after 0 steps = %d, want full shard", len(all))
+	}
+	half := s.UnvisitedAfter(0, 4, 2)
+	if len(half) != 32 {
+		t.Fatalf("unvisited after 2 steps = %d, want 32", len(half))
+	}
+	if got := s.UnvisitedAfter(0, 4, 99); got != nil {
+		t.Fatalf("unvisited after all steps = %v, want nil", got)
+	}
+	// Virtual mode has no samples.
+	v, _ := NewState(virtCfg())
+	if v.UnvisitedAfter(0, 4, 0) != nil {
+		t.Fatal("virtual mode should have no unvisited samples")
+	}
+}
+
+func TestComputeGradsZeroBeyondShard(t *testing.T) {
+	s, _ := NewState(reclaimCfg())
+	s.Step = 999
+	loss := s.ComputeGrads(0, 4)
+	if loss == loss { // NaN check
+		t.Fatalf("loss beyond shard = %v, want NaN", loss)
+	}
+	for _, g := range s.Grads() {
+		for _, v := range g {
+			if v != 0 {
+				t.Fatal("gradients beyond shard should be zero")
+			}
+		}
+	}
+}

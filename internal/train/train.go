@@ -1,0 +1,335 @@
+// Package train holds the training-state machinery shared by the two
+// elastic drivers (the Elastic Horovod baseline in internal/elastic and
+// the ULFM resilient-collective trainer in internal/core): a State that
+// bundles model, optimizer, and progress counters; flat serialization for
+// state synchronization and checkpointing; and the per-step gradient
+// computation in both real (small trainable MLP) and virtual (Table 1
+// model cost schedule) modes.
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/optimizer"
+	"repro/internal/tensor"
+)
+
+// Mode selects how gradients are produced.
+type Mode int
+
+const (
+	// Real trains the small MLP on the synthetic dataset: gradients are
+	// genuinely computed and learning is measurable.
+	Real Mode = iota
+	// Virtual replays a Table 1 model's tensor schedule as virtual
+	// payloads: the communication and compute cost is exact, the values
+	// are not materialized.
+	Virtual
+)
+
+// Config describes a training job.
+type Config struct {
+	Mode Mode
+
+	// Real mode.
+	MLPSizes  []int
+	Seed      int64
+	Dataset   *data.Synthetic
+	BatchSize int
+
+	// Virtual mode.
+	Spec models.Spec
+
+	// Common.
+	Epochs      int
+	BaseLR      float64
+	Momentum    float64
+	RefWorkers  int // worker count the base LR is calibrated for
+	WarmupSteps int
+
+	// ReclaimLostSamples (real mode, downscale scenarios) redistributes a
+	// failed worker's unvisited samples over the survivors in the next
+	// epoch, so data coverage survives failures — the extension the
+	// paper's related work attributes to elastic schedulers (Wu et al.).
+	ReclaimLostSamples bool
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch c.Mode {
+	case Real:
+		if len(c.MLPSizes) < 2 {
+			return fmt.Errorf("train: real mode needs MLPSizes")
+		}
+		if c.Dataset == nil {
+			return fmt.Errorf("train: real mode needs a dataset")
+		}
+		if c.BatchSize <= 0 {
+			return fmt.Errorf("train: real mode needs BatchSize > 0")
+		}
+	case Virtual:
+		if c.Spec.Params <= 0 {
+			return fmt.Errorf("train: virtual mode needs a model spec")
+		}
+	default:
+		return fmt.Errorf("train: unknown mode %d", c.Mode)
+	}
+	if c.Epochs <= 0 {
+		return fmt.Errorf("train: Epochs must be positive")
+	}
+	if c.RefWorkers <= 0 {
+		return fmt.Errorf("train: RefWorkers must be positive")
+	}
+	return nil
+}
+
+// State is one worker's training state. All workers hold replicas that
+// must remain identical outside of the instant between gradient exchange
+// and optimizer step.
+type State struct {
+	Cfg   Config
+	Epoch int
+	Step  int // optimizer step within the current epoch
+
+	Model *models.MLP
+	Opt   *optimizer.SGD
+	LRPol *optimizer.LRPolicy
+
+	grads []tensor.Vector
+	names []string
+	carry []int // reclaimed sample indices for the current epoch
+
+	// sched is the virtual tensor schedule (element counts).
+	sched []int
+
+	// Metrics.
+	LossHistory []float64
+}
+
+// NewState builds the initial replica. Deterministic given the config, so
+// all workers independently construct identical replicas.
+func NewState(cfg Config) (*State, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &State{
+		Cfg:   cfg,
+		Opt:   optimizer.NewSGD(cfg.BaseLR, cfg.Momentum),
+		LRPol: optimizer.NewLRPolicy(cfg.BaseLR, cfg.RefWorkers, cfg.WarmupSteps),
+	}
+	if cfg.Mode == Real {
+		s.Model = models.NewMLP(cfg.MLPSizes, cfg.Seed)
+		s.Opt.EnsureState(s.Model.Params())
+		s.grads = s.Model.ZeroGrads()
+		s.names = make([]string, len(s.grads))
+		for i := range s.names {
+			s.names[i] = fmt.Sprintf("t%d", i)
+		}
+	} else {
+		s.sched = cfg.Spec.TensorSchedule()
+	}
+	return s, nil
+}
+
+// Names returns the gradient tensor names (real mode).
+func (s *State) Names() []string { return s.names }
+
+// Grads returns the gradient buffers (real mode).
+func (s *State) Grads() []tensor.Vector { return s.grads }
+
+// Schedule returns the virtual tensor schedule (virtual mode).
+func (s *State) Schedule() []int { return s.sched }
+
+// StepTime returns the per-minibatch fwd+bwd compute time charged to the
+// virtual clock. Real-mode compute happens for real; its virtual cost is a
+// nominal constant so timelines remain meaningful.
+func (s *State) StepTime() float64 {
+	if s.Cfg.Mode == Virtual {
+		return s.Cfg.Spec.StepTime()
+	}
+	return 1e-3
+}
+
+// StepsPerEpoch returns the optimizer steps in one epoch for a given
+// worker count. In real mode it is the maximum batch count over the
+// ranks' effective shards (base shard plus any reclaimed carryover), so
+// every rank issues the same number of collectives; ranks with fewer
+// batches contribute zero gradients on the surplus steps.
+func (s *State) StepsPerEpoch(workers int) int {
+	if s.Cfg.Mode == Virtual {
+		return s.Cfg.Spec.EpochSteps(workers)
+	}
+	if workers <= 0 {
+		return 1
+	}
+	steps := 1
+	for r := 0; r < workers; r++ {
+		n := len(s.effectiveShard(r, workers))
+		b := (n + s.Cfg.BatchSize - 1) / s.Cfg.BatchSize
+		if b > steps {
+			steps = b
+		}
+	}
+	return steps
+}
+
+// SetCarryover installs the reclaimed sample list for the upcoming epoch;
+// rank r trains on every workers-th index starting at r. All ranks must
+// install the identical list.
+func (s *State) SetCarryover(samples []int) {
+	s.carry = append([]int(nil), samples...)
+}
+
+// Carryover returns the currently installed reclaimed samples.
+func (s *State) Carryover() []int { return append([]int(nil), s.carry...) }
+
+// effectiveShard is the rank's base shard plus its slice of the
+// carryover.
+func (s *State) effectiveShard(rank, workers int) []int {
+	shard := s.Cfg.Dataset.Shard(s.Epoch, rank, workers)
+	if len(s.carry) == 0 {
+		return shard
+	}
+	out := append([]int(nil), shard...)
+	for i := rank; i < len(s.carry); i += workers {
+		out = append(out, s.carry[i])
+	}
+	return out
+}
+
+// UnvisitedAfter returns the samples a rank would NOT have visited if it
+// stopped before completing `steps` optimizer steps of the current epoch
+// — the set a recovery reclaims from a failed worker.
+func (s *State) UnvisitedAfter(rank, workers, steps int) []int {
+	if s.Cfg.Mode == Virtual {
+		return nil
+	}
+	batches := data.Batches(s.effectiveShard(rank, workers), s.Cfg.BatchSize)
+	if steps >= len(batches) {
+		return nil
+	}
+	var out []int
+	for _, b := range batches[steps:] {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// ComputeGrads runs forward+backward for this worker's minibatch at
+// (epoch, step) and fills the gradient buffers. Returns the minibatch loss
+// (real mode) or NaN (virtual mode, where no values exist).
+func (s *State) ComputeGrads(rank, workers int) float64 {
+	if s.Cfg.Mode == Virtual {
+		return math.NaN()
+	}
+	batches := data.Batches(s.effectiveShard(rank, workers), s.Cfg.BatchSize)
+	if s.Step >= len(batches) {
+		// This rank ran out of data for the epoch (uneven shards or
+		// surplus steps from reclaimed samples elsewhere): it contributes
+		// zero gradients but still participates in the collectives.
+		for _, g := range s.grads {
+			g.Zero()
+		}
+		return math.NaN()
+	}
+	b := batches[s.Step]
+	xs, ys := s.Cfg.Dataset.Batch(b)
+	loss, _ := s.Model.LossAndGrad(xs, ys, s.grads)
+	return loss
+}
+
+// ApplyStep applies the (already averaged) gradients with the elastic LR
+// policy and advances the step counter.
+func (s *State) ApplyStep() {
+	if s.Cfg.Mode == Real {
+		s.Opt.SetLR(s.LRPol.Tick())
+		s.Opt.Step(s.Model.Params(), s.grads)
+	} else {
+		s.LRPol.Tick()
+	}
+	s.Step++
+}
+
+// StateBytes returns the wire size of a full state synchronization
+// (parameters + optimizer state): the cost of bringing a newcomer up to
+// date, or of the baseline's post-reset broadcast.
+func (s *State) StateBytes() int64 {
+	if s.Cfg.Mode == Virtual {
+		// Parameters + momentum, 4 bytes each.
+		return 2 * s.Cfg.Spec.GradientBytes()
+	}
+	return int64(len(s.Flat())) * 4
+}
+
+// Flat serializes progress counters, LR, the LR policy's ramp state,
+// model parameters, and optimizer state into one vector (real mode;
+// virtual mode serializes only the counters and policy).
+func (s *State) Flat() tensor.Vector {
+	target, start, since := s.LRPol.Snapshot()
+	head := tensor.Vector{
+		float32(s.Epoch),
+		float32(s.Step),
+		float32(s.Opt.LR()),
+		float32(target),
+		float32(start),
+		float32(since),
+	}
+	if s.Cfg.Mode == Virtual {
+		return head
+	}
+	out := append(tensor.Vector(nil), head...)
+	model := s.Model.State()
+	opt := s.Opt.State()
+	out = append(out, float32(len(model)))
+	out = append(out, model...)
+	out = append(out, opt...)
+	return out
+}
+
+// SetFlat restores a snapshot produced by Flat.
+func (s *State) SetFlat(flat tensor.Vector) error {
+	if len(flat) < 6 {
+		return fmt.Errorf("train: truncated state snapshot (%d floats)", len(flat))
+	}
+	s.Epoch = int(flat[0])
+	s.Step = int(flat[1])
+	s.Opt.SetLR(float64(flat[2]))
+	s.LRPol.Restore(float64(flat[3]), float64(flat[4]), int(flat[5]))
+	if s.Cfg.Mode == Virtual {
+		return nil
+	}
+	if len(flat) < 7 {
+		return fmt.Errorf("train: missing model length")
+	}
+	n := int(flat[6])
+	rest := flat[7:]
+	if len(rest) < n {
+		return fmt.Errorf("train: truncated model state: %d < %d", len(rest), n)
+	}
+	s.Model.SetState(rest[:n])
+	opt := rest[n:]
+	s.Opt.EnsureState(s.Model.Params())
+	if len(opt) > 0 {
+		s.Opt.SetState(opt)
+	}
+	return nil
+}
+
+// Hash fingerprints the replica (model + optimizer + counters) for
+// consistency checks across workers.
+func (s *State) Hash() uint64 {
+	return s.Flat().Hash()
+}
+
+// RecordLoss records an epoch's mean loss at its epoch index, overwriting
+// an earlier entry when a recovery rewound into a completed epoch and it
+// was re-run.
+func (s *State) RecordLoss(epoch int, l float64) {
+	for len(s.LossHistory) <= epoch {
+		s.LossHistory = append(s.LossHistory, 0)
+	}
+	s.LossHistory[epoch] = l
+}

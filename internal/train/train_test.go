@@ -1,0 +1,202 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/models"
+)
+
+func realCfg() Config {
+	return Config{
+		Mode:       Real,
+		MLPSizes:   []int{8, 16, 4},
+		Seed:       3,
+		Dataset:    data.NewSynthetic(256, 8, 4, 7),
+		BatchSize:  16,
+		Epochs:     3,
+		BaseLR:     0.1,
+		Momentum:   0.9,
+		RefWorkers: 4,
+	}
+}
+
+func virtCfg() Config {
+	return Config{
+		Mode:       Virtual,
+		Spec:       models.ResNet50V2,
+		Epochs:     2,
+		BaseLR:     0.1,
+		RefWorkers: 12,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		ok   bool
+	}{
+		{"real ok", func(c *Config) {}, true},
+		{"no sizes", func(c *Config) { c.MLPSizes = nil }, false},
+		{"no dataset", func(c *Config) { c.Dataset = nil }, false},
+		{"no batch", func(c *Config) { c.BatchSize = 0 }, false},
+		{"no epochs", func(c *Config) { c.Epochs = 0 }, false},
+		{"no ref workers", func(c *Config) { c.RefWorkers = 0 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := realCfg()
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if tc.ok != (err == nil) {
+				t.Fatalf("Validate = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+	bad := virtCfg()
+	bad.Spec = models.Spec{}
+	if bad.Validate() == nil {
+		t.Fatal("virtual mode without spec should fail")
+	}
+}
+
+func TestReplicasIdentical(t *testing.T) {
+	a, err := NewState(realCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewState(realCfg())
+	if a.Hash() != b.Hash() {
+		t.Fatal("independently constructed replicas differ")
+	}
+}
+
+func TestComputeGradsDeterministic(t *testing.T) {
+	a, _ := NewState(realCfg())
+	b, _ := NewState(realCfg())
+	la := a.ComputeGrads(1, 4)
+	lb := b.ComputeGrads(1, 4)
+	if la != lb {
+		t.Fatalf("losses differ: %v vs %v", la, lb)
+	}
+	for i := range a.Grads() {
+		if a.Grads()[i].Hash() != b.Grads()[i].Hash() {
+			t.Fatalf("grad %d differs", i)
+		}
+	}
+	// Different ranks see different shards.
+	lc := b.ComputeGrads(2, 4)
+	if la == lc {
+		t.Fatal("different ranks unexpectedly produced identical loss")
+	}
+}
+
+func TestApplyStepAdvances(t *testing.T) {
+	s, _ := NewState(realCfg())
+	h := s.Hash()
+	s.ComputeGrads(0, 1)
+	s.ApplyStep()
+	if s.Step != 1 {
+		t.Fatalf("Step = %d", s.Step)
+	}
+	if s.Hash() == h {
+		t.Fatal("parameters unchanged after step")
+	}
+}
+
+func TestFlatRoundTripReal(t *testing.T) {
+	s, _ := NewState(realCfg())
+	s.ComputeGrads(0, 2)
+	s.ApplyStep()
+	s.Epoch = 2
+	s.Step = 5
+	flat := s.Flat()
+
+	r, _ := NewState(realCfg())
+	if err := r.SetFlat(flat); err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch != 2 || r.Step != 5 {
+		t.Fatalf("counters = (%d,%d)", r.Epoch, r.Step)
+	}
+	if r.Hash() != s.Hash() {
+		t.Fatal("restored replica differs")
+	}
+}
+
+func TestFlatRoundTripVirtual(t *testing.T) {
+	s, _ := NewState(virtCfg())
+	s.Epoch, s.Step = 1, 7
+	flat := s.Flat()
+	if len(flat) != 6 {
+		t.Fatalf("virtual flat length = %d, want 6 (counters + LR policy)", len(flat))
+	}
+	r, _ := NewState(virtCfg())
+	if err := r.SetFlat(flat); err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch != 1 || r.Step != 7 {
+		t.Fatalf("counters = (%d,%d)", r.Epoch, r.Step)
+	}
+}
+
+func TestSetFlatRejectsTruncated(t *testing.T) {
+	s, _ := NewState(realCfg())
+	if err := s.SetFlat(nil); err == nil {
+		t.Fatal("nil snapshot should fail")
+	}
+	if err := s.SetFlat(s.Flat()[:5]); err == nil {
+		t.Fatal("truncated snapshot should fail")
+	}
+	if err := s.SetFlat(s.Flat()[:6]); err == nil {
+		t.Fatal("real snapshot without model length should fail")
+	}
+}
+
+func TestStateBytes(t *testing.T) {
+	v, _ := NewState(virtCfg())
+	if got := v.StateBytes(); got != 2*models.ResNet50V2.GradientBytes() {
+		t.Fatalf("virtual StateBytes = %d", got)
+	}
+	r, _ := NewState(realCfg())
+	if got := r.StateBytes(); got != int64(len(r.Flat()))*4 {
+		t.Fatalf("real StateBytes = %d", got)
+	}
+}
+
+func TestStepsPerEpoch(t *testing.T) {
+	r, _ := NewState(realCfg())
+	// 256 samples over 4 workers, batch 16 -> 4 steps.
+	if got := r.StepsPerEpoch(4); got != 4 {
+		t.Fatalf("real steps = %d, want 4", got)
+	}
+	v, _ := NewState(virtCfg())
+	if got := v.StepsPerEpoch(12); got != models.ResNet50V2.EpochSteps(12) {
+		t.Fatalf("virtual steps = %d", got)
+	}
+}
+
+func TestVirtualComputeGradsNaN(t *testing.T) {
+	v, _ := NewState(virtCfg())
+	if !math.IsNaN(v.ComputeGrads(0, 12)) {
+		t.Fatal("virtual mode should report NaN loss")
+	}
+	if v.StepTime() != models.ResNet50V2.StepTime() {
+		t.Fatal("virtual StepTime should come from the spec")
+	}
+}
+
+func TestRecordLoss(t *testing.T) {
+	s, _ := NewState(realCfg())
+	s.RecordLoss(0, 1.5)
+	s.RecordLoss(1, 1.2)
+	if len(s.LossHistory) != 2 || s.LossHistory[1] != 1.2 {
+		t.Fatalf("LossHistory = %v", s.LossHistory)
+	}
+	s.RecordLoss(1, 1.1) // re-run epoch overwrites
+	if len(s.LossHistory) != 2 || s.LossHistory[1] != 1.1 {
+		t.Fatalf("LossHistory after overwrite = %v", s.LossHistory)
+	}
+}

@@ -1,0 +1,251 @@
+// Package ulfm packages the paper's resilient collective operations as a
+// reusable library: a ResilientComm wraps an mpi.Comm and transparently
+// applies the ULFM recovery pipeline — revoke, acknowledge, agree, shrink,
+// optional node-drop — to any collective that fails, then retries it on
+// the repaired communicator with the caller's original buffers.
+//
+// This is the abstraction Section 3.1 describes ("resilient collective
+// operations serve as the primary method to handle any changes in worker
+// size during training"): callers keep issuing collectives; membership
+// changes surface only through the OnReconfigure callback. The training
+// integration in internal/core inlines the same pipeline because it also
+// coordinates replacement spawning and epoch-boundary merges; this package
+// is the standalone form for other applications (iterative solvers,
+// analytics) that just want collectives that survive failures.
+package ulfm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/failure"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+	"repro/internal/vtime"
+)
+
+// ErrDropped is returned when the node-drop policy removes the calling
+// (alive) process from the communicator: the caller must stop using it.
+var ErrDropped = errors.New("ulfm: this process was dropped by the node-drop policy")
+
+// Policy configures recovery behavior.
+type Policy struct {
+	// Drop selects the blast radius applied on top of the failed
+	// processes: KillProcess removes only the dead; KillNode also removes
+	// their nodes' survivors (the paper's runtime flag).
+	Drop failure.Kind
+	// MaxRetries bounds how many consecutive repairs a single operation
+	// may attempt (each retry handles one additional failure event).
+	MaxRetries int
+	// OnReconfigure, if set, is called after every successful repair with
+	// the new communicator and the cost breakdown of the recovery.
+	OnReconfigure func(newComm *mpi.Comm, bd *metrics.Breakdown)
+}
+
+// DefaultPolicy drops processes only and tolerates up to 8 failures per
+// operation.
+func DefaultPolicy() Policy {
+	return Policy{Drop: failure.KillProcess, MaxRetries: 8}
+}
+
+// ResilientComm is a self-repairing communicator.
+type ResilientComm struct {
+	comm    *mpi.Comm
+	cluster *simnet.Cluster
+	policy  Policy
+	events  []*metrics.Breakdown
+}
+
+// New wraps a communicator. The cluster handle is needed to resolve
+// process→node placement for the node-drop policy.
+func New(c *mpi.Comm, cluster *simnet.Cluster, policy Policy) *ResilientComm {
+	if policy.MaxRetries <= 0 {
+		policy.MaxRetries = 8
+	}
+	return &ResilientComm{comm: c, cluster: cluster, policy: policy}
+}
+
+// Comm returns the current underlying communicator (it changes across
+// repairs).
+func (r *ResilientComm) Comm() *mpi.Comm { return r.comm }
+
+// Rank and Size reflect the current communicator.
+func (r *ResilientComm) Rank() int { return r.comm.Rank() }
+func (r *ResilientComm) Size() int { return r.comm.Size() }
+
+// Events returns the recovery breakdowns recorded so far (one per repair).
+func (r *ResilientComm) Events() []*metrics.Breakdown {
+	return append([]*metrics.Breakdown(nil), r.events...)
+}
+
+// Allreduce is a resilient elementwise sum-reduction: on failure the
+// communicator is repaired and the operation retried with the caller's
+// original contribution, so survivors obtain the reduction over the
+// surviving contributions — the paper's forward recovery.
+func Allreduce[T mpi.Number](r *ResilientComm, data []T, op mpi.Op) error {
+	orig := append([]T(nil), data...)
+	return r.retry(func() error {
+		copy(data, orig)
+		return mpi.Allreduce(r.comm, data, op)
+	})
+}
+
+// AllreduceVirtual is the cost-model variant of Allreduce.
+func AllreduceVirtual(r *ResilientComm, bytes int64) error {
+	return r.retry(func() error {
+		return mpi.AllreduceVirtual(r.comm, bytes)
+	})
+}
+
+// Bcast resiliently broadcasts from the CURRENT rank `root`. If the root
+// itself fails, the operation cannot be completed and the root's failure
+// is reported to the caller after the repair (callers pick a new root).
+func Bcast[T any](r *ResilientComm, data []T, root int) error {
+	rootProc := r.comm.ProcOf(root)
+	return r.retry(func() error {
+		nr := r.rankOfProc(rootProc)
+		if nr < 0 {
+			return fmt.Errorf("ulfm: bcast root (proc %d) failed and was removed", rootProc)
+		}
+		return mpi.Bcast(r.comm, data, nr)
+	})
+}
+
+// Barrier is a resilient barrier over the surviving members.
+func Barrier(r *ResilientComm) error {
+	return r.retry(func() error {
+		return mpi.Barrier(r.comm)
+	})
+}
+
+// Allgatherv resiliently gathers variable-length blocks. On a repair the
+// caller's counts no longer match the membership, so the operation
+// reports the repaired communicator through ErrReconfigured-style error
+// (callers recompute counts); use Allgather on fixed-size blocks for
+// transparent retries.
+func Allgather[T any](r *ResilientComm, send []T, recvOf func(size int) []T) ([]T, error) {
+	var out []T
+	err := r.retry(func() error {
+		out = recvOf(r.comm.Size())
+		return mpi.Allgather(r.comm, send, out)
+	})
+	return out, err
+}
+
+// retry makes op a *uniform* resilient collective: after the raw
+// operation, the members run a fault-tolerant agreement on its success.
+// A failed collective can complete at some ranks while aborting at others
+// (e.g. a broadcast root finishes its sends before the fault surfaces
+// downstream); without the agreement, the completed ranks would move on
+// and strand the failed ranks' recovery. With it, every member learns
+// uniformly whether anyone failed, and all repair and retry in lockstep —
+// the trade-off (one agreement per operation) is the documented cost of
+// ULFM's uniform collectives.
+func (r *ResilientComm) retry(op func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err != nil && !mpi.IsFault(err) {
+			return err
+		}
+		ok := uint32(1)
+		if err != nil {
+			ok = 0
+		}
+		r.comm.FailureAck()
+		agreed, aerr := r.comm.Agree(ok)
+		if aerr != nil && !mpi.IsProcFailed(aerr) {
+			return aerr
+		}
+		if agreed == 1 && aerr == nil {
+			return nil // success everywhere, membership intact
+		}
+		if attempt >= r.policy.MaxRetries {
+			if err == nil {
+				err = fmt.Errorf("membership changed")
+			}
+			return fmt.Errorf("ulfm: giving up after %d repairs: %w", attempt, err)
+		}
+		if rerr := r.repair(); rerr != nil {
+			return rerr
+		}
+	}
+}
+
+// repair runs the ULFM pipeline and applies the drop policy.
+func (r *ResilientComm) repair() error {
+	ep := r.comm.Proc().Endpoint()
+	bd := metrics.NewBreakdown()
+	sw := vtime.NewStopwatch(&ep.Clock)
+
+	r.comm.Revoke()
+	bd.Add(metrics.PhaseRevoke, sw.Lap())
+
+	r.comm.FailureAck()
+	if _, err := r.comm.Agree(1); err != nil && !mpi.IsProcFailed(err) {
+		return err
+	}
+	bd.Add(metrics.PhaseAgree, sw.Lap())
+
+	shrunk, err := r.comm.Shrink()
+	if err != nil {
+		return err
+	}
+	bd.Add(metrics.PhaseShrink, sw.Lap())
+
+	if r.policy.Drop == failure.KillNode && r.cluster != nil {
+		dead := missingFrom(r.comm.Procs(), shrunk.Procs())
+		deadNodes := map[simnet.NodeID]bool{}
+		for _, d := range dead {
+			if n, nerr := r.cluster.NodeOf(d); nerr == nil {
+				deadNodes[n] = true
+			}
+		}
+		var keep []simnet.ProcID
+		for _, pr := range shrunk.Procs() {
+			if n, nerr := r.cluster.NodeOf(pr); nerr == nil && !deadNodes[n] {
+				keep = append(keep, pr)
+			}
+		}
+		sub, serr := shrunk.Subset(keep)
+		if serr != nil {
+			return serr
+		}
+		bd.Add(metrics.PhaseShrink, sw.Lap())
+		if sub == nil {
+			r.events = append(r.events, bd)
+			return ErrDropped
+		}
+		shrunk = sub
+	}
+
+	r.comm = shrunk
+	r.events = append(r.events, bd)
+	if r.policy.OnReconfigure != nil {
+		r.policy.OnReconfigure(shrunk, bd)
+	}
+	return nil
+}
+
+func (r *ResilientComm) rankOfProc(p simnet.ProcID) int {
+	for i, pr := range r.comm.Procs() {
+		if pr == p {
+			return i
+		}
+	}
+	return -1
+}
+
+func missingFrom(old, new []simnet.ProcID) []simnet.ProcID {
+	in := make(map[simnet.ProcID]bool, len(new))
+	for _, p := range new {
+		in[p] = true
+	}
+	var out []simnet.ProcID
+	for _, p := range old {
+		if !in[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

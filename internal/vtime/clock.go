@@ -1,0 +1,97 @@
+// Package vtime provides virtual clocks for the simulated cluster.
+//
+// Every simulated process owns a Clock that tracks its position on a
+// virtual timeline measured in seconds. Computation advances the clock by
+// a duration; receiving a message advances it to the message's arrival
+// time (LogP-style simulation). Clocks are safe for concurrent reads so
+// that observers (the experiment harness) can sample progress, but only
+// the owning goroutine should advance them.
+package vtime
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Clock is a monotonically non-decreasing virtual clock. The zero value is
+// a clock at time 0, ready to use.
+type Clock struct {
+	bits atomic.Uint64 // math.Float64bits of the current time in seconds
+}
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 {
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Advance moves the clock forward by d seconds. Negative d is ignored so
+// that cost formulas may safely produce tiny negative rounding artifacts.
+func (c *Clock) Advance(d float64) {
+	if d <= 0 {
+		return
+	}
+	c.set(c.Now() + d)
+}
+
+// AdvanceTo moves the clock to t if t is later than the current time.
+// It returns the resulting time.
+func (c *Clock) AdvanceTo(t float64) float64 {
+	now := c.Now()
+	if t > now {
+		c.set(t)
+		return t
+	}
+	return now
+}
+
+// Set forces the clock to t even if t is in the past. It is intended for
+// harnesses that reset clocks between experiment repetitions.
+func (c *Clock) Set(t float64) {
+	c.set(t)
+}
+
+func (c *Clock) set(t float64) {
+	c.bits.Store(math.Float64bits(t))
+}
+
+// Max returns the latest time among the given clocks, or 0 if none.
+func Max(clocks ...*Clock) float64 {
+	var m float64
+	for _, c := range clocks {
+		if t := c.Now(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Stopwatch measures elapsed virtual time on a clock between Start and
+// Elapsed calls. It is a convenience for phase cost accounting.
+type Stopwatch struct {
+	clock *Clock
+	start float64
+}
+
+// NewStopwatch returns a stopwatch running against clk, started now.
+func NewStopwatch(clk *Clock) *Stopwatch {
+	return &Stopwatch{clock: clk, start: clk.Now()}
+}
+
+// Restart resets the stopwatch origin to the clock's current time.
+func (s *Stopwatch) Restart() {
+	s.start = s.clock.Now()
+}
+
+// Elapsed returns the virtual seconds elapsed since the last (re)start.
+func (s *Stopwatch) Elapsed() float64 {
+	return s.clock.Now() - s.start
+}
+
+// Lap returns the elapsed time and restarts the stopwatch, so consecutive
+// laps partition the timeline into contiguous phases.
+func (s *Stopwatch) Lap() float64 {
+	now := s.clock.Now()
+	d := now - s.start
+	s.start = now
+	return d
+}

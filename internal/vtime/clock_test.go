@@ -1,0 +1,144 @@
+package vtime
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero clock Now() = %v, want 0", got)
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(1.5)
+	if got := c.Now(); got != 1.5 {
+		t.Fatalf("Now() = %v, want 1.5", got)
+	}
+	c.Advance(0.5)
+	if got := c.Now(); got != 2.0 {
+		t.Fatalf("Now() = %v, want 2.0", got)
+	}
+}
+
+func TestAdvanceIgnoresNonPositive(t *testing.T) {
+	var c Clock
+	c.Advance(3)
+	c.Advance(0)
+	c.Advance(-7)
+	if got := c.Now(); got != 3 {
+		t.Fatalf("Now() = %v, want 3 (negative/zero advances ignored)", got)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	var c Clock
+	if got := c.AdvanceTo(4); got != 4 {
+		t.Fatalf("AdvanceTo(4) = %v, want 4", got)
+	}
+	// Going backwards is a no-op.
+	if got := c.AdvanceTo(2); got != 4 {
+		t.Fatalf("AdvanceTo(2) = %v, want clock to stay at 4", got)
+	}
+	if got := c.Now(); got != 4 {
+		t.Fatalf("Now() = %v, want 4", got)
+	}
+}
+
+func TestSetMovesBackwards(t *testing.T) {
+	var c Clock
+	c.Advance(10)
+	c.Set(1)
+	if got := c.Now(); got != 1 {
+		t.Fatalf("Now() after Set(1) = %v, want 1", got)
+	}
+}
+
+func TestMax(t *testing.T) {
+	var a, b, c Clock
+	a.Advance(1)
+	b.Advance(5)
+	c.Advance(3)
+	if got := Max(&a, &b, &c); got != 5 {
+		t.Fatalf("Max = %v, want 5", got)
+	}
+	if got := Max(); got != 0 {
+		t.Fatalf("Max() with no clocks = %v, want 0", got)
+	}
+}
+
+func TestStopwatchLap(t *testing.T) {
+	var c Clock
+	sw := NewStopwatch(&c)
+	c.Advance(2)
+	if got := sw.Lap(); got != 2 {
+		t.Fatalf("Lap = %v, want 2", got)
+	}
+	c.Advance(3)
+	if got := sw.Elapsed(); got != 3 {
+		t.Fatalf("Elapsed = %v, want 3", got)
+	}
+	sw.Restart()
+	if got := sw.Elapsed(); got != 0 {
+		t.Fatalf("Elapsed after Restart = %v, want 0", got)
+	}
+}
+
+// Property: clock is monotonic under any sequence of Advance/AdvanceTo.
+func TestClockMonotonicProperty(t *testing.T) {
+	f := func(steps []float64) bool {
+		var c Clock
+		prev := c.Now()
+		for i, s := range steps {
+			if i%2 == 0 {
+				c.Advance(s)
+			} else {
+				c.AdvanceTo(s)
+			}
+			now := c.Now()
+			if now < prev {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent readers must be race-free while the owner advances.
+func TestClockConcurrentReads(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = c.Now()
+				}
+			}
+		}()
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		c.Advance(r.Float64())
+	}
+	close(stop)
+	wg.Wait()
+	if c.Now() <= 0 {
+		t.Fatal("clock did not advance")
+	}
+}
