@@ -1,0 +1,130 @@
+// Command elasticd is a multi-process elastic worker: it joins a
+// rendezvous service, opens a real TCP transport endpoint, builds the
+// world communicator, and runs a loop of resilient allreduces that
+// survives the abrupt death (kill -9) of other workers via the same
+// ULFM revoke/agree/shrink/retry pipeline the simulator exercises.
+//
+// Quickstart on one machine (four terminals, or background jobs):
+//
+//	elasticd -serve -rendezvous 127.0.0.1:7777 -world 4   # rank 0, hosts the service
+//	elasticd -rendezvous 127.0.0.1:7777                   # three more workers
+//	elasticd -rendezvous 127.0.0.1:7777
+//	elasticd -rendezvous 127.0.0.1:7777
+//
+// Then kill -9 any non-serving worker and watch the survivors shrink
+// and keep stepping with the reduced sum.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/rendezvous"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/transport/tcpnet"
+	"repro/internal/ulfm"
+)
+
+func main() {
+	rdv := flag.String("rendezvous", "127.0.0.1:7777", "rendezvous service address")
+	listen := flag.String("listen", "127.0.0.1:0", "transport listen address (port 0 = ephemeral)")
+	serve := flag.Bool("serve", false, "also host the rendezvous service on the -rendezvous address")
+	world := flag.Int("world", 4, "world size to gather (used with -serve)")
+	steps := flag.Int("steps", 30, "allreduce steps to run")
+	n := flag.Int("n", 1024, "elements per allreduce")
+	stepInterval := flag.Duration("step-interval", time.Second, "pause between steps (gives humans time to kill workers)")
+	hb := flag.Duration("hb", 500*time.Millisecond, "heartbeat interval (used with -serve)")
+	suspect := flag.Duration("suspect", 0, "suspicion threshold (used with -serve; default 3x hb)")
+	dead := flag.Duration("dead", 0, "declaration threshold (used with -serve; default 6x hb)")
+	tracePath := flag.String("trace", "", "write a JSON-lines event journal to this file")
+	flag.Parse()
+
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatalf("elasticd: %v", err)
+		}
+		defer f.Close()
+		rec = trace.New(f)
+	}
+
+	if *serve {
+		srv, err := rendezvous.ListenAndServe(*rdv, rendezvous.Config{
+			World:             *world,
+			HeartbeatInterval: *hb,
+			SuspectAfter:      *suspect,
+			DeadAfter:         *dead,
+			Trace:             rec,
+			Logf:              log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("elasticd: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("elasticd: hosting rendezvous on %s for %d workers", srv.Addr(), *world)
+	}
+
+	ep, err := tcpnet.Listen(*listen, tcpnet.Config{})
+	if err != nil {
+		log.Fatalf("elasticd: %v", err)
+	}
+	defer ep.Close()
+
+	cl, err := rendezvous.Join(*rdv, ep.Addr(), 5*time.Minute)
+	if err != nil {
+		log.Fatalf("elasticd: %v", err)
+	}
+	defer cl.Close()
+	ep.Start(cl.Proc(), cl.Peers())
+	cl.Start(func(d transport.ProcID) {
+		log.Printf("elasticd: rendezvous declared proc %d down", d)
+		ep.MarkDead(d)
+	})
+	log.Printf("elasticd: joined as proc %d (rank %d of %d), transport %s",
+		cl.Proc(), cl.Rank(), cl.World(), ep.Addr())
+
+	p := mpi.Attach(ep)
+	comm, err := mpi.World(p, cl.Procs())
+	if err != nil {
+		log.Fatalf("elasticd: %v", err)
+	}
+
+	policy := ulfm.DefaultPolicy()
+	reconfigs := 0
+	policy.OnReconfigure = func(nc *mpi.Comm, bd *metrics.Breakdown) {
+		reconfigs++
+		rec.Recovery(ep.VClock().Now(), int(cl.Proc()), reconfigs, "failure", bd, false)
+		log.Printf("elasticd: reconfigured to size %d (recovery #%d)", nc.Size(), reconfigs)
+	}
+	r := ulfm.New(comm, nil, policy)
+
+	// Each worker contributes a constant vector of proc+1, so the
+	// reduced value tracks exactly which members contributed: with
+	// procs 0..3 alive the sum is 10; after proc 3 dies it drops to 6.
+	for step := 0; step < *steps; step++ {
+		data := make([]float64, *n)
+		for i := range data {
+			data[i] = float64(cl.Proc()) + 1
+		}
+		if err := ulfm.Allreduce(r, data, mpi.OpSum); err != nil {
+			if errors.Is(err, ulfm.ErrDropped) {
+				log.Printf("elasticd: dropped from the communicator, exiting")
+				return
+			}
+			log.Fatalf("elasticd: step %d: %v", step, err)
+		}
+		fmt.Printf("step %3d  proc %d  size %d  sum %.0f\n",
+			step, cl.Proc(), r.Size(), data[0])
+		time.Sleep(*stepInterval)
+	}
+	rec.Finish(ep.VClock().Now(), int(cl.Proc()), r.Comm().Rank(), r.Size())
+	log.Printf("elasticd: done after %d steps, final size %d", *steps, r.Size())
+}

@@ -1,0 +1,62 @@
+// Command rendezvousd runs the standalone rendezvous/membership service
+// for multi-process elastic runs: it gathers -world workers, assigns
+// ranks, publishes the peer address map, and runs heartbeat failure
+// detection, broadcasting declarations to the survivors.
+//
+//	rendezvousd -listen :7777 -world 4
+//
+// Workers (cmd/elasticd) point at it with -rendezvous host:7777. The
+// same service can instead be run inline by the rank-0 worker with
+// `elasticd -serve`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/rendezvous"
+	"repro/internal/trace"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7777", "address to listen on")
+	world := flag.Int("world", 4, "workers to gather before publishing the peer map")
+	hb := flag.Duration("hb", 500*time.Millisecond, "heartbeat interval workers are told to use")
+	suspect := flag.Duration("suspect", 0, "silence before suspicion (default 3x hb)")
+	dead := flag.Duration("dead", 0, "silence before declaration (default 6x hb)")
+	tracePath := flag.String("trace", "", "write a JSON-lines membership journal to this file")
+	flag.Parse()
+
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatalf("rendezvousd: %v", err)
+		}
+		defer f.Close()
+		rec = trace.New(f)
+	}
+
+	srv, err := rendezvous.ListenAndServe(*listen, rendezvous.Config{
+		World:             *world,
+		HeartbeatInterval: *hb,
+		SuspectAfter:      *suspect,
+		DeadAfter:         *dead,
+		Trace:             rec,
+		Logf:              log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("rendezvousd: %v", err)
+	}
+	fmt.Printf("rendezvousd: listening on %s, gathering %d workers\n", srv.Addr(), *world)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+}

@@ -66,7 +66,7 @@ func (b *MPIBackend) Bcast(data []float32, root int) error {
 func (b *MPIBackend) BcastVirtual(bytes int64, root int) error {
 	return mpi.BcastVirtual(b.Comm, bytes, root)
 }
-func (b *MPIBackend) Clock() *vtime.Clock { return &b.Comm.Proc().Endpoint().Clock }
+func (b *MPIBackend) Clock() *vtime.Clock { return b.Comm.Proc().Endpoint().VClock() }
 func (b *MPIBackend) Name() string        { return "mpi" }
 
 // --- Gloo backend ----------------------------------------------------------

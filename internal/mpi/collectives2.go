@@ -3,7 +3,7 @@ package mpi
 import (
 	"fmt"
 
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // Additional collectives and algorithm variants: reduce-scatter, alltoall,
@@ -291,12 +291,20 @@ func AllreduceHierarchical[T Number](c *Comm, data []T, op Op) error {
 
 	b := numBuf[T]{v: data}
 	n := len(data)
-	cl := c.p.ep.Cluster()
 
-	// Group ranks by node, deterministically.
-	nodeOf := make([]simnet.NodeID, c.Size())
+	// Group ranks by node, deterministically. Placement comes from the
+	// transport's optional Locator capability; backends without placement
+	// knowledge (e.g. tcpnet) get a flat topology — every rank its own
+	// node — which degenerates to the plain leader-ring allreduce. All
+	// ranks run the same backend, so the grouping stays SPMD-consistent.
+	loc, _ := c.p.ep.(transport.Locator)
+	nodeOf := make([]transport.NodeID, c.Size())
 	for r, pr := range c.procs {
-		node, err := cl.NodeOf(pr)
+		if loc == nil {
+			nodeOf[r] = transport.NodeID(r)
+			continue
+		}
+		node, err := loc.NodeOf(pr)
 		if err != nil {
 			return fmt.Errorf("mpi: hierarchical allreduce: %w", err)
 		}
@@ -304,7 +312,7 @@ func AllreduceHierarchical[T Number](c *Comm, data []T, op Op) error {
 	}
 	var myPeers []int // ranks on my node, ascending; leader = first
 	var leaders []int // one leader per node, in first-appearance order
-	seen := map[simnet.NodeID]bool{}
+	seen := map[transport.NodeID]bool{}
 	for r := 0; r < c.Size(); r++ {
 		if nodeOf[r] == nodeOf[c.rank] {
 			myPeers = append(myPeers, r)

@@ -3,7 +3,7 @@ package mpi
 import (
 	"fmt"
 
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // WorldID is the context identifier of the initial world communicator.
@@ -16,8 +16,8 @@ type Comm struct {
 	p      *Proc
 	id     uint64
 	rank   int
-	procs  []simnet.ProcID // rank -> process
-	rankOf map[simnet.ProcID]int
+	procs  []ProcID // rank -> process
+	rankOf map[ProcID]int
 
 	opSeq      int // collective sequence number, advances in lockstep SPMD
 	agreeSeq   int // out-of-band agreement sequence (see agreeTag)
@@ -27,13 +27,13 @@ type Comm struct {
 // World builds the initial communicator over the given process list. Every
 // participating rank must call it with the identical list; rank is the
 // caller's position in procs.
-func World(p *Proc, procs []simnet.ProcID) (*Comm, error) {
+func World(p *Proc, procs []ProcID) (*Comm, error) {
 	return newComm(p, WorldID, procs)
 }
 
-func newComm(p *Proc, id uint64, procs []simnet.ProcID) (*Comm, error) {
+func newComm(p *Proc, id uint64, procs []ProcID) (*Comm, error) {
 	rank := -1
-	rankOf := make(map[simnet.ProcID]int, len(procs))
+	rankOf := make(map[ProcID]int, len(procs))
 	for i, pr := range procs {
 		rankOf[pr] = i
 		if pr == p.ep.ID() {
@@ -47,7 +47,7 @@ func newComm(p *Proc, id uint64, procs []simnet.ProcID) (*Comm, error) {
 		p:      p,
 		id:     id,
 		rank:   rank,
-		procs:  append([]simnet.ProcID(nil), procs...),
+		procs:  append([]ProcID(nil), procs...),
 		rankOf: rankOf,
 	}
 	p.comms[id] = c.procs // registry for revoke forwarding
@@ -67,15 +67,15 @@ func (c *Comm) ID() uint64 { return c.id }
 func (c *Comm) Proc() *Proc { return c.p }
 
 // Procs returns the rank-ordered process list (a copy).
-func (c *Comm) Procs() []simnet.ProcID {
-	return append([]simnet.ProcID(nil), c.procs...)
+func (c *Comm) Procs() []ProcID {
+	return append([]ProcID(nil), c.procs...)
 }
 
 // ProcOf returns the process occupying the given rank.
-func (c *Comm) ProcOf(rank int) simnet.ProcID { return c.procs[rank] }
+func (c *Comm) ProcOf(rank int) ProcID { return c.procs[rank] }
 
 // rankOfProc returns the rank of a process, or -1 if not a member.
-func (c *Comm) rankOfProc(id simnet.ProcID) int {
+func (c *Comm) rankOfProc(id ProcID) int {
 	if r, ok := c.rankOf[id]; ok {
 		return r
 	}
@@ -99,8 +99,8 @@ func (c *Comm) FailedRanks() []int {
 }
 
 // Endpoint clock helpers for cost accounting by higher layers.
-func (c *Comm) Now() float64      { return c.p.ep.Clock.Now() }
-func (c *Comm) Compute(d float64) { c.p.ep.Clock.Advance(d) }
+func (c *Comm) Now() float64      { return c.p.ep.VClock().Now() }
+func (c *Comm) Compute(d float64) { c.p.ep.Compute(d) }
 
 // --- tag construction -------------------------------------------------
 //
@@ -215,7 +215,7 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 				ms[j], ms[j-1] = ms[j-1], ms[j]
 			}
 		}
-		procs := make([]simnet.ProcID, len(ms))
+		procs := make([]ProcID, len(ms))
 		for i, m := range ms {
 			procs[i] = c.procs[m.rank]
 		}
@@ -242,7 +242,7 @@ func sortInts(v []int) {
 // member of the parent — including those excluded — must call it with the
 // same list so derivation counters stay aligned; excluded callers get
 // (nil, nil) and should stop using the parent.
-func (c *Comm) Subset(keep []simnet.ProcID) (*Comm, error) {
+func (c *Comm) Subset(keep []ProcID) (*Comm, error) {
 	id := c.deriveID()
 	member := false
 	for _, pr := range keep {
@@ -277,8 +277,8 @@ func (c *Comm) checkCollective() error {
 }
 
 // memberSet returns the proc-set view used by operation scopes.
-func (c *Comm) memberSet() map[simnet.ProcID]bool {
-	m := make(map[simnet.ProcID]bool, len(c.procs))
+func (c *Comm) memberSet() map[ProcID]bool {
+	m := make(map[ProcID]bool, len(c.procs))
 	for _, pr := range c.procs {
 		m[pr] = true
 	}
@@ -291,7 +291,7 @@ func (c *Comm) sendRaw(dst int, tag int, data any, bytes int64) error {
 		return fmt.Errorf("mpi: comm %#x: invalid destination rank %d", c.id, dst)
 	}
 	err := c.p.ep.Send(c.procs[dst], tag, data, bytes)
-	if proc, ok := simnet.IsPeerFailed(err); ok {
+	if proc, ok := transport.IsPeerFailed(err); ok {
 		c.p.noteFailure(proc)
 	}
 	return c.translate(err)
@@ -299,12 +299,12 @@ func (c *Comm) sendRaw(dst int, tag int, data any, bytes int64) error {
 
 // recvRaw receives a message from a rank (or AnyRank) with the given tag.
 // scope controls which failures abort the wait.
-func (c *Comm) recvRaw(src int, tag int) (*simnet.Message, error) {
+func (c *Comm) recvRaw(src int, tag int) (*transport.Message, error) {
 	if src < 0 || src >= len(c.procs) {
 		return nil, fmt.Errorf("mpi: comm %#x: invalid source rank %d", c.id, src)
 	}
 	m, err := c.p.ep.Recv(c.procs[src], tag)
-	if proc, ok := simnet.IsPeerFailed(err); ok {
+	if proc, ok := transport.IsPeerFailed(err); ok {
 		c.p.noteFailure(proc)
 	}
 	return m, c.translate(err)

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // ProcFailedError is the analogue of MPI_ERR_PROC_FAILED: the operation
@@ -15,7 +15,7 @@ import (
 type ProcFailedError struct {
 	Comm uint64
 	Rank int
-	Proc simnet.ProcID
+	Proc ProcID
 }
 
 func (e *ProcFailedError) Error() string {
@@ -51,12 +51,12 @@ func IsFault(err error) bool {
 	return IsProcFailed(err) || IsRevoked(err)
 }
 
-// translate converts simnet transport errors into MPI error classes.
+// translate converts transport-level errors into MPI error classes.
 func (c *Comm) translate(err error) error {
 	if err == nil {
 		return nil
 	}
-	if proc, ok := simnet.IsPeerFailed(err); ok {
+	if proc, ok := transport.IsPeerFailed(err); ok {
 		return &ProcFailedError{Comm: c.id, Rank: c.rankOfProc(proc), Proc: proc}
 	}
 	return err

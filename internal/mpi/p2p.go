@@ -1,9 +1,5 @@
 package mpi
 
-import (
-	"repro/internal/simnet"
-)
-
 // Send transmits a typed slice to rank dst with a user tag (0..2^23-1).
 // The data is copied, so callers may reuse the slice immediately.
 func Send[T any](c *Comm, dst int, tag int, data []T) error {
@@ -16,7 +12,7 @@ func Send[T any](c *Comm, dst int, tag int, data []T) error {
 func Recv[T any](c *Comm, src int, tag int) ([]T, error) {
 	scope := &opScope{
 		comm:          c,
-		members:       map[simnet.ProcID]bool{c.procs[src]: true},
+		members:       map[ProcID]bool{c.procs[src]: true},
 		abortOnRevoke: true,
 	}
 	c.p.begin(scope)
@@ -41,7 +37,7 @@ func SendVal[T any](c *Comm, dst int, tag int, v T) error {
 func RecvVal[T any](c *Comm, src int, tag int) (T, error) {
 	scope := &opScope{
 		comm:          c,
-		members:       map[simnet.ProcID]bool{c.procs[src]: true},
+		members:       map[ProcID]bool{c.procs[src]: true},
 		abortOnRevoke: true,
 	}
 	c.p.begin(scope)
@@ -55,8 +51,8 @@ func RecvVal[T any](c *Comm, src int, tag int) (T, error) {
 }
 
 // Sendrecv performs a combined exchange with potentially different
-// partners, posting the send before the receive (safe with simnet's
-// unbounded mailboxes).
+// partners, posting the send before the receive (safe with the
+// transports' unbounded mailboxes).
 func Sendrecv[T any](c *Comm, dst, sendTag int, data []T, src, recvTag int) ([]T, error) {
 	if err := Send(c, dst, sendTag, data); err != nil {
 		return nil, err

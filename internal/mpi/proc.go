@@ -8,27 +8,46 @@
 // (MPIX_Comm_shrink), and dynamic-process admission used for replacement
 // and upscaling.
 //
+// The package is transport-neutral: it consumes the transport.Endpoint
+// interface, so the same communicators and recovery pipeline run over the
+// in-process virtual-time simulator (internal/simnet) and over real OS
+// processes on TCP (internal/transport/tcpnet).
+//
 // Semantics follow the ULFM specification's spirit: errors are raised
 // per-operation (ProcFailedError) at ranks whose operation could not
 // complete; communication with live peers on a failed-but-not-revoked
 // communicator keeps working; revocation interrupts all pending and
 // future non-recovery operations; agreement and shrink operate on revoked
-// communicators. Failure detection is modeled by the simnet failure
-// detector, which notifies every live process when a process dies —
-// matching ULFM implementations that run an out-of-band heartbeat
-// detector.
+// communicators. Failure detection is the transport's job: the simulator
+// notifies every live process when a process dies, and the TCP backend
+// injects the same notice when the rendezvous heartbeat detector declares
+// a peer dead — matching ULFM implementations that run an out-of-band
+// heartbeat detector.
 package mpi
 
 import (
 	"fmt"
 
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
-// Control tags used by the MPI layer on the simnet control plane.
+// ProcID is the transport-neutral process identity used throughout the
+// MPI layer's API. It is type-identical to simnet.ProcID and
+// transport.ProcID, so callers of either backend pass their IDs directly.
+type ProcID = transport.ProcID
+
+// Control tags used by the MPI layer on the transport control plane.
 const (
-	ctlRevoke = simnet.CtlTagBase - 2 // payload: revokeNotice
+	ctlRevoke = transport.CtlTagBase - 2 // payload: revokeNotice
 )
+
+func init() {
+	// The MPI layer's own control and recovery messages must survive a
+	// real wire, not just in-process delivery.
+	transport.RegisterWireType(revokeNotice{})
+	transport.RegisterWireType(agreeMsg{})
+	transport.RegisterWireType(joinInfo{})
+}
 
 // revokeNotice is flooded to all communicator members on revocation.
 type revokeNotice struct {
@@ -40,7 +59,7 @@ type revokeNotice struct {
 // must abort it.
 type opScope struct {
 	comm          *Comm
-	members       map[simnet.ProcID]bool // procs whose death aborts the op
+	members       map[ProcID]bool // procs whose death aborts the op
 	abortOnRevoke bool                   // false for recovery ops (agree/shrink)
 }
 
@@ -50,39 +69,39 @@ type opScope struct {
 // by its rank goroutine; the control handler also runs on that goroutine
 // (from inside Recv/PollCtl), so no locking is needed.
 type Proc struct {
-	ep      *simnet.Endpoint
-	failed  map[simnet.ProcID]bool
-	acked   map[simnet.ProcID]bool
+	ep      transport.Endpoint
+	failed  map[ProcID]bool
+	acked   map[ProcID]bool
 	revoked map[uint64]bool
-	comms   map[uint64][]simnet.ProcID
+	comms   map[uint64][]ProcID
 	cur     *opScope
 }
 
-// Attach wires MPI onto a simnet endpoint, installing the control handler
-// that implements failure notices and revocation flooding.
-func Attach(ep *simnet.Endpoint) *Proc {
+// Attach wires MPI onto a transport endpoint, installing the control
+// handler that implements failure notices and revocation flooding.
+func Attach(ep transport.Endpoint) *Proc {
 	p := &Proc{
 		ep:      ep,
-		failed:  make(map[simnet.ProcID]bool),
-		acked:   make(map[simnet.ProcID]bool),
+		failed:  make(map[ProcID]bool),
+		acked:   make(map[ProcID]bool),
 		revoked: make(map[uint64]bool),
-		comms:   make(map[uint64][]simnet.ProcID),
+		comms:   make(map[uint64][]ProcID),
 	}
 	ep.SetCtlHandler(p.handleCtl)
 	return p
 }
 
-// Endpoint returns the underlying simnet endpoint.
-func (p *Proc) Endpoint() *simnet.Endpoint { return p.ep }
+// Endpoint returns the underlying transport endpoint.
+func (p *Proc) Endpoint() transport.Endpoint { return p.ep }
 
 // ID returns the process's cluster identity.
-func (p *Proc) ID() simnet.ProcID { return p.ep.ID() }
+func (p *Proc) ID() ProcID { return p.ep.ID() }
 
 // handleCtl processes control messages on the rank goroutine. A returned
 // error aborts the operation currently blocked in Recv.
-func (p *Proc) handleCtl(m *simnet.Message) error {
+func (p *Proc) handleCtl(m *transport.Message) error {
 	switch m.Tag {
-	case simnet.CtlPeerDown:
+	case transport.CtlPeerDown:
 		dead := m.From
 		if p.failed[dead] {
 			return nil // already known (e.g. via a transport error)
@@ -132,8 +151,8 @@ func (p *Proc) Poll() error {
 
 // KnownFailed returns this process's current local view of failed
 // processes (not necessarily acknowledged).
-func (p *Proc) KnownFailed() []simnet.ProcID {
-	out := make([]simnet.ProcID, 0, len(p.failed))
+func (p *Proc) KnownFailed() []ProcID {
+	out := make([]ProcID, 0, len(p.failed))
 	for id := range p.failed {
 		out = append(out, id)
 	}
@@ -143,7 +162,7 @@ func (p *Proc) KnownFailed() []simnet.ProcID {
 
 // noteFailure records an externally discovered failure (e.g. a transport
 // error observed before the detector notice arrived).
-func (p *Proc) noteFailure(id simnet.ProcID) {
+func (p *Proc) noteFailure(id ProcID) {
 	p.failed[id] = true
 }
 
@@ -151,7 +170,7 @@ func (p *Proc) noteFailure(id simnet.ProcID) {
 func (p *Proc) begin(s *opScope) { p.cur = s }
 func (p *Proc) end()             { p.cur = nil }
 
-func sortProcs(ids []simnet.ProcID) {
+func sortProcs(ids []ProcID) {
 	for i := 1; i < len(ids); i++ {
 		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
 			ids[j], ids[j-1] = ids[j-1], ids[j]

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // This file implements the ULFM fault-tolerance primitives:
@@ -33,13 +33,13 @@ type agreeMsg struct {
 	Kind   int
 	Round  int
 	Flags  uint32
-	Failed []simnet.ProcID // sender's failure knowledge within the comm
+	Failed []ProcID // sender's failure knowledge within the comm
 }
 
 type joinInfo struct {
 	CommID uint64
-	Procs  []simnet.ProcID
-	Failed []simnet.ProcID
+	Procs  []ProcID
+	Failed []ProcID
 }
 
 // FailureAck acknowledges all currently known process failures, so that
@@ -94,8 +94,8 @@ func (c *Comm) Agree(flags uint32) (uint32, error) {
 
 // failedProcOf extracts the failed process from either transport-level
 // (simnet) or MPI-level process-failure errors.
-func failedProcOf(err error) (simnet.ProcID, bool) {
-	if proc, ok := simnet.IsPeerFailed(err); ok {
+func failedProcOf(err error) (ProcID, bool) {
+	if proc, ok := transport.IsPeerFailed(err); ok {
 		return proc, true
 	}
 	var pf *ProcFailedError
@@ -122,7 +122,7 @@ func failedProcOf(err error) (simnet.ProcID, bool) {
 //     a coordinator crash after a partial flood cannot strand survivors.
 //   - If the coordinator dies before deciding, survivors move to the next
 //     round.
-func (c *Comm) agreeFull(flags uint32) (uint32, []simnet.ProcID, error) {
+func (c *Comm) agreeFull(flags uint32) (uint32, []ProcID, error) {
 	_ = c.p.Poll()
 	seq := c.nextAgreeSeq()
 	tag := c.agreeTag(seq)
@@ -139,7 +139,7 @@ func (c *Comm) agreeFull(flags uint32) (uint32, []simnet.ProcID, error) {
 	// Contributions can reach this rank before it becomes their round's
 	// coordinator (it may still be awaiting an earlier round's decision).
 	// They are stashed, not discarded, and replayed when coordinating.
-	var stash []*simnet.Message
+	var stash []*transport.Message
 
 	flood := func(dec agreeMsg) {
 		for r, pr := range c.procs {
@@ -191,10 +191,10 @@ func (c *Comm) agreeFull(flags uint32) (uint32, []simnet.ProcID, error) {
 // collects one contribution from every member not known dead, decides,
 // and floods. It may instead adopt a decision flooded by a crashed
 // earlier coordinator.
-func (c *Comm) coordinateRound(tag int, flags uint32, flood func(agreeMsg), stash *[]*simnet.Message) (dec agreeMsg, decided bool, err error) {
+func (c *Comm) coordinateRound(tag int, flags uint32, flood func(agreeMsg), stash *[]*transport.Message) (dec agreeMsg, decided bool, err error) {
 	me := c.rank
 	agreedFlags := flags
-	union := make(map[simnet.ProcID]bool)
+	union := make(map[ProcID]bool)
 	for _, pr := range c.failedMembers() {
 		union[pr] = true
 	}
@@ -204,14 +204,14 @@ func (c *Comm) coordinateRound(tag int, flags uint32, flood func(agreeMsg), stas
 			pending[r] = true
 		}
 	}
-	drop := func(pr simnet.ProcID) {
+	drop := func(pr ProcID) {
 		c.p.noteFailure(pr)
 		union[pr] = true
 		if r := c.rankOfProc(pr); r >= 0 {
 			delete(pending, r)
 		}
 	}
-	apply := func(m *simnet.Message) (agreeMsg, bool, error) {
+	apply := func(m *transport.Message) (agreeMsg, bool, error) {
 		msg, ok := m.Data.(agreeMsg)
 		if !ok {
 			return dec, false, fmt.Errorf("mpi: comm %#x: malformed agreement message", c.id)
@@ -239,7 +239,7 @@ func (c *Comm) coordinateRound(tag int, flags uint32, flood func(agreeMsg), stas
 		}
 	}
 	for len(pending) > 0 {
-		m, rerr := c.p.ep.Recv(simnet.AnySource, tag)
+		m, rerr := c.p.ep.Recv(transport.AnySource, tag)
 		if rerr != nil {
 			if proc, ok := failedProcOf(rerr); ok {
 				drop(proc)
@@ -259,9 +259,9 @@ func (c *Comm) coordinateRound(tag int, flags uint32, flood func(agreeMsg), stas
 // awaitDecision waits for a decision flood or the coordinator's death.
 // ok=false means the coordinator died undecided and the caller should move
 // to the next round.
-func (c *Comm) awaitDecision(tag int, coordProc simnet.ProcID, flood func(agreeMsg), stash *[]*simnet.Message) (agreeMsg, bool, error) {
+func (c *Comm) awaitDecision(tag int, coordProc ProcID, flood func(agreeMsg), stash *[]*transport.Message) (agreeMsg, bool, error) {
 	for {
-		m, err := c.p.ep.Recv(simnet.AnySource, tag)
+		m, err := c.p.ep.Recv(transport.AnySource, tag)
 		if err != nil {
 			if proc, ok := failedProcOf(err); ok {
 				c.p.noteFailure(proc)
@@ -304,12 +304,12 @@ func (c *Comm) Shrink() (*Comm, error) {
 	if err != nil {
 		return nil, err
 	}
-	deadSet := make(map[simnet.ProcID]bool, len(failed))
+	deadSet := make(map[ProcID]bool, len(failed))
 	for _, pr := range failed {
 		c.p.noteFailure(pr)
 		deadSet[pr] = true
 	}
-	var survivors []simnet.ProcID
+	var survivors []ProcID
 	for _, pr := range c.procs {
 		if !deadSet[pr] {
 			survivors = append(survivors, pr)
@@ -322,7 +322,7 @@ func (c *Comm) Shrink() (*Comm, error) {
 // the members of c (in rank order) followed by newProcs. It is collective
 // over c; rank 0 hands each newcomer its membership via a join message.
 // The newcomers must call Join on their side.
-func (c *Comm) Grow(newProcs []simnet.ProcID) (*Comm, error) {
+func (c *Comm) Grow(newProcs []ProcID) (*Comm, error) {
 	if err := c.checkCollective(); err != nil {
 		return nil, err
 	}
@@ -342,7 +342,7 @@ func (c *Comm) Grow(newProcs []simnet.ProcID) (*Comm, error) {
 // Join is called by a newly spawned process to receive its communicator
 // from an ongoing Grow. It blocks until the join message arrives.
 func Join(p *Proc) (*Comm, error) {
-	m, err := p.ep.Recv(simnet.AnySource, tagJoin)
+	m, err := p.ep.Recv(transport.AnySource, tagJoin)
 	if err != nil {
 		return nil, err
 	}
@@ -357,8 +357,8 @@ func Join(p *Proc) (*Comm, error) {
 }
 
 // failedMembers lists this comm's member processes locally known failed.
-func (c *Comm) failedMembers() []simnet.ProcID {
-	var out []simnet.ProcID
+func (c *Comm) failedMembers() []ProcID {
+	var out []ProcID
 	for _, pr := range c.procs {
 		if c.p.failed[pr] {
 			out = append(out, pr)
@@ -367,8 +367,8 @@ func (c *Comm) failedMembers() []simnet.ProcID {
 	return out
 }
 
-func setToList(set map[simnet.ProcID]bool) []simnet.ProcID {
-	out := make([]simnet.ProcID, 0, len(set))
+func setToList(set map[ProcID]bool) []ProcID {
+	out := make([]ProcID, 0, len(set))
 	for pr := range set {
 		out = append(out, pr)
 	}

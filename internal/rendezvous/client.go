@@ -1,0 +1,204 @@
+package rendezvous
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Client is one worker's connection to the rendezvous service. Typical
+// lifecycle:
+//
+//	ep, _ := tcpnet.Listen("127.0.0.1:0", tcpnet.Config{})
+//	cl, _ := rendezvous.Join(serverAddr, ep.Addr(), 10*time.Second)
+//	ep.Start(cl.Proc(), cl.Peers())
+//	cl.Start(func(dead transport.ProcID) { ep.MarkDead(dead) })
+//	defer cl.Close()
+type Client struct {
+	conn  net.Conn
+	enc   *json.Encoder
+	dec   *json.Decoder
+	proc  transport.ProcID
+	rank  int
+	world int
+	hbInt time.Duration
+	peers map[transport.ProcID]string
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// Join connects to the rendezvous server, announces selfAddr (this
+// worker's transport listen address), and blocks until the server sends
+// the welcome with the assigned ProcID/rank and the full peer address
+// map — i.e. until the expected world has gathered. timeout bounds the
+// whole wait (0 means no limit).
+func Join(serverAddr, selfAddr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", serverAddr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("rendezvous: dial %s: %w", serverAddr, err)
+	}
+	c := &Client{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(conn),
+		done: make(chan struct{}),
+	}
+	if err := c.enc.Encode(&wireMsg{Op: "join", Addr: selfAddr}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("rendezvous: join: %w", err)
+	}
+	if timeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(timeout))
+	}
+	var msg wireMsg
+	for {
+		if err := c.dec.Decode(&msg); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("rendezvous: waiting for welcome: %w", err)
+		}
+		if msg.Op == "welcome" {
+			break
+		}
+	}
+	conn.SetReadDeadline(time.Time{})
+	c.proc = transport.ProcID(msg.Proc)
+	c.rank = msg.Rank
+	c.world = msg.World
+	c.hbInt = time.Duration(msg.HBMillis) * time.Millisecond
+	if c.hbInt <= 0 {
+		c.hbInt = 500 * time.Millisecond
+	}
+	c.peers = make(map[transport.ProcID]string, len(msg.Peers))
+	for k, addr := range msg.Peers {
+		id, err := strconv.Atoi(k)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("rendezvous: bad peer id %q in welcome", k)
+		}
+		c.peers[transport.ProcID(id)] = addr
+	}
+	return c, nil
+}
+
+// Proc returns the server-assigned process ID.
+func (c *Client) Proc() transport.ProcID { return c.proc }
+
+// Rank returns the server-assigned world rank.
+func (c *Client) Rank() int { return c.rank }
+
+// World returns the gathered world size.
+func (c *Client) World() int { return c.world }
+
+// Peers returns a copy of the ProcID -> transport address map, self
+// included.
+func (c *Client) Peers() map[transport.ProcID]string {
+	out := make(map[transport.ProcID]string, len(c.peers))
+	for id, addr := range c.peers {
+		out[id] = addr
+	}
+	return out
+}
+
+// Procs returns the gathered ProcIDs in ascending order (the world rank
+// order every worker agrees on).
+func (c *Client) Procs() []transport.ProcID {
+	out := make([]transport.ProcID, 0, len(c.peers))
+	for id := range c.peers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HeartbeatInterval returns the cadence the server asked for.
+func (c *Client) HeartbeatInterval() time.Duration { return c.hbInt }
+
+// Start launches the background heartbeat sender and the notification
+// reader. onPeerDown is invoked (on the reader goroutine) for every
+// failure or departure the server declares; wire it to the transport's
+// MarkDead so declarations become CtlPeerDown injections.
+func (c *Client) Start(onPeerDown func(transport.ProcID)) {
+	c.mu.Lock()
+	if c.started || c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.mu.Unlock()
+
+	c.wg.Add(2)
+	go func() { // heartbeat sender
+		defer c.wg.Done()
+		ticker := time.NewTicker(c.hbInt)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.done:
+				return
+			case <-ticker.C:
+				c.mu.Lock()
+				closed := c.closed
+				if !closed {
+					c.enc.Encode(&wireMsg{Op: "hb"})
+				}
+				c.mu.Unlock()
+				if closed {
+					return
+				}
+			}
+		}
+	}()
+	go func() { // notification reader
+		defer c.wg.Done()
+		for {
+			var msg wireMsg
+			if err := c.dec.Decode(&msg); err != nil {
+				return
+			}
+			if msg.Op == "peerdown" && onPeerDown != nil {
+				onPeerDown(transport.ProcID(msg.Proc))
+			}
+		}
+	}()
+}
+
+// Close announces a clean departure and tears the connection down. The
+// server broadcasts the leave immediately, so survivors shrink without
+// waiting out the heartbeat timeout.
+func (c *Client) Close() error {
+	return c.shutdown(true)
+}
+
+// Abandon drops the connection without a leave, leaving the server to
+// discover the silence through missed heartbeats — the programmatic
+// equivalent of kill -9, used by failure-injection tests.
+func (c *Client) Abandon() error {
+	return c.shutdown(false)
+}
+
+func (c *Client) shutdown(leave bool) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	if leave {
+		c.enc.Encode(&wireMsg{Op: "leave"})
+	}
+	c.mu.Unlock()
+	close(c.done)
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}

@@ -1,0 +1,132 @@
+package rendezvous
+
+import (
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func TestDetectorAliveSuspectDead(t *testing.T) {
+	d := NewDetector(1.0, 3.0)
+	d.Join(0, 0)
+	d.Join(1, 0)
+
+	// Proc 1 heartbeats; proc 0 goes silent.
+	if tr := d.Heartbeat(1, 0.9); tr != nil {
+		t.Fatalf("alive heartbeat produced transition %+v", tr)
+	}
+	if trs := d.Sweep(0.5); len(trs) != 0 {
+		t.Fatalf("sweep before suspectAfter produced %+v", trs)
+	}
+
+	trs := d.Sweep(1.5)
+	if len(trs) != 1 || trs[0].Proc != 0 || trs[0].From != StateAlive || trs[0].To != StateSuspect {
+		t.Fatalf("expected 0: alive->suspect, got %+v", trs)
+	}
+	if st, _ := d.State(0); st != StateSuspect {
+		t.Fatalf("proc 0 state = %v, want suspect", st)
+	}
+
+	// Re-sweeping in the suspect window is quiet (no duplicate transitions);
+	// proc 1 keeps heartbeating to stay clear of its own suspicion window.
+	d.Heartbeat(1, 1.9)
+	if trs := d.Sweep(2.0); len(trs) != 0 {
+		t.Fatalf("duplicate suspect transition: %+v", trs)
+	}
+
+	d.Heartbeat(1, 3.0)
+	trs = d.Sweep(3.5)
+	if len(trs) != 1 || trs[0].Proc != 0 || trs[0].From != StateSuspect || trs[0].To != StateDead {
+		t.Fatalf("expected 0: suspect->dead, got %+v", trs)
+	}
+	if st, _ := d.State(0); st != StateDead {
+		t.Fatalf("proc 0 state = %v, want dead", st)
+	}
+
+	// Dead is absorbing: a late heartbeat is ignored.
+	if tr := d.Heartbeat(0, 3.6); tr != nil {
+		t.Fatalf("dead heartbeat produced transition %+v", tr)
+	}
+	if alive := d.Alive(); len(alive) != 1 || alive[0] != 1 {
+		t.Fatalf("Alive() = %v, want [1]", alive)
+	}
+}
+
+func TestDetectorSuspectRecovery(t *testing.T) {
+	d := NewDetector(1.0, 3.0)
+	d.Join(7, 0)
+
+	if trs := d.Sweep(1.2); len(trs) != 1 || trs[0].To != StateSuspect {
+		t.Fatalf("expected suspect transition, got %+v", trs)
+	}
+
+	tr := d.Heartbeat(7, 1.5)
+	if tr == nil || tr.From != StateSuspect || tr.To != StateAlive {
+		t.Fatalf("expected suspect->alive recovery, got %+v", tr)
+	}
+	if st, _ := d.State(7); st != StateAlive {
+		t.Fatalf("state after recovery = %v, want alive", st)
+	}
+
+	// The silence clock restarted at the recovery heartbeat.
+	if trs := d.Sweep(2.4); len(trs) != 0 {
+		t.Fatalf("sweep after recovery produced %+v", trs)
+	}
+	if trs := d.Sweep(2.6); len(trs) != 1 || trs[0].To != StateSuspect {
+		t.Fatalf("expected renewed suspicion, got %+v", trs)
+	}
+}
+
+func TestDetectorStraightToDead(t *testing.T) {
+	d := NewDetector(1.0, 3.0)
+	d.Join(0, 0)
+	// One sweep long after both thresholds: alive -> dead directly.
+	trs := d.Sweep(10)
+	if len(trs) != 1 || trs[0].From != StateAlive || trs[0].To != StateDead {
+		t.Fatalf("expected alive->dead, got %+v", trs)
+	}
+}
+
+func TestDetectorLeaveAndUnknown(t *testing.T) {
+	d := NewDetector(1.0, 3.0)
+	d.Join(0, 0)
+	d.Leave(0)
+	if _, ok := d.State(0); ok {
+		t.Fatal("left member still tracked")
+	}
+	if trs := d.Sweep(10); len(trs) != 0 {
+		t.Fatalf("left member produced transitions: %+v", trs)
+	}
+	if tr := d.Heartbeat(99, 1); tr != nil {
+		t.Fatalf("unknown heartbeat produced transition %+v", tr)
+	}
+}
+
+func TestDetectorSweepOrdering(t *testing.T) {
+	d := NewDetector(1.0, 1.0)
+	for _, id := range []transport.ProcID{5, 2, 9, 0} {
+		d.Join(id, 0)
+	}
+	trs := d.Sweep(10)
+	want := []transport.ProcID{0, 2, 5, 9}
+	if len(trs) != len(want) {
+		t.Fatalf("got %d transitions, want %d", len(trs), len(want))
+	}
+	for i, tr := range trs {
+		if tr.Proc != want[i] {
+			t.Fatalf("transition %d is proc %d, want %d", i, tr.Proc, want[i])
+		}
+	}
+}
+
+func TestDetectorClampsDeadAfter(t *testing.T) {
+	d := NewDetector(2.0, 1.0) // deadAfter < suspectAfter: clamped up
+	d.Join(0, 0)
+	if trs := d.Sweep(1.5); len(trs) != 0 {
+		t.Fatalf("transition before clamped threshold: %+v", trs)
+	}
+	trs := d.Sweep(2.5)
+	if len(trs) != 1 || trs[0].To != StateDead {
+		t.Fatalf("expected dead at clamped threshold, got %+v", trs)
+	}
+}

@@ -1,0 +1,374 @@
+package rendezvous
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// wireMsg is the line-delimited JSON protocol both directions speak.
+//
+// client -> server: {"op":"join","addr":...}, {"op":"hb"}, {"op":"leave"}
+// server -> client: {"op":"welcome",...} once the world has gathered,
+// then {"op":"peerdown","proc":N} for each declared failure or clean
+// departure.
+type wireMsg struct {
+	Op       string            `json:"op"`
+	Addr     string            `json:"addr,omitempty"`  // join: worker's transport listen address
+	Proc     int               `json:"proc,omitempty"`  // welcome: assigned ProcID; peerdown: the affected process
+	Rank     int               `json:"rank,omitempty"`  // welcome: assigned world rank
+	World    int               `json:"world,omitempty"` // welcome: world size
+	HBMillis int64             `json:"hb_ms,omitempty"` // welcome: heartbeat interval to honor
+	Peers    map[string]string `json:"peers,omitempty"` // welcome: ProcID (decimal) -> transport address
+}
+
+// Config tunes the rendezvous service.
+type Config struct {
+	// World is the number of workers to gather before publishing the
+	// address map. Required.
+	World int
+	// HeartbeatInterval is the cadence clients are told to heartbeat at.
+	// Default 500ms.
+	HeartbeatInterval time.Duration
+	// SuspectAfter is the silence after which a member is suspected.
+	// Default 3x HeartbeatInterval.
+	SuspectAfter time.Duration
+	// DeadAfter is the silence after which a suspect is declared dead and
+	// the declaration broadcast. Default 6x HeartbeatInterval.
+	DeadAfter time.Duration
+	// Trace, if set, receives member_join/member_leave/hb_* events.
+	Trace *trace.Recorder
+	// Logf, if set, receives human-readable service logs.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3 * c.HeartbeatInterval
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 6 * c.HeartbeatInterval
+	}
+	return c
+}
+
+// member is one connected worker.
+type member struct {
+	proc transport.ProcID
+	rank int
+	addr string
+	conn net.Conn
+	enc  *json.Encoder
+	mu   sync.Mutex // serializes writes to conn
+}
+
+func (m *member) send(msg *wireMsg) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.enc.Encode(msg)
+}
+
+// Server is the rendezvous/membership service.
+type Server struct {
+	cfg   Config
+	ln    net.Listener
+	epoch time.Time
+
+	mu        sync.Mutex
+	members   map[transport.ProcID]*member
+	det       *Detector
+	nextProc  transport.ProcID
+	worldSent bool
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// ListenAndServe starts a server on addr (port 0 for ephemeral).
+func ListenAndServe(addr string, cfg Config) (*Server, error) {
+	if cfg.World <= 0 {
+		return nil, fmt.Errorf("rendezvous: Config.World must be positive, got %d", cfg.World)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rendezvous: listen %s: %w", addr, err)
+	}
+	return Serve(ln, cfg), nil
+}
+
+// Serve runs the service on an existing listener.
+func Serve(ln net.Listener, cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		ln:      ln,
+		epoch:   time.Now(),
+		members: make(map[transport.ProcID]*member),
+	}
+	s.det = NewDetector(s.cfg.SuspectAfter.Seconds(), s.cfg.DeadAfter.Seconds())
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.sweepLoop()
+	return s
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the service down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.members))
+	for _, m := range s.members {
+		conns = append(conns, m.conn)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) now() float64 { return time.Since(s.epoch).Seconds() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// handle runs one worker's connection: a join, then heartbeats until the
+// connection drops or the worker leaves. A dropped connection is NOT an
+// immediate declaration — the worker merely stops heartbeating and the
+// detector times it out, so transient network blips inside the timeout
+// window are survivable.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	dec := json.NewDecoder(conn)
+	var m *member
+	for {
+		var msg wireMsg
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		switch msg.Op {
+		case "join":
+			if m != nil {
+				continue // duplicate join on one connection
+			}
+			m = s.join(conn, msg.Addr)
+		case "hb":
+			if m != nil {
+				s.heartbeat(m)
+			}
+		case "leave":
+			if m != nil {
+				s.leave(m)
+			}
+			return
+		}
+	}
+}
+
+// join admits a worker: assigns the next ProcID (never reused), records
+// its transport address, and — once the expected world has gathered —
+// publishes the address map to everyone.
+func (s *Server) join(conn net.Conn, addr string) *member {
+	s.mu.Lock()
+	proc := s.nextProc
+	s.nextProc++
+	m := &member{
+		proc: proc,
+		rank: int(proc),
+		addr: addr,
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+	}
+	s.members[proc] = m
+	now := s.now()
+	gathered := len(s.members)
+	world := s.cfg.World
+	sendWorld := !s.worldSent && gathered >= world
+	if sendWorld {
+		s.worldSent = true
+	}
+	lateJoin := s.worldSent && !sendWorld
+	// Arm the failure detector at welcome time, not join time: clients
+	// only start heartbeating once the welcome arrives, so a member that
+	// joins early (e.g. a worker that also hosts this service) must not
+	// accrue silence while the rest of the world is still gathering.
+	if sendWorld {
+		for pid := range s.members {
+			s.det.Join(pid, now)
+		}
+	} else if lateJoin {
+		s.det.Join(proc, now)
+	}
+	var recipients []*member
+	if sendWorld {
+		for _, mm := range s.members {
+			recipients = append(recipients, mm)
+		}
+	} else if lateJoin {
+		recipients = []*member{m}
+	}
+	peers := make(map[string]string, len(s.members))
+	for id, mm := range s.members {
+		peers[strconv.Itoa(int(id))] = mm.addr
+	}
+	s.mu.Unlock()
+
+	s.cfg.Trace.Membership(now, int(proc), "member_join", map[string]any{"addr": addr, "rank": m.rank})
+	s.logf("rendezvous: proc %d joined from %s (%d/%d)", proc, addr, gathered, world)
+
+	for _, mm := range recipients {
+		msg := &wireMsg{
+			Op:       "welcome",
+			Proc:     int(mm.proc),
+			Rank:     mm.rank,
+			World:    len(peers),
+			HBMillis: s.cfg.HeartbeatInterval.Milliseconds(),
+			Peers:    peers,
+		}
+		if err := mm.send(msg); err != nil {
+			s.logf("rendezvous: welcome to proc %d failed: %v", mm.proc, err)
+		}
+	}
+	return m
+}
+
+func (s *Server) heartbeat(m *member) {
+	s.mu.Lock()
+	tr := s.det.Heartbeat(m.proc, s.now())
+	s.mu.Unlock()
+	if tr != nil {
+		s.cfg.Trace.Membership(tr.At, int(tr.Proc), "hb_alive", nil)
+		s.logf("rendezvous: proc %d recovered from suspicion", tr.Proc)
+	}
+}
+
+// leave handles a clean departure: the member is removed and the
+// departure is broadcast so survivors shrink without waiting out the
+// heartbeat timeout.
+func (s *Server) leave(m *member) {
+	s.mu.Lock()
+	if _, ok := s.members[m.proc]; !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.members, m.proc)
+	s.det.Leave(m.proc)
+	now := s.now()
+	rest := s.othersLocked(m.proc)
+	s.mu.Unlock()
+
+	s.cfg.Trace.Membership(now, int(m.proc), "member_leave", nil)
+	s.logf("rendezvous: proc %d left", m.proc)
+	s.broadcastDown(rest, m.proc)
+}
+
+// othersLocked snapshots every member except id.
+func (s *Server) othersLocked(id transport.ProcID) []*member {
+	out := make([]*member, 0, len(s.members))
+	for pid, mm := range s.members {
+		if pid != id {
+			out = append(out, mm)
+		}
+	}
+	return out
+}
+
+func (s *Server) broadcastDown(to []*member, dead transport.ProcID) {
+	for _, mm := range to {
+		if err := mm.send(&wireMsg{Op: "peerdown", Proc: int(dead)}); err != nil {
+			s.logf("rendezvous: peerdown(%d) to proc %d failed: %v", dead, mm.proc, err)
+		}
+	}
+}
+
+// sweepLoop drives the detector on wall time and acts on its verdicts:
+// suspicions are journaled, deaths are journaled and broadcast to every
+// survivor, whose transports then inject CtlPeerDown and trigger the
+// revoke/agree/shrink/retry recovery.
+func (s *Server) sweepLoop() {
+	defer s.wg.Done()
+	tick := s.cfg.SuspectAfter / 2
+	if tick > s.cfg.HeartbeatInterval {
+		tick = s.cfg.HeartbeatInterval
+	}
+	if tick <= 0 {
+		tick = 100 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for range ticker.C {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		trs := s.det.Sweep(s.now())
+		type death struct {
+			proc transport.ProcID
+			rest []*member
+			conn net.Conn
+		}
+		var deaths []death
+		for _, tr := range trs {
+			if tr.To == StateDead {
+				d := death{proc: tr.Proc, rest: s.othersLocked(tr.Proc)}
+				if mm := s.members[tr.Proc]; mm != nil {
+					d.conn = mm.conn
+					delete(s.members, tr.Proc)
+				}
+				deaths = append(deaths, d)
+			}
+		}
+		s.mu.Unlock()
+
+		for _, tr := range trs {
+			switch tr.To {
+			case StateSuspect:
+				s.cfg.Trace.Membership(tr.At, int(tr.Proc), "hb_suspect", nil)
+				s.logf("rendezvous: proc %d suspected (silent %.0fms)", tr.Proc, s.cfg.SuspectAfter.Seconds()*1e3)
+			case StateDead:
+				s.cfg.Trace.Membership(tr.At, int(tr.Proc), "hb_dead", nil)
+				s.logf("rendezvous: proc %d declared dead", tr.Proc)
+			}
+		}
+		for _, d := range deaths {
+			if d.conn != nil {
+				d.conn.Close()
+			}
+			s.broadcastDown(d.rest, d.proc)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package rendezvous
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// syncBuf is a mutex-guarded journal sink: the server's sweeper goroutine
+// writes while the test reads.
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func gather(t *testing.T, world int, cfg Config) (*Server, []*Client) {
+	t.Helper()
+	cfg.World = world
+	srv, err := ListenAndServe("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatalf("ListenAndServe: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	cls := make([]*Client, world)
+	var wg sync.WaitGroup
+	errs := make([]error, world)
+	for i := 0; i < world; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cls[i], errs[i] = Join(srv.Addr(), "127.0.0.1:0", 10*time.Second)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, cl := range cls {
+			cl.Abandon()
+		}
+	})
+	return srv, cls
+}
+
+func TestGatherAssignsConsistentWorld(t *testing.T) {
+	_, cls := gather(t, 3, Config{})
+
+	seen := map[transport.ProcID]bool{}
+	for _, cl := range cls {
+		if cl.World() != 3 {
+			t.Fatalf("world = %d, want 3", cl.World())
+		}
+		if seen[cl.Proc()] {
+			t.Fatalf("duplicate proc %d", cl.Proc())
+		}
+		seen[cl.Proc()] = true
+		if cl.Rank() != int(cl.Proc()) {
+			t.Fatalf("rank %d != proc %d", cl.Rank(), cl.Proc())
+		}
+		if got := cl.Procs(); len(got) != 3 {
+			t.Fatalf("procs = %v", got)
+		}
+		if len(cl.Peers()) != 3 {
+			t.Fatalf("peers = %v", cl.Peers())
+		}
+	}
+	for id := transport.ProcID(0); id < 3; id++ {
+		if !seen[id] {
+			t.Fatalf("proc %d never assigned (got %v)", id, seen)
+		}
+	}
+}
+
+func collectDown(cl *Client) (<-chan transport.ProcID, func()) {
+	ch := make(chan transport.ProcID, 8)
+	cl.Start(func(d transport.ProcID) { ch <- d })
+	return ch, func() {}
+}
+
+func waitDown(t *testing.T, ch <-chan transport.ProcID, want transport.ProcID, within time.Duration) {
+	t.Helper()
+	select {
+	case got := <-ch:
+		if got != want {
+			t.Fatalf("peerdown for proc %d, want %d", got, want)
+		}
+	case <-time.After(within):
+		t.Fatalf("no peerdown for proc %d within %v", want, within)
+	}
+}
+
+func TestHeartbeatTimeoutDeclaresDeath(t *testing.T) {
+	var journal syncBuf
+	rec := trace.New(&journal)
+	_, cls := gather(t, 3, Config{
+		HeartbeatInterval: 20 * time.Millisecond,
+		SuspectAfter:      80 * time.Millisecond,
+		DeadAfter:         200 * time.Millisecond,
+		Trace:             rec,
+	})
+
+	chans := make([]<-chan transport.ProcID, len(cls))
+	for i, cl := range cls {
+		chans[i], _ = collectDown(cl)
+	}
+
+	victim := cls[0]
+	victimProc := victim.Proc()
+	victim.Abandon() // silent death: no leave, heartbeats just stop
+
+	for i, cl := range cls {
+		if cl == victim {
+			continue
+		}
+		waitDown(t, chans[i], victimProc, 5*time.Second)
+	}
+
+	// The journal carries the full lifecycle for the victim.
+	s := journal.String()
+	for _, kind := range []string{"member_join", "hb_suspect", "hb_dead"} {
+		if !strings.Contains(s, kind) {
+			t.Fatalf("journal missing %q:\n%s", kind, s)
+		}
+	}
+	var deadEvents int
+	for _, line := range strings.Split(strings.TrimSpace(s), "\n") {
+		var ev trace.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad journal line %q: %v", line, err)
+		}
+		if ev.Kind == "hb_dead" {
+			deadEvents++
+			if ev.Proc != int(victimProc) {
+				t.Fatalf("hb_dead for proc %d, want %d", ev.Proc, victimProc)
+			}
+		}
+	}
+	if deadEvents != 1 {
+		t.Fatalf("hb_dead emitted %d times, want once", deadEvents)
+	}
+}
+
+func TestCleanLeaveBroadcastsImmediately(t *testing.T) {
+	var journal syncBuf
+	rec := trace.New(&journal)
+	// Long timeouts: if leave were not broadcast eagerly, the waitDown
+	// below would time out long before the heartbeat detector fired.
+	_, cls := gather(t, 2, Config{
+		HeartbeatInterval: 50 * time.Millisecond,
+		SuspectAfter:      30 * time.Second,
+		DeadAfter:         60 * time.Second,
+		Trace:             rec,
+	})
+
+	ch, _ := collectDown(cls[1])
+	leaver := cls[0].Proc()
+	cls[0].Close()
+	waitDown(t, ch, leaver, 3*time.Second)
+	if !strings.Contains(journal.String(), "member_leave") {
+		t.Fatalf("journal missing member_leave:\n%s", journal.String())
+	}
+}
+
+func TestSuspectRecoversWithoutDeclaration(t *testing.T) {
+	var journal syncBuf
+	rec := trace.New(&journal)
+	_, cls := gather(t, 2, Config{
+		HeartbeatInterval: 15 * time.Millisecond,
+		SuspectAfter:      60 * time.Millisecond,
+		DeadAfter:         5 * time.Second, // effectively never within the test
+		Trace:             rec,
+	})
+	ch, _ := collectDown(cls[1])
+	// cls[0] never calls Start, so it sends no heartbeats and drifts into
+	// suspicion; then a manual heartbeat recovers it.
+	time.Sleep(200 * time.Millisecond)
+	cls[0].mu.Lock()
+	cls[0].enc.Encode(&wireMsg{Op: "hb"})
+	cls[0].mu.Unlock()
+	time.Sleep(100 * time.Millisecond)
+
+	s := journal.String()
+	if !strings.Contains(s, "hb_suspect") {
+		t.Fatalf("journal missing hb_suspect:\n%s", s)
+	}
+	if !strings.Contains(s, "hb_alive") {
+		t.Fatalf("journal missing hb_alive recovery:\n%s", s)
+	}
+	if strings.Contains(s, "hb_dead") {
+		t.Fatalf("suspect recovery escalated to death:\n%s", s)
+	}
+	select {
+	case d := <-ch:
+		t.Fatalf("unexpected peerdown for %d", d)
+	default:
+	}
+}
+
+func TestLateJoinGetsWelcome(t *testing.T) {
+	srv, _ := gather(t, 2, Config{HeartbeatInterval: 50 * time.Millisecond})
+	late, err := Join(srv.Addr(), "127.0.0.1:0", 5*time.Second)
+	if err != nil {
+		t.Fatalf("late join: %v", err)
+	}
+	defer late.Abandon()
+	if late.Proc() != 2 {
+		t.Fatalf("late joiner proc = %d, want 2", late.Proc())
+	}
+	if len(late.Peers()) != 3 {
+		t.Fatalf("late joiner peers = %v, want 3 entries", late.Peers())
+	}
+}

@@ -3,6 +3,7 @@ package simnet
 import (
 	"sync"
 
+	"repro/internal/transport"
 	"repro/internal/vtime"
 )
 
@@ -10,14 +11,14 @@ import (
 // process dies. It models the out-of-band failure detector (ULFM) or the
 // cascade of TCP connection resets (Gloo). The message's From field is the
 // dead process.
-const CtlPeerDown = CtlTagBase - 1
+const CtlPeerDown = transport.CtlPeerDown
 
 // CtlHandler processes control-plane messages (Tag <= CtlTagBase) on the
 // endpoint's own goroutine, from inside Recv or PollCtl. Returning a
 // non-nil error aborts the in-flight operation with that error; returning
 // nil lets the operation continue (e.g., the dead peer is outside the
 // current communicator).
-type CtlHandler func(m *Message) error
+type CtlHandler = transport.CtlHandler
 
 // Endpoint is a process's attachment to the cluster: its mailbox, virtual
 // clock, and identity. All methods must be called from the process's own
@@ -51,6 +52,13 @@ func (e *Endpoint) Node() NodeID { return e.node }
 
 // Cluster returns the cluster this endpoint belongs to.
 func (e *Endpoint) Cluster() *Cluster { return e.net }
+
+// VClock returns the endpoint's virtual clock (transport.Endpoint).
+func (e *Endpoint) VClock() *vtime.Clock { return &e.Clock }
+
+// NodeOf resolves a process's hosting node, implementing the optional
+// transport.Locator capability that enables topology-aware collectives.
+func (e *Endpoint) NodeOf(id ProcID) (NodeID, error) { return e.net.NodeOf(id) }
 
 // SetCtlHandler installs the control-plane handler. Layers stack handlers
 // by saving and restoring the previous one.

@@ -1,43 +1,31 @@
 package simnet
 
 import (
-	"errors"
-	"fmt"
+	"repro/internal/transport"
 )
+
+// The error vocabulary is shared with the transport abstraction so the MPI
+// layer translates failures identically over the simulator and over real
+// backends. The names below are kept for the simulator's many existing
+// callers.
 
 // ErrDead is returned by operations attempted by a process that has itself
 // been killed. The owning goroutine should unwind and exit.
-var ErrDead = errors.New("simnet: local process is dead")
+var ErrDead = transport.ErrDead
 
 // ErrCanceled is returned when an operation is interrupted by its cancel
 // channel (used by higher layers to abort on revocation).
-var ErrCanceled = errors.New("simnet: operation canceled")
+var ErrCanceled = transport.ErrCanceled
 
 // PeerFailedError reports that a communication peer has failed. Higher
 // layers translate it into MPI_ERR_PROC_FAILED-style errors.
-type PeerFailedError struct {
-	Proc ProcID
-}
-
-func (e *PeerFailedError) Error() string {
-	return fmt.Sprintf("simnet: peer process %d has failed", e.Proc)
-}
+type PeerFailedError = transport.PeerFailedError
 
 // IsPeerFailed reports whether err wraps a PeerFailedError and, if so,
 // which process failed.
 func IsPeerFailed(err error) (ProcID, bool) {
-	var pf *PeerFailedError
-	if errors.As(err, &pf) {
-		return pf.Proc, true
-	}
-	return 0, false
+	return transport.IsPeerFailed(err)
 }
 
 // UnknownProcError reports a reference to a process that never existed.
-type UnknownProcError struct {
-	Proc ProcID
-}
-
-func (e *UnknownProcError) Error() string {
-	return fmt.Sprintf("simnet: unknown process %d", e.Proc)
-}
+type UnknownProcError = transport.UnknownProcError

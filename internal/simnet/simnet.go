@@ -18,23 +18,31 @@ package simnet
 
 import (
 	"fmt"
+
+	"repro/internal/transport"
 )
+
+// The cluster's identity, message, and control-plane vocabulary is the
+// transport package's: simnet is one backend of the transport.Endpoint
+// abstraction, and the aliases below keep the two type-identical so MPI
+// communicators built on either backend interoperate with the same
+// higher-layer code.
 
 // ProcID identifies a process (rank container) in the cluster. IDs are
 // global and never reused, so a respawned worker is distinguishable from
 // the failed one it replaces.
-type ProcID int
+type ProcID = transport.ProcID
 
 // NodeID identifies a physical node.
-type NodeID int
+type NodeID = transport.NodeID
 
 // AnySource matches any sender in Recv.
-const AnySource ProcID = -1
+const AnySource = transport.AnySource
 
 // Reserved tag space: tags below CtlTagBase are control-plane tags used by
 // higher layers (ULFM revocation, join notifications). Recv surfaces them
 // through the endpoint's control handler instead of matching them.
-const CtlTagBase = -1000
+const CtlTagBase = transport.CtlTagBase
 
 // Config describes the simulated machine and its cost model. All times are
 // virtual seconds, bandwidths are bytes per virtual second.
@@ -99,12 +107,6 @@ func (c Config) Validate() error {
 // Message is a unit of communication between processes. Data is an opaque
 // payload (typically a typed slice copied by the sender); Bytes drives the
 // bandwidth cost model and may exceed the in-memory size of Data when the
-// payload stands in for a larger simulated buffer.
-type Message struct {
-	From     ProcID
-	To       ProcID
-	Tag      int
-	Data     any
-	Bytes    int64
-	ArriveAt float64 // virtual arrival time at the destination
-}
+// payload stands in for a larger simulated buffer. ArriveAt is the virtual
+// arrival time at the destination.
+type Message = transport.Message

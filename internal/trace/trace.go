@@ -14,11 +14,16 @@ import (
 	"repro/internal/metrics"
 )
 
-// Event is one journal record. Times are virtual seconds.
+// Event is one journal record. Times are virtual seconds for simulated
+// runs and wall-clock seconds since service start for real-process runs,
+// so both produce the same JSON-lines journal shape.
 type Event struct {
-	T      float64            `json:"t"`                // virtual time of emission
-	Proc   int                `json:"proc"`             // emitting process
-	Kind   string             `json:"kind"`             // "recovery", "join", "finish", "run"
+	T    float64 `json:"t"`    // time of emission
+	Proc int     `json:"proc"` // emitting or affected process
+	// Kind: "recovery", "join", "finish", "run" from training runs;
+	// "member_join", "member_leave", "hb_suspect", "hb_alive", "hb_dead"
+	// from the rendezvous membership/heartbeat service.
+	Kind   string             `json:"kind"`
 	Seq    int                `json:"seq,omitempty"`    // reconfiguration sequence/round
 	Reason string             `json:"reason,omitempty"` // "failure", "upscale", ...
 	Phases map[string]float64 `json:"phases,omitempty"` // per-phase seconds
@@ -86,6 +91,14 @@ func (r *Recorder) Finish(t float64, proc, rank, size int) {
 // Run emits a run summary.
 func (r *Recorder) Run(t float64, size int, events int) {
 	r.Emit(Event{T: t, Proc: -1, Kind: "run", Extra: map[string]any{"final_size": size, "events": events}})
+}
+
+// Membership emits a membership or failure-detector record from the
+// rendezvous service or a worker daemon. kind is one of "member_join",
+// "member_leave", "hb_suspect", "hb_alive" (suspect recovered), or
+// "hb_dead" (heartbeat-declared failure); proc is the affected process.
+func (r *Recorder) Membership(t float64, proc int, kind string, extra map[string]any) {
+	r.Emit(Event{T: t, Proc: proc, Kind: kind, Extra: extra})
 }
 
 // Count reports how many events were written.

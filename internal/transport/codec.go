@@ -1,0 +1,62 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// The wire codec serializes the opaque Message.Data payloads that
+// in-process backends pass by reference. Payloads travel as a gob-encoded
+// single-field envelope so that any registered concrete type round-trips
+// through the `any` interface. Backends that never cross a process
+// boundary (simnet) skip the codec entirely.
+
+// envelope wraps the payload so gob records its concrete type.
+type envelope struct{ V any }
+
+// RegisterWireType registers a concrete payload type for wire transport.
+// Packages that send their own message structs over a real transport call
+// this from an init function; duplicate registrations of the same type
+// are a programmer error and panic, as in encoding/gob.
+func RegisterWireType(v any) { gob.Register(v) }
+
+func init() {
+	// Slice payloads produced by the MPI layer's typed buffers.
+	RegisterWireType([]int{})
+	RegisterWireType([]int32{})
+	RegisterWireType([]int64{})
+	RegisterWireType([]uint8{})
+	RegisterWireType([]uint32{})
+	RegisterWireType([]uint64{})
+	RegisterWireType([]float32{})
+	RegisterWireType([]float64{})
+	RegisterWireType([]bool{})
+	RegisterWireType([]string{})
+	RegisterWireType([]ProcID{})
+}
+
+// EncodePayload serializes a payload for the wire. A nil payload encodes
+// to nil bytes (virtual buffers and barrier tokens carry no data).
+func EncodePayload(v any) ([]byte, error) {
+	if v == nil {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&envelope{V: v}); err != nil {
+		return nil, fmt.Errorf("transport: encode payload %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePayload reverses EncodePayload.
+func DecodePayload(b []byte) (any, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("transport: decode payload: %w", err)
+	}
+	return env.V, nil
+}

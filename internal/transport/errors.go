@@ -1,0 +1,43 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDead is returned by operations attempted by a process that has itself
+// been killed or shut down. The owning goroutine should unwind and exit.
+var ErrDead = errors.New("transport: local process is dead")
+
+// ErrCanceled is returned when an operation is interrupted by its cancel
+// channel (used by higher layers to abort on revocation).
+var ErrCanceled = errors.New("transport: operation canceled")
+
+// PeerFailedError reports that a communication peer has failed. The MPI
+// layer translates it into MPI_ERR_PROC_FAILED-style errors.
+type PeerFailedError struct {
+	Proc ProcID
+}
+
+func (e *PeerFailedError) Error() string {
+	return fmt.Sprintf("transport: peer process %d has failed", e.Proc)
+}
+
+// IsPeerFailed reports whether err wraps a PeerFailedError and, if so,
+// which process failed.
+func IsPeerFailed(err error) (ProcID, bool) {
+	var pf *PeerFailedError
+	if errors.As(err, &pf) {
+		return pf.Proc, true
+	}
+	return 0, false
+}
+
+// UnknownProcError reports a reference to a process that never existed.
+type UnknownProcError struct {
+	Proc ProcID
+}
+
+func (e *UnknownProcError) Error() string {
+	return fmt.Sprintf("transport: unknown process %d", e.Proc)
+}

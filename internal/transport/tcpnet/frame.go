@@ -1,0 +1,86 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire format: length-prefixed binary frames. Each frame is a 4-byte
+// big-endian body length N followed by the N-byte body:
+//
+//	offset 0  : int64  From   (sender ProcID)
+//	offset 8  : int64  To     (destination ProcID)
+//	offset 16 : int64  Tag    (message tag; control tags are negative)
+//	offset 24 : int64  Bytes  (cost-model payload size, may exceed wire size)
+//	offset 32 : gob-encoded payload (empty for nil payloads)
+//
+// Both reader and writer reject frames larger than the configured limit,
+// so a corrupted or hostile length prefix cannot drive an unbounded
+// allocation.
+
+// frameHeaderLen is the fixed body prefix before the payload.
+const frameHeaderLen = 32
+
+// DefaultMaxFrame bounds a frame's body (header + payload).
+const DefaultMaxFrame = 64 << 20
+
+type frame struct {
+	From    int64
+	To      int64
+	Tag     int64
+	Bytes   int64
+	Payload []byte
+}
+
+// writeFrame serializes f to w, rejecting oversized frames before any
+// bytes hit the wire.
+func writeFrame(w io.Writer, f *frame, maxFrame int) error {
+	n := frameHeaderLen + len(f.Payload)
+	if n > maxFrame {
+		return fmt.Errorf("tcpnet: frame body of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	buf := make([]byte, 4+frameHeaderLen, 4+n)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(n))
+	binary.BigEndian.PutUint64(buf[4:12], uint64(f.From))
+	binary.BigEndian.PutUint64(buf[12:20], uint64(f.To))
+	binary.BigEndian.PutUint64(buf[20:28], uint64(f.Tag))
+	binary.BigEndian.PutUint64(buf[28:36], uint64(f.Bytes))
+	buf = append(buf, f.Payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame from r. A short read of an already-started
+// frame reports io.ErrUnexpectedEOF (truncation); a clean EOF before the
+// length prefix reports io.EOF (orderly shutdown).
+func readFrame(r io.Reader, maxFrame int) (*frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(lenBuf[:]))
+	if n < frameHeaderLen {
+		return nil, fmt.Errorf("tcpnet: frame body of %d bytes shorter than %d-byte header", n, frameHeaderLen)
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("tcpnet: frame body of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	f := &frame{
+		From:  int64(binary.BigEndian.Uint64(body[0:8])),
+		To:    int64(binary.BigEndian.Uint64(body[8:16])),
+		Tag:   int64(binary.BigEndian.Uint64(body[16:24])),
+		Bytes: int64(binary.BigEndian.Uint64(body[24:32])),
+	}
+	if n > frameHeaderLen {
+		f.Payload = body[frameHeaderLen:]
+	}
+	return f, nil
+}

@@ -1,0 +1,107 @@
+package tcpnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []frame{
+		{From: 0, To: 1, Tag: 42, Bytes: 1 << 20, Payload: []byte("hello")},
+		{From: 3, To: 0, Tag: -1001, Bytes: 0, Payload: nil}, // control frame, nil payload
+		{From: 7, To: 7, Tag: 0, Bytes: 8, Payload: make([]byte, 4096)},
+	}
+	for i, in := range cases {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, &in, DefaultMaxFrame); err != nil {
+			t.Fatalf("case %d: writeFrame: %v", i, err)
+		}
+		out, err := readFrame(&buf, DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("case %d: readFrame: %v", i, err)
+		}
+		if out.From != in.From || out.To != in.To || out.Tag != in.Tag || out.Bytes != in.Bytes {
+			t.Fatalf("case %d: header mismatch: got %+v want %+v", i, out, in)
+		}
+		if !bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("case %d: payload mismatch: %d bytes vs %d", i, len(out.Payload), len(in.Payload))
+		}
+	}
+}
+
+func TestFrameBackToBack(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		f := frame{From: int64(i), To: int64(i + 1), Tag: int64(i * 10), Payload: []byte{byte(i)}}
+		if err := writeFrame(&buf, &f, DefaultMaxFrame); err != nil {
+			t.Fatalf("writeFrame %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		f, err := readFrame(&buf, DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("readFrame %d: %v", i, err)
+		}
+		if f.From != int64(i) || len(f.Payload) != 1 || f.Payload[0] != byte(i) {
+			t.Fatalf("frame %d corrupted: %+v", i, f)
+		}
+	}
+	if _, err := readFrame(&buf, DefaultMaxFrame); err != io.EOF {
+		t.Fatalf("expected clean EOF after stream, got %v", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	f := frame{From: 1, To: 2, Tag: 3, Payload: []byte("truncate me")}
+	if err := writeFrame(&buf, &f, DefaultMaxFrame); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	full := buf.Bytes()
+	// Cut anywhere after the length prefix: mid-header and mid-payload.
+	for _, cut := range []int{5, frameHeaderLen, len(full) - 3} {
+		_, err := readFrame(bytes.NewReader(full[:cut]), DefaultMaxFrame)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: got %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+	// Cut inside the length prefix itself: stream never started a frame body.
+	if _, err := readFrame(bytes.NewReader(full[:2]), DefaultMaxFrame); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("cut at 2: got %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestFrameOversizedWrite(t *testing.T) {
+	var buf bytes.Buffer
+	f := frame{Payload: make([]byte, 1024)}
+	err := writeFrame(&buf, &f, 256)
+	if err == nil {
+		t.Fatal("oversized write accepted")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("oversized write leaked %d bytes onto the wire", buf.Len())
+	}
+}
+
+func TestFrameOversizedRead(t *testing.T) {
+	// A frame legal at the writer's limit must be rejected by a reader
+	// with a smaller limit — and without allocating the claimed body.
+	var buf bytes.Buffer
+	f := frame{Payload: make([]byte, 1024)}
+	if err := writeFrame(&buf, &f, DefaultMaxFrame); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	if _, err := readFrame(&buf, 256); err == nil {
+		t.Fatal("oversized read accepted")
+	}
+}
+
+func TestFrameBogusLength(t *testing.T) {
+	// Body length smaller than the fixed header is structurally invalid.
+	raw := []byte{0, 0, 0, 5, 1, 2, 3, 4, 5}
+	if _, err := readFrame(bytes.NewReader(raw), DefaultMaxFrame); err == nil {
+		t.Fatal("undersized body length accepted")
+	}
+}

@@ -1,0 +1,187 @@
+package tcpnet_test
+
+// The loopback integration test: a rendezvous service plus four workers,
+// each owning a real TCP endpoint in this one process. The world runs an
+// allreduce over real sockets, one worker is killed abruptly (connection
+// dropped, no leave), the heartbeat detector declares it, and the
+// survivors run the ULFM revoke/agree/shrink/retry pipeline to finish the
+// next allreduce over the shrunken world — the same end-to-end path a
+// multi-process deployment of cmd/elasticd exercises.
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/rendezvous"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/transport/tcpnet"
+	"repro/internal/ulfm"
+)
+
+// syncBuf guards the journal: the rendezvous sweeper writes while the
+// test reads.
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+type workerResult struct {
+	proc  transport.ProcID
+	step0 float64 // allreduce result with the full world
+	step1 float64 // allreduce result after the kill (survivors only)
+	size1 int     // communicator size after recovery
+	err   error
+}
+
+func runWorker(srvAddr string, world int, results chan<- workerResult) {
+	var res workerResult
+	defer func() { results <- res }()
+	fail := func(err error) { res.err = err }
+
+	ep, err := tcpnet.Listen("127.0.0.1:0", tcpnet.Config{
+		DialRetries: 4,
+		DialBackoff: 20 * time.Millisecond,
+		DialTimeout: time.Second,
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer ep.Close()
+
+	cl, err := rendezvous.Join(srvAddr, ep.Addr(), 20*time.Second)
+	if err != nil {
+		fail(err)
+		return
+	}
+	ep.Start(cl.Proc(), cl.Peers())
+	cl.Start(func(dead transport.ProcID) { ep.MarkDead(dead) })
+	res.proc = cl.Proc()
+	victim := cl.Rank() == world-1
+
+	p := mpi.Attach(ep)
+	comm, err := mpi.World(p, cl.Procs())
+	if err != nil {
+		fail(err)
+		return
+	}
+	r := ulfm.New(comm, nil, ulfm.DefaultPolicy())
+
+	// Step 0: every worker contributes proc+1; full world must agree.
+	data := []float64{float64(cl.Proc()) + 1}
+	if err := ulfm.Allreduce(r, data, mpi.OpSum); err != nil {
+		fail(err)
+		return
+	}
+	res.step0 = data[0]
+
+	if victim {
+		// Die abruptly: drop the rendezvous connection without a leave
+		// (so only missed heartbeats reveal the death) and shut the
+		// transport down. Survivors block in step 1 until the detector's
+		// declaration arrives and recovery runs.
+		time.Sleep(50 * time.Millisecond) // let peers drain step-0 frames
+		cl.Abandon()
+		ep.Close()
+		return
+	}
+	defer cl.Close()
+
+	// Step 1: survivors contribute again; the collective first fails
+	// against the dead member, repairs, and retries over the survivors.
+	data = []float64{float64(cl.Proc()) + 1}
+	if err := ulfm.Allreduce(r, data, mpi.OpSum); err != nil {
+		fail(err)
+		return
+	}
+	res.step1 = data[0]
+	res.size1 = r.Size()
+}
+
+func TestLoopbackWorldSurvivesKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	const world = 4
+
+	var journal syncBuf
+	rec := trace.New(&journal)
+	srv, err := rendezvous.ListenAndServe("127.0.0.1:0", rendezvous.Config{
+		World:             world,
+		HeartbeatInterval: 25 * time.Millisecond,
+		SuspectAfter:      100 * time.Millisecond,
+		DeadAfter:         250 * time.Millisecond,
+		Trace:             rec,
+	})
+	if err != nil {
+		t.Fatalf("rendezvous: %v", err)
+	}
+	defer srv.Close()
+
+	results := make(chan workerResult, world)
+	for i := 0; i < world; i++ {
+		go runWorker(srv.Addr(), world, results)
+	}
+
+	var got []workerResult
+	deadline := time.After(30 * time.Second)
+	for len(got) < world {
+		select {
+		case r := <-results:
+			got = append(got, r)
+		case <-deadline:
+			t.Fatalf("only %d/%d workers finished; journal:\n%s", len(got), world, journal.String())
+		}
+	}
+
+	const wantStep0 = 1 + 2 + 3 + 4 // contributions are proc+1, procs 0..3
+	const wantStep1 = 1 + 2 + 3     // survivors are procs 0..2
+	var survivors int
+	for _, r := range got {
+		if r.err != nil {
+			t.Fatalf("worker proc %d: %v", r.proc, r.err)
+		}
+		if r.step0 != wantStep0 {
+			t.Errorf("proc %d step0 = %v, want %v", r.proc, r.step0, wantStep0)
+		}
+		if r.proc == world-1 {
+			continue // the victim only ran step 0
+		}
+		survivors++
+		if r.step1 != wantStep1 {
+			t.Errorf("proc %d step1 = %v, want %v", r.proc, r.step1, wantStep1)
+		}
+		if r.size1 != world-1 {
+			t.Errorf("proc %d post-recovery size = %d, want %d", r.proc, r.size1, world-1)
+		}
+	}
+	if survivors != world-1 {
+		t.Fatalf("%d survivors reported, want %d", survivors, world-1)
+	}
+
+	// The journal must show the gather and the heartbeat declaration.
+	s := journal.String()
+	if n := strings.Count(s, `"member_join"`); n != world {
+		t.Errorf("journal has %d member_join events, want %d:\n%s", n, world, s)
+	}
+	if !strings.Contains(s, `"hb_dead"`) {
+		t.Errorf("journal missing hb_dead declaration:\n%s", s)
+	}
+}

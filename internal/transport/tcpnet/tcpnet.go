@@ -1,0 +1,535 @@
+// Package tcpnet is the real-socket backend of the transport abstraction:
+// each process owns one Endpoint that listens on a TCP address, dials
+// peers on demand with retry/backoff, and exchanges length-prefixed binary
+// frames whose payloads are serialized with the transport wire codec.
+//
+// The endpoint reproduces the simulator's mailbox semantics exactly —
+// tag/source matching, control-message drains through the installed
+// handler, deliverable-data-over-failure-notice priority — so the MPI
+// layer's collectives and ULFM recovery pipeline run unchanged over it.
+//
+// Failure detection is split in two, as in production stacks: connection
+// errors surface immediately to the affected sender (the Gloo-style
+// cascade of resets), while authoritative declarations come from the
+// rendezvous service's wall-clock heartbeat detector, which the process
+// feeds into MarkDead to trigger the same CtlPeerDown control path the
+// simulator's perfect detector exercises.
+package tcpnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/vtime"
+)
+
+// Config tunes an endpoint's connection management and framing limits.
+type Config struct {
+	// MaxFrame bounds a frame body (header + encoded payload); oversized
+	// sends fail and oversized incoming length prefixes drop the
+	// connection. Default DefaultMaxFrame.
+	MaxFrame int
+	// DialTimeout bounds each dial attempt. Default 2s.
+	DialTimeout time.Duration
+	// DialRetries is how many times a failed dial or write is retried
+	// (with exponential backoff) before the peer is reported failed.
+	// Default 5.
+	DialRetries int
+	// DialBackoff is the initial retry backoff, doubling per attempt.
+	// Default 50ms.
+	DialBackoff time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.DialRetries <= 0 {
+		c.DialRetries = 5
+	}
+	if c.DialBackoff <= 0 {
+		c.DialBackoff = 50 * time.Millisecond
+	}
+	return c
+}
+
+// Endpoint implements the transport abstraction over real sockets.
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// peer is the dial-side state for one remote process. Its mutex
+// serializes writers and protects the cached connection.
+type peer struct {
+	addr string
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Endpoint is a process's TCP attachment: listener, mailbox, peer table,
+// and identity. Recv/TryRecv/PollCtl/Send must be called from the owning
+// process's goroutine, as on the simulator endpoint; MarkDead, deliver,
+// and Close are safe from any goroutine.
+type Endpoint struct {
+	cfg   Config
+	ln    net.Listener
+	epoch time.Time
+	clock vtime.Clock
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	id     transport.ProcID
+	queue  []*transport.Message
+	closed bool
+	done   chan struct{}
+	ctl    transport.CtlHandler
+	peers  map[transport.ProcID]*peer
+	dead   map[transport.ProcID]bool
+	conns  map[net.Conn]bool // accepted inbound connections, for shutdown
+
+	wg sync.WaitGroup
+}
+
+// Listen opens an endpoint on addr (host:port; use port 0 for an
+// ephemeral port, then read the bound address back with Addr). The
+// endpoint's identity and peer table are bound later with Start, once the
+// rendezvous service has assigned them.
+func Listen(addr string, cfg Config) (*Endpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+	}
+	e := &Endpoint{
+		cfg:   cfg.withDefaults(),
+		ln:    ln,
+		epoch: time.Now(),
+		id:    -1,
+		done:  make(chan struct{}),
+		peers: make(map[transport.ProcID]*peer),
+		dead:  make(map[transport.ProcID]bool),
+		conns: make(map[net.Conn]bool),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the bound listen address (resolved, usable by peers).
+func (e *Endpoint) Addr() string { return e.ln.Addr().String() }
+
+// Start binds the endpoint's identity and peer address map, as assigned
+// by the rendezvous service. The self entry, if present, is ignored.
+// Start may be called again later to add newly admitted peers; existing
+// entries are kept.
+func (e *Endpoint) Start(id transport.ProcID, peers map[transport.ProcID]string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.id = id
+	for pid, addr := range peers {
+		if pid == id {
+			continue
+		}
+		if _, ok := e.peers[pid]; !ok {
+			e.peers[pid] = &peer{addr: addr}
+		}
+	}
+}
+
+// ID returns the process identifier (-1 before Start).
+func (e *Endpoint) ID() transport.ProcID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.id
+}
+
+// Done returns a channel closed when the endpoint shuts down.
+func (e *Endpoint) Done() <-chan struct{} { return e.done }
+
+// Closed reports whether the endpoint has been shut down.
+func (e *Endpoint) Closed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+// SetCtlHandler installs the control-plane handler.
+func (e *Endpoint) SetCtlHandler(h transport.CtlHandler) {
+	e.mu.Lock()
+	e.ctl = h
+	e.mu.Unlock()
+}
+
+// CtlHandler returns the installed control handler (for save/restore).
+func (e *Endpoint) CtlHandler() transport.CtlHandler {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ctl
+}
+
+// now returns seconds of wall-clock time since the endpoint started.
+func (e *Endpoint) now() float64 { return time.Since(e.epoch).Seconds() }
+
+// touch advances the endpoint clock to the current wall time.
+func (e *Endpoint) touch() { e.clock.AdvanceTo(e.now()) }
+
+// VClock returns the endpoint's clock: wall-clock seconds since start,
+// refreshed on every endpoint operation and on each VClock call.
+func (e *Endpoint) VClock() *vtime.Clock {
+	e.touch()
+	return &e.clock
+}
+
+// Compute is a no-op on the real transport: wall time advances by itself.
+func (e *Endpoint) Compute(d float64) { e.touch() }
+
+// MarkDead records an authoritative failure declaration for a peer (from
+// the rendezvous heartbeat detector) and injects the CtlPeerDown control
+// notice, waking any blocked Recv so the ULFM recovery path can run. It
+// is idempotent and safe from any goroutine.
+func (e *Endpoint) MarkDead(id transport.ProcID) {
+	e.mu.Lock()
+	if e.closed || e.dead[id] {
+		e.mu.Unlock()
+		return
+	}
+	e.dead[id] = true
+	p := e.peers[id]
+	e.queue = append(e.queue, &transport.Message{
+		From: id, To: e.id, Tag: transport.CtlPeerDown, ArriveAt: e.now(),
+	})
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	if p != nil {
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Close shuts the endpoint down gracefully: the listener and all
+// connections are closed, reader goroutines drain, and pending or future
+// operations on the endpoint return ErrDead. Peers observe the closed
+// connections as send failures and, authoritatively, a heartbeat
+// declaration from the rendezvous service.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.done)
+	e.queue = nil
+	conns := make([]net.Conn, 0, len(e.conns))
+	for c := range e.conns {
+		conns = append(conns, c)
+	}
+	peers := make([]*peer, 0, len(e.peers))
+	for _, p := range e.peers {
+		peers = append(peers, p)
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+
+	e.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, p := range peers {
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+		p.mu.Unlock()
+	}
+	e.wg.Wait()
+	return nil
+}
+
+// acceptLoop admits inbound connections until the listener closes.
+func (e *Endpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			return
+		}
+		e.conns[conn] = true
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames off one inbound connection into the mailbox.
+// Any framing or decoding error drops the connection; the peer redials.
+func (e *Endpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		conn.Close()
+		e.mu.Lock()
+		delete(e.conns, conn)
+		e.mu.Unlock()
+	}()
+	for {
+		f, err := readFrame(conn, e.cfg.MaxFrame)
+		if err != nil {
+			return
+		}
+		data, derr := transport.DecodePayload(f.Payload)
+		if derr != nil {
+			return
+		}
+		e.deliver(&transport.Message{
+			From:     transport.ProcID(f.From),
+			To:       transport.ProcID(f.To),
+			Tag:      int(f.Tag),
+			Data:     data,
+			Bytes:    f.Bytes,
+			ArriveAt: e.now(),
+		})
+	}
+}
+
+// deliver enqueues m and wakes the owner. Messages to a closed endpoint
+// are dropped, as the wire would.
+func (e *Endpoint) deliver(m *transport.Message) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.queue = append(e.queue, m)
+	e.cond.Broadcast()
+}
+
+// Send transmits data to the process dst, encoding the payload with the
+// transport wire codec and framing it onto the peer's connection (dialed
+// on demand with retry/backoff). Exhausted retries are reported as a peer
+// failure — the Gloo-style reading of connection resets — which the
+// rendezvous heartbeat detector later confirms or refutes globally.
+func (e *Endpoint) Send(dst transport.ProcID, tag int, data any, bytes int64) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return transport.ErrDead
+	}
+	if e.dead[dst] {
+		e.mu.Unlock()
+		return &transport.PeerFailedError{Proc: dst}
+	}
+	p := e.peers[dst]
+	from := e.id
+	e.mu.Unlock()
+	if p == nil {
+		return &transport.UnknownProcError{Proc: dst}
+	}
+	payload, err := transport.EncodePayload(data)
+	if err != nil {
+		return fmt.Errorf("tcpnet: send to proc %d: %w", dst, err)
+	}
+	f := &frame{From: int64(from), To: int64(dst), Tag: int64(tag), Bytes: bytes, Payload: payload}
+	if err := e.writeToPeer(p, f); err != nil {
+		if e.Closed() {
+			return transport.ErrDead
+		}
+		if _, oversized := err.(*oversizeError); oversized {
+			return err
+		}
+		return &transport.PeerFailedError{Proc: dst}
+	}
+	e.touch()
+	return nil
+}
+
+// oversizeError marks frame-limit violations so Send reports them as
+// usage errors rather than peer failures.
+type oversizeError struct{ err error }
+
+func (e *oversizeError) Error() string { return e.err.Error() }
+func (e *oversizeError) Unwrap() error { return e.err }
+
+// writeToPeer frames f onto p's connection, dialing (or redialing) with
+// exponential backoff. The peer mutex serializes concurrent writers.
+func (e *Endpoint) writeToPeer(p *peer, f *frame) error {
+	if frameHeaderLen+len(f.Payload) > e.cfg.MaxFrame {
+		return &oversizeError{err: fmt.Errorf(
+			"tcpnet: frame body of %d bytes exceeds limit %d", frameHeaderLen+len(f.Payload), e.cfg.MaxFrame)}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var lastErr error
+	backoff := e.cfg.DialBackoff
+	for attempt := 0; attempt <= e.cfg.DialRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-e.done:
+				return transport.ErrDead
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		if p.conn == nil {
+			conn, err := net.DialTimeout("tcp", p.addr, e.cfg.DialTimeout)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			p.conn = conn
+		}
+		if err := writeFrame(p.conn, f, e.cfg.MaxFrame); err != nil {
+			p.conn.Close()
+			p.conn = nil
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// Recv blocks until a message with the given source and tag arrives.
+// Deliverable data takes priority over failure notices, matching the
+// simulator: an operation whose message already arrived completes even if
+// a failure was detected meanwhile.
+func (e *Endpoint) Recv(src transport.ProcID, tag int) (*transport.Message, error) {
+	e.mu.Lock()
+	for {
+		if e.closed {
+			e.mu.Unlock()
+			return nil, transport.ErrDead
+		}
+		if i := e.matchLocked(src, tag); i >= 0 {
+			m := e.queue[i]
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			e.mu.Unlock()
+			e.touch()
+			return m, nil
+		}
+		if err := e.drainCtlLocked(); err != nil {
+			e.mu.Unlock()
+			return nil, err
+		}
+		// drainCtl released the lock; a matching message may have landed.
+		if i := e.matchLocked(src, tag); i >= 0 {
+			m := e.queue[i]
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			e.mu.Unlock()
+			e.touch()
+			return m, nil
+		}
+		if src != transport.AnySource && e.dead[src] {
+			e.mu.Unlock()
+			e.touch()
+			return nil, &transport.PeerFailedError{Proc: src}
+		}
+		e.cond.Wait()
+	}
+}
+
+// TryRecv is a non-blocking Recv: it returns (nil, nil) when no matching
+// message is queued, after processing any pending control messages.
+func (e *Endpoint) TryRecv(src transport.ProcID, tag int) (*transport.Message, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, transport.ErrDead
+	}
+	if i := e.matchLocked(src, tag); i >= 0 {
+		m := e.queue[i]
+		e.queue = append(e.queue[:i], e.queue[i+1:]...)
+		e.mu.Unlock()
+		e.touch()
+		return m, nil
+	}
+	if err := e.drainCtlLocked(); err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	if i := e.matchLocked(src, tag); i >= 0 {
+		m := e.queue[i]
+		e.queue = append(e.queue[:i], e.queue[i+1:]...)
+		e.mu.Unlock()
+		e.touch()
+		return m, nil
+	}
+	e.mu.Unlock()
+	return nil, nil
+}
+
+// PollCtl processes any pending control messages without receiving data,
+// surfacing the first handler error.
+func (e *Endpoint) PollCtl() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return transport.ErrDead
+	}
+	return e.drainCtlLocked()
+}
+
+// drainCtlLocked pulls control messages out of the queue and runs the
+// handler on each. The endpoint lock is released around handler calls so
+// handlers may send messages. The first handler error stops the drain.
+func (e *Endpoint) drainCtlLocked() error {
+	for {
+		idx := -1
+		for i, m := range e.queue {
+			if m.Tag <= transport.CtlTagBase {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil
+		}
+		m := e.queue[idx]
+		e.queue = append(e.queue[:idx], e.queue[idx+1:]...)
+		h := e.ctl
+		e.mu.Unlock()
+		e.touch()
+		var err error
+		if h != nil {
+			err = h(m)
+		}
+		e.mu.Lock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (e *Endpoint) matchLocked(src transport.ProcID, tag int) int {
+	for i, m := range e.queue {
+		if m.Tag != tag || m.Tag <= transport.CtlTagBase {
+			continue
+		}
+		if src == transport.AnySource || m.From == src {
+			return i
+		}
+	}
+	return -1
+}
+
+// QueueLen reports the number of queued (unmatched) messages; useful in
+// tests and diagnostics.
+func (e *Endpoint) QueueLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue)
+}

@@ -1,0 +1,267 @@
+package tcpnet
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// pair builds two connected endpoints with ids 0 and 1.
+func pair(t *testing.T) (*Endpoint, *Endpoint) {
+	t.Helper()
+	cfg := Config{DialRetries: 3, DialBackoff: 10 * time.Millisecond, DialTimeout: time.Second}
+	a, err := Listen("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatalf("listen a: %v", err)
+	}
+	b, err := Listen("127.0.0.1:0", cfg)
+	if err != nil {
+		a.Close()
+		t.Fatalf("listen b: %v", err)
+	}
+	peers := map[transport.ProcID]string{0: a.Addr(), 1: b.Addr()}
+	a.Start(0, peers)
+	b.Start(1, peers)
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	a, b := pair(t)
+
+	data := []float64{1, 2, 3}
+	if err := a.Send(1, 7, data, 24); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	m, err := b.Recv(0, 7)
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if m.From != 0 || m.To != 1 || m.Tag != 7 || m.Bytes != 24 {
+		t.Fatalf("bad envelope: %+v", m)
+	}
+	if !reflect.DeepEqual(m.Data, data) {
+		t.Fatalf("payload %v, want %v", m.Data, data)
+	}
+
+	// And the other direction over b's dial-side connection.
+	if err := b.Send(0, 9, []int{5}, 8); err != nil {
+		t.Fatalf("reverse send: %v", err)
+	}
+	m, err = a.Recv(transport.AnySource, 9)
+	if err != nil {
+		t.Fatalf("reverse recv: %v", err)
+	}
+	if m.From != 1 || !reflect.DeepEqual(m.Data, []int{5}) {
+		t.Fatalf("reverse message: %+v", m)
+	}
+}
+
+func TestTagAndSourceMatching(t *testing.T) {
+	a, b := pair(t)
+
+	// Two tags in flight; Recv must match by tag, not arrival order.
+	if err := a.Send(1, 1, []int{1}, 8); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := a.Send(1, 2, []int{2}, 8); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	m, err := b.Recv(0, 2)
+	if err != nil {
+		t.Fatalf("recv tag 2: %v", err)
+	}
+	if !reflect.DeepEqual(m.Data, []int{2}) {
+		t.Fatalf("tag 2 delivered %v", m.Data)
+	}
+	m, err = b.Recv(0, 1)
+	if err != nil {
+		t.Fatalf("recv tag 1: %v", err)
+	}
+	if !reflect.DeepEqual(m.Data, []int{1}) {
+		t.Fatalf("tag 1 delivered %v", m.Data)
+	}
+}
+
+func TestTryRecvNonBlocking(t *testing.T) {
+	a, b := pair(t)
+
+	if m, err := b.TryRecv(0, 3); m != nil || err != nil {
+		t.Fatalf("empty TryRecv = (%v, %v), want (nil, nil)", m, err)
+	}
+	if err := a.Send(1, 3, nil, 0); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m, err := b.TryRecv(0, 3)
+		if err != nil {
+			t.Fatalf("TryRecv: %v", err)
+		}
+		if m != nil {
+			if m.Data != nil {
+				t.Fatalf("nil payload arrived as %v", m.Data)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("message never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestMarkDeadWakesRecvAndRunsHandler(t *testing.T) {
+	a, _ := pair(t)
+
+	var notices []transport.ProcID
+	a.SetCtlHandler(func(m *transport.Message) error {
+		if m.Tag == transport.CtlPeerDown {
+			notices = append(notices, m.From)
+		}
+		return nil
+	})
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		a.MarkDead(1)
+	}()
+	// Blocked on a peer that gets declared dead: the ctl notice drains
+	// through the handler and the Recv reports the failure.
+	_, err := a.Recv(1, 5)
+	var pf *transport.PeerFailedError
+	if !errors.As(err, &pf) || pf.Proc != 1 {
+		t.Fatalf("recv after MarkDead = %v, want PeerFailedError{1}", err)
+	}
+	if len(notices) != 1 || notices[0] != 1 {
+		t.Fatalf("ctl notices = %v, want [1]", notices)
+	}
+
+	// Subsequent sends fail fast.
+	if err := a.Send(1, 5, nil, 0); err == nil {
+		t.Fatal("send to dead peer succeeded")
+	}
+	// MarkDead is idempotent: no duplicate notice.
+	a.MarkDead(1)
+	if err := a.PollCtl(); err != nil {
+		t.Fatalf("PollCtl: %v", err)
+	}
+	if len(notices) != 1 {
+		t.Fatalf("duplicate CtlPeerDown delivered: %v", notices)
+	}
+}
+
+func TestDeliveredDataBeatsFailureNotice(t *testing.T) {
+	a, b := pair(t)
+
+	if err := a.Send(1, 4, []int{42}, 8); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	// Wait for delivery, then declare the sender dead.
+	for b.QueueLen() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	b.MarkDead(0)
+	// The already-delivered message completes the Recv; the failure only
+	// surfaces afterwards. (Handler swallows the notice, as mpi's does
+	// outside an operation scope.)
+	b.SetCtlHandler(func(m *transport.Message) error { return nil })
+	m, err := b.Recv(0, 4)
+	if err != nil {
+		t.Fatalf("recv of delivered data = %v", err)
+	}
+	if !reflect.DeepEqual(m.Data, []int{42}) {
+		t.Fatalf("payload %v", m.Data)
+	}
+	if _, err := b.Recv(0, 4); err == nil {
+		t.Fatal("second recv from dead peer succeeded")
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	a, _ := pair(t)
+
+	// Unknown destination.
+	err := a.Send(9, 1, nil, 0)
+	var unk *transport.UnknownProcError
+	if !errors.As(err, &unk) {
+		t.Fatalf("send to unknown = %v, want UnknownProcError", err)
+	}
+
+	// Oversized payloads are usage errors, not peer failures.
+	small, err2 := Listen("127.0.0.1:0", Config{MaxFrame: 256})
+	if err2 != nil {
+		t.Fatalf("listen: %v", err2)
+	}
+	defer small.Close()
+	small.Start(5, map[transport.ProcID]string{6: a.Addr()})
+	err = small.Send(6, 1, make([]float64, 1024), 8192)
+	if err == nil {
+		t.Fatal("oversized send succeeded")
+	}
+	if _, isPeer := transport.IsPeerFailed(err); isPeer {
+		t.Fatalf("oversized send misreported as peer failure: %v", err)
+	}
+}
+
+func TestUnreachablePeerIsFailure(t *testing.T) {
+	cfg := Config{DialRetries: 2, DialBackoff: 5 * time.Millisecond, DialTimeout: 200 * time.Millisecond}
+	a, err := Listen("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer a.Close()
+	// Grab a port nobody listens on by binding and releasing it.
+	b, err := Listen("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatalf("listen b: %v", err)
+	}
+	deadAddr := b.Addr()
+	b.Close()
+	a.Start(0, map[transport.ProcID]string{1: deadAddr})
+	err = a.Send(1, 1, []int{1}, 8)
+	if proc, ok := transport.IsPeerFailed(err); !ok || proc != 1 {
+		t.Fatalf("send to unreachable = %v, want PeerFailedError{1}", err)
+	}
+}
+
+func TestCloseUnblocksAndReportsDead(t *testing.T) {
+	a, b := pair(t)
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Recv(0, 11)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	b.Close()
+	select {
+	case err := <-errc:
+		if err != transport.ErrDead {
+			t.Fatalf("recv on closed endpoint = %v, want ErrDead", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock Recv")
+	}
+	if err := b.Send(0, 1, nil, 0); err != transport.ErrDead {
+		t.Fatalf("send on closed endpoint = %v, want ErrDead", err)
+	}
+	select {
+	case <-b.Done():
+	default:
+		t.Fatal("Done channel not closed")
+	}
+	_ = a
+}
+
+func TestVClockAdvances(t *testing.T) {
+	a, _ := pair(t)
+	t0 := a.VClock().Now()
+	time.Sleep(10 * time.Millisecond)
+	if t1 := a.VClock().Now(); t1 <= t0 {
+		t.Fatalf("clock did not advance: %v -> %v", t0, t1)
+	}
+}

@@ -174,9 +174,8 @@ func (r *ResilientComm) retry(op func() error) error {
 
 // repair runs the ULFM pipeline and applies the drop policy.
 func (r *ResilientComm) repair() error {
-	ep := r.comm.Proc().Endpoint()
 	bd := metrics.NewBreakdown()
-	sw := vtime.NewStopwatch(&ep.Clock)
+	sw := vtime.NewStopwatch(r.comm.Proc().Endpoint().VClock())
 
 	r.comm.Revoke()
 	bd.Add(metrics.PhaseRevoke, sw.Lap())
