@@ -40,11 +40,17 @@ func main() {
 	steps := flag.Int("steps", 30, "allreduce steps to run")
 	n := flag.Int("n", 1024, "elements per allreduce")
 	stepInterval := flag.Duration("step-interval", time.Second, "pause between steps (gives humans time to kill workers)")
+	algoName := flag.String("allreduce", "auto", "allreduce algorithm: auto, recdouble, hier, or pipelined")
 	hb := flag.Duration("hb", 500*time.Millisecond, "heartbeat interval (used with -serve)")
 	suspect := flag.Duration("suspect", 0, "suspicion threshold (used with -serve; default 3x hb)")
 	dead := flag.Duration("dead", 0, "declaration threshold (used with -serve; default 6x hb)")
 	tracePath := flag.String("trace", "", "write a JSON-lines event journal to this file")
 	flag.Parse()
+
+	algo, err := mpi.ParseAllreduceAlgo(*algoName)
+	if err != nil {
+		log.Fatalf("elasticd: %v", err)
+	}
 
 	var rec *trace.Recorder
 	if *tracePath != "" {
@@ -114,7 +120,7 @@ func main() {
 		for i := range data {
 			data[i] = float64(cl.Proc()) + 1
 		}
-		if err := ulfm.Allreduce(r, data, mpi.OpSum); err != nil {
+		if err := ulfm.AllreduceWith(r, data, mpi.OpSum, algo); err != nil {
 			if errors.Is(err, ulfm.ErrDropped) {
 				log.Printf("elasticd: dropped from the communicator, exiting")
 				return

@@ -1,0 +1,285 @@
+// Package dataplane measures the TCP data plane — wire codec and
+// loopback allreduce — with testing.Benchmark and renders the results as
+// a JSON report (BENCH_dataplane.json at the repo root). Because both
+// the gob envelope and the plain ring remain selectable, the pre-PR
+// baseline (gob codec, unpipelined ring) stays measurable forever: every
+// regeneration of the report re-derives the before/after comparison on
+// the current host instead of trusting stale committed numbers.
+package dataplane
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/transport"
+	"repro/internal/transport/tcpnet"
+)
+
+// CodecResult is one (payload shape, codec) cell of the codec comparison.
+type CodecResult struct {
+	Payload     string  `json:"payload"`       // e.g. "float32-256k"
+	Codec       string  `json:"codec"`         // "raw" or "gob"
+	NsPerOp     float64 `json:"ns_per_op"`     // encode + decode round trip
+	AllocsPerOp int64   `json:"allocs_per_op"` //
+	MBPerSec    float64 `json:"mb_per_sec"`    // wire bytes through the round trip
+	WireBytes   int64   `json:"wire_bytes"`    // encoded payload size
+}
+
+// AllreduceResult is one (tensor size, algorithm, codec) cell of the
+// loopback TCP allreduce comparison.
+type AllreduceResult struct {
+	TensorBytes int64   `json:"tensor_bytes"`
+	Algo        string  `json:"algo"`  // "ring" or "pipelined"
+	Codec       string  `json:"codec"` // "raw" or "gob"
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec"` // tensor bytes reduced per second
+}
+
+// Report is the full BENCH_dataplane.json document.
+type Report struct {
+	// Baseline names the pre-PR configuration the other rows are read
+	// against: the gob envelope codec and the unpipelined ring.
+	Baseline     string            `json:"baseline"`
+	World        int               `json:"world"`
+	Codec        []CodecResult     `json:"codec"`
+	TCPAllreduce []AllreduceResult `json:"tcp_allreduce"`
+}
+
+// Config sizes the collection; the zero value is replaced by Default().
+type Config struct {
+	// World is the loopback worker count for the allreduce rows.
+	World int
+	// CodecElems are the []float32 lengths for the codec rows.
+	CodecElems []int
+	// TensorElems are the []float32 lengths for the allreduce rows.
+	TensorElems []int
+	// Quick caps every cell at a handful of iterations — numbers become
+	// noisy but collection finishes in seconds (for smoke tests).
+	Quick bool
+}
+
+// Default is the configuration benchtab -dataplane uses: the codec at
+// the acceptance-bar size (256k float32) plus a small size, and the
+// allreduce at 1 MiB and 16 MiB with four workers.
+func Default() Config {
+	return Config{
+		World:       4,
+		CodecElems:  []int{1 << 10, 256 << 10},
+		TensorElems: []int{1 << 18, 1 << 22},
+	}
+}
+
+// Collect runs every cell and assembles the report.
+func Collect(cfg Config) (*Report, error) {
+	def := Default()
+	if cfg.World == 0 {
+		cfg.World = def.World
+	}
+	if len(cfg.CodecElems) == 0 {
+		cfg.CodecElems = def.CodecElems
+	}
+	if len(cfg.TensorElems) == 0 {
+		cfg.TensorElems = def.TensorElems
+	}
+	defer quickBenchtime(cfg.Quick)()
+	rep := &Report{
+		Baseline: "codec=gob algo=ring (pre-PR data plane)",
+		World:    cfg.World,
+	}
+	for _, n := range cfg.CodecElems {
+		for _, raw := range []bool{false, true} {
+			res, err := benchCodec(n, raw)
+			if err != nil {
+				return nil, err
+			}
+			rep.Codec = append(rep.Codec, res)
+		}
+	}
+	for _, n := range cfg.TensorElems {
+		for _, raw := range []bool{false, true} {
+			for _, algo := range []mpi.AllreduceAlgo{mpi.AlgoAuto, mpi.AlgoPipelinedRing} {
+				res, err := benchAllreduce(cfg.World, n, algo, raw)
+				if err != nil {
+					return nil, err
+				}
+				rep.TCPAllreduce = append(rep.TCPAllreduce, res)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// JSON renders the report with stable formatting for committing.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func codecName(raw bool) string {
+	if raw {
+		return "raw"
+	}
+	return "gob"
+}
+
+func benchCodec(elems int, raw bool) (CodecResult, error) {
+	v := make([]float32, elems)
+	for i := range v {
+		v[i] = float32(i) * 0.5
+	}
+	enc, err := encodeWith(v, raw)
+	if err != nil {
+		return CodecResult{}, err
+	}
+	wire := int64(len(enc))
+	var failure error
+	r := testing.Benchmark(func(b *testing.B) {
+		prev := transport.SetRawCodec(raw)
+		defer transport.SetRawCodec(prev)
+		b.ReportAllocs()
+		b.SetBytes(wire)
+		for i := 0; i < b.N; i++ {
+			enc, err := transport.EncodePayload(v)
+			if err != nil {
+				failure = err
+				b.FailNow()
+			}
+			if _, err := transport.DecodePayload(enc); err != nil {
+				failure = err
+				b.FailNow()
+			}
+		}
+	})
+	if failure != nil {
+		return CodecResult{}, failure
+	}
+	ns := float64(r.NsPerOp())
+	return CodecResult{
+		Payload:     fmt.Sprintf("float32-%dk", elems>>10),
+		Codec:       codecName(raw),
+		NsPerOp:     ns,
+		AllocsPerOp: r.AllocsPerOp(),
+		MBPerSec:    float64(wire) / ns * 1e3, // bytes/ns -> MB/s
+		WireBytes:   wire,
+	}, nil
+}
+
+func encodeWith(v any, raw bool) ([]byte, error) {
+	prev := transport.SetRawCodec(raw)
+	defer transport.SetRawCodec(prev)
+	return transport.EncodePayload(v)
+}
+
+func benchAllreduce(world, elems int, algo mpi.AllreduceAlgo, raw bool) (AllreduceResult, error) {
+	var failure error
+	tensorBytes := int64(elems) * 4
+	r := testing.Benchmark(func(b *testing.B) {
+		prev := transport.SetRawCodec(raw)
+		defer transport.SetRawCodec(prev)
+
+		cfg := tcpnet.Config{DialRetries: 4, DialBackoff: 20 * time.Millisecond, DialTimeout: time.Second}
+		eps := make([]*tcpnet.Endpoint, world)
+		peers := make(map[transport.ProcID]string, world)
+		procs := make([]transport.ProcID, world)
+		for i := 0; i < world; i++ {
+			ep, err := tcpnet.Listen("127.0.0.1:0", cfg)
+			if err != nil {
+				failure = err
+				b.FailNow()
+			}
+			eps[i] = ep
+			peers[transport.ProcID(i)] = ep.Addr()
+			procs[i] = transport.ProcID(i)
+		}
+		defer func() {
+			for _, ep := range eps {
+				ep.Close()
+			}
+		}()
+		for i, ep := range eps {
+			ep.Start(transport.ProcID(i), peers)
+		}
+		comms := make([]*mpi.Comm, world)
+		tensors := make([][]float32, world)
+		for i, ep := range eps {
+			comm, err := mpi.World(mpi.Attach(ep), procs)
+			if err != nil {
+				failure = err
+				b.FailNow()
+			}
+			comms[i] = comm
+			tensors[i] = make([]float32, elems)
+			for j := range tensors[i] {
+				tensors[i][j] = float32(i + 1)
+			}
+		}
+		b.SetBytes(tensorBytes)
+		b.ResetTimer()
+		errs := make([]error, world)
+		done := make(chan struct{})
+		for i := 0; i < world; i++ {
+			go func(rank int) {
+				defer func() { done <- struct{}{} }()
+				for it := 0; it < b.N; it++ {
+					if err := mpi.AllreduceWith(comms[rank], tensors[rank], mpi.OpSum, algo); err != nil {
+						errs[rank] = err
+						return
+					}
+				}
+			}(i)
+		}
+		for i := 0; i < world; i++ {
+			<-done
+		}
+		b.StopTimer()
+		for _, err := range errs {
+			if err != nil {
+				failure = err
+				b.FailNow()
+			}
+		}
+	})
+	if failure != nil {
+		return AllreduceResult{}, failure
+	}
+	algoName := "ring"
+	if algo == mpi.AlgoPipelinedRing {
+		algoName = "pipelined"
+	}
+	ns := float64(r.NsPerOp())
+	return AllreduceResult{
+		TensorBytes: tensorBytes,
+		Algo:        algoName,
+		Codec:       codecName(raw),
+		NsPerOp:     ns,
+		MBPerSec:    float64(tensorBytes) / ns * 1e3,
+	}, nil
+}
+
+// quickBenchtime drops the harness's per-benchmark goal from the 1s
+// default to an exact two iterations, for smoke-test collections. It
+// returns a restore function; outside quick mode it is a no-op. The
+// goal lives in the -test.benchtime flag, which testing.Init registers
+// (idempotently) in non-test binaries like cmd/benchtab.
+func quickBenchtime(quick bool) func() {
+	if !quick {
+		return func() {}
+	}
+	testing.Init()
+	fl := flag.Lookup("test.benchtime")
+	if fl == nil {
+		return func() {}
+	}
+	prev := fl.Value.String()
+	if err := flag.Set("test.benchtime", "2x"); err != nil {
+		return func() {}
+	}
+	return func() { flag.Set("test.benchtime", prev) }
+}

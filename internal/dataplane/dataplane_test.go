@@ -1,0 +1,53 @@
+package dataplane
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// A quick collection must produce every cell of the comparison matrix
+// and a JSON document that round-trips. (Numbers are not asserted: this
+// is a smoke test, the committed BENCH_dataplane.json carries the real
+// measurements.)
+func TestCollectQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up loopback TCP worlds")
+	}
+	cfg := Config{
+		World:       2,
+		CodecElems:  []int{1 << 8},
+		TensorElems: []int{1 << 10},
+		Quick:       true,
+	}
+	rep, err := Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Codec) != 2 { // raw + gob for one size
+		t.Fatalf("codec cells = %d, want 2", len(rep.Codec))
+	}
+	if len(rep.TCPAllreduce) != 4 { // {raw,gob} x {ring,pipelined} for one size
+		t.Fatalf("allreduce cells = %d, want 4", len(rep.TCPAllreduce))
+	}
+	for _, c := range rep.Codec {
+		if c.NsPerOp <= 0 || c.WireBytes <= 0 {
+			t.Fatalf("degenerate codec cell: %+v", c)
+		}
+	}
+	for _, a := range rep.TCPAllreduce {
+		if a.NsPerOp <= 0 {
+			t.Fatalf("degenerate allreduce cell: %+v", a)
+		}
+	}
+	blob, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.World != cfg.World || len(back.Codec) != len(rep.Codec) {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}

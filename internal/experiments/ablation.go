@@ -24,12 +24,12 @@ import (
 func AllreduceAlgoTable(ranks int, sizes []int) (*metrics.Table, error) {
 	t := &metrics.Table{
 		Title:   fmt.Sprintf("Ablation: allreduce algorithm (virtual ms, %d ranks)", ranks),
-		Headers: []string{"payload (KiB)", "auto(ring/tree)", "recursive-doubling", "hierarchical"},
+		Headers: []string{"payload (KiB)", "auto(ring/tree)", "recursive-doubling", "hierarchical", "pipelined-ring"},
 	}
 	nodes := (ranks + GPUsPerNode - 1) / GPUsPerNode
 	for _, elems := range sizes {
 		row := []string{fmt.Sprintf("%d", elems*4/1024)}
-		for _, algo := range []string{"auto", "recdouble", "hier"} {
+		for _, algo := range []string{"auto", "recdouble", "hier", "pipelined"} {
 			cl := simnet.New(simnet.Summit(nodes))
 			procs := cl.Procs()[:ranks]
 			errs := simnet.RunAll(cl, procs, func(rank int, ep *simnet.Endpoint) error {
@@ -44,8 +44,10 @@ func AllreduceAlgoTable(ranks int, sizes []int) (*metrics.Table, error) {
 					return mpi.Allreduce(comm, data, mpi.OpSum)
 				case "recdouble":
 					return mpi.AllreduceRecursiveDoubling(comm, data, mpi.OpSum)
-				default:
+				case "hier":
 					return mpi.AllreduceHierarchical(comm, data, mpi.OpSum)
+				default:
+					return mpi.AllreducePipelinedRing(comm, data, mpi.OpSum)
 				}
 			})
 			if err := simnet.FirstError(errs); err != nil {

@@ -40,6 +40,10 @@ func TestAllreduceAlgoAblation(t *testing.T) {
 	if hier <= 0 {
 		t.Fatalf("hierarchical time = %v", hier)
 	}
+	pipe := cell(t, tab, 1, 4)
+	if !(pipe < rec) {
+		t.Fatalf("large payload: pipelined ring (%v ms) should beat recursive doubling (%v ms)", pipe, rec)
+	}
 }
 
 func TestFusionAblation(t *testing.T) {

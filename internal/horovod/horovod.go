@@ -47,7 +47,12 @@ type Backend interface {
 // --- MPI backend -----------------------------------------------------------
 
 // MPIBackend adapts an mpi.Comm (ULFM-capable) as a Horovod backend.
-type MPIBackend struct{ Comm *mpi.Comm }
+// Algo selects the allreduce schedule for gradient exchange; the zero
+// value keeps the library's automatic ring/tree pick.
+type MPIBackend struct {
+	Comm *mpi.Comm
+	Algo mpi.AllreduceAlgo
+}
 
 // NewMPIBackend wraps a communicator.
 func NewMPIBackend(c *mpi.Comm) *MPIBackend { return &MPIBackend{Comm: c} }
@@ -55,7 +60,7 @@ func NewMPIBackend(c *mpi.Comm) *MPIBackend { return &MPIBackend{Comm: c} }
 func (b *MPIBackend) Rank() int { return b.Comm.Rank() }
 func (b *MPIBackend) Size() int { return b.Comm.Size() }
 func (b *MPIBackend) Allreduce(data []float32) error {
-	return mpi.Allreduce(b.Comm, data, mpi.OpSum)
+	return mpi.AllreduceWith(b.Comm, data, mpi.OpSum, b.Algo)
 }
 func (b *MPIBackend) AllreduceVirtual(bytes int64) error {
 	return mpi.AllreduceVirtual(b.Comm, bytes)

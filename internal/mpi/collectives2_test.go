@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -194,12 +195,18 @@ func TestAllreduceHierarchical(t *testing.T) {
 	}
 }
 
-// Property: all three allreduce algorithms agree with the serial sum.
+// Property: all allreduce algorithms — including the chunk-pipelined ring
+// at several split factors — agree with the serial sum, across world sizes
+// from the single-rank world up and element counts chosen independently of
+// p and K (so n is routinely not a multiple of p*K, and often below p).
 func TestAllreduceAlgorithmsAgreeProperty(t *testing.T) {
 	f := func(seed int64, sz uint8) bool {
-		p := int(sz%6) + 2
+		p := int(sz%7) + 1 // 1..7: include the single-rank world
 		rng := rand.New(rand.NewSource(seed))
 		elems := rng.Intn(200) + 1
+		if rng.Intn(4) == 0 {
+			elems = rng.Intn(p + 2) // force the n < p and n < p*K regimes
+		}
 		inputs := make([][]float64, p)
 		want := make([]float64, elems)
 		for r := range inputs {
@@ -209,7 +216,7 @@ func TestAllreduceAlgorithmsAgreeProperty(t *testing.T) {
 				want[i] += inputs[r][i]
 			}
 		}
-		for _, algo := range []string{"auto", "recdouble", "hier"} {
+		for _, algo := range []string{"auto", "recdouble", "hier", "pipelined", "pipelined-k1", "pipelined-k3"} {
 			okAll := true
 			var mu sync.Mutex
 			c2 := newTestCluster(1, p)
@@ -224,6 +231,12 @@ func TestAllreduceAlgorithmsAgreeProperty(t *testing.T) {
 					err = AllreduceRecursiveDoubling(c, data, OpSum)
 				case "hier":
 					err = AllreduceHierarchical(c, data, OpSum)
+				case "pipelined":
+					err = AllreducePipelinedRing(c, data, OpSum)
+				case "pipelined-k1":
+					err = AllreducePipelinedRingChunks(c, data, OpSum, 1)
+				case "pipelined-k3":
+					err = AllreducePipelinedRingChunks(c, data, OpSum, 3)
 				}
 				if err != nil {
 					return err
@@ -239,6 +252,7 @@ func TestAllreduceAlgorithmsAgreeProperty(t *testing.T) {
 				return nil
 			})
 			if err := simnet.FirstError(errs); err != nil || !okAll {
+				t.Logf("algo %s p=%d elems=%d: err=%v okAll=%v", algo, p, elems, simnet.FirstError(errs), okAll)
 				return false
 			}
 		}
@@ -246,6 +260,160 @@ func TestAllreduceAlgorithmsAgreeProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The pipelined ring must be bit-identical to the plain ring on
+// fractional floats: chunking reorders the schedule, never the
+// per-element reduction order.
+func TestAllreducePipelinedBitIdenticalToRing(t *testing.T) {
+	const p = 5
+	// Big enough that Allreduce's auto pick is the ring (> 64 KiB), and
+	// deliberately not a multiple of p*K.
+	const elems = 16*1024 + 13
+	rng := rand.New(rand.NewSource(42))
+	inputs := make([][]float64, p)
+	for r := range inputs {
+		inputs[r] = make([]float64, elems)
+		for i := range inputs[r] {
+			inputs[r][i] = rng.NormFloat64()
+		}
+	}
+	results := map[string]map[int][]float64{}
+	for _, algo := range []string{"ring", "pipelined"} {
+		var mu sync.Mutex
+		got := map[int][]float64{}
+		c2 := newTestCluster(1, p)
+		procs := c2.Procs()
+		errs := runAllWorld(c2, procs, func(c *Comm) error {
+			data := append([]float64(nil), inputs[c.Rank()]...)
+			var err error
+			if algo == "ring" {
+				err = Allreduce(c, data, OpSum)
+			} else {
+				err = AllreducePipelinedRing(c, data, OpSum)
+			}
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			got[c.Rank()] = data
+			mu.Unlock()
+			return nil
+		})
+		if err := simnet.FirstError(errs); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		results[algo] = got
+	}
+	for r := 0; r < p; r++ {
+		ring, pipe := results["ring"][r], results["pipelined"][r]
+		for i := range ring {
+			if math.Float64bits(ring[i]) != math.Float64bits(pipe[i]) {
+				t.Fatalf("rank %d elem %d: ring %x != pipelined %x", r, i, ring[i], pipe[i])
+			}
+		}
+	}
+}
+
+func TestAllreducePipelinedRingOps(t *testing.T) {
+	const p = 4
+	for _, op := range []Op{OpSum, OpMax, OpMin} {
+		var mu sync.Mutex
+		got := map[int][]float64{}
+		world(t, 1, p, func(c *Comm) error {
+			data := []float64{float64(c.Rank() + 1), float64(-c.Rank()), 7}
+			if err := AllreducePipelinedRingChunks(c, data, op, 2); err != nil {
+				return err
+			}
+			mu.Lock()
+			got[c.Rank()] = data
+			mu.Unlock()
+			return nil
+		})
+		var want []float64
+		switch op {
+		case OpSum:
+			want = []float64{10, -6, 28}
+		case OpMax:
+			want = []float64{4, 0, 7}
+		case OpMin:
+			want = []float64{1, -3, 7}
+		}
+		for r := 0; r < p; r++ {
+			for i := range want {
+				if got[r][i] != want[i] {
+					t.Fatalf("op %v rank %d = %v, want %v", op, r, got[r], want)
+				}
+			}
+		}
+	}
+}
+
+func TestAllreducePipelinedRejectsBadChunks(t *testing.T) {
+	world(t, 1, 2, func(c *Comm) error {
+		err := AllreducePipelinedRingChunks(c, []float64{1}, OpSum, 0)
+		if err == nil {
+			return fmt.Errorf("chunk count 0 accepted")
+		}
+		// The failed call consumed a sequence number at every rank alike
+		// (nextSeq precedes validation), so the communicator remains
+		// usable; prove it with a follow-up collective.
+		data := []float64{float64(c.Rank())}
+		return Allreduce(c, data, OpSum)
+	})
+}
+
+func TestParseAllreduceAlgo(t *testing.T) {
+	good := map[string]AllreduceAlgo{
+		"":                   AlgoAuto,
+		"auto":               AlgoAuto,
+		"recdouble":          AlgoRecursiveDoubling,
+		"Recursive-Doubling": AlgoRecursiveDoubling,
+		"hier":               AlgoHierarchical,
+		"hierarchical":       AlgoHierarchical,
+		"pipelined":          AlgoPipelinedRing,
+		"pipelined-ring":     AlgoPipelinedRing,
+	}
+	for s, want := range good {
+		got, err := ParseAllreduceAlgo(s)
+		if err != nil || got != want {
+			t.Errorf("ParseAllreduceAlgo(%q) = (%v, %v), want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseAllreduceAlgo("bogus"); err == nil {
+		t.Error("ParseAllreduceAlgo accepted garbage")
+	}
+	for _, a := range []AllreduceAlgo{AlgoAuto, AlgoRecursiveDoubling, AlgoHierarchical, AlgoPipelinedRing} {
+		back, err := ParseAllreduceAlgo(a.String())
+		if err != nil || back != a {
+			t.Errorf("round-trip %v -> %q -> (%v, %v)", a, a.String(), back, err)
+		}
+	}
+}
+
+// AllreduceWith must dispatch every selector to an algorithm that reduces
+// correctly (the property test covers the algorithms themselves).
+func TestAllreduceWithDispatch(t *testing.T) {
+	for _, algo := range []AllreduceAlgo{AlgoAuto, AlgoRecursiveDoubling, AlgoHierarchical, AlgoPipelinedRing} {
+		const p = 3
+		var mu sync.Mutex
+		got := map[int]float64{}
+		world(t, 1, p, func(c *Comm) error {
+			data := []float64{float64(c.Rank() + 1)}
+			if err := AllreduceWith(c, data, OpSum, algo); err != nil {
+				return err
+			}
+			mu.Lock()
+			got[c.Rank()] = data[0]
+			mu.Unlock()
+			return nil
+		})
+		for r := 0; r < p; r++ {
+			if got[r] != 6 {
+				t.Fatalf("algo %v rank %d = %v, want 6", algo, r, got[r])
+			}
+		}
 	}
 }
 

@@ -1,0 +1,200 @@
+package transport
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// wireSliceValues builds the test corpus for every slice type registered
+// by the package's own init: nil, empty, and a few randomly sized values.
+func wireSliceValues(rng *rand.Rand) []any {
+	sized := func(n int) []any {
+		f32 := make([]float32, n)
+		f64 := make([]float64, n)
+		i32 := make([]int32, n)
+		i64 := make([]int64, n)
+		ints := make([]int, n)
+		u8 := make([]uint8, n)
+		u32 := make([]uint32, n)
+		u64 := make([]uint64, n)
+		bo := make([]bool, n)
+		st := make([]string, n)
+		pid := make([]ProcID, n)
+		for i := 0; i < n; i++ {
+			f32[i] = float32(rng.NormFloat64())
+			f64[i] = rng.NormFloat64()
+			i32[i] = int32(rng.Uint64())
+			i64[i] = int64(rng.Uint64())
+			ints[i] = int(int64(rng.Uint64()))
+			u8[i] = uint8(rng.Uint64())
+			u32[i] = uint32(rng.Uint64())
+			u64[i] = rng.Uint64()
+			bo[i] = rng.Intn(2) == 1
+			st[i] = string(rune('a' + rng.Intn(26)))
+			pid[i] = ProcID(rng.Intn(100))
+		}
+		return []any{f32, f64, i32, i64, ints, u8, u32, u64, bo, st, pid}
+	}
+	out := []any{
+		[]float32(nil), []float64(nil), []int32(nil), []int64(nil), []int(nil),
+		[]uint8(nil), []uint32(nil), []uint64(nil), []bool(nil), []string(nil), []ProcID(nil),
+	}
+	out = append(out, sized(0)...)
+	out = append(out, sized(1)...)
+	out = append(out, sized(rng.Intn(500)+2)...)
+	return out
+}
+
+// Property: for every type the package registers in RegisterWireType, the
+// raw codec round-trips to exactly the value the gob envelope produces —
+// including nil and empty slices, which gob decodes to typed nil.
+func TestRawMatchesGobProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, v := range wireSliceValues(rng) {
+			rawBytes, err := EncodePayload(v)
+			if err != nil {
+				t.Logf("%T: raw-path encode: %v", v, err)
+				return false
+			}
+			gobBytes, err := appendGob(nil, v)
+			if err != nil {
+				t.Logf("%T: gob encode: %v", v, err)
+				return false
+			}
+			fromRaw, err := DecodePayload(rawBytes)
+			if err != nil {
+				t.Logf("%T: raw-path decode: %v", v, err)
+				return false
+			}
+			fromGob, err := DecodePayload(gobBytes)
+			if err != nil {
+				t.Logf("%T: gob decode: %v", v, err)
+				return false
+			}
+			if !reflect.DeepEqual(fromRaw, fromGob) {
+				t.Logf("%T: raw %#v != gob %#v", v, fromRaw, fromGob)
+				return false
+			}
+			if reflect.TypeOf(fromRaw) != reflect.TypeOf(v) {
+				t.Logf("%T: decoded as %T", v, fromRaw)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRawFastPathIsUsed(t *testing.T) {
+	numeric := []any{
+		[]float32{1}, []float64{1}, []int32{1}, []int64{1}, []int{1},
+		[]uint8{1}, []uint32{1}, []uint64{1}, []bool{true}, []ProcID{1},
+	}
+	for _, v := range numeric {
+		b, err := EncodePayload(v)
+		if err != nil {
+			t.Fatalf("%T: %v", v, err)
+		}
+		if b[0] != fmtRaw {
+			t.Errorf("%T: encoded with format %#02x, want raw", v, b[0])
+		}
+	}
+	// Strings (and any registered struct) fall back to the gob envelope.
+	b, err := EncodePayload([]string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != fmtGob {
+		t.Errorf("[]string encoded with format %#02x, want gob", b[0])
+	}
+}
+
+// Cross-decoding: raw bytes handed to the gob path and gob bytes handed to
+// the raw path must be rejected cleanly, never misparsed.
+func TestRawGobCrossDecodeRejected(t *testing.T) {
+	rawBytes, err := EncodePayload([]float32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gobBytes, err := appendGob(nil, []float32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeGob(rawBytes); err == nil {
+		t.Error("gob path accepted raw-encoded bytes")
+	}
+	if _, err := decodeRaw(gobBytes); err == nil {
+		t.Error("raw path accepted gob-encoded bytes")
+	}
+}
+
+func TestRawDecodeCorrupt(t *testing.T) {
+	good, err := EncodePayload([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"truncated header": good[:rawHeaderLen-1],
+		"truncated body":   good[:len(good)-3],
+		"trailing junk":    append(append([]byte(nil), good...), 0xab),
+		"bad type tag":     append([]byte{fmtRaw, 0x7f}, good[2:]...),
+		"count overflow": func() []byte {
+			b := append([]byte(nil), good...)
+			for i := 2; i < 10; i++ {
+				b[i] = 0xff
+			}
+			return b
+		}(),
+	}
+	for name, b := range cases {
+		if _, err := DecodePayload(b); err == nil {
+			t.Errorf("%s: corrupt raw payload decoded without error", name)
+		}
+	}
+}
+
+// SetRawCodec(false) must route numeric slices through the gob envelope —
+// the knob the data-plane ablation uses to measure the old baseline.
+func TestSetRawCodecBaseline(t *testing.T) {
+	prev := SetRawCodec(false)
+	defer SetRawCodec(prev)
+	b, err := EncodePayload([]float32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != fmtGob {
+		t.Fatalf("with raw disabled, format = %#02x, want gob", b[0])
+	}
+	out, err := DecodePayload(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, []float32{1, 2}) {
+		t.Fatalf("round-trip = %#v", out)
+	}
+}
+
+// AppendPayload must append in place when capacity allows, so pooled frame
+// buffers absorb the encoding without a second allocation.
+func TestAppendPayloadInPlace(t *testing.T) {
+	dst := make([]byte, 8, 4096)
+	out, err := AppendPayload(dst, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &dst[0] {
+		t.Error("AppendPayload reallocated despite sufficient capacity")
+	}
+	dec, err := DecodePayload(out[8:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, []float64{1, 2, 3}) {
+		t.Fatalf("round-trip = %#v", dec)
+	}
+}

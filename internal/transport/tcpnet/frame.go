@@ -4,6 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
+
+	"repro/internal/transport"
 )
 
 // Wire format: length-prefixed binary frames. Each frame is a 4-byte
@@ -13,7 +16,7 @@ import (
 //	offset 8  : int64  To     (destination ProcID)
 //	offset 16 : int64  Tag    (message tag; control tags are negative)
 //	offset 24 : int64  Bytes  (cost-model payload size, may exceed wire size)
-//	offset 32 : gob-encoded payload (empty for nil payloads)
+//	offset 32 : wire-codec payload (empty for nil payloads)
 //
 // Both reader and writer reject frames larger than the configured limit,
 // so a corrupted or hostile length prefix cannot drive an unbounded
@@ -33,8 +36,53 @@ type frame struct {
 	Payload []byte
 }
 
-// writeFrame serializes f to w, rejecting oversized frames before any
-// bytes hit the wire.
+// framePool recycles frame assembly and read scratch buffers between the
+// send path (one buffer per in-flight Send) and the per-connection read
+// loops (one buffer held for the connection's lifetime). The payload
+// decoder copies into freshly typed slices before a buffer is reused, so
+// pooled bytes never alias application data — in particular, a buffer that
+// carried one collective's chunks cannot leak them into a post-recovery
+// retry.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getFrameBuf() *[]byte  { return framePool.Get().(*[]byte) }
+func putFrameBuf(b *[]byte) { *b = (*b)[:0]; framePool.Put(b) }
+
+// appendFrame assembles a complete frame (length prefix, header, encoded
+// payload) onto dst, encoding data with the transport wire codec directly
+// into the buffer — no intermediate payload allocation. It returns the
+// extended buffer, or an error if the payload fails to encode or the
+// resulting body exceeds maxFrame (nothing is written in either case, and
+// dst is returned unchanged in length).
+func appendFrame(dst []byte, from, to transport.ProcID, tag int, bytes int64, data any, maxFrame int) ([]byte, error) {
+	base := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length prefix, patched below
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(int64(from)))
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(int64(to)))
+	binary.BigEndian.PutUint64(hdr[16:24], uint64(int64(tag)))
+	binary.BigEndian.PutUint64(hdr[24:32], uint64(bytes))
+	dst = append(dst, hdr[:]...)
+	dst, err := transport.AppendPayload(dst, data)
+	if err != nil {
+		return dst[:base], err
+	}
+	n := len(dst) - base - 4
+	if n > maxFrame {
+		return dst[:base], &oversizeError{err: fmt.Errorf(
+			"tcpnet: frame body of %d bytes exceeds limit %d", n, maxFrame)}
+	}
+	binary.BigEndian.PutUint32(dst[base:base+4], uint32(n))
+	return dst, nil
+}
+
+// writeFrame serializes f (with an already-encoded payload) to w,
+// rejecting oversized frames before any bytes hit the wire.
 func writeFrame(w io.Writer, f *frame, maxFrame int) error {
 	n := frameHeaderLen + len(f.Payload)
 	if n > maxFrame {
@@ -51,27 +99,33 @@ func writeFrame(w io.Writer, f *frame, maxFrame int) error {
 	return err
 }
 
-// readFrame reads one frame from r. A short read of an already-started
-// frame reports io.ErrUnexpectedEOF (truncation); a clean EOF before the
-// length prefix reports io.EOF (orderly shutdown).
-func readFrame(r io.Reader, maxFrame int) (*frame, error) {
+// readFrameBuf reads one frame from r using buf as scratch storage,
+// growing it as needed. The returned frame's Payload aliases the returned
+// buffer, which callers pass back in on the next call — one allocation per
+// connection, amortized, instead of one per frame. A short read of an
+// already-started frame reports io.ErrUnexpectedEOF (truncation); a clean
+// EOF before the length prefix reports io.EOF (orderly shutdown).
+func readFrameBuf(r io.Reader, buf []byte, maxFrame int) (*frame, []byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return nil, err
+		return nil, buf, err
 	}
 	n := int(binary.BigEndian.Uint32(lenBuf[:]))
 	if n < frameHeaderLen {
-		return nil, fmt.Errorf("tcpnet: frame body of %d bytes shorter than %d-byte header", n, frameHeaderLen)
+		return nil, buf, fmt.Errorf("tcpnet: frame body of %d bytes shorter than %d-byte header", n, frameHeaderLen)
 	}
 	if n > maxFrame {
-		return nil, fmt.Errorf("tcpnet: frame body of %d bytes exceeds limit %d", n, maxFrame)
+		return nil, buf, fmt.Errorf("tcpnet: frame body of %d bytes exceeds limit %d", n, maxFrame)
 	}
-	body := make([]byte, n)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	body := buf[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return nil, err
+		return nil, buf, err
 	}
 	f := &frame{
 		From:  int64(binary.BigEndian.Uint64(body[0:8])),
@@ -82,5 +136,11 @@ func readFrame(r io.Reader, maxFrame int) (*frame, error) {
 	if n > frameHeaderLen {
 		f.Payload = body[frameHeaderLen:]
 	}
-	return f, nil
+	return f, buf, nil
+}
+
+// readFrame reads one frame with a private buffer (test convenience).
+func readFrame(r io.Reader, maxFrame int) (*frame, error) {
+	f, _, err := readFrameBuf(r, nil, maxFrame)
+	return f, err
 }

@@ -10,6 +10,7 @@ package tcpnet_test
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -113,6 +114,170 @@ func runWorker(srvAddr string, world int, results chan<- workerResult) {
 	}
 	res.step1 = data[0]
 	res.size1 = r.Size()
+}
+
+// runPipelinedWorker is runWorker's heavyweight sibling: the allreduces
+// are chunk-pipelined over a tensor whose length is deliberately not a
+// multiple of world*K, and the victim dies MID-collective — its partial
+// chunks are already sitting in the survivors' receive queues (in pooled
+// frame buffers) when recovery runs. The retry over the shrunken world
+// must still produce the exact survivors-only sum at every element,
+// proving neither stale chunks nor recycled buffers leak into it.
+func runPipelinedWorker(srvAddr string, world, elems int, results chan<- workerResult) {
+	var res workerResult
+	defer func() { results <- res }()
+	fail := func(err error) { res.err = err }
+
+	ep, err := tcpnet.Listen("127.0.0.1:0", tcpnet.Config{
+		DialRetries: 4,
+		DialBackoff: 20 * time.Millisecond,
+		DialTimeout: time.Second,
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer ep.Close()
+
+	cl, err := rendezvous.Join(srvAddr, ep.Addr(), 20*time.Second)
+	if err != nil {
+		fail(err)
+		return
+	}
+	ep.Start(cl.Proc(), cl.Peers())
+	cl.Start(func(dead transport.ProcID) { ep.MarkDead(dead) })
+	res.proc = cl.Proc()
+	victim := cl.Rank() == world-1
+
+	p := mpi.Attach(ep)
+	comm, err := mpi.World(p, cl.Procs())
+	if err != nil {
+		fail(err)
+		return
+	}
+	r := ulfm.New(comm, nil, ulfm.DefaultPolicy())
+
+	mkData := func() []float64 {
+		data := make([]float64, elems)
+		for i := range data {
+			data[i] = float64(cl.Proc()) + 1
+		}
+		return data
+	}
+
+	// Step 0: full-world pipelined allreduce.
+	data := mkData()
+	if err := ulfm.AllreduceWith(r, data, mpi.OpSum, mpi.AlgoPipelinedRing); err != nil {
+		fail(err)
+		return
+	}
+	res.step0 = data[0]
+	for i := range data {
+		if data[i] != res.step0 {
+			fail(fmt.Errorf("step0 element %d = %v, want %v", i, data[i], res.step0))
+			return
+		}
+	}
+
+	if victim {
+		// Start step 1, then die mid-collective: the goroutine pushes the
+		// first chunks of the reduce-scatter into the survivors' queues
+		// before the endpoint drops. No leave message — only missed
+		// heartbeats reveal the death.
+		go func() {
+			d := mkData()
+			_ = mpi.AllreducePipelinedRing(r.Comm(), d, mpi.OpSum)
+		}()
+		time.Sleep(50 * time.Millisecond)
+		cl.Abandon()
+		ep.Close()
+		return
+	}
+	defer cl.Close()
+
+	// Let the victim's stale chunks land before step 1 consumes them.
+	time.Sleep(150 * time.Millisecond)
+
+	data = mkData()
+	if err := ulfm.AllreduceWith(r, data, mpi.OpSum, mpi.AlgoPipelinedRing); err != nil {
+		fail(err)
+		return
+	}
+	res.step1 = data[0]
+	for i := range data {
+		if data[i] != res.step1 {
+			fail(fmt.Errorf("step1 element %d = %v, want %v", i, data[i], res.step1))
+			return
+		}
+	}
+	res.size1 = r.Size()
+}
+
+// TestLoopbackPipelinedSurvivesMidCollectiveKill kills a worker while a
+// chunk-pipelined allreduce is in flight and checks that the ULFM
+// revoke/agree/shrink/retry pipeline completes with the exact
+// survivors-only reduction on a tensor sized to exercise uneven chunks.
+func TestLoopbackPipelinedSurvivesMidCollectiveKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	const world = 4
+	const elems = 64<<10 + 7 // not a multiple of world * DefaultPipelineChunks
+
+	var journal syncBuf
+	rec := trace.New(&journal)
+	srv, err := rendezvous.ListenAndServe("127.0.0.1:0", rendezvous.Config{
+		World:             world,
+		HeartbeatInterval: 25 * time.Millisecond,
+		SuspectAfter:      100 * time.Millisecond,
+		DeadAfter:         250 * time.Millisecond,
+		Trace:             rec,
+	})
+	if err != nil {
+		t.Fatalf("rendezvous: %v", err)
+	}
+	defer srv.Close()
+
+	results := make(chan workerResult, world)
+	for i := 0; i < world; i++ {
+		go runPipelinedWorker(srv.Addr(), world, elems, results)
+	}
+
+	var got []workerResult
+	deadline := time.After(30 * time.Second)
+	for len(got) < world {
+		select {
+		case r := <-results:
+			got = append(got, r)
+		case <-deadline:
+			t.Fatalf("only %d/%d workers finished; journal:\n%s", len(got), world, journal.String())
+		}
+	}
+
+	const wantStep0 = 1 + 2 + 3 + 4
+	const wantStep1 = 1 + 2 + 3
+	var survivors int
+	for _, r := range got {
+		if r.err != nil {
+			t.Fatalf("worker proc %d: %v", r.proc, r.err)
+		}
+		if r.step0 != wantStep0 {
+			t.Errorf("proc %d step0 = %v, want %v", r.proc, r.step0, wantStep0)
+		}
+		if r.proc == world-1 {
+			continue
+		}
+		survivors++
+		if r.step1 != wantStep1 {
+			t.Errorf("proc %d step1 = %v, want %v", r.proc, r.step1, wantStep1)
+		}
+		if r.size1 != world-1 {
+			t.Errorf("proc %d post-recovery size = %d, want %d", r.proc, r.size1, world-1)
+		}
+	}
+	if survivors != world-1 {
+		t.Fatalf("%d survivors reported, want %d", survivors, world-1)
+	}
 }
 
 func TestLoopbackWorldSurvivesKill(t *testing.T) {

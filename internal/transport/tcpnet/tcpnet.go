@@ -17,6 +17,7 @@
 package tcpnet
 
 import (
+	"bufio"
 	"fmt"
 	"net"
 	"sync"
@@ -62,12 +63,21 @@ func (c Config) withDefaults() Config {
 // Endpoint implements the transport abstraction over real sockets.
 var _ transport.Endpoint = (*Endpoint)(nil)
 
+// writeBufSize sizes each peer connection's buffered writer: large enough
+// to coalesce a burst of small control frames into one segment, small
+// enough that bulk frames bypass the buffer entirely (bufio writes
+// oversized payloads straight through).
+const writeBufSize = 64 << 10
+
 // peer is the dial-side state for one remote process. Its mutex
-// serializes writers and protects the cached connection.
+// serializes writers and protects the cached connection and its buffered
+// writer (flushed at message boundaries, so a frame never straddles an
+// unflushed buffer when Send returns).
 type peer struct {
 	addr string
 	mu   sync.Mutex
 	conn net.Conn
+	bw   *bufio.Writer
 }
 
 // Endpoint is a process's TCP attachment: listener, mailbox, peer table,
@@ -209,6 +219,7 @@ func (e *Endpoint) MarkDead(id transport.ProcID) {
 		if p.conn != nil {
 			p.conn.Close()
 			p.conn = nil
+			p.bw = nil
 		}
 		p.mu.Unlock()
 	}
@@ -248,6 +259,7 @@ func (e *Endpoint) Close() error {
 		if p.conn != nil {
 			p.conn.Close()
 			p.conn = nil
+			p.bw = nil
 		}
 		p.mu.Unlock()
 	}
@@ -271,6 +283,7 @@ func (e *Endpoint) acceptLoop() {
 		}
 		e.conns[conn] = true
 		e.mu.Unlock()
+		setNoDelay(conn)
 		e.wg.Add(1)
 		go e.readLoop(conn)
 	}
@@ -278,6 +291,9 @@ func (e *Endpoint) acceptLoop() {
 
 // readLoop decodes frames off one inbound connection into the mailbox.
 // Any framing or decoding error drops the connection; the peer redials.
+// The loop holds one pooled scratch buffer for the connection's lifetime:
+// frames are read into it and the payload decoder copies out into typed
+// slices, so the steady state allocates only the decoded payloads.
 func (e *Endpoint) readLoop(conn net.Conn) {
 	defer e.wg.Done()
 	defer func() {
@@ -286,8 +302,14 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 		delete(e.conns, conn)
 		e.mu.Unlock()
 	}()
+	bufp := getFrameBuf()
+	defer putFrameBuf(bufp)
+	buf := *bufp
 	for {
-		f, err := readFrame(conn, e.cfg.MaxFrame)
+		var f *frame
+		var err error
+		f, buf, err = readFrameBuf(conn, buf, e.cfg.MaxFrame)
+		*bufp = buf
 		if err != nil {
 			return
 		}
@@ -319,10 +341,12 @@ func (e *Endpoint) deliver(m *transport.Message) {
 }
 
 // Send transmits data to the process dst, encoding the payload with the
-// transport wire codec and framing it onto the peer's connection (dialed
-// on demand with retry/backoff). Exhausted retries are reported as a peer
-// failure — the Gloo-style reading of connection resets — which the
-// rendezvous heartbeat detector later confirms or refutes globally.
+// transport wire codec directly into a pooled frame buffer and writing it
+// onto the peer's buffered connection (dialed on demand with retry/
+// backoff, flushed at the message boundary). Exhausted retries are
+// reported as a peer failure — the Gloo-style reading of connection
+// resets — which the rendezvous heartbeat detector later confirms or
+// refutes globally.
 func (e *Endpoint) Send(dst transport.ProcID, tag int, data any, bytes int64) error {
 	e.mu.Lock()
 	if e.closed {
@@ -339,17 +363,22 @@ func (e *Endpoint) Send(dst transport.ProcID, tag int, data any, bytes int64) er
 	if p == nil {
 		return &transport.UnknownProcError{Proc: dst}
 	}
-	payload, err := transport.EncodePayload(data)
+	bufp := getFrameBuf()
+	buf, err := appendFrame((*bufp)[:0], from, dst, tag, bytes, data, e.cfg.MaxFrame)
 	if err != nil {
-		return fmt.Errorf("tcpnet: send to proc %d: %w", dst, err)
-	}
-	f := &frame{From: int64(from), To: int64(dst), Tag: int64(tag), Bytes: bytes, Payload: payload}
-	if err := e.writeToPeer(p, f); err != nil {
-		if e.Closed() {
-			return transport.ErrDead
-		}
+		*bufp = buf
+		putFrameBuf(bufp)
 		if _, oversized := err.(*oversizeError); oversized {
 			return err
+		}
+		return fmt.Errorf("tcpnet: send to proc %d: %w", dst, err)
+	}
+	werr := e.writeToPeer(p, buf)
+	*bufp = buf
+	putFrameBuf(bufp)
+	if werr != nil {
+		if e.Closed() {
+			return transport.ErrDead
 		}
 		return &transport.PeerFailedError{Proc: dst}
 	}
@@ -364,13 +393,12 @@ type oversizeError struct{ err error }
 func (e *oversizeError) Error() string { return e.err.Error() }
 func (e *oversizeError) Unwrap() error { return e.err }
 
-// writeToPeer frames f onto p's connection, dialing (or redialing) with
-// exponential backoff. The peer mutex serializes concurrent writers.
-func (e *Endpoint) writeToPeer(p *peer, f *frame) error {
-	if frameHeaderLen+len(f.Payload) > e.cfg.MaxFrame {
-		return &oversizeError{err: fmt.Errorf(
-			"tcpnet: frame body of %d bytes exceeds limit %d", frameHeaderLen+len(f.Payload), e.cfg.MaxFrame)}
-	}
+// writeToPeer writes one assembled frame onto p's connection, dialing (or
+// redialing) with exponential backoff. The peer mutex serializes
+// concurrent writers; the frame goes through the peer's buffered writer
+// and is flushed before returning, so every Send leaves the wire at a
+// message boundary.
+func (e *Endpoint) writeToPeer(p *peer, buf []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var lastErr error
@@ -390,17 +418,39 @@ func (e *Endpoint) writeToPeer(p *peer, f *frame) error {
 				lastErr = err
 				continue
 			}
+			setNoDelay(conn)
 			p.conn = conn
+			p.bw = bufio.NewWriterSize(conn, writeBufSize)
 		}
-		if err := writeFrame(p.conn, f, e.cfg.MaxFrame); err != nil {
+		if err := writeBuffered(p.bw, buf); err != nil {
 			p.conn.Close()
 			p.conn = nil
+			p.bw = nil
 			lastErr = err
 			continue
 		}
 		return nil
 	}
 	return lastErr
+}
+
+// writeBuffered pushes one frame through a buffered writer and flushes it.
+func writeBuffered(bw *bufio.Writer, buf []byte) error {
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// setNoDelay disables Nagle's algorithm on TCP connections. Go already
+// defaults to TCP_NODELAY, but the data plane depends on it — a ring step
+// is a latency-bound request/response chain of single frames — so it is
+// set explicitly on both dialed and accepted connections rather than
+// relied on as a runtime default.
+func setNoDelay(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
 }
 
 // Recv blocks until a message with the given source and tag arrives.

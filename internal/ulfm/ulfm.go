@@ -84,10 +84,17 @@ func (r *ResilientComm) Events() []*metrics.Breakdown {
 // original contribution, so survivors obtain the reduction over the
 // surviving contributions — the paper's forward recovery.
 func Allreduce[T mpi.Number](r *ResilientComm, data []T, op mpi.Op) error {
+	return AllreduceWith(r, data, op, mpi.AlgoAuto)
+}
+
+// AllreduceWith is Allreduce with an explicit schedule selection (see
+// mpi.AllreduceAlgo); every retry after a repair reuses the same
+// algorithm over the shrunken world.
+func AllreduceWith[T mpi.Number](r *ResilientComm, data []T, op mpi.Op, algo mpi.AllreduceAlgo) error {
 	orig := append([]T(nil), data...)
 	return r.retry(func() error {
 		copy(data, orig)
-		return mpi.Allreduce(r.comm, data, op)
+		return mpi.AllreduceWith(r.comm, data, op, algo)
 	})
 }
 
