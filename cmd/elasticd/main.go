@@ -20,7 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -28,6 +31,7 @@ import (
 	"repro/internal/rendezvous"
 	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/transport/chaos"
 	"repro/internal/transport/tcpnet"
 	"repro/internal/ulfm"
 )
@@ -45,6 +49,9 @@ func main() {
 	suspect := flag.Duration("suspect", 0, "suspicion threshold (used with -serve; default 3x hb)")
 	dead := flag.Duration("dead", 0, "declaration threshold (used with -serve; default 6x hb)")
 	tracePath := flag.String("trace", "", "write a JSON-lines event journal to this file")
+	chaosName := flag.String("chaos", "", "inject faults from a named chaos scenario: "+
+		strings.Join(chaos.PresetNames(), ", "))
+	chaosSeed := flag.Int64("chaos.seed", 1, "seed for the -chaos scenario (same seed = same fault schedule)")
 	flag.Parse()
 
 	algo, err := mpi.ParseAllreduceAlgo(*algoName)
@@ -78,7 +85,28 @@ func main() {
 		log.Printf("elasticd: hosting rendezvous on %s for %d workers", srv.Addr(), *world)
 	}
 
-	ep, err := tcpnet.Listen(*listen, tcpnet.Config{})
+	// With -chaos, the endpoint is wrapped in a fault-injecting middleware:
+	// data-plane faults via the endpoint wrapper, mid-frame connection
+	// resets via the WrapConn hook. The self ProcID is only known after the
+	// rendezvous welcome, so the conn hook reads it through an atomic the
+	// join fills in (all dials happen after Start).
+	var eng *chaos.Engine
+	var selfProc atomic.Int64
+	tcfg := tcpnet.Config{}
+	if *chaosName != "" {
+		sc, err := chaos.Preset(*chaosName, *chaosSeed)
+		if err != nil {
+			log.Fatalf("elasticd: %v", err)
+		}
+		eng = chaos.New(sc)
+		tcfg.WrapConn = func(conn net.Conn, dialed bool) net.Conn {
+			return eng.WrapConn(transport.ProcID(selfProc.Load()))(conn, dialed)
+		}
+		log.Printf("elasticd: chaos scenario %q seed=%d armed", sc.Name, sc.Seed)
+		defer func() { log.Printf("elasticd: %s", eng.String()) }()
+	}
+
+	ep, err := tcpnet.Listen(*listen, tcfg)
 	if err != nil {
 		log.Fatalf("elasticd: %v", err)
 	}
@@ -89,6 +117,7 @@ func main() {
 		log.Fatalf("elasticd: %v", err)
 	}
 	defer cl.Close()
+	selfProc.Store(int64(cl.Proc()))
 	ep.Start(cl.Proc(), cl.Peers())
 	cl.Start(func(d transport.ProcID) {
 		log.Printf("elasticd: rendezvous declared proc %d down", d)
@@ -97,7 +126,11 @@ func main() {
 	log.Printf("elasticd: joined as proc %d (rank %d of %d), transport %s",
 		cl.Proc(), cl.Rank(), cl.World(), ep.Addr())
 
-	p := mpi.Attach(ep)
+	var tep transport.Endpoint = ep
+	if eng != nil {
+		tep = eng.Wrap(ep)
+	}
+	p := mpi.Attach(tep)
 	comm, err := mpi.World(p, cl.Procs())
 	if err != nil {
 		log.Fatalf("elasticd: %v", err)

@@ -14,6 +14,7 @@ import (
 	"repro/internal/nccl"
 	"repro/internal/simnet"
 	"repro/internal/train"
+	"repro/internal/transport"
 	"repro/internal/vtime"
 )
 
@@ -99,6 +100,7 @@ func (j *Job) workerLoop(ep *simnet.Endpoint, round int, isNew bool) error {
 	}
 
 	for {
+		transport.Hit(ep.ID(), transport.PointElasticRound)
 		asn := j.assignmentFor(round)
 		if asn == nil {
 			return fmt.Errorf("elastic: missing assignment for round %d", round)
@@ -339,6 +341,7 @@ func (j *Job) syncState(w *horovod.Worker, state *train.State, ep *simnet.Endpoi
 // commit saves the worker's own in-memory checkpoint (Elastic Horovod's
 // state.commit()), charging the local copy cost.
 func (j *Job) commit(ep *simnet.Endpoint, state *train.State) {
+	transport.Hit(ep.ID(), transport.PointElasticCommit)
 	flat := state.Flat()
 	ep.Compute(float64(state.StateBytes()) / j.cfg.MemCopyBW)
 	j.ckpt.Save(int(ep.ID()), &checkpoint.Snapshot{

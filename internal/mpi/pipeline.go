@@ -3,6 +3,8 @@ package mpi
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/transport"
 )
 
 // Chunk-pipelined ring allreduce. The plain ring moves one whole segment
@@ -86,6 +88,7 @@ func (c *Comm) reduceScatterRingPipelined(b buf, op Op, bounds []int, seq, K int
 			if err := c.sendRaw(right, tag, b.extract(lo, hi), b.bytesFor(hi-lo)); err != nil {
 				return err
 			}
+			transport.Hit(c.p.ep.ID(), transport.PointPipelineRSChunk)
 			if k > 0 {
 				m, err := c.recvRaw(left, tag)
 				if err != nil {
@@ -122,6 +125,7 @@ func (c *Comm) ringAllgatherPipelined(b buf, bounds []int, seq, K int) error {
 			if err := c.sendRaw(right, tag, b.extract(lo, hi), b.bytesFor(hi-lo)); err != nil {
 				return err
 			}
+			transport.Hit(c.p.ep.ID(), transport.PointPipelineAGChunk)
 			if k > 0 {
 				m, err := c.recvRaw(left, tag)
 				if err != nil {

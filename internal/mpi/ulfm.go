@@ -175,6 +175,7 @@ func (c *Comm) agreeFull(flags uint32) (uint32, []ProcID, error) {
 			}
 			return 0, nil, err
 		}
+		transport.Hit(c.p.ep.ID(), transport.PointAgreeContrib)
 		dec, ok, err := c.awaitDecision(tag, c.procs[coord], flood, &stash)
 		if err != nil {
 			return 0, nil, err
@@ -332,8 +333,19 @@ func (c *Comm) Grow(newProcs []ProcID) (*Comm, error) {
 		ji := joinInfo{CommID: newID, Procs: all, Failed: c.p.KnownFailed()}
 		for _, np := range newProcs {
 			if err := c.p.ep.Send(np, tagJoin, ji, int64(32+8*len(all))); err != nil {
+				if proc, ok := failedProcOf(err); ok {
+					// The newcomer died before its join completed. Every
+					// member still admits it (the membership list is already
+					// agreed), and the next collective's repair pipeline
+					// shrinks it back out — aborting here would leave rank 0
+					// without the grown communicator its peers just formed.
+					c.p.noteFailure(proc)
+					transport.Hit(c.p.ep.ID(), transport.PointGrowSend)
+					continue
+				}
 				return nil, c.translate(err)
 			}
+			transport.Hit(c.p.ep.ID(), transport.PointGrowSend)
 		}
 	}
 	return newComm(c.p, newID, all)
@@ -342,6 +354,7 @@ func (c *Comm) Grow(newProcs []ProcID) (*Comm, error) {
 // Join is called by a newly spawned process to receive its communicator
 // from an ongoing Grow. It blocks until the join message arrives.
 func Join(p *Proc) (*Comm, error) {
+	transport.Hit(p.ep.ID(), transport.PointJoinRecv)
 	m, err := p.ep.Recv(transport.AnySource, tagJoin)
 	if err != nil {
 		return nil, err

@@ -72,6 +72,7 @@ func Join(serverAddr, selfAddr string, timeout time.Duration) (*Client, error) {
 	}
 	conn.SetReadDeadline(time.Time{})
 	c.proc = transport.ProcID(msg.Proc)
+	transport.Hit(c.proc, transport.PointRdvWelcome)
 	c.rank = msg.Rank
 	c.world = msg.World
 	c.hbInt = time.Duration(msg.HBMillis) * time.Millisecond

@@ -1,0 +1,171 @@
+package chaos_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/transport/chaos"
+)
+
+// TestAgreeUniformUnderReorder is a seeded property test for the ULFM
+// agree step: under randomized delivery order (a probabilistic chaos hold
+// rule reorders data messages) and a participant killed right after
+// contributing, every survivor must return the identical agreed value and
+// the follow-up Shrink must produce the identical membership — exactly
+// the survivors. One seed is one delivery schedule; the table replays the
+// protocol under eight of them. On a failure the scenario is re-run with
+// reordering disabled to report whether the shuffle was essential.
+func TestAgreeUniformUnderReorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test: skipped in -short")
+	}
+	seeds := []int64{1, 2, 3, 5, 8, 13, 21, 42}
+	if *chaosSeed != 1 {
+		seeds = append(seeds, *chaosSeed)
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			if err := runAgreeScenario(seed, true); err != nil {
+				t.Errorf("seed %d with reordering: %v", seed, err)
+				if err2 := runAgreeScenario(seed, false); err2 != nil {
+					t.Logf("seed %d also fails without reordering: %v", seed, err2)
+				} else {
+					t.Logf("seed %d passes without reordering: the shuffle is essential", seed)
+				}
+			}
+		})
+	}
+}
+
+// runAgreeScenario runs one world of 5 simulated processes: every rank
+// calls Agree with a distinct flag word, the last rank is killed at the
+// agree-contribution protocol point, and the survivors Shrink. It returns
+// an error describing the first violated invariant.
+func runAgreeScenario(seed int64, withHolds bool) error {
+	c := simnet.New(simnet.Config{
+		Nodes:              1,
+		ProcsPerNode:       5,
+		IntraNodeLatency:   1e-6,
+		InterNodeLatency:   3e-6,
+		IntraNodeBandwidth: 50e9,
+		InterNodeBandwidth: 4e9,
+		DetectLatency:      1e-3,
+		SpawnDelay:         5,
+	})
+	procs := c.Procs()
+	victim := len(procs) - 1
+	victimProc := procs[victim]
+
+	hold := chaos.DataRule("shuffle", chaos.OpHold)
+	hold.Prob = 0.4
+	hold.Disabled = !withHolds
+	eng := chaos.New(chaos.Scenario{Name: "agree-prop", Seed: seed, Rules: []chaos.Rule{
+		hold,
+		{Name: "kill-contributor", Proc: victimProc, Point: transport.PointAgreeContrib,
+			Nth: 1, Op: chaos.OpKill},
+	}})
+	eng.OnKill(victimProc, func() { c.Kill(victimProc) })
+	eng.Install()
+	defer eng.Uninstall()
+
+	var (
+		mu      sync.Mutex
+		vals    = map[int]uint32{}
+		members = map[int][]transport.ProcID{}
+
+		arrived atomic.Int32
+		shrinks = make(chan struct{}) // closed when every survivor finished Agree
+	)
+	survivors := int32(len(procs) - 1)
+
+	errs := simnet.RunAll(c, procs, func(rank int, ep *simnet.Endpoint) error {
+		wep := eng.Wrap(ep)
+		p := mpi.Attach(wep)
+		comm, err := mpi.World(p, procs)
+		if err != nil {
+			return err
+		}
+		flags := ^uint32(0) &^ (1 << uint(rank))
+		val, err := comm.Agree(flags)
+		if rank == victim {
+			if err == nil {
+				return fmt.Errorf("victim survived its kill point")
+			}
+			return nil // killed between contribution and decision, as scripted
+		}
+		if err != nil && !mpi.IsProcFailed(err) {
+			return fmt.Errorf("rank %d: agree: %w", rank, err)
+		}
+		// Flush our own held messages before the sync point: a decision we
+		// captured for a peer must not outlive our last organic send.
+		_ = wep.PollCtl()
+		if arrived.Add(1) == survivors {
+			// Last survivor in: stop reordering so the final collective of
+			// the run cannot strand a held message, then release everyone.
+			eng.Disable("shuffle")
+			close(shrinks)
+		}
+		<-shrinks
+		shrunk, err := comm.Shrink()
+		if err != nil {
+			return fmt.Errorf("rank %d: shrink: %w", rank, err)
+		}
+		mu.Lock()
+		vals[rank] = val
+		members[rank] = chaos.SortedProcs(shrunk.Procs())
+		mu.Unlock()
+		return nil
+	})
+	if err := simnet.FirstError(errs); err != nil {
+		if _, dead := simnet.IsPeerFailed(err); !dead {
+			return fmt.Errorf("%w\n%s", err, eng)
+		}
+	}
+
+	if withHolds {
+		holds := 0
+		for _, ev := range eng.Events() {
+			if ev.Op == chaos.OpHold {
+				holds++
+			}
+		}
+		if holds == 0 {
+			return fmt.Errorf("no message was ever reordered — the property was not exercised\n%s", eng)
+		}
+	}
+
+	want := chaos.SortedProcs(procs[:victim])
+	var refRank = -1
+	for rank := 0; rank < victim; rank++ {
+		val, ok := vals[rank]
+		if !ok {
+			return fmt.Errorf("survivor rank %d recorded no result\n%s", rank, eng)
+		}
+		if refRank == -1 {
+			refRank = rank
+			continue
+		}
+		if val != vals[refRank] {
+			return fmt.Errorf("agreed values diverge: rank %d got %#x, rank %d got %#x\n%s",
+				refRank, vals[refRank], rank, val, eng)
+		}
+	}
+	for rank := 0; rank < victim; rank++ {
+		got := members[rank]
+		if len(got) != len(want) {
+			return fmt.Errorf("rank %d shrunk to %v, want %v\n%s", rank, got, want, eng)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("rank %d shrunk to %v, want %v\n%s", rank, got, want, eng)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,674 @@
+package chaos_test
+
+// The recovery conformance suite: an in-process loopback world (rendezvous
+// service + one real TCP endpoint per worker, all chaos-wrapped) driven
+// through a table of fault scenarios. After every repair the suite asserts
+// the paper's invariants:
+//
+//   - every survivor agrees on the post-repair membership;
+//   - the retried allreduce is bit-identical to a failure-free run on the
+//     shrunken world (contributions are integer-valued float64s, so every
+//     reduction order produces the exact sum — any deviation, including a
+//     stale chunk or recycled buffer leaking in, changes the bits);
+//   - no goroutine and no pooled frame buffer outlives the scenario.
+//
+// Reproduce a failing scenario with:
+//
+//	go test ./internal/transport/chaos -run 'TestChaosConformance/<name>' -chaos.seed=<N>
+//
+// The seed printed in the failure log (and in CI) fully determines each
+// process's fault schedule.
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/rendezvous"
+	"repro/internal/transport"
+	"repro/internal/transport/chaos"
+	"repro/internal/transport/tcpnet"
+	"repro/internal/ulfm"
+)
+
+var chaosSeed = flag.Int64("chaos.seed", 1, "seed for the chaos conformance scenarios")
+
+const (
+	hbEvery   = 25 * time.Millisecond
+	hbSuspect = 100 * time.Millisecond
+	hbDead    = 250 * time.Millisecond
+
+	// elems is deliberately not a multiple of world*DefaultPipelineChunks,
+	// so the pipelined ring exercises uneven chunk bounds.
+	elems = 1<<10 + 7
+)
+
+// worker is one in-process member of the loopback world.
+type worker struct {
+	rank int
+	proc transport.ProcID
+	ep   *tcpnet.Endpoint
+	cl   *rendezvous.Client
+	r    *ulfm.ResilientComm
+	eng  *chaos.Engine
+
+	killed atomic.Bool
+}
+
+// die is the kill -9 equivalent: the rendezvous connection drops without a
+// leave (only missed heartbeats reveal the death) and the transport shuts
+// down. Safe to call from any goroutine, including a chaos OpKill hook.
+func (w *worker) die() {
+	w.killed.Store(true)
+	w.cl.Abandon()
+	w.ep.Close()
+}
+
+// allreduce contributes proc+1 at every element and checks the result is
+// uniform across elements. The element value is returned for cross-worker
+// comparison.
+func (w *worker) allreduce(algo mpi.AllreduceAlgo) (float64, error) {
+	data := make([]float64, elems)
+	for i := range data {
+		data[i] = float64(w.proc) + 1
+	}
+	if err := ulfm.AllreduceWith(w.r, data, mpi.OpSum, algo); err != nil {
+		return 0, err
+	}
+	for i := 1; i < len(data); i++ {
+		if data[i] != data[0] {
+			return 0, fmt.Errorf("rank %d: element %d = %v, element 0 = %v (non-uniform result)",
+				w.rank, i, data[i], data[0])
+		}
+	}
+	return data[0], nil
+}
+
+// outcome is what one worker reports back to the scenario.
+type outcome struct {
+	rank  int
+	died  bool // expected death; sums/procs not checked
+	sums  []float64
+	size  int
+	procs []transport.ProcID // final membership, sorted
+	err   error
+}
+
+// fixture owns the shared pieces of one scenario: the engine, the
+// rendezvous service, and the gathered workers (indexed by rank, which the
+// server assigns in join order — but worker identities are only fixed
+// after the gather, so rules that name a proc are added post-setup).
+type fixture struct {
+	t       *testing.T
+	eng     *chaos.Engine
+	srv     *rendezvous.Server
+	workers []*worker
+}
+
+func newFixture(t *testing.T, world int, sc chaos.Scenario) *fixture {
+	t.Helper()
+	f := &fixture{t: t, eng: chaos.New(sc)}
+	f.eng.Install()
+
+	srv, err := rendezvous.ListenAndServe("127.0.0.1:0", rendezvous.Config{
+		World:             world,
+		HeartbeatInterval: hbEvery,
+		SuspectAfter:      hbSuspect,
+		DeadAfter:         hbDead,
+	})
+	if err != nil {
+		t.Fatalf("rendezvous: %v", err)
+	}
+	f.srv = srv
+
+	ws := make(chan *worker, world)
+	errs := make(chan error, world)
+	for i := 0; i < world; i++ {
+		go func() {
+			w, err := f.startWorker()
+			if err != nil {
+				errs <- err
+				return
+			}
+			ws <- w
+		}()
+	}
+	f.workers = make([]*worker, world)
+	for i := 0; i < world; i++ {
+		select {
+		case w := <-ws:
+			f.workers[w.rank] = w
+		case err := <-errs:
+			t.Fatalf("worker setup: %v", err)
+		case <-time.After(20 * time.Second):
+			t.Fatalf("worker setup timed out")
+		}
+	}
+	return f
+}
+
+// startWorker brings up one member: TCP endpoint (chaos conn wrapping
+// included), rendezvous join, heartbeats, MPI attach over the chaos
+// endpoint wrapper, and a resilient world communicator.
+func (f *fixture) startWorker() (*worker, error) {
+	w := &worker{eng: f.eng}
+	// The ProcID is assigned at the welcome, after the endpoint exists;
+	// the conn hook reads it through this atomic (dials happen post-Start).
+	var self atomic.Int64
+	self.Store(-1)
+	ep, err := tcpnet.Listen("127.0.0.1:0", tcpnet.Config{
+		DialRetries: 4,
+		DialBackoff: 20 * time.Millisecond,
+		DialTimeout: time.Second,
+		WrapConn: func(conn net.Conn, dialed bool) net.Conn {
+			return f.eng.WrapConn(transport.ProcID(self.Load()))(conn, dialed)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl, err := rendezvous.Join(f.srv.Addr(), ep.Addr(), 20*time.Second)
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	self.Store(int64(cl.Proc()))
+	ep.Start(cl.Proc(), cl.Peers())
+	cl.Start(func(dead transport.ProcID) { ep.MarkDead(dead) })
+
+	p := mpi.Attach(f.eng.Wrap(ep))
+	comm, err := mpi.World(p, cl.Procs())
+	if err != nil {
+		cl.Abandon()
+		ep.Close()
+		return nil, err
+	}
+	w.rank = cl.Rank()
+	w.proc = cl.Proc()
+	w.ep = ep
+	w.cl = cl
+	w.r = ulfm.New(comm, nil, ulfm.DefaultPolicy())
+	return w, nil
+}
+
+// run executes body on every worker's own goroutine and collects the
+// outcomes, indexed by rank.
+func (f *fixture) run(body func(w *worker) *outcome) []*outcome {
+	f.t.Helper()
+	outs := make([]*outcome, len(f.workers))
+	results := make(chan *outcome, len(f.workers))
+	for _, w := range f.workers {
+		go func(w *worker) {
+			o := body(w)
+			o.rank = w.rank
+			results <- o
+		}(w)
+	}
+	deadline := time.After(45 * time.Second)
+	for range f.workers {
+		select {
+		case o := <-results:
+			outs[o.rank] = o
+		case <-deadline:
+			f.t.Fatalf("scenario timed out; fired faults so far:\n%s", f.eng)
+		}
+	}
+	return outs
+}
+
+// finish tears the world down and asserts the leak invariants: every
+// scenario must leave zero transport/chaos/rendezvous goroutines and zero
+// outstanding pooled frame buffers behind.
+func (f *fixture) finish() {
+	f.t.Helper()
+	for _, w := range f.workers {
+		w.cl.Close()
+		w.ep.Close()
+	}
+	f.srv.Close()
+	f.eng.Quiesce()
+	f.eng.Uninstall()
+	if s := chaos.Leaked(5 * time.Second); s != "" {
+		f.t.Errorf("goroutines leaked after scenario:\n%s", s)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tcpnet.OutstandingFrameBufs() != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := tcpnet.OutstandingFrameBufs(); n != 0 {
+		f.t.Errorf("%d pooled frame buffers still outstanding after scenario", n)
+	}
+	if f.t.Failed() {
+		f.t.Logf("%s", f.eng)
+	}
+}
+
+// exactSum is the bit-exact allreduce result for a membership: every
+// member contributes the integer proc+1 at every element, and integer
+// sums in float64 are exact under any reduction order — so this is the
+// value a failure-free run over the same membership produces, bit for bit.
+func exactSum(procs []transport.ProcID) float64 {
+	var s float64
+	for _, p := range procs {
+		s += float64(p) + 1
+	}
+	return s
+}
+
+// checkOutcomes asserts the post-repair invariants over the scenario's
+// outcomes: every non-victim completed without error, every survivor's
+// final membership is exactly wantProcs (and identical across survivors),
+// and the final allreduce value is bit-identical to the failure-free
+// result over wantProcs.
+func (f *fixture) checkOutcomes(outs []*outcome, wantProcs []transport.ProcID) {
+	f.t.Helper()
+	want := chaos.SortedProcs(wantProcs)
+	wantSum := exactSum(want)
+	survivors := 0
+	for _, o := range outs {
+		if o.died {
+			continue
+		}
+		survivors++
+		if o.err != nil {
+			f.t.Errorf("rank %d: %v", o.rank, o.err)
+			continue
+		}
+		if len(o.procs) != len(want) {
+			f.t.Errorf("rank %d: final membership %v, want %v", o.rank, o.procs, want)
+			continue
+		}
+		for i := range want {
+			if o.procs[i] != want[i] {
+				f.t.Errorf("rank %d: final membership %v, want %v", o.rank, o.procs, want)
+				break
+			}
+		}
+		if o.size != len(want) {
+			f.t.Errorf("rank %d: final size %d, want %d", o.rank, o.size, len(want))
+		}
+		if n := len(o.sums); n > 0 && o.sums[n-1] != wantSum {
+			f.t.Errorf("rank %d: final allreduce = %v, want bit-exact %v", o.rank, o.sums[n-1], wantSum)
+		}
+	}
+	if survivors != len(want) {
+		f.t.Errorf("%d survivor outcomes, want %d", survivors, len(want))
+	}
+}
+
+// checkEveryRound asserts the no-membership-change invariant: every round
+// of every worker produced the bit-exact full-world sum (a corruption in
+// an early round must not be masked by a clean final one).
+func (f *fixture) checkEveryRound(outs []*outcome, wantProcs []transport.ProcID) {
+	f.t.Helper()
+	wantSum := exactSum(wantProcs)
+	for _, o := range outs {
+		if o.died || o.err != nil {
+			continue
+		}
+		for i, s := range o.sums {
+			if s != wantSum {
+				f.t.Errorf("rank %d round %d: allreduce = %v, want bit-exact %v", o.rank, i, s, wantSum)
+			}
+		}
+	}
+}
+
+// report snapshots a worker's final state into its outcome.
+func report(w *worker, sums []float64, err error) *outcome {
+	o := &outcome{sums: sums, err: err}
+	if err == nil {
+		o.size = w.r.Size()
+		o.procs = chaos.SortedProcs(w.r.Comm().Procs())
+	}
+	return o
+}
+
+// roundsBody is the common worker script: run the given number of
+// allreduce rounds, calling onRound before each (rank-specific actions —
+// dying, arming rules — live there). onRound returning false means the
+// worker dies instead of running that round.
+func roundsBody(algo mpi.AllreduceAlgo, rounds int, onRound func(w *worker, round int) bool) func(w *worker) *outcome {
+	return func(w *worker) *outcome {
+		var sums []float64
+		for round := 0; round < rounds; round++ {
+			if onRound != nil && !onRound(w, round) {
+				return &outcome{died: true}
+			}
+			s, err := w.allreduce(algo)
+			if err != nil {
+				if w.killed.Load() {
+					return &outcome{died: true}
+				}
+				return report(w, sums, fmt.Errorf("round %d: %w", round, err))
+			}
+			sums = append(sums, s)
+		}
+		return report(w, sums, nil)
+	}
+}
+
+func procsOfRanks(f *fixture, ranks ...int) []transport.ProcID {
+	out := make([]transport.ProcID, 0, len(ranks))
+	for _, r := range ranks {
+		out = append(out, f.workers[r].proc)
+	}
+	return out
+}
+
+func TestChaosConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration suite")
+	}
+	seed := *chaosSeed
+	t.Logf("chaos conformance seed=%d (reproduce with -chaos.seed=%d)", seed, seed)
+
+	// Scenario 1: a worker is killed mid-chunk inside the pipelined ring —
+	// its partial chunks are already in the survivors' pooled receive
+	// buffers when recovery runs. OpKill at the reduce-scatter chunk point,
+	// armed only for the second round.
+	t.Run("kill_mid_chunk", func(t *testing.T) {
+		f := newFixture(t, 4, chaos.Scenario{Name: "kill_mid_chunk", Seed: seed})
+		defer f.finish()
+		victim := f.workers[3]
+		f.eng.AddRule(chaos.Rule{
+			Name: "killchunk", Proc: victim.proc, Point: transport.PointPipelineRSChunk,
+			Nth: 5, Op: chaos.OpKill, Disabled: true,
+		})
+		f.eng.OnKill(victim.proc, victim.die)
+		outs := f.run(roundsBody(mpi.AlgoPipelinedRing, 2, func(w *worker, round int) bool {
+			if round == 1 && w.rank == 3 {
+				f.eng.Enable("killchunk") // armed after the clean round, so Nth counts round-1 chunks
+			}
+			return true
+		}))
+		f.checkOutcomes(outs, procsOfRanks(f, 0, 1, 2))
+	})
+
+	// Scenario 2: node kill — two co-located workers die at once, so one
+	// repair must absorb a multi-process failure event.
+	t.Run("kill_node", func(t *testing.T) {
+		f := newFixture(t, 4, chaos.Scenario{Name: "kill_node", Seed: seed})
+		defer f.finish()
+		outs := f.run(roundsBody(mpi.AlgoAuto, 2, func(w *worker, round int) bool {
+			if round == 1 && (w.rank == 2 || w.rank == 3) {
+				time.Sleep(50 * time.Millisecond) // let round-0 frames drain
+				w.die()
+				return false
+			}
+			return true
+		}))
+		f.checkOutcomes(outs, procsOfRanks(f, 0, 1))
+	})
+
+	// Scenario 3: network partition — the victim is isolated (its data
+	// frames fail with PeerFailedError, modeling exhausted dial retries)
+	// and stops heartbeating, but its endpoint stays open: survivors must
+	// recover without ever seeing a TCP-level death.
+	t.Run("partition", func(t *testing.T) {
+		f := newFixture(t, 4, chaos.Scenario{Name: "partition", Seed: seed})
+		defer f.finish()
+		f.eng.AddRule(chaos.Rule{
+			Name: "split", Op: chaos.OpPartition, Disabled: true,
+			Groups: [][]transport.ProcID{procsOfRanks(f, 0, 1, 2), procsOfRanks(f, 3)},
+		})
+		outs := f.run(roundsBody(mpi.AlgoPipelinedRing, 2, func(w *worker, round int) bool {
+			if round == 1 && w.rank == 3 {
+				time.Sleep(50 * time.Millisecond)
+				f.eng.Enable("split")
+				w.killed.Store(true)
+				w.cl.Abandon() // silence, not a leave: only the detector reveals the isolation
+				time.Sleep(600 * time.Millisecond)
+				return false
+			}
+			return true
+		}))
+		f.checkOutcomes(outs, procsOfRanks(f, 0, 1, 2))
+	})
+
+	// Scenario 4: mid-frame connection reset — a frame is cut 9 bytes in,
+	// the receiver sees a truncated body, the sender redials and resends.
+	// Nobody dies; recovery must be invisible (full membership, exact sums
+	// in every round).
+	t.Run("midframe_reset", func(t *testing.T) {
+		f := newFixture(t, 4, chaos.Scenario{Name: "midframe_reset", Seed: seed})
+		defer f.finish()
+		f.eng.AddRule(chaos.Rule{
+			Name: "cut", Proc: f.workers[1].proc, Op: chaos.OpReset, Nth: 3, Times: 0, CutAfter: 9,
+		})
+		f.eng.AddRule(chaos.Rule{
+			Name: "cut2", Proc: f.workers[2].proc, Op: chaos.OpReset, Nth: 8, Times: 0, CutAfter: 40,
+		})
+		outs := f.run(roundsBody(mpi.AlgoPipelinedRing, 3, nil))
+		f.checkOutcomes(outs, procsOfRanks(f, 0, 1, 2, 3))
+		f.checkEveryRound(outs, procsOfRanks(f, 0, 1, 2, 3))
+		resets := 0
+		for _, ev := range f.eng.Events() {
+			if ev.Op == chaos.OpReset {
+				resets++
+			}
+		}
+		if resets == 0 {
+			t.Errorf("no mid-frame reset fired; scenario did not exercise the truncation path:\n%s", f.eng)
+		}
+	})
+
+	// Scenario 5: delay-induced timeout — the victim's data plane goes
+	// silent (frames dropped, endpoint alive, TCP connections healthy), so
+	// survivors block until the heartbeat detector times the victim out and
+	// MarkDead aborts their receives.
+	t.Run("stall_timeout", func(t *testing.T) {
+		f := newFixture(t, 4, chaos.Scenario{Name: "stall_timeout", Seed: seed})
+		defer f.finish()
+		black := chaos.DataRule("blackhole", chaos.OpDrop)
+		black.Proc = f.workers[3].proc
+		black.Disabled = true
+		f.eng.AddRule(black)
+		outs := f.run(roundsBody(mpi.AlgoAuto, 2, func(w *worker, round int) bool {
+			if round == 1 && w.rank == 3 {
+				time.Sleep(50 * time.Millisecond)
+				f.eng.Enable("blackhole")
+				w.killed.Store(true)
+				w.cl.Abandon()
+				// Attempt the round anyway: every frame this worker sends
+				// vanishes, so survivors experience pure silence. Unblock it
+				// by closing the endpoint once recovery has surely run.
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					w.allreduce(mpi.AlgoAuto)
+				}()
+				time.Sleep(800 * time.Millisecond)
+				w.ep.Close()
+				<-done
+				return false
+			}
+			return true
+		}))
+		f.checkOutcomes(outs, procsOfRanks(f, 0, 1, 2))
+	})
+
+	// Scenario 6: duplicate delivery — a third of all data frames are
+	// delivered twice. Recursive doubling has exactly one message per
+	// (source, tag) per operation, so duplicates must be absorbed
+	// harmlessly (the pipelined ring, by contrast, relies on FIFO chunk
+	// streams and is documented as dup-intolerant).
+	t.Run("duplicate", func(t *testing.T) {
+		sc := chaos.Scenario{Name: "duplicate", Seed: seed}
+		dup := chaos.DataRule("dup", chaos.OpDup)
+		dup.Prob = 0.35
+		sc.Rules = []chaos.Rule{dup}
+		f := newFixture(t, 4, sc)
+		defer f.finish()
+		outs := f.run(roundsBody(mpi.AlgoRecursiveDoubling, 3, nil))
+		f.checkOutcomes(outs, procsOfRanks(f, 0, 1, 2, 3))
+		f.checkEveryRound(outs, procsOfRanks(f, 0, 1, 2, 3))
+	})
+
+	// Scenario 7: reordered delivery — a quarter of all data frames are
+	// held back and released after the sender's next send (or at its next
+	// receive), permuting cross-peer send order. Per-(source, tag) FIFO is
+	// preserved, which is all recursive doubling requires.
+	t.Run("reorder", func(t *testing.T) {
+		sc := chaos.Scenario{Name: "reorder", Seed: seed}
+		hold := chaos.DataRule("hold", chaos.OpHold)
+		hold.Prob = 0.25
+		sc.Rules = []chaos.Rule{hold}
+		f := newFixture(t, 4, sc)
+		defer f.finish()
+		outs := f.run(roundsBody(mpi.AlgoRecursiveDoubling, 3, func(w *worker, round int) bool {
+			// Stop capturing before the last round: a hold taken on the very
+			// last message of the run would have no later send/receive to
+			// release it, stranding its receiver. Earlier holds drain through
+			// the final round's traffic.
+			if round == 2 && w.rank == 0 {
+				f.eng.Disable("hold")
+			}
+			return true
+		}))
+		f.checkOutcomes(outs, procsOfRanks(f, 0, 1, 2, 3))
+	})
+
+	// Scenario 8: kill during repair — while the survivors are repairing
+	// the first death, a second worker is killed between its revoke and
+	// its agreement. The repair-of-the-repair must still converge, with
+	// both victims removed.
+	t.Run("kill_during_repair", func(t *testing.T) {
+		f := newFixture(t, 4, chaos.Scenario{Name: "kill_during_repair", Seed: seed})
+		defer f.finish()
+		second := f.workers[2]
+		f.eng.AddRule(chaos.Rule{
+			Name: "kill2", Proc: second.proc, Point: transport.PointUlfmRevoked,
+			Nth: 1, Op: chaos.OpKill,
+		})
+		f.eng.OnKill(second.proc, second.die)
+		outs := f.run(roundsBody(mpi.AlgoPipelinedRing, 2, func(w *worker, round int) bool {
+			if round == 1 && w.rank == 3 {
+				time.Sleep(50 * time.Millisecond)
+				w.die()
+				return false
+			}
+			return true
+		}))
+		f.checkOutcomes(outs, procsOfRanks(f, 0, 1))
+	})
+
+	// Scenario 9: kill during rejoin — a late joiner is admitted through
+	// rendezvous and killed at the exact moment it blocks for its join
+	// message. The grown communicator therefore contains a member that was
+	// never alive in it; the next collective must repair straight back to
+	// the original world.
+	t.Run("kill_during_rejoin", func(t *testing.T) {
+		f := newFixture(t, 3, chaos.Scenario{Name: "kill_during_rejoin", Seed: seed})
+		defer f.finish()
+
+		// The joiner is brought up concurrently with the workers' round 0;
+		// close(growReady) publishes its identity to all of them at once.
+		var joiner *worker
+		var joinerErr error
+		growReady := make(chan struct{})
+		var joinerWG sync.WaitGroup
+		joinerWG.Add(1)
+		go func() {
+			defer joinerWG.Done()
+			defer close(growReady)
+			jw, err := f.newJoiner()
+			if err != nil {
+				joinerErr = err
+				return
+			}
+			joiner = jw
+			f.eng.AddRule(chaos.Rule{
+				Name: "killjoin", Proc: jw.proc, Point: transport.PointJoinRecv,
+				Nth: 1, Op: chaos.OpKill,
+			})
+			f.eng.OnKill(jw.proc, jw.die)
+			joinerWG.Add(1)
+			go func() {
+				defer joinerWG.Done()
+				p := mpi.Attach(f.eng.Wrap(jw.ep))
+				if _, err := mpi.Join(p); err == nil {
+					joinerErr = fmt.Errorf("joiner completed Join despite being killed at the join point")
+				}
+			}()
+		}()
+
+		outs := f.run(func(w *worker) *outcome {
+			var sums []float64
+			s, err := w.allreduce(mpi.AlgoAuto)
+			if err != nil {
+				return report(w, sums, fmt.Errorf("round 0: %w", err))
+			}
+			sums = append(sums, s)
+
+			<-growReady
+			if joiner == nil {
+				return report(w, sums, fmt.Errorf("joiner setup failed"))
+			}
+			w.ep.Start(w.proc, map[transport.ProcID]string{joiner.proc: joiner.ep.Addr()})
+			grown, err := w.r.Comm().Grow([]transport.ProcID{joiner.proc})
+			if err != nil {
+				return report(w, sums, fmt.Errorf("grow: %w", err))
+			}
+			w.r = ulfm.New(grown, nil, ulfm.DefaultPolicy())
+
+			s, err = w.allreduce(mpi.AlgoAuto)
+			if err != nil {
+				return report(w, sums, fmt.Errorf("round 1: %w", err))
+			}
+			sums = append(sums, s)
+			return report(w, sums, nil)
+		})
+
+		f.checkOutcomes(outs, procsOfRanks(f, 0, 1, 2))
+		joinerWG.Wait()
+		if joinerErr != nil {
+			t.Errorf("joiner: %v", joinerErr)
+		}
+		if joiner != nil {
+			if !joiner.killed.Load() {
+				t.Errorf("joiner was never killed at %q", transport.PointJoinRecv)
+			}
+			joiner.cl.Close()
+			joiner.ep.Close()
+		}
+	})
+}
+
+// newJoiner brings up a late-joining member: endpoint, late rendezvous
+// join (the server welcomes it immediately once the world has gathered),
+// heartbeats — but no communicator: the scenario decides how far it gets.
+func (f *fixture) newJoiner() (*worker, error) {
+	w := &worker{eng: f.eng}
+	var self atomic.Int64
+	self.Store(-1)
+	ep, err := tcpnet.Listen("127.0.0.1:0", tcpnet.Config{
+		DialRetries: 4,
+		DialBackoff: 20 * time.Millisecond,
+		DialTimeout: time.Second,
+		WrapConn: func(conn net.Conn, dialed bool) net.Conn {
+			return f.eng.WrapConn(transport.ProcID(self.Load()))(conn, dialed)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl, err := rendezvous.Join(f.srv.Addr(), ep.Addr(), 20*time.Second)
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	self.Store(int64(cl.Proc()))
+	ep.Start(cl.Proc(), cl.Peers())
+	cl.Start(func(dead transport.ProcID) { ep.MarkDead(dead) })
+	w.rank = cl.Rank()
+	w.proc = cl.Proc()
+	w.ep = ep
+	w.cl = cl
+	return w, nil
+}

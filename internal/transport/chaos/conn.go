@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"errors"
+	"net"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// ErrReset is the error a chaos-severed connection reports to its local
+// writer (the remote side just sees the TCP stream die mid-frame).
+var ErrReset = errors.New("chaos: connection reset mid-frame")
+
+// WrapConn returns a tcpnet.Config.WrapConn hook that applies the
+// engine's OpReset rules to proc's dialed connections: when a rule
+// matching a write fires, only Rule.CutAfter bytes of that write reach
+// the wire before the connection is severed — the peer's read loop sees
+// a frame truncated mid-body, and the local writer gets ErrReset so the
+// transport's redial-and-resend path runs.
+func (e *Engine) WrapConn(proc transport.ProcID) func(net.Conn, bool) net.Conn {
+	return func(conn net.Conn, dialed bool) net.Conn {
+		if !dialed {
+			return conn // inbound side stays clean; the fault is injected at the writer
+		}
+		return &resetConn{Conn: conn, eng: e, proc: proc}
+	}
+}
+
+// resetConn cuts the stream mid-write when the engine says so.
+type resetConn struct {
+	net.Conn
+	eng  *Engine
+	proc transport.ProcID
+
+	mu   sync.Mutex
+	dead bool
+}
+
+func (c *resetConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	dead := c.dead
+	c.mu.Unlock()
+	if dead {
+		return 0, ErrReset
+	}
+	cut, fire := c.eng.onWrite(c.proc, len(p))
+	if !fire {
+		return c.Conn.Write(p)
+	}
+	n := 0
+	if cut > 0 {
+		n, _ = c.Conn.Write(p[:cut])
+	}
+	c.mu.Lock()
+	c.dead = true
+	c.mu.Unlock()
+	c.Conn.Close()
+	return n, ErrReset
+}

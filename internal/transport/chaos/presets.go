@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// presets are the named scenarios cmd/elasticd exposes through -chaos.
+// They target no specific process (a CLI worker does not know its ProcID
+// until the rendezvous welcome), so every rule is AnyProc and the faults
+// a worker experiences follow from the shared seed and its own traffic.
+//
+// All presets except "drop" preserve liveness: delay, dup, reorder, and
+// reset faults are recovered by the transport (redial + resend) or
+// tolerated by the protocols. OpDrop models lossy-datagram semantics that
+// reliable TCP never exhibits — with no retransmission layer, a dropped
+// agreement message wedges a repair forever. The conformance suite drops
+// traffic only from processes that subsequently die (so the failure
+// detector unblocks the survivors); "drop" is kept for observing exactly
+// that wedge, not for runs expected to make progress.
+//
+// The reorder-class presets (delay, dup, reorder, flaky) assume the
+// collective matches messages by tag, as the tree, recursive-doubling,
+// and plain-ring algorithms do. The pipelined ring streams chunks over
+// one tag and relies on FIFO delivery — combine it only with "reset",
+// which the transport repairs below the message layer.
+var presets = map[string]func(seed int64) Scenario{
+	"drop": func(seed int64) Scenario {
+		r := DataRule("drop-some", OpDrop)
+		r.Prob = 0.02
+		return Scenario{Name: "drop", Seed: seed, Rules: []Rule{r}}
+	},
+	"dup": func(seed int64) Scenario {
+		r := DataRule("dup-some", OpDup)
+		r.Prob = 0.05
+		return Scenario{Name: "dup", Seed: seed, Rules: []Rule{r}}
+	},
+	"delay": func(seed int64) Scenario {
+		r := DataRule("delay-some", OpDelay)
+		r.Prob = 0.05
+		r.Delay = 20 * time.Millisecond
+		return Scenario{Name: "delay", Seed: seed, Rules: []Rule{r}}
+	},
+	"reorder": func(seed int64) Scenario {
+		r := DataRule("hold-some", OpHold)
+		r.Prob = 0.1
+		return Scenario{Name: "reorder", Seed: seed, Rules: []Rule{r}}
+	},
+	"reset": func(seed int64) Scenario {
+		r := Rule{Name: "reset-7th", Proc: AnyProc, Op: OpReset, Nth: 7, CutAfter: 9}
+		return Scenario{Name: "reset", Seed: seed, Rules: []Rule{r}}
+	},
+	"flaky": func(seed int64) Scenario {
+		delay := DataRule("delay-some", OpDelay)
+		delay.Prob = 0.03
+		delay.Delay = 10 * time.Millisecond
+		dup := DataRule("dup-some", OpDup)
+		dup.Prob = 0.02
+		reset := Rule{Name: "reset-19th", Proc: AnyProc, Op: OpReset, Nth: 19, CutAfter: 13}
+		return Scenario{Name: "flaky", Seed: seed, Rules: []Rule{delay, dup, reset}}
+	},
+}
+
+// PresetNames lists the scenarios Preset accepts, sorted.
+func PresetNames() []string {
+	out := make([]string, 0, len(presets))
+	for name := range presets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Preset builds a named scenario with the given seed — the spellings
+// cmd/elasticd's -chaos flag accepts.
+func Preset(name string, seed int64) (Scenario, error) {
+	f, ok := presets[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return Scenario{}, fmt.Errorf("chaos: unknown preset %q (want %s)",
+			name, strings.Join(PresetNames(), ", "))
+	}
+	return f(seed), nil
+}

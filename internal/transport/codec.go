@@ -142,7 +142,10 @@ func DecodePayload(b []byte) (any, error) {
 func appendGob(dst []byte, v any) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&envelope{V: v}); err != nil {
-		return nil, fmt.Errorf("transport: encode payload %T: %w", v, err)
+		// Return dst, not nil: callers that encode into pooled buffers
+		// must get their buffer back on the error path, or the pool would
+		// be poisoned with nil slices (and the original allocation lost).
+		return dst, fmt.Errorf("transport: encode payload %T: %w", v, err)
 	}
 	dst = append(dst, fmtGob)
 	return append(dst, buf.Bytes()...), nil

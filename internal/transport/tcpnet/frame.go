@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/transport"
 )
@@ -50,8 +51,32 @@ var framePool = sync.Pool{
 	},
 }
 
-func getFrameBuf() *[]byte  { return framePool.Get().(*[]byte) }
-func putFrameBuf(b *[]byte) { *b = (*b)[:0]; framePool.Put(b) }
+// frameBufsOut tracks gets minus puts. Steady state is the number of live
+// connections (each read loop holds one buffer); after every endpoint has
+// closed it must return to zero — the pooled-buffer leak check the chaos
+// conformance suite asserts.
+var frameBufsOut atomic.Int64
+
+// OutstandingFrameBufs reports the number of pooled frame buffers
+// currently checked out (read-loop scratch + in-flight sends). Exposed
+// for leak-checking tests.
+func OutstandingFrameBufs() int64 { return frameBufsOut.Load() }
+
+func getFrameBuf() *[]byte {
+	frameBufsOut.Add(1)
+	return framePool.Get().(*[]byte)
+}
+
+func putFrameBuf(b *[]byte) {
+	if *b == nil {
+		// Never pool a nil slice: an error path that lost the buffer must
+		// not poison the pool for later senders.
+		*b = make([]byte, 0, 4096)
+	}
+	*b = (*b)[:0]
+	frameBufsOut.Add(-1)
+	framePool.Put(b)
+}
 
 // appendFrame assembles a complete frame (length prefix, header, encoded
 // payload) onto dst, encoding data with the transport wire codec directly

@@ -1,0 +1,136 @@
+package tcpnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// waitBufs polls until the outstanding pooled-buffer count reaches want,
+// failing the test if it does not settle within two seconds.
+func waitBufs(t *testing.T, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		got := OutstandingFrameBufs()
+		if got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("outstanding frame buffers stuck at %d, want %d", got, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAppendFrameEncodeErrorReturnsBuffer is the regression test for the
+// pooled-buffer poisoning bug: when the payload fails to encode, the send
+// path puts its assembly buffer back in the pool — so appendFrame must
+// hand the buffer back (truncated to its original length), never nil.
+func TestAppendFrameEncodeErrorReturnsBuffer(t *testing.T) {
+	buf := make([]byte, 0, 64)
+	out, err := appendFrame(buf, 0, 1, 7, 8, make(chan int), DefaultMaxFrame)
+	if err == nil {
+		t.Fatalf("a chan payload encoded successfully")
+	}
+	if out == nil {
+		t.Fatalf("error path returned a nil buffer: the pool would be poisoned")
+	}
+	if len(out) != 0 {
+		t.Fatalf("error path left %d stray bytes in the buffer", len(out))
+	}
+
+	// The surviving buffer must still assemble a valid frame.
+	out, err = appendFrame(out, 2, 3, 9, 16, []float64{1, 2}, DefaultMaxFrame)
+	if err != nil {
+		t.Fatalf("good frame after failed frame: %v", err)
+	}
+	if len(out) == 0 {
+		t.Fatalf("good frame produced no bytes")
+	}
+}
+
+// TestPutFrameBufNilGuard: returning a buffer whose slice was lost to nil
+// must repair it rather than recycle a nil slice to the next sender.
+func TestPutFrameBufNilGuard(t *testing.T) {
+	before := OutstandingFrameBufs()
+	bp := getFrameBuf()
+	*bp = nil
+	putFrameBuf(bp)
+	if *bp == nil {
+		t.Fatalf("nil slice was pooled as-is")
+	}
+	if cap(*bp) == 0 {
+		t.Fatalf("repaired buffer has no capacity")
+	}
+	if got := OutstandingFrameBufs(); got != before {
+		t.Fatalf("get/put accounting drifted: %d -> %d", before, got)
+	}
+}
+
+// TestSendEncodeErrorKeepsAccounting: a Send whose payload cannot be
+// encoded must fail cleanly, leave the checkout counter balanced, and
+// leave the endpoint fully usable for the next message.
+func TestSendEncodeErrorKeepsAccounting(t *testing.T) {
+	a, b := pair(t)
+	before := OutstandingFrameBufs()
+
+	if err := a.Send(1, 7, make(chan int), 8); err == nil {
+		t.Fatalf("sending a chan payload succeeded")
+	}
+	if got := OutstandingFrameBufs(); got != before {
+		t.Fatalf("failed send leaked a pooled buffer: %d -> %d", before, got)
+	}
+
+	data := []float64{4, 5, 6}
+	if err := a.Send(1, 7, data, 24); err != nil {
+		t.Fatalf("send after failed send: %v", err)
+	}
+	m, err := b.Recv(0, 7)
+	if err != nil {
+		t.Fatalf("recv after failed send: %v", err)
+	}
+	if m.Bytes != 24 {
+		t.Fatalf("bad envelope after failed send: %+v", m)
+	}
+}
+
+// TestFrameBufsReturnToBaselineOnClose: read loops check a buffer out per
+// connection; closing both endpoints must return every pooled buffer.
+func TestFrameBufsReturnToBaselineOnClose(t *testing.T) {
+	waitBufs(t, 0) // let prior tests' teardown settle
+
+	cfg := Config{DialRetries: 3, DialBackoff: 10 * time.Millisecond, DialTimeout: time.Second}
+	a, err := Listen("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatalf("listen a: %v", err)
+	}
+	b, err := Listen("127.0.0.1:0", cfg)
+	if err != nil {
+		a.Close()
+		t.Fatalf("listen b: %v", err)
+	}
+	peers := map[transport.ProcID]string{0: a.Addr(), 1: b.Addr()}
+	a.Start(0, peers)
+	b.Start(1, peers)
+
+	for i := 0; i < 20; i++ {
+		if err := a.Send(1, 100+i, []float64{float64(i)}, 8); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if _, err := b.Recv(0, 100+i); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if err := b.Send(0, 200+i, []int{i}, 8); err != nil {
+			t.Fatalf("reverse send %d: %v", i, err)
+		}
+		if _, err := a.Recv(1, 200+i); err != nil {
+			t.Fatalf("reverse recv %d: %v", i, err)
+		}
+	}
+
+	a.Close()
+	b.Close()
+	waitBufs(t, 0)
+}

@@ -42,6 +42,11 @@ type Config struct {
 	// DialBackoff is the initial retry backoff, doubling per attempt.
 	// Default 50ms.
 	DialBackoff time.Duration
+	// WrapConn, if set, wraps every connection the endpoint creates —
+	// dialed (dialed=true) and accepted (dialed=false) — before any frame
+	// traffic flows. The fault-injection harness uses it to sever
+	// connections mid-frame; production configs leave it nil.
+	WrapConn func(conn net.Conn, dialed bool) net.Conn
 }
 
 func (c Config) withDefaults() Config {
@@ -281,9 +286,12 @@ func (e *Endpoint) acceptLoop() {
 			conn.Close()
 			return
 		}
+		setNoDelay(conn)
+		if e.cfg.WrapConn != nil {
+			conn = e.cfg.WrapConn(conn, false)
+		}
 		e.conns[conn] = true
 		e.mu.Unlock()
-		setNoDelay(conn)
 		e.wg.Add(1)
 		go e.readLoop(conn)
 	}
@@ -419,6 +427,9 @@ func (e *Endpoint) writeToPeer(p *peer, buf []byte) error {
 				continue
 			}
 			setNoDelay(conn)
+			if e.cfg.WrapConn != nil {
+				conn = e.cfg.WrapConn(conn, true)
+			}
 			p.conn = conn
 			p.bw = bufio.NewWriterSize(conn, writeBufSize)
 		}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/vtime"
 )
 
@@ -184,20 +185,25 @@ func (r *ResilientComm) repair() error {
 	bd := metrics.NewBreakdown()
 	sw := vtime.NewStopwatch(r.comm.Proc().Endpoint().VClock())
 
+	ep := r.comm.Proc().Endpoint()
+
 	r.comm.Revoke()
 	bd.Add(metrics.PhaseRevoke, sw.Lap())
+	transport.Hit(ep.ID(), transport.PointUlfmRevoked)
 
 	r.comm.FailureAck()
 	if _, err := r.comm.Agree(1); err != nil && !mpi.IsProcFailed(err) {
 		return err
 	}
 	bd.Add(metrics.PhaseAgree, sw.Lap())
+	transport.Hit(ep.ID(), transport.PointUlfmAgreed)
 
 	shrunk, err := r.comm.Shrink()
 	if err != nil {
 		return err
 	}
 	bd.Add(metrics.PhaseShrink, sw.Lap())
+	transport.Hit(ep.ID(), transport.PointUlfmShrunk)
 
 	if r.policy.Drop == failure.KillNode && r.cluster != nil {
 		dead := missingFrom(r.comm.Procs(), shrunk.Procs())
