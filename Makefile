@@ -1,0 +1,63 @@
+# Makefile: the same entry points CI runs (.github/workflows/ci.yml),
+# so "it passed make" and "it passed CI" mean the same thing.
+#
+#   make build   compile everything
+#   make vet     stock go vet
+#   make lint    analyzer self-tests + elasticvet over the whole tree
+#   make test    full test suite (+ race on the fast packages)
+#   make chaos   chaos conformance at the pinned seeds
+#   make check   everything above, in CI order
+
+GO      ?= go
+BIN     := bin
+SEEDS   ?= 1 7 42
+
+.PHONY: all build vet lint test race chaos check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint = the elasticvet suite: first its own analyzer tests (fixture
+# modules with golden diagnostics), then the real tree through the
+# go vet vettool protocol, which caches per-package results.
+lint: $(BIN)/elasticvet
+	$(GO) test ./internal/analysis/...
+	$(GO) vet -vettool=$(abspath $(BIN)/elasticvet) ./...
+
+$(BIN)/elasticvet: FORCE
+	@mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/elasticvet ./cmd/elasticvet
+
+FORCE:
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race \
+		./internal/transport/... \
+		./internal/rendezvous/... \
+		./internal/mpi/... \
+		./internal/simnet/... \
+		./internal/kvstore/... \
+		./internal/trace/... \
+		./internal/vtime/... \
+		./internal/dataplane/...
+
+chaos:
+	@for seed in $(SEEDS); do \
+		echo "=== chaos seed $$seed ==="; \
+		$(GO) test -race -count=1 ./internal/transport/chaos/ \
+			-run 'TestChaosConformance|TestAgreeUniformUnderReorder' \
+			-chaos.seed="$$seed" || exit 1; \
+	done
+
+check: build vet lint test race chaos
+
+clean:
+	rm -rf $(BIN)

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/transport"
+	"repro/internal/transport/chaos"
+)
+
+// pointPresets are elasticd-local chaos scenarios gated on transport
+// protocol points, complementing the data-plane presets the chaos
+// package ships. Where those perturb traffic (drop, delay, reorder,
+// reset), these kill the worker at a named instant of the elastic
+// protocol, reproducing the deaths the paper's recovery pipeline must
+// absorb: mid-round, at commit, inside an ongoing repair, and while
+// growing newcomers in. Pass the flag to the worker that should die;
+// the survivors run clean.
+//
+// Every Point value is a named transport.Point* constant — the
+// hookpoint analyzer rejects raw strings here, so this table cannot
+// drift from hooks.go.
+var pointPresets = map[string]func(seed int64) chaos.Scenario{
+	// kill-at-round: the worker dies as it enters its second allreduce
+	// round — the bread-and-butter mid-training failure.
+	"kill-at-round": func(seed int64) chaos.Scenario {
+		return chaos.Scenario{Name: "kill-at-round", Seed: seed, Rules: []chaos.Rule{{
+			Name: "kill-at-round", Proc: chaos.AnyProc,
+			Point: transport.PointElasticRound, Nth: 2, Op: chaos.OpKill,
+		}}}
+	},
+	// kill-at-commit: the worker dies at its first round commit,
+	// exercising the window between a finished collective and the
+	// round's bookkeeping.
+	"kill-at-commit": func(seed int64) chaos.Scenario {
+		return chaos.Scenario{Name: "kill-at-commit", Seed: seed, Rules: []chaos.Rule{{
+			Name: "kill-at-commit", Proc: chaos.AnyProc,
+			Point: transport.PointElasticCommit, Nth: 1, Op: chaos.OpKill,
+		}}}
+	},
+	// kill-in-repair: the worker dies the first time it observes a
+	// revocation — a cascading failure landing inside another failure's
+	// repair.
+	"kill-in-repair": func(seed int64) chaos.Scenario {
+		return chaos.Scenario{Name: "kill-in-repair", Seed: seed, Rules: []chaos.Rule{{
+			Name: "kill-in-repair", Proc: chaos.AnyProc,
+			Point: transport.PointUlfmRevoked, Nth: 1, Op: chaos.OpKill,
+		}}}
+	},
+	// kill-at-grow: the worker dies while shipping grow state to a
+	// joiner, the most fragile instant of elastic scale-up.
+	"kill-at-grow": func(seed int64) chaos.Scenario {
+		return chaos.Scenario{Name: "kill-at-grow", Seed: seed, Rules: []chaos.Rule{{
+			Name: "kill-at-grow", Proc: chaos.AnyProc,
+			Point: transport.PointGrowSend, Nth: 1, Op: chaos.OpKill,
+		}}}
+	},
+}
+
+// chaosScenario resolves -chaos: elasticd's point-gated presets first,
+// then the chaos package's data-plane presets.
+func chaosScenario(name string, seed int64) (chaos.Scenario, error) {
+	if p, ok := pointPresets[name]; ok {
+		return p(seed), nil
+	}
+	sc, err := chaos.Preset(name, seed)
+	if err != nil {
+		return chaos.Scenario{}, fmt.Errorf("unknown chaos scenario %q (have %s)", name, chaosNames())
+	}
+	return sc, nil
+}
+
+// chaosNames lists every scenario -chaos accepts.
+func chaosNames() string {
+	names := chaos.PresetNames()
+	for n := range pointPresets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

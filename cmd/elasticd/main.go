@@ -22,7 +22,6 @@ import (
 	"log"
 	"net"
 	"os"
-	"strings"
 	"sync/atomic"
 	"time"
 
@@ -49,8 +48,7 @@ func main() {
 	suspect := flag.Duration("suspect", 0, "suspicion threshold (used with -serve; default 3x hb)")
 	dead := flag.Duration("dead", 0, "declaration threshold (used with -serve; default 6x hb)")
 	tracePath := flag.String("trace", "", "write a JSON-lines event journal to this file")
-	chaosName := flag.String("chaos", "", "inject faults from a named chaos scenario: "+
-		strings.Join(chaos.PresetNames(), ", "))
+	chaosName := flag.String("chaos", "", "inject faults from a named chaos scenario: "+chaosNames())
 	chaosSeed := flag.Int64("chaos.seed", 1, "seed for the -chaos scenario (same seed = same fault schedule)")
 	flag.Parse()
 
@@ -94,7 +92,7 @@ func main() {
 	var selfProc atomic.Int64
 	tcfg := tcpnet.Config{}
 	if *chaosName != "" {
-		sc, err := chaos.Preset(*chaosName, *chaosSeed)
+		sc, err := chaosScenario(*chaosName, *chaosSeed)
 		if err != nil {
 			log.Fatalf("elasticd: %v", err)
 		}
@@ -102,6 +100,10 @@ func main() {
 		tcfg.WrapConn = func(conn net.Conn, dialed bool) net.Conn {
 			return eng.WrapConn(transport.ProcID(selfProc.Load()))(conn, dialed)
 		}
+		// Point-gated rules (the kill-at-* presets) fire off transport.Hit,
+		// which only reaches the engine while it is installed.
+		eng.Install()
+		defer eng.Uninstall()
 		log.Printf("elasticd: chaos scenario %q seed=%d armed", sc.Name, sc.Seed)
 		defer func() { log.Printf("elasticd: %s", eng.String()) }()
 	}
@@ -125,6 +127,18 @@ func main() {
 	})
 	log.Printf("elasticd: joined as proc %d (rank %d of %d), transport %s",
 		cl.Proc(), cl.Rank(), cl.World(), ep.Addr())
+	if eng != nil {
+		// OpKill is a silent death, as close to kill -9 as the process can
+		// give itself: no rendezvous leave, no connection teardown beyond
+		// the endpoint closing — survivors learn of it from missed
+		// heartbeats, exactly like an external kill.
+		eng.OnKill(cl.Proc(), func() {
+			log.Printf("elasticd: chaos kill firing, dying silently")
+			cl.Abandon()
+			ep.Close()
+			os.Exit(3)
+		})
+	}
 
 	var tep transport.Endpoint = ep
 	if eng != nil {
@@ -149,6 +163,7 @@ func main() {
 	// reduced value tracks exactly which members contributed: with
 	// procs 0..3 alive the sum is 10; after proc 3 dies it drops to 6.
 	for step := 0; step < *steps; step++ {
+		transport.Hit(cl.Proc(), transport.PointElasticRound)
 		data := make([]float64, *n)
 		for i := range data {
 			data[i] = float64(cl.Proc()) + 1
@@ -162,6 +177,7 @@ func main() {
 		}
 		fmt.Printf("step %3d  proc %d  size %d  sum %.0f\n",
 			step, cl.Proc(), r.Size(), data[0])
+		transport.Hit(cl.Proc(), transport.PointElasticCommit)
 		time.Sleep(*stepInterval)
 	}
 	rec.Finish(ep.VClock().Now(), int(cl.Proc()), r.Comm().Rank(), r.Size())

@@ -1,0 +1,257 @@
+// Command elasticvet is the multichecker for the repository's
+// fault-tolerance invariants. It bundles the internal/analysis suite —
+// mpierrcmp, framepool, hookpoint, lockhold, sleepytest — behind the
+// two interfaces a Go toolchain expects:
+//
+// Standalone, over one or more package patterns:
+//
+//	go build -o bin/elasticvet ./cmd/elasticvet
+//	bin/elasticvet ./...
+//
+// As a go vet tool, which lets the go command drive it incrementally
+// through the build cache:
+//
+//	go vet -vettool=$(pwd)/bin/elasticvet ./...
+//
+// In vettool mode the go command invokes the binary once per package
+// with a JSON "vet.cfg" describing the compilation unit (files, import
+// map, export data of dependencies), plus the protocol queries -V=full
+// (tool identity for cache keying) and -flags (supported flags). Exit
+// status 2 means diagnostics were reported, mirroring go vet itself.
+//
+// Diagnostics are suppressed by a justified directive on or immediately
+// above the flagged line:
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// The reason is mandatory; a bare directive is ignored.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/framepool"
+	"repro/internal/analysis/hookpoint"
+	"repro/internal/analysis/lockhold"
+	"repro/internal/analysis/mpierrcmp"
+	"repro/internal/analysis/sleepytest"
+)
+
+// suite is every analyzer elasticvet runs, in diagnostic-prefix order.
+var suite = []*analysis.Analyzer{
+	framepool.Analyzer,
+	hookpoint.Analyzer,
+	lockhold.Analyzer,
+	mpierrcmp.Analyzer,
+	sleepytest.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("elasticvet", flag.ContinueOnError)
+	fs.Usage = usage
+	versionFlag := fs.String("V", "", "print version (go vet protocol: -V=full)")
+	flagsFlag := fs.Bool("flags", false, "print supported flags as JSON (go vet protocol)")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON")
+	dirFlag := fs.String("dir", ".", "directory to load packages from (standalone mode)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	switch {
+	case *versionFlag != "":
+		return printVersion(*versionFlag)
+	case *flagsFlag:
+		// The go command interrogates supported flags before use; the
+		// suite is not configurable, so advertise none.
+		fmt.Println("[]")
+		return 0
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return unitcheck(rest[0], *jsonFlag)
+	}
+	return standalone(*dirFlag, rest, *jsonFlag)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `elasticvet: static checks for the elastic collectives stack
+
+usage:
+  elasticvet [-dir d] [-json] [packages]     analyze package patterns (default ./...)
+  go vet -vettool=$(command -v elasticvet) ./...
+
+analyzers:
+`)
+	for _, a := range suite {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Summary())
+	}
+}
+
+// printVersion implements the -V protocol: the go command derives the
+// tool's build-cache identity from this line and requires the form
+// "<name> version <details...>".
+func printVersion(mode string) int {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:8])
+		}
+	}
+	if mode == "full" {
+		fmt.Printf("elasticvet version devel buildID=%s\n", id)
+	} else {
+		fmt.Println("elasticvet version devel")
+	}
+	return 0
+}
+
+// standalone loads patterns with the go-list driver and reports.
+func standalone(dir string, patterns []string, asJSON bool) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	units, err := driver.Load(dir, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "elasticvet: %v\n", err)
+		return 1
+	}
+	findings, err := driver.Run(units, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "elasticvet: %v\n", err)
+		return 1
+	}
+	return report(findings, asJSON)
+}
+
+// vetConfig is the compilation-unit description the go command hands a
+// vet tool (the "vet.cfg" file). Field names follow the go command's
+// JSON exactly.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the single compilation unit described by cfgPath.
+func unitcheck(cfgPath string, asJSON bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "elasticvet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "elasticvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command expects a facts file regardless of the outcome; the
+	// suite keeps no cross-package facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "elasticvet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "elasticvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg, info, err := driver.TypeCheck(fset, cfg.ImportPath, files, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "elasticvet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	unit := &driver.Unit{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}
+	findings, err := driver.Run([]*driver.Unit{unit}, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "elasticvet: %v\n", err)
+		return 1
+	}
+	return report(findings, asJSON)
+}
+
+// report prints findings and returns the process exit code: 0 clean,
+// 2 diagnostics (go vet convention).
+func report(findings []driver.Finding, asJSON bool) int {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "elasticvet: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", f.Pos, f.Message, f.Analyzer)
+		}
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

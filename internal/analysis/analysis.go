@@ -1,0 +1,138 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check, a
+// Pass gives it one type-checked package, and diagnostics are reported
+// through the pass. The build environment for this repository is
+// offline (no module proxy), so the x/tools module cannot be fetched;
+// this package reimplements the subset the elasticvet suite needs using
+// only the standard library. The API shapes are kept deliberately
+// identical so the suite can migrate to the real framework by swapping
+// import paths.
+//
+// The surrounding packages complete the toolchain:
+//
+//   - internal/analysis/driver loads type-checked packages via
+//     `go list -export` and the standard library's gc importer, and runs
+//     analyzers with //lint:ignore suppression handling.
+//   - internal/analysis/analysistest runs an analyzer over a fixture
+//     module and checks its diagnostics against `// want` comments.
+//   - cmd/elasticvet packages the suite as a standalone checker and as a
+//     `go vet -vettool` unitchecker.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. It must be a valid Go identifier.
+	Name string
+	// Doc is the analyzer's documentation: a one-line summary,
+	// optionally followed by a blank line and prose.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Summary returns the first line of Doc.
+func (a *Analyzer) Summary() string {
+	if i := strings.IndexByte(a.Doc, '\n'); i >= 0 {
+		return a.Doc[:i]
+	}
+	return a.Doc
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	End     token.Pos // optional
+	Message string
+}
+
+// Pass presents one type-checked package (possibly a test variant) to an
+// analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the static type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t, ok := p.TypesInfo.Types[e]; ok {
+		return t.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf resolves an identifier to its object, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// Inspect walks every file of the pass in depth-first order, calling f
+// for each node; f returning false prunes the subtree.
+func (p *Pass) Inspect(f func(ast.Node) bool) {
+	for _, file := range p.Files {
+		ast.Inspect(file, f)
+	}
+}
+
+// PkgPathIs reports whether path identifies pkg: an exact match, or a
+// match of the final slash-separated segments ("internal/transport"
+// matches "repro/internal/transport" and "fix.example/internal/transport").
+// Fixture modules under testdata reuse the real packages' path suffixes,
+// so analyzers must match packages structurally, not by module name.
+func PkgPathIs(pkg *types.Package, path string) bool {
+	if pkg == nil {
+		return false
+	}
+	return PathHasSuffix(pkg.Path(), path)
+}
+
+// PathHasSuffix reports whether full ends with the slash-separated
+// segments of suffix.
+func PathHasSuffix(full, suffix string) bool {
+	if full == suffix {
+		return true
+	}
+	return strings.HasSuffix(full, "/"+suffix)
+}
+
+// NamedConst resolves e to a declared constant object if e is a direct
+// reference to one (identifier or package-qualified selector).
+func NamedConst(info *types.Info, e ast.Expr) *types.Const {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if c, ok := info.ObjectOf(e).(*types.Const); ok {
+			return c
+		}
+	case *ast.SelectorExpr:
+		if c, ok := info.ObjectOf(e.Sel).(*types.Const); ok {
+			return c
+		}
+	case *ast.ParenExpr:
+		return NamedConst(info, e.X)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+// Package analysistest runs an analyzer over a fixture module and
+// compares its diagnostics against expectations embedded in the fixture
+// sources, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a self-contained module under the analyzer's testdata
+// directory (its own go.mod, importing nothing outside the standard
+// library and itself). Expected diagnostics are written as comments on
+// the offending line:
+//
+//	putFrameBuf(b) // want `returned to the pool`
+//	x := *b        // want "use after put" "second finding"
+//
+// Each quoted string is a regular expression that must match exactly one
+// diagnostic reported on that line, and every diagnostic must be matched
+// by exactly one expectation.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// Run loads the fixture module rooted at dir, applies the analyzer to
+// every package in it, and reports mismatches between actual and
+// expected diagnostics as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	units, err := driver.Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(units) == 0 {
+		t.Fatalf("fixture %s contains no packages", dir)
+	}
+	findings, err := driver.Run(units, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := map[key][]*expectation{}
+	for _, u := range units {
+		collectWants(t, u, wants)
+	}
+
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		if !claim(wants[k], f.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", posOf(f), f.Message)
+		}
+	}
+	var keys []key
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, w.re.String())
+			}
+		}
+	}
+}
+
+type key struct {
+	file string
+	line int
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func posOf(f driver.Finding) string {
+	return fmt.Sprintf("%s:%d:%d", f.Pos.Filename, f.Pos.Line, f.Pos.Column)
+}
+
+// claim marks the first unmatched expectation whose pattern matches msg.
+func claim(ws []*expectation, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses `// want` comments out of a unit's files.
+func collectWants(t *testing.T, u *driver.Unit, wants map[key][]*expectation) {
+	t.Helper()
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					text, ok = strings.CutPrefix(c.Text, "//want ")
+				}
+				if !ok {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, pat := range splitPatterns(t, pos.String(), text) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants[k] = append(wants[k], &expectation{re: re})
+				}
+			}
+		}
+	}
+}
+
+// splitPatterns tokenizes the body of a want comment: a sequence of
+// double-quoted or backquoted strings.
+func splitPatterns(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated backquoted want pattern: %s", pos, s)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			end := strings.IndexByte(s[1:], '"')
+			if end < 0 {
+				t.Fatalf("%s: unterminated quoted want pattern: %s", pos, s)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			t.Fatalf("%s: want patterns must be quoted or backquoted, got: %s", pos, s)
+		}
+	}
+	return out
+}

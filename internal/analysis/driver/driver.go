@@ -1,0 +1,215 @@
+// Package driver loads type-checked packages for the elasticvet
+// analyzers and runs them. It is the offline counterpart of
+// golang.org/x/tools/go/packages: package metadata comes from
+// `go list -deps -export -test -json`, dependencies are imported from
+// the compiler export data the go command leaves in the build cache, and
+// only the packages under analysis are type-checked from source — the
+// same architecture go vet itself uses.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	ForTest    string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	Module     *struct {
+		Path string
+		Main bool
+		Dir  string
+	}
+}
+
+// Unit is one package ready for analysis: parsed files plus full type
+// information. A package with internal test files is loaded once as its
+// test variant (production + _test.go files together, exactly as the
+// test binary compiles them); external _test packages are separate units.
+type Unit struct {
+	ImportPath string // as printed by go list, e.g. "p" or "p [p.test]"
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// Load lists patterns in dir and returns analysis units for every
+// non-standard package in the transitive closure that belongs to the
+// main module (dependencies are consumed as export data only).
+func Load(dir string, patterns []string) ([]*Unit, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-export", "-test",
+		"-json=ImportPath,Name,Dir,Standard,ForTest,Export,GoFiles,CgoFiles,ImportMap,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	entries := map[string]*listPackage{}
+	var order []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		entries[p.ImportPath] = p
+		order = append(order, p)
+	}
+
+	// A package listed both plain and as its internal-test variant
+	// ("p [p.test]") is analyzed once, as the variant: the variant is a
+	// strict superset of the plain files.
+	hasVariant := map[string]bool{}
+	for _, p := range entries {
+		if p.ForTest != "" && strings.HasPrefix(p.ImportPath, p.ForTest+" [") && p.Name != "main" {
+			hasVariant[p.ForTest] = true
+		}
+	}
+
+	var units []*Unit
+	for _, p := range order {
+		if !analyzable(p) || hasVariant[p.ImportPath] {
+			continue
+		}
+		u, err := check(p, entries)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// analyzable reports whether entry p should be type-checked from source
+// and analyzed (vs. consumed as export data).
+func analyzable(p *listPackage) bool {
+	if p.Standard || p.Dir == "" || len(p.GoFiles) == 0 {
+		return false
+	}
+	// Skip synthesized test-main binaries ("p.test"): their GoFiles are
+	// generated into the build cache.
+	if strings.HasSuffix(p.ImportPath, ".test") && p.ForTest == "" {
+		return false
+	}
+	// Only analyze packages of the main module. Dependencies (none today,
+	// but the check keeps the tool honest) are import-only.
+	return p.Module == nil || p.Module.Main
+}
+
+// check parses and type-checks one entry, importing its dependencies
+// from export data.
+func check(p *listPackage, entries map[string]*listPackage) (*Unit, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range append(append([]string{}, p.GoFiles...), p.CgoFiles...) {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		key := path
+		if mapped, ok := p.ImportMap[path]; ok {
+			key = mapped
+		}
+		dep := entries[key]
+		if dep == nil || dep.Export == "" {
+			return nil, fmt.Errorf("no export data for %q (as %q)", path, key)
+		}
+		return os.Open(dep.Export)
+	}
+
+	srcPath := p.ImportPath
+	if i := strings.Index(srcPath, " ["); i >= 0 {
+		srcPath = srcPath[:i]
+	}
+	pkg, info, err := TypeCheck(fset, srcPath, files, lookup)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+	}
+	return &Unit{
+		ImportPath: p.ImportPath,
+		Dir:        p.Dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}
+
+// TypeCheck type-checks one package from source, resolving every import
+// through lookup, which must yield gc export data (a build-cache export
+// file or a compiled package archive). It is shared by the go list
+// loader above and by cmd/elasticvet's vet.cfg unitchecker mode, whose
+// import maps come from the go command itself.
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, lookup func(string) (io.ReadCloser, error)) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: &unsafeAware{importer.ForCompiler(fset, "gc", lookup)},
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, _ := conf.Check(path, fset, files, info)
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return pkg, info, nil
+}
+
+// unsafeAware short-circuits the "unsafe" pseudo-package, which has no
+// export data.
+type unsafeAware struct{ next types.Importer }
+
+func (u *unsafeAware) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.next.Import(path)
+}

@@ -1,0 +1,128 @@
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Finding is one diagnostic attributed to its analyzer, with the
+// position resolved.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run applies every analyzer to every unit and returns the surviving
+// findings, sorted by position. Diagnostics carrying a justified
+// suppression directive — a comment of the form
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// on the flagged line or the line immediately above it — are dropped.
+// The reason is mandatory: a bare directive does not suppress.
+func Run(units []*Unit, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, u := range units {
+		ignores := ignoreDirectives(u)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      u.Fset,
+				Files:     u.Files,
+				Pkg:       u.Pkg,
+				TypesInfo: u.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := u.Fset.Position(d.Pos)
+				if ignores.suppresses(name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, u.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// ignoreSet indexes //lint:ignore directives by file and line.
+type ignoreSet map[string]map[int][]string // file -> line -> analyzer names
+
+func (s ignoreSet) suppresses(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[l] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ignoreDirectives scans a unit's comments for suppression directives.
+func ignoreDirectives(u *Unit) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					set[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+			}
+		}
+	}
+	return set
+}
+
+// parseIgnore recognizes "//lint:ignore name1,name2 reason...". The
+// reason must be non-empty: the directive documents WHY the invariant
+// does not apply, and elasticvet refuses to honor an unjustified one.
+func parseIgnore(text string) ([]string, bool) {
+	const prefix = "//lint:ignore "
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(text[len(prefix):])
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, false // no reason given
+	}
+	return strings.Split(fields[0], ","), true
+}

@@ -1,0 +1,511 @@
+// Package framepool enforces the pooled frame-buffer discipline of
+// internal/transport/tcpnet.
+//
+// Buffers are checked out with getFrameBuf and returned with
+// putFrameBuf; between the two, the buffer is exclusively owned. The
+// analyzer tracks each checked-out buffer through its function and
+// flags:
+//
+//   - use-after-put: any read or write of the buffer (or its pointee)
+//     after it went back to the pool — another sender may already own it;
+//   - double-put: returning the same buffer twice (directly, across
+//     branches that rejoin, across loop iterations, or an explicit put
+//     shadowing a deferred one);
+//   - nil-put: passing a literal nil to putFrameBuf;
+//   - escapes: storing the buffer (or a direct alias of its pointee)
+//     into a field, map, global or channel, handing it to a goroutine, or
+//     returning it while a deferred put will reclaim it — the escapee
+//     would alias pooled memory after the function exits;
+//   - pool poisoning via append-style codecs: a function that takes a
+//     buffer and returns the extended buffer must return its input on
+//     error paths, never nil. The PR-3 bug — transport.appendGob
+//     returning nil on an encode error, which flowed through appendFrame
+//     into putFrameBuf and poisoned the shared pool with nil slices —
+//     is exactly this shape.
+package framepool
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the framepool pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "framepool",
+	Doc:  "frame buffers must obey the get/put pool protocol: no use-after-put, double-put, nil-put, escapes, or nil returns from append-style codecs",
+	Run:  run,
+}
+
+const (
+	getFn = "getFrameBuf"
+	putFn = "putFrameBuf"
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// The pool's own accessors legitimately touch buffers in ways
+			// the protocol forbids for clients.
+			if fd.Name.Name == getFn || fd.Name.Name == putFn {
+				continue
+			}
+			a := &funcAnalysis{pass: pass, reported: map[string]bool{}}
+			a.prescan(fd.Body)
+			if a.callsPool {
+				a.block(fd.Body.List, state{})
+			}
+			checkAppendShape(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// state maps each pool variable to whether it has been returned to the
+// pool on the current path.
+type state map[*types.Var]bool // true = putted
+
+func (st state) clone() state {
+	out := state{}
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+type funcAnalysis struct {
+	pass      *analysis.Pass
+	poolVars  map[*types.Var]bool      // assigned from getFrameBuf
+	aliases   map[*types.Var]bool      // direct aliases of a pool var's pointee
+	putVars   map[*types.Var]bool      // ever passed to putFrameBuf
+	deferPut  map[*types.Var]token.Pos // put via defer
+	callsPool bool                     // function touches the pool at all
+	reported  map[string]bool          // dedup (loop bodies walk twice)
+}
+
+func (a *funcAnalysis) reportf(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%v:%s", pos, msg)
+	if a.reported[key] {
+		return
+	}
+	a.reported[key] = true
+	a.pass.Reportf(pos, "%s", msg)
+}
+
+// poolCall matches a call to getFrameBuf or putFrameBuf by name.
+func poolCall(call *ast.CallExpr) (string, bool) {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		if fn.Name == getFn || fn.Name == putFn {
+			return fn.Name, true
+		}
+	case *ast.SelectorExpr:
+		if fn.Sel.Name == getFn || fn.Sel.Name == putFn {
+			return fn.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// prescan records which variables participate in the pool protocol.
+func (a *funcAnalysis) prescan(body *ast.BlockStmt) {
+	a.poolVars = map[*types.Var]bool{}
+	a.aliases = map[*types.Var]bool{}
+	a.putVars = map[*types.Var]bool{}
+	a.deferPut = map[*types.Var]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := poolCall(call); ok {
+				a.callsPool = true
+			}
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+					if name, ok := poolCall(call); ok && name == getFn && len(n.Lhs) == 1 {
+						if v := a.varOf(n.Lhs[0]); v != nil {
+							a.poolVars[v] = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := poolCall(n); ok && name == putFn && len(n.Args) == 1 {
+				if v := a.varOf(n.Args[0]); v != nil {
+					a.putVars[v] = true
+				}
+			}
+		case *ast.DeferStmt:
+			if name, ok := poolCall(n.Call); ok && name == putFn && len(n.Call.Args) == 1 {
+				if v := a.varOf(n.Call.Args[0]); v != nil {
+					a.deferPut[v] = n.Pos()
+				}
+			}
+		}
+		return true
+	})
+	// Second sweep: direct aliases (x := *bufp, x := (*bufp)[:0], ...).
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			if root := a.rootPoolVar(rhs); root != nil {
+				if v := a.varOf(as.Lhs[i]); v != nil && !a.poolVars[v] {
+					a.aliases[v] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// varOf resolves an expression to the variable it names, or nil.
+func (a *funcAnalysis) varOf(e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := a.pass.ObjectOf(id).(*types.Var)
+	return v
+}
+
+// rootPoolVar reports the pool variable an expression is rooted at, when
+// the expression is a chain of deref/slice/index operations with no
+// intervening call — a direct alias of pooled memory.
+func (a *funcAnalysis) rootPoolVar(e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if v := a.varOf(x); v != nil && (a.poolVars[v] || a.aliases[v]) {
+				return v
+			}
+			return nil
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mentionsTracked reports whether n contains an expression rooted at a
+// pool variable or alias that is (eventually) returned to the pool.
+func (a *funcAnalysis) mentionsTracked(n ast.Node) *types.Var {
+	var found *types.Var
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if v := a.rootPoolVar(e); v != nil && a.isPutSomewhere(v) {
+				found = v
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isPutSomewhere reports whether v (or the pool var it aliases) is ever
+// handed back to the pool in this function.
+func (a *funcAnalysis) isPutSomewhere(v *types.Var) bool {
+	if a.putVars[v] {
+		return true
+	}
+	if _, ok := a.deferPut[v]; ok {
+		return true
+	}
+	if a.aliases[v] {
+		// An alias of pooled memory is dangerous whenever any pool var
+		// in the function is returned.
+		return len(a.putVars) > 0 || len(a.deferPut) > 0
+	}
+	return false
+}
+
+// block walks a statement list, threading the put-state through it.
+func (a *funcAnalysis) block(stmts []ast.Stmt, st state) {
+	for _, s := range stmts {
+		a.stmt(s, st)
+	}
+}
+
+func (a *funcAnalysis) stmt(s ast.Stmt, st state) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			a.checkUses(rhs, st)
+		}
+		// A fresh checkout revives the variable.
+		if len(s.Rhs) == 1 {
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+				if name, ok := poolCall(call); ok && name == getFn && len(s.Lhs) == 1 {
+					if v := a.varOf(s.Lhs[0]); v != nil {
+						st[v] = false
+						return
+					}
+				}
+			}
+		}
+		for _, lhs := range s.Lhs {
+			a.checkStore(lhs, s, st)
+		}
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if name, ok := poolCall(call); ok && name == putFn && len(call.Args) == 1 {
+				a.put(call, st)
+				return
+			}
+		}
+		a.checkUses(s.X, st)
+	case *ast.DeferStmt:
+		if name, ok := poolCall(s.Call); ok && name == putFn {
+			return // the deferred put itself; effects handled via deferPut
+		}
+		a.checkUses(s.Call, st)
+	case *ast.GoStmt:
+		if v := a.mentionsTracked(s.Call); v != nil {
+			a.reportf(s.Pos(), "goroutine captures frame buffer %s, which is also returned to the pool; the goroutine would race the next owner", v.Name())
+		}
+		a.checkUses(s.Call, st)
+	case *ast.SendStmt:
+		if v := a.mentionsTracked(s.Value); v != nil {
+			a.reportf(s.Pos(), "frame buffer %s is sent on a channel but also returned to the pool; the receiver would alias pooled memory", v.Name())
+		}
+		a.checkUses(s, st)
+	case *ast.ReturnStmt:
+		a.checkUses(s, st)
+		for _, res := range s.Results {
+			if v := a.rootPoolVar(res); v != nil {
+				if pos, ok := a.deferPut[v]; ok {
+					a.reportf(s.Pos(), "frame buffer %s is returned to the caller but a deferred putFrameBuf (at %s) reclaims it on exit; the caller would alias pooled memory", v.Name(), a.pass.Fset.Position(pos))
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, st)
+		}
+		a.checkUses(s.Cond, st)
+		thenSt := st.clone()
+		a.block(s.Body.List, thenSt)
+		var elseSt state
+		if s.Else != nil {
+			elseSt = st.clone()
+			a.stmt(s.Else, elseSt)
+		}
+		// Non-terminating branches rejoin the main path.
+		if !terminates(s.Body.List) {
+			merge(st, thenSt)
+		}
+		if eb, ok := s.Else.(*ast.BlockStmt); ok && !terminates(eb.List) {
+			merge(st, elseSt)
+		}
+	case *ast.BlockStmt:
+		a.block(s.List, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			a.checkUses(s.Cond, st)
+		}
+		// Two passes over the body: the second exposes cross-iteration
+		// double-puts and uses-after-put (diagnostics are deduplicated).
+		loopSt := st.clone()
+		a.block(s.Body.List, loopSt)
+		a.block(s.Body.List, loopSt)
+	case *ast.RangeStmt:
+		a.checkUses(s.X, st)
+		loopSt := st.clone()
+		a.block(s.Body.List, loopSt)
+		a.block(s.Body.List, loopSt)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			a.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			a.checkUses(s.Tag, st)
+		}
+		for _, cc := range s.Body.List {
+			a.block(cc.(*ast.CaseClause).Body, st.clone())
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			a.block(cc.(*ast.CaseClause).Body, st.clone())
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			a.block(cc.(*ast.CommClause).Body, st.clone())
+		}
+	case *ast.LabeledStmt:
+		a.stmt(s.Stmt, st)
+	default:
+		if s != nil {
+			a.checkUses(s, st)
+		}
+	}
+}
+
+// put processes an explicit putFrameBuf call.
+func (a *funcAnalysis) put(call *ast.CallExpr, st state) {
+	arg := call.Args[0]
+	if id, ok := arg.(*ast.Ident); ok && id.Name == "nil" && a.pass.ObjectOf(id) == types.Universe.Lookup("nil") {
+		a.reportf(call.Pos(), "putFrameBuf(nil) poisons the frame pool")
+		return
+	}
+	v := a.varOf(arg)
+	if v == nil {
+		return
+	}
+	if st[v] {
+		a.reportf(call.Pos(), "double putFrameBuf of %s: the buffer is already back in the pool", v.Name())
+		return
+	}
+	if pos, ok := a.deferPut[v]; ok {
+		a.reportf(call.Pos(), "putFrameBuf of %s shadows its deferred put (at %s): the buffer would be returned twice", v.Name(), a.pass.Fset.Position(pos))
+	}
+	st[v] = true
+}
+
+// checkUses flags references to buffers already returned to the pool.
+func (a *funcAnalysis) checkUses(n ast.Node, st state) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, _ := a.pass.ObjectOf(id).(*types.Var)
+		if v != nil && st[v] {
+			a.reportf(id.Pos(), "use of frame buffer %s after putFrameBuf returned it to the pool", v.Name())
+		}
+		return true
+	})
+}
+
+// checkStore flags stores of a pooled buffer into memory that outlives
+// the checkout: struct fields, maps, slices, globals, or foreign
+// pointees.
+func (a *funcAnalysis) checkStore(lhs ast.Expr, s *ast.AssignStmt, st state) {
+	var escapes bool
+	switch l := lhs.(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		escapes = true
+	case *ast.StarExpr:
+		// *bufp = buf is the pool protocol itself; *other = buf leaks.
+		escapes = a.rootPoolVar(l.X) == nil
+	case *ast.Ident:
+		if v := a.varOf(l); v != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			escapes = true // package-level variable
+		}
+	}
+	if !escapes {
+		return
+	}
+	for _, rhs := range s.Rhs {
+		if v := a.mentionsTracked(rhs); v != nil {
+			a.reportf(s.Pos(), "frame buffer %s is stored outside the function but also returned to the pool; the store would alias pooled memory", v.Name())
+			return
+		}
+	}
+}
+
+// merge folds a branch's put-state into the continuation: a buffer put
+// on any rejoining path is treated as put afterwards.
+func merge(dst, branch state) {
+	for v, putted := range branch {
+		if putted {
+			dst[v] = true
+		}
+	}
+}
+
+// terminates reports whether a statement list always exits the
+// enclosing branch.
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch s := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkAppendShape flags append-style functions — first []byte parameter,
+// []byte result in the matching position — that return literal nil where
+// the extended buffer belongs.
+func checkAppendShape(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Type.Results == nil || strings.HasSuffix(pass.Fset.Position(fd.Pos()).Filename, "_test.go") {
+		return
+	}
+	sig, ok := pass.TypeOf(fd.Name).(*types.Signature)
+	if !ok {
+		return
+	}
+	paramIdx, resultIdx := firstByteSlice(sig.Params()), firstByteSlice(sig.Results())
+	if paramIdx < 0 || resultIdx < 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || resultIdx >= len(ret.Results) || len(ret.Results) != sig.Results().Len() {
+			return true
+		}
+		if id, ok := ret.Results[resultIdx].(*ast.Ident); ok && id.Name == "nil" && pass.ObjectOf(id) == types.Universe.Lookup("nil") {
+			pass.Reportf(ret.Pos(),
+				"append-style function %s returns nil instead of its buffer argument; a caller encoding into a pooled frame buffer would lose the buffer and poison the pool with nil slices",
+				fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// firstByteSlice returns the index of the first []byte in a tuple, or -1.
+func firstByteSlice(t *types.Tuple) int {
+	for i := 0; i < t.Len(); i++ {
+		if sl, ok := t.At(i).Type().Underlying().(*types.Slice); ok {
+			if b, ok := sl.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Byte {
+				return i
+			}
+		}
+	}
+	return -1
+}

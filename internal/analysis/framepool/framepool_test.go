@@ -1,0 +1,12 @@
+package framepool_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framepool"
+)
+
+func TestFramepool(t *testing.T) {
+	analysistest.Run(t, "testdata/src/pool.example", framepool.Analyzer)
+}

@@ -1,0 +1,61 @@
+// Package prefix reproduces the exact PR-3 pool-poisoning bug, as it
+// existed before the fix: appendGob returned nil instead of dst on its
+// encode-error path, the nil flowed through appendFrame's dst[:base]
+// into the sender's *bufp, and putFrameBuf recycled a nil slice into the
+// shared pool — poisoning it for every later sender and losing the
+// original allocation. The analyzer must flag the nil return at its
+// source.
+package prefix
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"sync"
+)
+
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+func getFrameBuf() *[]byte  { return framePool.Get().(*[]byte) }
+func putFrameBuf(b *[]byte) { *b = (*b)[:0]; framePool.Put(b) }
+
+type envelope struct{ V any }
+
+// appendGob is the pre-fix PR-3 code: the error path loses the caller's
+// buffer.
+func appendGob(dst []byte, v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&envelope{V: v}); err != nil {
+		return nil, fmt.Errorf("encode payload %T: %w", v, err) // want `append-style function appendGob returns nil instead of its buffer argument`
+	}
+	return append(dst, buf.Bytes()...), nil
+}
+
+// appendFrame forwards the poisoned nil through dst[:base].
+func appendFrame(dst []byte, tag int, v any) ([]byte, error) {
+	base := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst, err := appendGob(dst, v)
+	if err != nil {
+		return dst[:base], err
+	}
+	binary.BigEndian.PutUint32(dst[base:base+4], uint32(len(dst)-base-4))
+	return dst, nil
+}
+
+// send is the pre-fix caller: on an encode error the (now nil) buffer
+// goes back to the pool.
+func send(tag int, v any, write func([]byte) error) error {
+	bufp := getFrameBuf()
+	buf, err := appendFrame((*bufp)[:0], tag, v)
+	if err != nil {
+		*bufp = buf
+		putFrameBuf(bufp)
+		return err
+	}
+	werr := write(buf)
+	*bufp = buf
+	putFrameBuf(bufp)
+	return werr
+}

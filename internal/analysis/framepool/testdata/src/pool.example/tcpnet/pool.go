@@ -1,0 +1,123 @@
+// Package tcpnet is a fixture mirror of the real frame pool and its
+// client protocol.
+package tcpnet
+
+import "sync"
+
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+func getFrameBuf() *[]byte  { return framePool.Get().(*[]byte) }
+func putFrameBuf(b *[]byte) { *b = (*b)[:0]; framePool.Put(b) }
+
+type sink struct{ stash []byte }
+
+var global *[]byte
+
+func useAfterPut() int {
+	b := getFrameBuf()
+	*b = append(*b, 1, 2, 3)
+	putFrameBuf(b)
+	return len(*b) // want `use of frame buffer b after putFrameBuf returned it to the pool`
+}
+
+func doublePut() {
+	b := getFrameBuf()
+	putFrameBuf(b)
+	putFrameBuf(b) // want `double putFrameBuf of b: the buffer is already back in the pool`
+}
+
+func doublePutAcrossBranches(ok bool) {
+	b := getFrameBuf()
+	if ok {
+		putFrameBuf(b)
+	}
+	putFrameBuf(b) // want `double putFrameBuf of b`
+}
+
+func doublePutAcrossIterations() {
+	b := getFrameBuf()
+	for i := 0; i < 4; i++ {
+		putFrameBuf(b) // want `double putFrameBuf of b`
+	}
+}
+
+func explicitPutShadowsDefer() {
+	b := getFrameBuf()
+	defer putFrameBuf(b)
+	putFrameBuf(b) // want `putFrameBuf of b shadows its deferred put`
+}
+
+func putNil() {
+	putFrameBuf(nil) // want `putFrameBuf\(nil\) poisons the frame pool`
+}
+
+func escapeToField(s *sink) {
+	b := getFrameBuf()
+	s.stash = *b // want `frame buffer b is stored outside the function but also returned to the pool`
+	putFrameBuf(b)
+}
+
+func escapeToGlobal() {
+	b := getFrameBuf()
+	global = b // want `frame buffer b is stored outside the function but also returned to the pool`
+	putFrameBuf(b)
+}
+
+func escapeToGoroutine(done chan struct{}) {
+	b := getFrameBuf()
+	go func(p []byte) { // want `goroutine captures frame buffer b`
+		_ = p
+		close(done)
+	}(*b)
+	putFrameBuf(b)
+}
+
+func escapeViaReturn() []byte {
+	b := getFrameBuf()
+	defer putFrameBuf(b)
+	return *b // want `frame buffer b is returned to the caller but a deferred putFrameBuf`
+}
+
+// sendOK is the real protocol: checkout, encode, write, return. The
+// branchy error path puts and exits; the happy path puts after the
+// write. Nothing here is flagged.
+func sendOK(encode func([]byte) ([]byte, error), write func([]byte) error) error {
+	bufp := getFrameBuf()
+	buf, err := encode((*bufp)[:0])
+	if err != nil {
+		*bufp = buf
+		putFrameBuf(bufp)
+		return err
+	}
+	werr := write(buf)
+	*bufp = buf
+	putFrameBuf(bufp)
+	return werr
+}
+
+// readLoopOK holds one buffer for the loop's lifetime under a deferred
+// put, re-threading it through the reader: compliant.
+func readLoopOK(read func([]byte) ([]byte, bool)) int {
+	bufp := getFrameBuf()
+	defer putFrameBuf(bufp)
+	n := 0
+	buf := *bufp
+	for {
+		out, ok := read(buf)
+		buf = out
+		*bufp = buf
+		if !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// reuseAfterFreshGet revives the variable: compliant.
+func reuseAfterFreshGet() {
+	b := getFrameBuf()
+	putFrameBuf(b)
+	b = getFrameBuf()
+	*b = append(*b, 1)
+	putFrameBuf(b)
+}

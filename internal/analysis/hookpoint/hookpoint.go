@@ -1,0 +1,216 @@
+// Package hookpoint enforces the protocol-point vocabulary of the
+// transport hook system.
+//
+// The transport package publishes a closed set of named hook points
+// (the Point* string constants in hooks.go). Chaos scenarios key their
+// rules off these strings, and instrumented code announces them via
+// transport.Hit. A raw string literal at either end silently decouples
+// the two: a typo'd point never fires, and a scenario gated on a stale
+// value waits forever. The analyzer therefore requires
+//
+//   - every transport.Hit call site to pass a named Point* constant, and
+//   - every chaos Rule literal's Point field to be a named Point*
+//     constant (or the empty string, meaning "no point gate"),
+//
+// and cross-checks that any named constant used actually carries a
+// value declared by a Point* constant in the transport package, so
+// locally redeclared constants cannot drift from hooks.go.
+package hookpoint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the hookpoint check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hookpoint",
+	Doc:  "chaos hook points must be named transport.Point* constants from hooks.go",
+	Run:  run,
+}
+
+// vocab is the hook-point vocabulary extracted from the transport
+// package: constant value -> constant name.
+type vocab map[string]string
+
+func run(pass *analysis.Pass) (any, error) {
+	v := transportVocab(pass.Pkg)
+	if v == nil {
+		// The package neither is nor imports the transport package,
+		// so no Hit call or Rule literal can occur.
+		return nil, nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHitCall(pass, v, n)
+		case *ast.CompositeLit:
+			checkRuleLit(pass, v, n)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// transportVocab locates the transport package (the pass's own package
+// or any transitive import declaring func Hit) and collects its
+// exported Point* string constants.
+func transportVocab(pkg *types.Package) vocab {
+	tp := findTransport(pkg, map[*types.Package]bool{})
+	if tp == nil {
+		return nil
+	}
+	v := vocab{}
+	scope := tp.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Point") {
+			continue
+		}
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Val().Kind() != constant.String {
+			continue
+		}
+		v[constant.StringVal(c.Val())] = name
+	}
+	return v
+}
+
+func findTransport(pkg *types.Package, seen map[*types.Package]bool) *types.Package {
+	if pkg == nil || seen[pkg] {
+		return nil
+	}
+	seen[pkg] = true
+	if isTransport(pkg) {
+		return pkg
+	}
+	for _, imp := range pkg.Imports() {
+		if tp := findTransport(imp, seen); tp != nil {
+			return tp
+		}
+	}
+	return nil
+}
+
+// isTransport reports whether pkg is the hook-publishing transport
+// package: path suffix "transport" and a package-level func Hit.
+func isTransport(pkg *types.Package) bool {
+	if !analysis.PkgPathIs(pkg, "transport") {
+		return false
+	}
+	_, ok := pkg.Scope().Lookup("Hit").(*types.Func)
+	return ok
+}
+
+// checkHitCall validates the point argument of a transport.Hit call.
+func checkHitCall(pass *analysis.Pass, v vocab, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Name() != "Hit" || !isTransport(fn.Pkg()) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil || len(call.Args) != sig.Params().Len() {
+		return
+	}
+	// The point is the final string parameter: Hit(proc, point).
+	arg := call.Args[len(call.Args)-1]
+	checkPointExpr(pass, v, arg, "transport.Hit call", false)
+}
+
+// checkRuleLit validates the Point field of a chaos Rule composite
+// literal, whether keyed or positional.
+func checkRuleLit(pass *analysis.Pass, v vocab, lit *ast.CompositeLit) {
+	st, idx := ruleStruct(pass, lit)
+	if st == nil || idx < 0 {
+		return
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Point" {
+				checkPointExpr(pass, v, kv.Value, "chaos Rule literal", true)
+			}
+			continue
+		}
+		if i == idx {
+			checkPointExpr(pass, v, elt, "chaos Rule literal", true)
+		}
+	}
+}
+
+// ruleStruct resolves lit to a chaos Rule struct type and returns the
+// positional index of its Point field, or (nil, -1).
+func ruleStruct(pass *analysis.Pass, lit *ast.CompositeLit) (*types.Struct, int) {
+	t := pass.TypeOf(lit)
+	if t == nil {
+		return nil, -1
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Rule" || !analysis.PkgPathIs(named.Obj().Pkg(), "chaos") {
+		return nil, -1
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, -1
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "Point" {
+			return st, i
+		}
+	}
+	return nil, -1
+}
+
+// checkPointExpr applies the vocabulary rules to one point-valued
+// expression. allowEmpty permits the empty string, which in a Rule
+// means "not gated on a point".
+func checkPointExpr(pass *analysis.Pass, v vocab, e ast.Expr, site string, allowEmpty bool) {
+	if c := analysis.NamedConst(pass.TypesInfo, e); c != nil {
+		if c.Val().Kind() != constant.String {
+			return
+		}
+		val := constant.StringVal(c.Val())
+		if allowEmpty && val == "" {
+			return
+		}
+		if name, ok := v[val]; ok {
+			if !strings.HasPrefix(c.Name(), "Point") {
+				pass.Reportf(e.Pos(), "%s uses constant %s instead of the canonical transport.%s for %q", site, c.Name(), name, val)
+			}
+			return
+		}
+		pass.Reportf(e.Pos(), "%s references constant %s with value %q, which matches no transport.Point* hook point", site, c.Name(), val)
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		val := constant.StringVal(tv.Value)
+		if allowEmpty && val == "" {
+			return
+		}
+		if name, ok := v[val]; ok {
+			pass.Reportf(e.Pos(), "%s uses raw string %q: use the named constant transport.%s", site, val, name)
+		} else {
+			pass.Reportf(e.Pos(), "%s uses raw string %q, which matches no transport.Point* hook point", site, val)
+		}
+		return
+	}
+	pass.Reportf(e.Pos(), "%s computes its hook point dynamically: use a named transport.Point* constant", site)
+}
+
+// calleeFunc resolves a call's callee to a declared function, or nil.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fe := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fe
+	case *ast.SelectorExpr:
+		id = fe.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.ObjectOf(id).(*types.Func)
+	return fn
+}

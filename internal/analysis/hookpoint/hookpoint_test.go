@@ -1,0 +1,12 @@
+package hookpoint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hookpoint"
+)
+
+func TestHookpoint(t *testing.T) {
+	analysistest.Run(t, "testdata/src/hook.example", hookpoint.Analyzer)
+}

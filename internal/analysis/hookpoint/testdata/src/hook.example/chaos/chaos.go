@@ -1,0 +1,15 @@
+// Package chaos is a fixture mirror of the real chaos rule schema.
+package chaos
+
+// Rule mirrors the real chaos.Rule: Point gates the rule on a hook
+// point, empty means "any".
+type Rule struct {
+	Name  string
+	Proc  int64
+	Point string
+	Nth   int
+	Op    int
+}
+
+// OpKill mirrors a chaos op.
+const OpKill = 5

@@ -1,0 +1,3 @@
+module hook.example
+
+go 1.22

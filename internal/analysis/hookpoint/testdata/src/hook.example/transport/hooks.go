@@ -1,0 +1,16 @@
+// Package transport is a fixture mirror of the real transport hook
+// vocabulary.
+package transport
+
+// ProcID mirrors the real transport.ProcID.
+type ProcID int64
+
+// The closed hook-point vocabulary.
+const (
+	PointUlfmRevoked  = "ulfm.repair.revoked"
+	PointElasticRound = "elastic.round.start"
+	PointGrowSend     = "elastic.grow.send"
+)
+
+// Hit announces that proc reached the named protocol point.
+func Hit(proc ProcID, point string) {}

@@ -1,0 +1,316 @@
+// Package lockhold flags blocking transport calls made while a mutex
+// is held.
+//
+// The recovery stack's control-plane packages (mpi, ulfm, rendezvous)
+// guard shared state with sync.Mutex/RWMutex and talk to peers through
+// blocking transport operations (Send, Recv, Accept). Holding a lock
+// across such a call is the classic elastic-training deadlock: the peer
+// the call waits on may itself be blocked on the same lock (directly,
+// or transitively through the failure detector), and when chaos delays
+// or holds the frame the lock is pinned for the whole chaos window,
+// stalling every other goroutine on the member. The analyzer walks each
+// function flow-sensitively, tracking which mutexes are held at each
+// statement, and reports any Send/Recv/Accept from a transport or net
+// package reached while at least one lock is held. A lock released on
+// every continuing path of a branch is treated as released.
+package lockhold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockhold check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc:  "no sync.Mutex/RWMutex may be held across a blocking Send/Recv/Accept",
+	Run:  run,
+}
+
+// checkedPkgs are the final path segments of the packages the invariant
+// applies to.
+var checkedPkgs = map[string]bool{"mpi": true, "ulfm": true, "rendezvous": true}
+
+// blockingNames are the method names treated as blocking when declared
+// by a transport-like package.
+var blockingNames = map[string]bool{"Send": true, "Recv": true, "Accept": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[i+1:]
+	}
+	if !checkedPkgs[path] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass}
+			w.block(fd.Body.List, held{})
+			// Function literals start with an empty held set: they
+			// run on their own goroutine or after the frame returns.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					w.block(fl.Body.List, held{})
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// held maps a lock's receiver expression (printed form, e.g. "s.mu") to
+// the position where it was acquired.
+type held map[string]token.Pos
+
+func (h held) clone() held {
+	c := make(held, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+type walker struct {
+	pass *analysis.Pass
+}
+
+// block walks stmts sequentially, threading the held set, and returns
+// the resulting set plus whether the block always terminates (returns,
+// panics, or jumps away).
+func (w *walker) block(stmts []ast.Stmt, h held) (held, bool) {
+	for _, s := range stmts {
+		var term bool
+		h, term = w.stmt(s, h)
+		if term {
+			return h, true
+		}
+	}
+	return h, false
+}
+
+func (w *walker) stmt(s ast.Stmt, h held) (held, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, op, ok := w.lockOp(call); ok {
+				switch op {
+				case "Lock", "RLock":
+					h[key] = call.Pos()
+				case "Unlock", "RUnlock":
+					delete(h, key)
+				}
+				return h, false
+			}
+		}
+		w.scan(s.X, h)
+		return h, false
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the rest of the
+		// frame; defer of anything else is checked with an empty set
+		// (it runs at return, after explicit unlocks).
+		w.scanExprs(s.Call.Args, h)
+		return h, false
+	case *ast.AssignStmt:
+		w.scanExprs(s.Rhs, h)
+		w.scanExprs(s.Lhs, h)
+		return h, false
+	case *ast.DeclStmt:
+		w.scan(s, h)
+		return h, false
+	case *ast.ReturnStmt:
+		w.scanExprs(s.Results, h)
+		return h, true
+	case *ast.BranchStmt:
+		return h, true
+	case *ast.GoStmt:
+		w.scanExprs(s.Call.Args, h)
+		return h, false
+	case *ast.SendStmt:
+		w.scan(s.Chan, h)
+		w.scan(s.Value, h)
+		return h, false
+	case *ast.IfStmt:
+		if s.Init != nil {
+			h, _ = w.stmt(s.Init, h)
+		}
+		w.scan(s.Cond, h)
+		thenH, thenTerm := w.block(s.Body.List, h.clone())
+		elseH, elseTerm := h.clone(), false
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseH, elseTerm = w.block(e.List, h.clone())
+			default:
+				elseH, elseTerm = w.stmt(e, h.clone())
+			}
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return h, true
+		case thenTerm:
+			return elseH, false
+		case elseTerm:
+			return thenH, false
+		default:
+			return intersect(thenH, elseH), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			h, _ = w.stmt(s.Init, h)
+		}
+		if s.Cond != nil {
+			w.scan(s.Cond, h)
+		}
+		w.block(s.Body.List, h.clone())
+		return h, false
+	case *ast.RangeStmt:
+		w.scan(s.X, h)
+		w.block(s.Body.List, h.clone())
+		return h, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Conservative: check each case body against the entry set;
+		// releases inside cases do not propagate out.
+		w.caseBodies(s, h)
+		return h, false
+	case *ast.BlockStmt:
+		return w.block(s.List, h)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, h)
+	default:
+		if s != nil {
+			w.scan(s, h)
+		}
+		return h, false
+	}
+}
+
+func (w *walker) caseBodies(s ast.Stmt, h held) {
+	var bodies [][]ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			w.scan(s.Tag, h)
+		}
+		for _, c := range s.Body.List {
+			bodies = append(bodies, c.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			bodies = append(bodies, c.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, h.clone())
+			}
+			bodies = append(bodies, cc.Body)
+		}
+	}
+	for _, b := range bodies {
+		w.block(b, h.clone())
+	}
+}
+
+// scan inspects an expression or statement subtree for blocking calls
+// while h is non-empty, without descending into function literals.
+func (w *walker) scan(n ast.Node, h held) {
+	if n == nil || len(h) == 0 {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := w.blockingCall(call); ok {
+			lock, pos := oldest(h)
+			w.pass.Reportf(call.Pos(), "blocking %s call while mutex %s is held (locked at %s): release the lock before transport I/O",
+				name, lock, w.pass.Fset.Position(pos))
+		}
+		return true
+	})
+}
+
+func (w *walker) scanExprs(es []ast.Expr, h held) {
+	for _, e := range es {
+		w.scan(e, h)
+	}
+}
+
+// oldest returns the earliest-acquired held lock for deterministic
+// diagnostics.
+func oldest(h held) (string, token.Pos) {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return h[keys[i]] < h[keys[j]] })
+	return keys[0], h[keys[0]]
+}
+
+func intersect(a, b held) held {
+	out := held{}
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// lockOp recognizes mu.Lock/RLock/Unlock/RUnlock on a sync mutex and
+// returns the printed receiver expression as the lock key.
+func (w *walker) lockOp(call *ast.CallExpr) (key, op string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "RLock" && name != "Unlock" && name != "RUnlock" {
+		return "", "", false
+	}
+	fn, okFn := w.pass.ObjectOf(sel.Sel).(*types.Func)
+	if !okFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), name, true
+}
+
+// blockingCall recognizes a Send/Recv/Accept method declared by a
+// transport-like package (transport, tcpnet, simnet, or the standard
+// net package) and returns its printed name.
+func (w *walker) blockingCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if !blockingNames[sel.Sel.Name] {
+		return "", false
+	}
+	fn, ok := w.pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	path := fn.Pkg().Path()
+	if path == "net" || analysis.PkgPathIs(fn.Pkg(), "transport") ||
+		strings.Contains(path, "transport/") {
+		return types.ExprString(sel.X) + "." + sel.Sel.Name, true
+	}
+	return "", false
+}

@@ -1,0 +1,3 @@
+module lock.example
+
+go 1.22

@@ -1,0 +1,114 @@
+// Package mpi exercises the lockhold rules from a checked package.
+package mpi
+
+import (
+	"sync"
+
+	"lock.example/transport"
+)
+
+type comm struct {
+	mu    sync.Mutex
+	state sync.RWMutex
+	seq   int
+	peers []transport.ProcID
+	ep    transport.Endpoint
+	ln    transport.Listener
+}
+
+// sendUnderLock is the canonical violation.
+func (c *comm) sendUnderLock(m *transport.Msg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	return c.ep.Send(m.To, 1, m) // want `blocking c\.ep\.Send call while mutex c\.mu is held`
+}
+
+// recvUnderRLock: read locks block writers just the same.
+func (c *comm) recvUnderRLock() (*transport.Msg, error) {
+	c.state.RLock()
+	defer c.state.RUnlock()
+	return c.ep.Recv(1) // want `blocking c\.ep\.Recv call while mutex c\.state is held`
+}
+
+// acceptUnderLock: explicit unlock comes too late.
+func (c *comm) acceptUnderLock() (transport.Endpoint, error) {
+	c.mu.Lock()
+	ep, err := c.ln.Accept() // want `blocking c\.ln\.Accept call while mutex c\.mu is held`
+	c.mu.Unlock()
+	return ep, err
+}
+
+// lockInLoopBody: the lock spans a blocking call inside a loop.
+func (c *comm) lockInLoopBody(m *transport.Msg) {
+	for _, p := range c.peers {
+		c.mu.Lock()
+		m.To = p
+		c.ep.Send(p, 1, m) // want `blocking c\.ep\.Send call while mutex c\.mu is held`
+		c.mu.Unlock()
+	}
+}
+
+// releaseBeforeSend copies under the lock, releases, then sends: the
+// required shape, not flagged.
+func (c *comm) releaseBeforeSend(m *transport.Msg) error {
+	c.mu.Lock()
+	peers := append([]transport.ProcID(nil), c.peers...)
+	c.mu.Unlock()
+	var err error
+	for _, p := range peers {
+		m.To = p
+		if e := c.ep.Send(p, 1, m); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// branchRelease unlocks on every continuing path before the send: ok.
+func (c *comm) branchRelease(m *transport.Msg, fast bool) error {
+	c.mu.Lock()
+	if fast {
+		c.mu.Unlock()
+	} else {
+		c.seq++
+		c.mu.Unlock()
+	}
+	return c.ep.Send(m.To, 1, m)
+}
+
+// earlyReturnHolds: the terminating branch keeps the lock (its defer
+// runs at return), the continuing path released it: ok.
+func (c *comm) earlyReturnHolds(m *transport.Msg, closed bool) error {
+	c.mu.Lock()
+	if closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.seq++
+	c.mu.Unlock()
+	return c.ep.Send(m.To, 1, m)
+}
+
+// goroutineEscapesLock: the spawned body starts lock-free, not flagged;
+// the synchronous send under the lock still is.
+func (c *comm) goroutineEscapesLock(m *transport.Msg) {
+	c.mu.Lock()
+	go func() {
+		c.ep.Send(m.To, 1, m)
+	}()
+	c.ep.Send(m.To, 2, m) // want `blocking c\.ep\.Send call while mutex c\.mu is held`
+	c.mu.Unlock()
+}
+
+// otherBlockingNamesOK: a method merely named Send on a non-transport
+// type is not blocking I/O.
+type journal struct{}
+
+func (journal) Send(n int) {}
+
+func (c *comm) otherBlockingNamesOK(j journal) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j.Send(c.seq)
+}

@@ -1,0 +1,22 @@
+// Package transport is a fixture mirror of the real transport surface.
+package transport
+
+// ProcID mirrors transport.ProcID.
+type ProcID int64
+
+// Msg is a wire message.
+type Msg struct {
+	From, To ProcID
+	Payload  []byte
+}
+
+// Endpoint mirrors the blocking half of the real transport.Endpoint.
+type Endpoint interface {
+	Send(to ProcID, tag int, m *Msg) error
+	Recv(tag int) (*Msg, error)
+}
+
+// Listener mirrors an accepting socket.
+type Listener interface {
+	Accept() (Endpoint, error)
+}

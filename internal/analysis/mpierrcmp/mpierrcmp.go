@@ -1,0 +1,330 @@
+// Package mpierrcmp enforces the stack's wrapped-error discipline for
+// ULFM fault classes.
+//
+// MPI error classes (mpi.ProcFailedError, mpi.RevokedError) are wrapped
+// in fmt.Errorf("%w") chains as they cross the transport → mpi → ulfm
+// layers, so survivors must classify failures with mpi.IsProcFailed /
+// mpi.IsRevoked / mpi.IsFault (errors.As under the hood), never with a
+// direct comparison, type assertion, or type switch — those see only the
+// outermost wrapper and silently misclassify a deeply wrapped
+// MPI_ERR_PROC_FAILED, which derails the revoke/agree/shrink/retry
+// recovery protocol.
+//
+// Inside ULFM repair paths (packages ulfm and core, plus any function
+// whose name mentions repair) two additional shapes are flagged:
+//
+//   - a bare `if err != nil` branch that returns (or breaks/continues)
+//     without consulting a classifier and without carrying err — that
+//     drops a proc-failure on the floor instead of repairing or
+//     propagating it;
+//   - fmt.Errorf calls that embed an error argument without a %w verb —
+//     formatting with %v or %s severs the wrap chain, so an upstream
+//     IsProcFailed can no longer see the failure.
+package mpierrcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the mpierrcmp pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "mpierrcmp",
+	Doc:  "ULFM fault classes must be classified via mpi.IsProcFailed/IsRevoked, and repair paths must never swallow or unwrap them",
+	Run:  run,
+}
+
+// targetTypeNames are the ULFM error classes, declared in the mpi
+// package.
+var targetTypeNames = map[string]bool{
+	"ProcFailedError": true,
+	"RevokedError":    true,
+}
+
+// classifierNames are the blessed classification helpers from mpi.
+var classifierNames = map[string]bool{
+	"IsProcFailed": true,
+	"IsRevoked":    true,
+	"IsFault":      true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	inRepairPkg := analysis.PkgPathIs(pass.Pkg, "ulfm") || analysis.PkgPathIs(pass.Pkg, "core")
+
+	for _, file := range pass.Files {
+		isTest := strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.TypeAssertExpr:
+				// Type-switch guards (x.(type)) carry a nil Type and are
+				// handled per case clause below.
+				if n.Type != nil {
+					checkAssertedType(pass, n.Type, "type assertion")
+				}
+			case *ast.TypeSwitchStmt:
+				for _, stmt := range n.Body.List {
+					cc := stmt.(*ast.CaseClause)
+					for _, texpr := range cc.List {
+						checkAssertedType(pass, texpr, "type switch case")
+					}
+				}
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return true
+				}
+				if inRepairPkg || strings.Contains(strings.ToLower(n.Name.Name), "repair") {
+					checkRepairBody(pass, n.Body, isTest)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isTargetPtr reports whether t is *mpi.ProcFailedError or
+// *mpi.RevokedError, returning the type's display name.
+func isTargetPtr(t types.Type) (string, bool) {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !analysis.PathHasSuffix(obj.Pkg().Path(), "mpi") {
+		return "", false
+	}
+	if !targetTypeNames[obj.Name()] {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+func helperFor(name string) string {
+	if name == "RevokedError" {
+		return "mpi.IsRevoked"
+	}
+	return "mpi.IsProcFailed"
+}
+
+// checkComparison flags ==/!= between an error interface value and a
+// *mpi.ProcFailedError / *mpi.RevokedError: the comparison fails on any
+// wrapped error.
+func checkComparison(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	xt, yt := pass.TypeOf(b.X), pass.TypeOf(b.Y)
+	if xt == nil || yt == nil {
+		return
+	}
+	for _, pair := range [][2]types.Type{{xt, yt}, {yt, xt}} {
+		if name, ok := isTargetPtr(pair[0]); ok {
+			if _, isIface := pair[1].Underlying().(*types.Interface); isIface {
+				pass.Reportf(b.OpPos,
+					"direct %s comparison against *%s misses wrapped errors; use %s or errors.As",
+					b.Op, name, helperFor(name))
+				return
+			}
+		}
+	}
+}
+
+// checkAssertedType flags err.(*mpi.ProcFailedError)-style assertions.
+func checkAssertedType(pass *analysis.Pass, texpr ast.Expr, kind string) {
+	t := pass.TypeOf(texpr)
+	if t == nil {
+		return
+	}
+	if name, ok := isTargetPtr(t); ok {
+		pass.Reportf(texpr.Pos(),
+			"%s on *%s misses wrapped errors; use %s or errors.As",
+			kind, name, helperFor(name))
+	}
+}
+
+// checkRepairBody walks a repair-path function looking for swallowed
+// errors and wrap chains severed by %v.
+func checkRepairBody(pass *analysis.Pass, body *ast.BlockStmt, isTest bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures run in the same repair context; keep walking.
+			return true
+		case *ast.IfStmt:
+			// Tests legitimately drop errors (property-test rejection,
+			// cleanup paths); the invariant binds production repair code.
+			if !isTest {
+				checkSwallow(pass, n)
+			}
+		case *ast.CallExpr:
+			if !isTest {
+				checkSeveredWrap(pass, n)
+			}
+		}
+		return true
+	})
+}
+
+// errVarOfNilCheck extracts the error-typed variable of an `x != nil`
+// test appearing anywhere in cond.
+func errVarOfNilCheck(pass *analysis.Pass, cond ast.Expr) *types.Var {
+	var found *types.Var
+	ast.Inspect(cond, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || b.Op != token.NEQ || found != nil {
+			return true
+		}
+		for _, pair := range [][2]ast.Expr{{b.X, b.Y}, {b.Y, b.X}} {
+			id, ok := pair[0].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if lit, ok := pair[1].(*ast.Ident); !ok || lit.Name != "nil" {
+				continue
+			}
+			v, ok := pass.ObjectOf(id).(*types.Var)
+			if !ok || !types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+				continue
+			}
+			found = v
+		}
+		return true
+	})
+	return found
+}
+
+// checkSwallow flags `if err != nil { <escape> }` branches in repair
+// paths that neither classify nor carry the error.
+func checkSwallow(pass *analysis.Pass, ifs *ast.IfStmt) {
+	errVar := errVarOfNilCheck(pass, ifs.Cond)
+	if errVar == nil {
+		return
+	}
+	if mentionsClassifier(pass, ifs.Cond) || mentionsClassifier(pass, ifs.Body) {
+		return
+	}
+	if mentionsVar(pass, ifs.Body, errVar) {
+		return
+	}
+	if esc := escapeStmt(ifs.Body); esc != nil {
+		pass.Reportf(ifs.If,
+			"repair path swallows %s: branch exits without classifying it (mpi.IsProcFailed/IsRevoked/IsFault) or carrying it",
+			errVar.Name())
+	}
+}
+
+// mentionsClassifier reports whether n contains a call to one of the
+// mpi classifiers or to errors.As/errors.Is.
+func mentionsClassifier(pass *analysis.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return true
+		}
+		var obj types.Object
+		switch fn := call.Fun.(type) {
+		case *ast.Ident:
+			obj = pass.ObjectOf(fn)
+		case *ast.SelectorExpr:
+			obj = pass.ObjectOf(fn.Sel)
+		default:
+			return true
+		}
+		f, ok := obj.(*types.Func)
+		if !ok || f.Pkg() == nil {
+			return true
+		}
+		switch {
+		case classifierNames[f.Name()] && analysis.PathHasSuffix(f.Pkg().Path(), "mpi"):
+			found = true
+		case (f.Name() == "As" || f.Name() == "Is") && f.Pkg().Path() == "errors":
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsVar reports whether n references v.
+func mentionsVar(pass *analysis.Pass, n ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// escapeStmt returns a statement that exits the guarded branch (return,
+// break, continue, goto, panic), or nil.
+func escapeStmt(body *ast.BlockStmt) ast.Stmt {
+	for _, s := range body.List {
+		switch s := s.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			return s
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					return s
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkSeveredWrap flags fmt.Errorf calls in repair paths that format an
+// error argument without %w.
+func checkSeveredWrap(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	f, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%w") {
+		return
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for _, arg := range call.Args[1:] {
+		t := pass.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if types.Identical(t, errType) || implementsError(t) {
+			pass.Reportf(call.Pos(),
+				"repair path wraps an error without %%w: IsProcFailed/IsRevoked cannot see through %%v/%%s formatting")
+			return
+		}
+	}
+}
+
+func implementsError(t types.Type) bool {
+	iface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}

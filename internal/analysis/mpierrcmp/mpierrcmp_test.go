@@ -1,0 +1,12 @@
+package mpierrcmp_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/mpierrcmp"
+)
+
+func TestMpierrcmp(t *testing.T) {
+	analysistest.Run(t, "testdata/src/fix.example", mpierrcmp.Analyzer)
+}

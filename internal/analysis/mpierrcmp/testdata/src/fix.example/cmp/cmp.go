@@ -1,0 +1,57 @@
+// Package cmp exercises the direct-comparison checks outside any repair
+// path: comparisons, assertions and type switches on the ULFM error
+// classes are flagged everywhere in the tree.
+package cmp
+
+import (
+	"errors"
+
+	"fix.example/mpi"
+)
+
+var sentinel = &mpi.ProcFailedError{Rank: 3}
+
+func compare(err error) bool {
+	return err == sentinel // want `direct == comparison against \*ProcFailedError misses wrapped errors; use mpi\.IsProcFailed or errors\.As`
+}
+
+func compareNeq(err error) bool {
+	if err != sentinel { // want `direct != comparison against \*ProcFailedError misses wrapped errors`
+		return false
+	}
+	return true
+}
+
+func assert(err error) int {
+	if pf, ok := err.(*mpi.ProcFailedError); ok { // want `type assertion on \*ProcFailedError misses wrapped errors; use mpi\.IsProcFailed or errors\.As`
+		return pf.Rank
+	}
+	return -1
+}
+
+func assertRevoked(err error) bool {
+	_, ok := err.(*mpi.RevokedError) // want `type assertion on \*RevokedError misses wrapped errors; use mpi\.IsRevoked or errors\.As`
+	return ok
+}
+
+func typeSwitch(err error) string {
+	switch err.(type) {
+	case *mpi.ProcFailedError: // want `type switch case on \*ProcFailedError misses wrapped errors`
+		return "failed"
+	case *mpi.RevokedError: // want `type switch case on \*RevokedError misses wrapped errors`
+		return "revoked"
+	}
+	return "other"
+}
+
+// Compliant shapes: the classifiers, errors.As, and nil checks on an
+// already-extracted pointer are all fine.
+func good(err error) (bool, int) {
+	if mpi.IsFault(err) {
+		var pf *mpi.ProcFailedError
+		if errors.As(err, &pf) && pf != nil {
+			return true, pf.Rank
+		}
+	}
+	return mpi.IsRevoked(err), -1
+}

@@ -1,0 +1,3 @@
+module fix.example
+
+go 1.22

@@ -1,0 +1,24 @@
+// Package mpi is a fixture mirror of the real mpi error vocabulary.
+package mpi
+
+import "errors"
+
+type ProcFailedError struct{ Rank int }
+
+func (e *ProcFailedError) Error() string { return "proc failed" }
+
+type RevokedError struct{}
+
+func (e *RevokedError) Error() string { return "revoked" }
+
+func IsProcFailed(err error) bool {
+	var pf *ProcFailedError
+	return errors.As(err, &pf)
+}
+
+func IsRevoked(err error) bool {
+	var rv *RevokedError
+	return errors.As(err, &rv)
+}
+
+func IsFault(err error) bool { return IsProcFailed(err) || IsRevoked(err) }

@@ -1,0 +1,81 @@
+// Package ulfm exercises the repair-path checks: swallowed errors and
+// wrap chains severed by %v. The package path suffix "ulfm" marks every
+// function here as a repair path.
+package ulfm
+
+import (
+	"errors"
+	"fmt"
+
+	"fix.example/mpi"
+)
+
+func op() error { return nil }
+
+// swallowNil drops a possible proc-failure by returning success.
+func swallowNil() error {
+	if err := op(); err != nil { // want `repair path swallows err: branch exits without classifying it`
+		return nil
+	}
+	return nil
+}
+
+// swallowFresh replaces the error with a fresh one, losing the class.
+func swallowFresh() error {
+	if err := op(); err != nil { // want `repair path swallows err`
+		return errors.New("repair failed")
+	}
+	return nil
+}
+
+// swallowContinue abandons the failed attempt without classifying it.
+func swallowContinue() {
+	for i := 0; i < 3; i++ {
+		if err := op(); err != nil { // want `repair path swallows err`
+			continue
+		}
+	}
+}
+
+// classified consults the fault classifiers before bailing: compliant.
+func classified() error {
+	if err := op(); err != nil && !mpi.IsFault(err) {
+		return err
+	}
+	if err := op(); err != nil {
+		if mpi.IsProcFailed(err) {
+			return nil // a failure here means: go repair
+		}
+		return nil
+	}
+	return nil
+}
+
+// propagated carries the error out (wrapped or bare): compliant.
+func propagated() error {
+	if err := op(); err != nil {
+		return fmt.Errorf("repair: %w", err)
+	}
+	if err := op(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// severedWrap loses the wrap chain: %v formatting hides the fault class
+// from every IsProcFailed upstream.
+func severedWrap() error {
+	if err := op(); err != nil {
+		return fmt.Errorf("repair attempt: %v", err) // want `repair path wraps an error without %w`
+	}
+	return nil
+}
+
+// fallthroughUse does not exit the branch, so it is not a swallow.
+func fallthroughUse() int {
+	n := 0
+	if err := op(); err != nil {
+		n++
+	}
+	return n
+}

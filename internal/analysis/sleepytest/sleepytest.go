@@ -1,0 +1,54 @@
+// Package sleepytest flags time.Sleep in test files.
+//
+// A time.Sleep in a test encodes a guess about scheduling latency: too
+// short and the test flakes under load (the CI chaos matrix runs with
+// -race and heavy parallelism), too long and the suite crawls. Tests
+// must instead poll for the condition with a bounded deadline
+// (vtime.WaitUntil) or synchronize explicitly (channels, sync.WaitGroup).
+// The rare sleep that is semantically load-bearing — e.g. proving an
+// event did NOT happen within a window, or letting a detector cross a
+// real wall-clock threshold — must carry a //lint:ignore sleepytest
+// directive with a justification, which doubles as the audit trail of
+// every intentional delay in the suite.
+package sleepytest
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the sleepytest check.
+var Analyzer = &analysis.Analyzer{
+	Name: "sleepytest",
+	Doc:  "tests must not time.Sleep; poll with a deadline or synchronize explicitly",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Sleep" {
+				return true
+			}
+			fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			pass.Reportf(call.Pos(), "time.Sleep in test: poll with vtime.WaitUntil or synchronize explicitly (//lint:ignore sleepytest <why> if the delay is semantic)")
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package sleepytest_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/sleepytest"
+)
+
+func TestSleepytest(t *testing.T) {
+	analysistest.Run(t, "testdata/src/sleep.example", sleepytest.Analyzer)
+}

@@ -1,0 +1,3 @@
+module sleep.example
+
+go 1.22

@@ -1,0 +1,13 @@
+package pkg_test
+
+import (
+	"testing"
+	"time"
+
+	"sleep.example/pkg"
+)
+
+func TestExternalVariantCovered(t *testing.T) {
+	go pkg.Backoff(0)
+	time.Sleep(time.Millisecond) // want `time.Sleep in test`
+}

@@ -1,0 +1,10 @@
+// Package pkg is the non-test half of the sleepytest fixture: sleeps
+// here are out of scope.
+package pkg
+
+import "time"
+
+// Backoff sleeps in production code, which sleepytest does not police.
+func Backoff(d time.Duration) {
+	time.Sleep(d)
+}

@@ -1,0 +1,29 @@
+package pkg
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNaiveSleep(t *testing.T) {
+	go Backoff(0)
+	time.Sleep(50 * time.Millisecond) // want `time.Sleep in test: poll with vtime.WaitUntil`
+}
+
+func TestSleepInHelper(t *testing.T) {
+	wait := func() {
+		time.Sleep(time.Millisecond) // want `time.Sleep in test`
+	}
+	wait()
+}
+
+func TestJustifiedSleep(t *testing.T) {
+	go Backoff(0)
+	//lint:ignore sleepytest absence assertion: the event must NOT arrive within the window
+	time.Sleep(10 * time.Millisecond)
+}
+
+func TestUnjustifiedDirectiveStillFlagged(t *testing.T) {
+	//lint:ignore sleepytest
+	time.Sleep(time.Millisecond) // want `time.Sleep in test`
+}

@@ -223,6 +223,7 @@ func (j *Job) spawnWorkers(n int, at float64, seq int) []simnet.ProcID {
 		node := j.cluster.AddNode()
 		for i := 0; i < ppn && n > 0; i++ {
 			ep, err := j.cluster.Spawn(node, at)
+			//lint:ignore mpierrcmp spawn failure is provisioning, not a collective fault: the slot is skipped and the worker lands on the next node
 			if err != nil {
 				continue
 			}

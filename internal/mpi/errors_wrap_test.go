@@ -1,0 +1,107 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// TestFaultClassifiersSeeThroughWrapChains pins the property the whole
+// recovery pipeline rests on: IsProcFailed/IsRevoked/IsFault classify by
+// errors.As, so a fault stays recognizable no matter how many %w layers
+// the transport, collective, and ulfm levels stack on top of it — and
+// stops being recognizable the moment a layer severs the chain with %v.
+// The mpierrcmp analyzer enforces the code-shape half of this contract
+// (no direct comparisons, no %v in repair paths); this test enforces the
+// runtime half.
+func TestFaultClassifiersSeeThroughWrapChains(t *testing.T) {
+	pf := &ProcFailedError{Comm: 0xc0, Rank: 2, Proc: 5}
+	rv := &RevokedError{Comm: 0xc0}
+
+	cases := []struct {
+		name       string
+		err        error
+		procFailed bool
+		revoked    bool
+	}{
+		{"bare proc failure", pf, true, false},
+		{"bare revocation", rv, false, true},
+		{
+			// transport detects, mpi translates, the collective wraps,
+			// ulfm wraps again: the paper's full detection path.
+			"transport->mpi->collective->ulfm chain",
+			fmt.Errorf("ulfm: repair epoch 3: %w",
+				fmt.Errorf("mpi: allreduce reduce-scatter chunk 7: %w", pf)),
+			true, false,
+		},
+		{
+			"revocation through two layers",
+			fmt.Errorf("ulfm: agree: %w", fmt.Errorf("mpi: barrier: %w", rv)),
+			false, true,
+		},
+		{
+			// A chaos-injected peer death: the raw transport error is
+			// first wrapped at the transport layer (as the chaos engine's
+			// middleware does), then translated and wrapped again above —
+			// double-wrapped before any classifier sees it.
+			"double-wrapped chaos-injected peer failure",
+			fmt.Errorf("ulfm: retry 1: %w",
+				fmt.Errorf("mpi: recv rank 3: %w",
+					(&Comm{id: 0xc0}).translate(
+						fmt.Errorf("chaos: injected kill: %w",
+							&transport.PeerFailedError{Proc: 3})))),
+			true, false,
+		},
+		{
+			"errors.Join keeps both classes visible",
+			errors.Join(fmt.Errorf("shrink: %w", pf), fmt.Errorf("revoke: %w", rv)),
+			true, true,
+		},
+		{"nil is no fault", nil, false, false},
+		{"plain error is no fault", errors.New("disk full"), false, false},
+		{
+			// %v severs the chain: the classifiers MUST stop seeing the
+			// fault, which is exactly why mpierrcmp bans %v in repair paths.
+			"severed by %v",
+			fmt.Errorf("mpi: allreduce: %v", pf),
+			false, false,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := IsProcFailed(tc.err); got != tc.procFailed {
+				t.Errorf("IsProcFailed(%v) = %v, want %v", tc.err, got, tc.procFailed)
+			}
+			if got := IsRevoked(tc.err); got != tc.revoked {
+				t.Errorf("IsRevoked(%v) = %v, want %v", tc.err, got, tc.revoked)
+			}
+			wantFault := tc.procFailed || tc.revoked
+			if got := IsFault(tc.err); got != wantFault {
+				t.Errorf("IsFault(%v) = %v, want %v", tc.err, got, wantFault)
+			}
+		})
+	}
+}
+
+// TestTranslatePreservesWrappedPeerFailure pins translate()'s contract:
+// a transport.PeerFailedError is recognized even when the transport
+// layer has already wrapped it, and the resulting ProcFailedError
+// carries the failed ProcID through to the classifiers.
+func TestTranslatePreservesWrappedPeerFailure(t *testing.T) {
+	c := &Comm{id: 0xabc}
+	wrapped := fmt.Errorf("tcpnet: frame 12: %w", &transport.PeerFailedError{Proc: 7})
+	got := c.translate(wrapped)
+	if !IsProcFailed(got) {
+		t.Fatalf("translate(%v) = %v, not classified as proc failure", wrapped, got)
+	}
+	var pf *ProcFailedError
+	if !errors.As(got, &pf) || pf.Proc != 7 {
+		t.Fatalf("translate lost the failed proc: %v", got)
+	}
+	if err := c.translate(nil); err != nil {
+		t.Fatalf("translate(nil) = %v", err)
+	}
+}

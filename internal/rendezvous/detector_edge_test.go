@@ -133,6 +133,7 @@ func TestDeadPeerRejoinsWithFreshProcID(t *testing.T) {
 	// The new identity stays alive (its client heartbeats), and no fresh
 	// peerdown is announced for it while it does.
 	reborn.Start(nil)
+	//lint:ignore sleepytest absence assertion: the window must elapse with NO peerdown for the reborn proc, so there is no condition to poll
 	time.Sleep(400 * time.Millisecond)
 	select {
 	case d := <-ch:

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/vtime"
 )
 
 // syncBuf is a mutex-guarded journal sink: the server's sweeper goroutine
@@ -195,11 +196,19 @@ func TestSuspectRecoversWithoutDeclaration(t *testing.T) {
 	ch, _ := collectDown(cls[1])
 	// cls[0] never calls Start, so it sends no heartbeats and drifts into
 	// suspicion; then a manual heartbeat recovers it.
-	time.Sleep(200 * time.Millisecond)
+	if !vtime.WaitUntil(3*time.Second, func() bool {
+		return strings.Contains(journal.String(), "hb_suspect")
+	}) {
+		t.Fatalf("peer never drifted into suspicion:\n%s", journal.String())
+	}
 	cls[0].mu.Lock()
 	cls[0].enc.Encode(&wireMsg{Op: "hb"})
 	cls[0].mu.Unlock()
-	time.Sleep(100 * time.Millisecond)
+	if !vtime.WaitUntil(3*time.Second, func() bool {
+		return strings.Contains(journal.String(), "hb_alive")
+	}) {
+		t.Fatalf("manual heartbeat never recovered the suspect:\n%s", journal.String())
+	}
 
 	s := journal.String()
 	if !strings.Contains(s, "hb_suspect") {

@@ -34,6 +34,7 @@ import (
 	"repro/internal/transport/chaos"
 	"repro/internal/transport/tcpnet"
 	"repro/internal/ulfm"
+	"repro/internal/vtime"
 )
 
 var chaosSeed = flag.Int64("chaos.seed", 1, "seed for the chaos conformance scenarios")
@@ -236,10 +237,7 @@ func (f *fixture) finish() {
 	if s := chaos.Leaked(5 * time.Second); s != "" {
 		f.t.Errorf("goroutines leaked after scenario:\n%s", s)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for tcpnet.OutstandingFrameBufs() != 0 && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
+	vtime.WaitUntil(5*time.Second, func() bool { return tcpnet.OutstandingFrameBufs() == 0 })
 	if n := tcpnet.OutstandingFrameBufs(); n != 0 {
 		f.t.Errorf("%d pooled frame buffers still outstanding after scenario", n)
 	}
@@ -397,7 +395,8 @@ func TestChaosConformance(t *testing.T) {
 		defer f.finish()
 		outs := f.run(roundsBody(mpi.AlgoAuto, 2, func(w *worker, round int) bool {
 			if round == 1 && (w.rank == 2 || w.rank == 3) {
-				time.Sleep(50 * time.Millisecond) // let round-0 frames drain
+				//lint:ignore sleepytest chaos choreography: the stagger lets round-0 frames drain so the kill lands mid-round-1, the case under test
+				time.Sleep(50 * time.Millisecond)
 				w.die()
 				return false
 			}
@@ -419,10 +418,12 @@ func TestChaosConformance(t *testing.T) {
 		})
 		outs := f.run(roundsBody(mpi.AlgoPipelinedRing, 2, func(w *worker, round int) bool {
 			if round == 1 && w.rank == 3 {
+				//lint:ignore sleepytest chaos choreography: stagger so the partition cuts mid-round, not between rounds
 				time.Sleep(50 * time.Millisecond)
 				f.eng.Enable("split")
 				w.killed.Store(true)
 				w.cl.Abandon() // silence, not a leave: only the detector reveals the isolation
+				//lint:ignore sleepytest the victim must stay silent for a full detector window; the absence of its heartbeats IS the scenario
 				time.Sleep(600 * time.Millisecond)
 				return false
 			}
@@ -471,6 +472,7 @@ func TestChaosConformance(t *testing.T) {
 		f.eng.AddRule(black)
 		outs := f.run(roundsBody(mpi.AlgoAuto, 2, func(w *worker, round int) bool {
 			if round == 1 && w.rank == 3 {
+				//lint:ignore sleepytest chaos choreography: stagger so the blackhole opens mid-round
 				time.Sleep(50 * time.Millisecond)
 				f.eng.Enable("blackhole")
 				w.killed.Store(true)
@@ -483,6 +485,7 @@ func TestChaosConformance(t *testing.T) {
 					defer close(done)
 					w.allreduce(mpi.AlgoAuto)
 				}()
+				//lint:ignore sleepytest the victim's allreduce must spin into pure silence long enough for survivors to time out and repair; there is no survivor-side state this goroutine can poll
 				time.Sleep(800 * time.Millisecond)
 				w.ep.Close()
 				<-done
@@ -549,6 +552,7 @@ func TestChaosConformance(t *testing.T) {
 		f.eng.OnKill(second.proc, second.die)
 		outs := f.run(roundsBody(mpi.AlgoPipelinedRing, 2, func(w *worker, round int) bool {
 			if round == 1 && w.rank == 3 {
+				//lint:ignore sleepytest chaos choreography: the first death must land mid-round so the point-gated second kill fires during its repair
 				time.Sleep(50 * time.Millisecond)
 				w.die()
 				return false

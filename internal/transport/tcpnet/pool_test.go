@@ -5,22 +5,15 @@ import (
 	"time"
 
 	"repro/internal/transport"
+	"repro/internal/vtime"
 )
 
 // waitBufs polls until the outstanding pooled-buffer count reaches want,
 // failing the test if it does not settle within two seconds.
 func waitBufs(t *testing.T, want int64) {
 	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		got := OutstandingFrameBufs()
-		if got == want {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("outstanding frame buffers stuck at %d, want %d", got, want)
-		}
-		time.Sleep(5 * time.Millisecond)
+	if !vtime.WaitUntil(2*time.Second, func() bool { return OutstandingFrameBufs() == want }) {
+		t.Fatalf("outstanding frame buffers stuck at %d, want %d", OutstandingFrameBufs(), want)
 	}
 }
 
@@ -58,9 +51,11 @@ func TestPutFrameBufNilGuard(t *testing.T) {
 	bp := getFrameBuf()
 	*bp = nil
 	putFrameBuf(bp)
+	//lint:ignore framepool the test inspects the pooled slice on purpose: it asserts the nil-guard repaired it
 	if *bp == nil {
 		t.Fatalf("nil slice was pooled as-is")
 	}
+	//lint:ignore framepool same deliberate post-put inspection as above
 	if cap(*bp) == 0 {
 		t.Fatalf("repaired buffer has no capacity")
 	}

@@ -1,0 +1,26 @@
+package vtime
+
+import "time"
+
+// WaitUntil polls cond until it reports true or the wall-clock deadline
+// d elapses, and returns cond's final value. It is the sanctioned
+// replacement for time.Sleep in tests (enforced by the sleepytest
+// analyzer): a test that needs "the detector has marked the peer
+// suspect" or "every pooled buffer is back" states the condition and a
+// generous bound instead of guessing a scheduling latency, so the test
+// is immune to CI load while finishing as soon as the condition holds.
+//
+// The poll interval is 1ms: coarse enough not to spin, fine enough that
+// the wait adds at most one tick beyond the condition becoming true.
+func WaitUntil(d time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(d)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return cond()
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
