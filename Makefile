@@ -6,13 +6,15 @@
 #   make lint    analyzer self-tests + elasticvet over the whole tree
 #   make test    full test suite (+ race on the fast packages)
 #   make chaos   chaos conformance at the pinned seeds
+#   make cover   per-package coverage summary + gates (floors, baseline)
+#   make bench-gate  data-plane benchmarks vs the committed baseline
 #   make check   everything above, in CI order
 
 GO      ?= go
 BIN     := bin
 SEEDS   ?= 1 7 42
 
-.PHONY: all build vet lint test race chaos check clean
+.PHONY: all build vet lint test race chaos cover bench-gate check clean
 
 all: check
 
@@ -43,6 +45,7 @@ race:
 		./internal/transport/... \
 		./internal/rendezvous/... \
 		./internal/mpi/... \
+		./internal/obs/... \
 		./internal/simnet/... \
 		./internal/kvstore/... \
 		./internal/trace/... \
@@ -57,7 +60,29 @@ chaos:
 			-chaos.seed="$$seed" || exit 1; \
 	done
 
+# cover: per-package statement coverage, gated. internal/obs carries an
+# absolute 70% floor; transport/mpi/ulfm must stay within 2 points of the
+# committed COVERAGE_baseline.json. Regenerate the baseline after an
+# intentional change with:
+#   go run ./cmd/covergate -profile cover.out -baseline COVERAGE_baseline.json -write \
+#     -track repro/internal/transport -track repro/internal/transport/tcpnet \
+#     -track repro/internal/mpi -track repro/internal/ulfm
+cover:
+	$(GO) test ./... -coverprofile=cover.out -covermode=atomic
+	$(GO) run ./cmd/covergate -profile cover.out \
+		-floor repro/internal/obs=70 \
+		-baseline COVERAGE_baseline.json -maxdrop 2
+	$(GO) tool cover -html=cover.out -o cover.html
+
+# bench-gate: remeasure the data plane at a fixed iteration count and
+# compare ns/op against the committed BENCH_dataplane.json (>30% is a
+# failure; cells below benchgate's noise floor are skipped).
+bench-gate:
+	$(GO) run ./cmd/benchtab -dataplane fresh_dataplane.json -benchtime 3x
+	$(GO) run ./cmd/benchgate -baseline BENCH_dataplane.json \
+		-fresh fresh_dataplane.json -tolerance 0.30
+
 check: build vet lint test race chaos
 
 clean:
-	rm -rf $(BIN)
+	rm -rf $(BIN) cover.out cover.html fresh_dataplane.json

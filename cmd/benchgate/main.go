@@ -1,0 +1,110 @@
+// Command benchgate compares a freshly measured data-plane report
+// against the committed baseline (BENCH_dataplane.json) and fails if any
+// matched cell regressed in ns/op beyond the tolerance. It gates the raw
+// wire codec and the loopback TCP allreduce — the two data-plane numbers
+// the paper's throughput claims rest on — while ignoring cells present
+// in only one report (new sizes or algorithms don't break the gate).
+//
+//	benchtab -dataplane fresh.json -benchtime 3x
+//	benchgate -baseline BENCH_dataplane.json -fresh fresh.json -tolerance 0.30
+//
+// The tolerance is deliberately loose: CI runners are noisy and the gate
+// exists to catch step-change regressions (an accidental gob fallback, a
+// lost pipelining path), not single-digit drift.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataplane"
+)
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_dataplane.json", "committed baseline report")
+	freshPath := flag.String("fresh", "", "freshly measured report to gate (required)")
+	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional ns/op regression (0.30 = +30%)")
+	minNs := flag.Float64("min-ns", 50_000, "skip cells whose baseline is below this many ns/op (too noise-dominated at CI iteration counts to gate)")
+	gobToo := flag.Bool("gob", false, "also gate the gob-codec cells (off: the legacy envelope may drift)")
+	flag.Parse()
+	if *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -fresh is required")
+		os.Exit(2)
+	}
+
+	base, err := load(*basePath)
+	check(err)
+	fresh, err := load(*freshPath)
+	check(err)
+
+	failures := 0
+	compared := 0
+	report := func(kind, key string, baseNs, freshNs float64) {
+		if baseNs < *minNs {
+			fmt.Printf("%-12s %-40s %12.0f ns/op baseline below noise floor, skipped\n", kind, key, baseNs)
+			return
+		}
+		compared++
+		ratio := freshNs / baseNs
+		status := "ok"
+		if ratio > 1+*tolerance {
+			status = "REGRESSION"
+			failures++
+		}
+		fmt.Printf("%-12s %-40s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			kind, key, baseNs, freshNs, (ratio-1)*100, status)
+	}
+
+	for _, b := range base.Codec {
+		if b.Codec == "gob" && !*gobToo {
+			continue
+		}
+		for _, f := range fresh.Codec {
+			if f.Payload == b.Payload && f.Codec == b.Codec {
+				report("codec", fmt.Sprintf("%s/%s", b.Payload, b.Codec), b.NsPerOp, f.NsPerOp)
+			}
+		}
+	}
+	for _, b := range base.TCPAllreduce {
+		if b.Codec == "gob" && !*gobToo {
+			continue
+		}
+		for _, f := range fresh.TCPAllreduce {
+			if f.TensorBytes == b.TensorBytes && f.Algo == b.Algo && f.Codec == b.Codec {
+				report("allreduce", fmt.Sprintf("%dB/%s/%s", b.TensorBytes, b.Algo, b.Codec), b.NsPerOp, f.NsPerOp)
+			}
+		}
+	}
+
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no comparable cells between baseline and fresh report")
+		os.Exit(1)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d of %d cells regressed more than %.0f%%\n",
+			failures, compared, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d cells within %.0f%% of baseline\n", compared, *tolerance*100)
+}
+
+func load(path string) (*dataplane.Report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep dataplane.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+}

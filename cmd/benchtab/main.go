@@ -34,6 +34,7 @@ func main() {
 	eq1 := flag.Bool("eq1", false, "evaluate the Eq. (1) cost model")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations (allreduce algorithm, fusion, cache, detection timeout, goodput)")
 	dataplanePath := flag.String("dataplane", "", "measure the TCP data plane (codec + loopback allreduce) and write the JSON report to this file (- = stdout)")
+	benchtime := flag.String("benchtime", "", "with -dataplane: per-cell measurement goal in -test.benchtime syntax (e.g. 3x, 200ms; default 1s)")
 	all := flag.Bool("all", false, "regenerate everything")
 	scalesFlag := flag.String("scales", "", "comma-separated GPU counts for sweeps (default 12,24,48,96,192)")
 	segments := flag.Bool("segments", false, "with -figure 5/6/7: also print per-segment decompositions")
@@ -151,7 +152,9 @@ func main() {
 		// wire codec and loopback TCP allreduces, gob-vs-raw and
 		// ring-vs-pipelined, against the pre-PR baseline.
 		fmt.Fprintln(os.Stderr, "benchtab: measuring the TCP data plane (takes a minute)...")
-		rep, err := dataplane.Collect(dataplane.Default())
+		cfg := dataplane.Default()
+		cfg.Benchtime = *benchtime
+		rep, err := dataplane.Collect(cfg)
 		check(err)
 		blob, err := rep.JSON()
 		check(err)

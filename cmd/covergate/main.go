@@ -1,0 +1,222 @@
+// Command covergate turns a go test -coverprofile into a per-package
+// coverage summary and enforces two kinds of bars:
+//
+//   - absolute floors: -floor repro/internal/obs=70 fails if the package
+//     covers less than 70% of its statements;
+//   - a committed baseline: -baseline COVERAGE_baseline.json -maxdrop 2
+//     fails if any baselined package dropped more than 2 points below
+//     its committed coverage (small refactors breathe, rot does not).
+//
+// Regenerate the baseline after intentional coverage changes:
+//
+//	go test ./... -coverprofile=cover.out
+//	covergate -profile cover.out -baseline COVERAGE_baseline.json -write \
+//	    -track repro/internal/transport -track repro/internal/transport/tcpnet \
+//	    -track repro/internal/mpi -track repro/internal/ulfm
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed COVERAGE_baseline.json document.
+type Baseline struct {
+	// Packages maps import path to committed statement coverage (percent).
+	Packages map[string]float64 `json:"packages"`
+}
+
+type floorList map[string]float64
+
+func (f floorList) String() string { return fmt.Sprint(map[string]float64(f)) }
+func (f floorList) Set(s string) error {
+	pkg, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want pkg=percent, got %q", s)
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return err
+	}
+	f[pkg] = v
+	return nil
+}
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	profile := flag.String("profile", "cover.out", "coverprofile from go test -coverprofile")
+	baselinePath := flag.String("baseline", "", "committed baseline JSON to gate against")
+	maxDrop := flag.Float64("maxdrop", 2.0, "allowed coverage drop (points) below the baseline")
+	write := flag.Bool("write", false, "regenerate the baseline instead of gating")
+	floors := floorList{}
+	flag.Var(floors, "floor", "absolute floor, pkg=percent (repeatable)")
+	var track stringList
+	flag.Var(&track, "track", "with -write: package to record in the baseline (repeatable)")
+	flag.Parse()
+
+	cov, err := perPackage(*profile)
+	check(err)
+
+	pkgs := make([]string, 0, len(cov))
+	for p := range cov {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	fmt.Printf("%-50s %9s\n", "package", "coverage")
+	for _, p := range pkgs {
+		fmt.Printf("%-50s %8.1f%%\n", p, cov[p])
+	}
+
+	if *write {
+		if *baselinePath == "" {
+			fatalf("-write requires -baseline")
+		}
+		bl := Baseline{Packages: map[string]float64{}}
+		for _, p := range track {
+			c, ok := cov[p]
+			if !ok {
+				fatalf("tracked package %s not in profile", p)
+			}
+			// Floor to one decimal so runner jitter doesn't churn the file.
+			bl.Packages[p] = float64(int(c*10)) / 10
+		}
+		blob, err := json.MarshalIndent(&bl, "", "  ")
+		check(err)
+		check(os.WriteFile(*baselinePath, append(blob, '\n'), 0o644))
+		fmt.Printf("covergate: wrote %s (%d packages)\n", *baselinePath, len(bl.Packages))
+		return
+	}
+
+	failures := 0
+	for pkg, floor := range floors {
+		c, ok := cov[pkg]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "covergate: FLOOR %s: package missing from profile\n", pkg)
+			failures++
+			continue
+		}
+		if c < floor {
+			fmt.Fprintf(os.Stderr, "covergate: FLOOR %s: %.1f%% < required %.1f%%\n", pkg, c, floor)
+			failures++
+		}
+	}
+	if *baselinePath != "" {
+		blob, err := os.ReadFile(*baselinePath)
+		check(err)
+		var bl Baseline
+		check(json.Unmarshal(blob, &bl))
+		for pkg, base := range bl.Packages {
+			c, ok := cov[pkg]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "covergate: BASELINE %s: package missing from profile\n", pkg)
+				failures++
+				continue
+			}
+			if c < base-*maxDrop {
+				fmt.Fprintf(os.Stderr, "covergate: BASELINE %s: %.1f%% dropped more than %.1f points below %.1f%%\n",
+					pkg, c, *maxDrop, base)
+				failures++
+			}
+		}
+	}
+	if failures > 0 {
+		fatalf("%d coverage gate failure(s)", failures)
+	}
+	fmt.Println("covergate: all gates passed")
+}
+
+// perPackage aggregates a coverprofile into statement coverage percent by
+// package import path. Lines are `file:start,end numStmts hitCount`; a
+// statement block counts as covered when any profile line hit it (mode
+// set and atomic both reduce to hit/not-hit here).
+func perPackage(path_ string) (map[string]float64, error) {
+	f, err := os.Open(path_)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	type tally struct{ covered, total int }
+	// Blocks can repeat across profile lines (merged runs); key each block
+	// and OR the hits so duplicates don't double-count statements.
+	blocks := map[string]*struct {
+		stmts int
+		hit   bool
+	}{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		loc, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("malformed profile line %q", line)
+		}
+		var stmts, count int
+		if _, err := fmt.Sscanf(rest, "%d %d", &stmts, &count); err != nil {
+			return nil, fmt.Errorf("malformed profile line %q: %v", line, err)
+		}
+		b := blocks[loc]
+		if b == nil {
+			b = &struct {
+				stmts int
+				hit   bool
+			}{stmts: stmts}
+			blocks[loc] = b
+		}
+		if count > 0 {
+			b.hit = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	byPkg := map[string]*tally{}
+	for loc, b := range blocks {
+		file, _, _ := strings.Cut(loc, ":")
+		pkg := path.Dir(file)
+		t := byPkg[pkg]
+		if t == nil {
+			t = &tally{}
+			byPkg[pkg] = t
+		}
+		t.total += b.stmts
+		if b.hit {
+			t.covered += b.stmts
+		}
+	}
+	out := make(map[string]float64, len(byPkg))
+	for pkg, t := range byPkg {
+		if t.total == 0 {
+			continue
+		}
+		out[pkg] = 100 * float64(t.covered) / float64(t.total)
+	}
+	return out, nil
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "covergate: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -22,11 +22,14 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/rendezvous"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -48,6 +51,7 @@ func main() {
 	suspect := flag.Duration("suspect", 0, "suspicion threshold (used with -serve; default 3x hb)")
 	dead := flag.Duration("dead", 0, "declaration threshold (used with -serve; default 6x hb)")
 	tracePath := flag.String("trace", "", "write a JSON-lines event journal to this file")
+	obsListen := flag.String("obs.listen", "", "serve /metrics, /healthz, /varz on this address (empty = no metrics endpoint)")
 	chaosName := flag.String("chaos", "", "inject faults from a named chaos scenario: "+chaosNames())
 	chaosSeed := flag.Int64("chaos.seed", 1, "seed for the -chaos scenario (same seed = same fault schedule)")
 	flag.Parse()
@@ -57,14 +61,40 @@ func main() {
 		log.Fatalf("elasticd: %v", err)
 	}
 
-	var rec *trace.Recorder
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			log.Fatalf("elasticd: %v", err)
+	// The journal is buffered, so every way out of this process must flush
+	// it: the deferred close (normal completion and ErrDropped), fatalf
+	// (fatal errors), the signal handler, and the chaos OnKill below. A
+	// truncated journal would silently understate recovery behavior.
+	jn, err := trace.OpenJournal(*tracePath)
+	if err != nil {
+		log.Fatalf("elasticd: %v", err)
+	}
+	defer jn.Close()
+	rec := jn.Recorder()
+	fatalf := func(format string, args ...any) {
+		jn.Close()
+		log.Fatalf(format, args...)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		log.Printf("elasticd: caught %v, flushing journal and exiting", s)
+		jn.Close()
+		if s == syscall.SIGTERM {
+			os.Exit(143)
 		}
-		defer f.Close()
-		rec = trace.New(f)
+		os.Exit(130)
+	}()
+
+	if *obsListen != "" {
+		osrv, err := obs.Serve(*obsListen, nil)
+		if err != nil {
+			fatalf("elasticd: %v", err)
+		}
+		defer osrv.Close()
+		log.Printf("elasticd: serving metrics on http://%s/metrics", osrv.Addr())
 	}
 
 	if *serve {
@@ -77,7 +107,7 @@ func main() {
 			Logf:              log.Printf,
 		})
 		if err != nil {
-			log.Fatalf("elasticd: %v", err)
+			fatalf("elasticd: %v", err)
 		}
 		defer srv.Close()
 		log.Printf("elasticd: hosting rendezvous on %s for %d workers", srv.Addr(), *world)
@@ -94,7 +124,7 @@ func main() {
 	if *chaosName != "" {
 		sc, err := chaosScenario(*chaosName, *chaosSeed)
 		if err != nil {
-			log.Fatalf("elasticd: %v", err)
+			fatalf("elasticd: %v", err)
 		}
 		eng = chaos.New(sc)
 		tcfg.WrapConn = func(conn net.Conn, dialed bool) net.Conn {
@@ -110,13 +140,13 @@ func main() {
 
 	ep, err := tcpnet.Listen(*listen, tcfg)
 	if err != nil {
-		log.Fatalf("elasticd: %v", err)
+		fatalf("elasticd: %v", err)
 	}
 	defer ep.Close()
 
 	cl, err := rendezvous.Join(*rdv, ep.Addr(), 5*time.Minute)
 	if err != nil {
-		log.Fatalf("elasticd: %v", err)
+		fatalf("elasticd: %v", err)
 	}
 	defer cl.Close()
 	selfProc.Store(int64(cl.Proc()))
@@ -136,6 +166,9 @@ func main() {
 			log.Printf("elasticd: chaos kill firing, dying silently")
 			cl.Abandon()
 			ep.Close()
+			// Silent to the cluster, not to the operator: the journal still
+			// flushes, so post-mortem analysis sees everything up to the kill.
+			jn.Close()
 			os.Exit(3)
 		})
 	}
@@ -147,7 +180,7 @@ func main() {
 	p := mpi.Attach(tep)
 	comm, err := mpi.World(p, cl.Procs())
 	if err != nil {
-		log.Fatalf("elasticd: %v", err)
+		fatalf("elasticd: %v", err)
 	}
 
 	policy := ulfm.DefaultPolicy()
@@ -173,7 +206,7 @@ func main() {
 				log.Printf("elasticd: dropped from the communicator, exiting")
 				return
 			}
-			log.Fatalf("elasticd: step %d: %v", step, err)
+			fatalf("elasticd: step %d: %v", step, err)
 		}
 		fmt.Printf("step %3d  proc %d  size %d  sum %.0f\n",
 			step, cl.Proc(), r.Size(), data[0])

@@ -1,0 +1,256 @@
+package main
+
+// Exit-path tests for the worker daemon, run via the helper-process
+// pattern: the test binary re-execs itself with ELASTICD_MAIN=1 and acts
+// as a real elasticd. The property pinned here is that the buffered
+// trace journal is flushed — every line parses as JSON — on every way
+// out of the process: normal completion, a chaos-injected silent death
+// (exit 3), and SIGTERM. Before the journal close was routed through
+// these paths, a kill could truncate or empty the journal.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("ELASTICD_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// freePort reserves an ephemeral loopback port and releases it for the
+// daemon to bind (rendezvous needs one address both served and dialed).
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("reserve port: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// elasticdCmd builds a self-exec command for a single-worker world that
+// hosts its own rendezvous service.
+func elasticdCmd(t *testing.T, journal string, extra ...string) *exec.Cmd {
+	t.Helper()
+	args := append([]string{
+		"-serve", "-rendezvous", freePort(t), "-world", "1",
+		"-n", "16", "-trace", journal,
+	}, extra...)
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "ELASTICD_MAIN=1")
+	return cmd
+}
+
+// checkJournal asserts every journal line parses as a trace.Event and
+// returns the events.
+func checkJournal(t *testing.T, path string) []trace.Event {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	defer f.Close()
+	var events []trace.Event
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev trace.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("journal line %d unparseable (truncated flush?): %q: %v",
+				len(events)+1, sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan journal: %v", err)
+	}
+	return events
+}
+
+func hasKind(events []trace.Event, kind string) bool {
+	for _, ev := range events {
+		if ev.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func TestJournalFlushedOnNormalExit(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	cmd := elasticdCmd(t, journal, "-steps", "2", "-step-interval", "10ms")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("elasticd failed: %v\n%s", err, out)
+	}
+	events := checkJournal(t, journal)
+	if !hasKind(events, "finish") {
+		t.Errorf("journal lacks a finish event; got %d events\n%s", len(events), out)
+	}
+}
+
+func TestJournalFlushedOnChaosKill(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	cmd := elasticdCmd(t, journal, "-steps", "10", "-step-interval", "10ms",
+		"-chaos", "kill-at-round", "-chaos.seed", "1")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 3 {
+		t.Fatalf("want chaos-kill exit code 3, got err=%v\n%s", err, out)
+	}
+	events := checkJournal(t, journal)
+	if len(events) == 0 {
+		t.Errorf("journal empty after chaos kill — OnKill path lost the flush\n%s", out)
+	}
+	if hasKind(events, "finish") {
+		t.Errorf("killed run journaled a finish event\n%s", out)
+	}
+}
+
+func TestJournalFlushedOnSigterm(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	cmd := elasticdCmd(t, journal, "-steps", "1000", "-step-interval", "50ms")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	// Wait for the first completed step so the journal has a member_join
+	// buffered, then interrupt mid-run.
+	sc := bufio.NewScanner(stdout)
+	stepping := false
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "step ") {
+			stepping = true
+			break
+		}
+	}
+	if !stepping {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("worker never reached its first step")
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 143 {
+			t.Fatalf("want SIGTERM exit code 143, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("worker ignored SIGTERM")
+	}
+	events := checkJournal(t, journal)
+	if len(events) == 0 {
+		t.Error("journal empty after SIGTERM — signal handler lost the flush")
+	}
+}
+
+// TestObsEndpointServes boots a worker with -obs.listen and scrapes it
+// while it steps: /metrics must answer with a valid exposition that
+// includes the transport counters this very run is driving.
+func TestObsEndpointServes(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "run.jsonl")
+	obsAddr := freePort(t)
+	cmd := elasticdCmd(t, journal, "-steps", "40", "-step-interval", "50ms",
+		"-obs.listen", obsAddr)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	body, err := scrapeWhileRunning(obsAddr, 10*time.Second)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	for _, want := range []string{
+		"tcpnet_tx_frames_total",
+		"rendezvous_peers{state=\"alive\"} 1",
+		"trace_events_total{kind=\"member_join\"} 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape lacks %q\n%s", want, body)
+		}
+	}
+}
+
+// scrapeWhileRunning polls addr until /metrics answers, then returns the
+// body. Raw TCP + HTTP/1.0 keeps the test free of client-side caching.
+func scrapeWhileRunning(addr string, budget time.Duration) (string, error) {
+	deadline := time.Now().Add(budget)
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	var lastErr error
+	for range tick.C {
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("no scrape before deadline: %v", lastErr)
+		}
+		body, err := httpGet(addr, "/metrics")
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+	}
+	return "", lastErr
+}
+
+func httpGet(addr, path string) (string, error) {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	fmt.Fprintf(conn, "GET %s HTTP/1.0\r\nHost: %s\r\n\r\n", path, addr)
+	var sb strings.Builder
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	inBody := false
+	status := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if status == "" {
+			status = line
+			continue
+		}
+		if !inBody {
+			if line == "" {
+				inBody = true
+			}
+			continue
+		}
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	if !strings.Contains(status, " 200 ") {
+		return "", fmt.Errorf("status %q", status)
+	}
+	return sb.String(), sc.Err()
+}

@@ -19,6 +19,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rendezvous"
 	"repro/internal/trace"
 )
@@ -30,16 +31,26 @@ func main() {
 	suspect := flag.Duration("suspect", 0, "silence before suspicion (default 3x hb)")
 	dead := flag.Duration("dead", 0, "silence before declaration (default 6x hb)")
 	tracePath := flag.String("trace", "", "write a JSON-lines membership journal to this file")
+	obsListen := flag.String("obs.listen", "", "serve /metrics, /healthz, /varz on this address (empty = no metrics endpoint)")
 	flag.Parse()
 
-	var rec *trace.Recorder
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			log.Fatalf("rendezvousd: %v", err)
+	// Buffered journal: flushed on the signal exit below and on fatal
+	// startup errors, never dropped on the floor.
+	jn, err := trace.OpenJournal(*tracePath)
+	if err != nil {
+		log.Fatalf("rendezvousd: %v", err)
+	}
+	defer jn.Close()
+	rec := jn.Recorder()
+
+	if *obsListen != "" {
+		osrv, oerr := obs.Serve(*obsListen, nil)
+		if oerr != nil {
+			jn.Close()
+			log.Fatalf("rendezvousd: %v", oerr)
 		}
-		defer f.Close()
-		rec = trace.New(f)
+		defer osrv.Close()
+		log.Printf("rendezvousd: serving metrics on http://%s/metrics", osrv.Addr())
 	}
 
 	srv, err := rendezvous.ListenAndServe(*listen, rendezvous.Config{
@@ -51,6 +62,7 @@ func main() {
 		Logf:              log.Printf,
 	})
 	if err != nil {
+		jn.Close()
 		log.Fatalf("rendezvousd: %v", err)
 	}
 	fmt.Printf("rendezvousd: listening on %s, gathering %d workers\n", srv.Addr(), *world)
@@ -59,4 +71,5 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	srv.Close()
+	jn.Close()
 }

@@ -60,6 +60,11 @@ type Config struct {
 	// Quick caps every cell at a handful of iterations — numbers become
 	// noisy but collection finishes in seconds (for smoke tests).
 	Quick bool
+	// Benchtime, if non-empty, sets the per-cell measurement goal in
+	// -test.benchtime syntax ("3x", "200ms"). CI's bench gate uses a
+	// fixed iteration count so PR runners finish in seconds; Quick wins
+	// if both are set.
+	Benchtime string
 }
 
 // Default is the configuration benchtab -dataplane uses: the codec at
@@ -85,7 +90,11 @@ func Collect(cfg Config) (*Report, error) {
 	if len(cfg.TensorElems) == 0 {
 		cfg.TensorElems = def.TensorElems
 	}
-	defer quickBenchtime(cfg.Quick)()
+	goal := cfg.Benchtime
+	if cfg.Quick {
+		goal = "2x"
+	}
+	defer setBenchtime(goal)()
 	rep := &Report{
 		Baseline: "codec=gob algo=ring (pre-PR data plane)",
 		World:    cfg.World,
@@ -263,13 +272,13 @@ func benchAllreduce(world, elems int, algo mpi.AllreduceAlgo, raw bool) (Allredu
 	}, nil
 }
 
-// quickBenchtime drops the harness's per-benchmark goal from the 1s
-// default to an exact two iterations, for smoke-test collections. It
-// returns a restore function; outside quick mode it is a no-op. The
-// goal lives in the -test.benchtime flag, which testing.Init registers
+// setBenchtime overrides the harness's per-benchmark goal (1s by
+// default) with goal, in -test.benchtime syntax ("2x", "300ms"); an
+// empty goal is a no-op. It returns a restore function. The goal lives
+// in the -test.benchtime flag, which testing.Init registers
 // (idempotently) in non-test binaries like cmd/benchtab.
-func quickBenchtime(quick bool) func() {
-	if !quick {
+func setBenchtime(goal string) func() {
+	if goal == "" {
 		return func() {}
 	}
 	testing.Init()
@@ -278,7 +287,7 @@ func quickBenchtime(quick bool) func() {
 		return func() {}
 	}
 	prev := fl.Value.String()
-	if err := flag.Set("test.benchtime", "2x"); err != nil {
+	if err := flag.Set("test.benchtime", goal); err != nil {
 		return func() {}
 	}
 	return func() { flag.Set("test.benchtime", prev) }

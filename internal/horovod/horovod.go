@@ -164,8 +164,10 @@ func (w *Worker) signature(names []string, sizes []int) uint64 {
 // enabled this happens once per signature.
 func (w *Worker) negotiate(sig uint64, tensorCount int) error {
 	if w.cfg.CacheResponses && w.cache[sig] {
+		obsCacheHits.Inc()
 		return nil
 	}
+	obsCacheMisses.Inc()
 	if err := w.be.AllreduceVirtual(w.negotiationBytes * int64(tensorCount)); err != nil {
 		return err
 	}
@@ -191,6 +193,7 @@ func (w *Worker) AllreduceGrads(names []string, grads []tensor.Vector) error {
 	}
 	groups := tensor.PlanFusion(sizes, int(w.cfg.FusionBytes/4))
 	for _, g := range groups {
+		observeFusion(g.Elems, int(w.cfg.FusionBytes/4))
 		fused := tensor.Pack(g, grads)
 		if err := w.be.Allreduce(fused); err != nil {
 			return err
@@ -213,6 +216,7 @@ func (w *Worker) AllreduceGradsVirtual(sig string, sizes []int) error {
 	}
 	groups := tensor.PlanFusion(sizes, int(w.cfg.FusionBytes/4))
 	for _, g := range groups {
+		observeFusion(g.Elems, int(w.cfg.FusionBytes/4))
 		bytes := int64(g.Elems) * 4
 		if w.cfg.GPU != nil {
 			// Host backend carries the per-group launch coordination;

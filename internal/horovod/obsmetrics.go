@@ -1,0 +1,30 @@
+package horovod
+
+// Coordination-layer metrics: how often the response cache short-circuits
+// negotiation, and how full the fusion buffer runs. A fill ratio pinned
+// near 1.0 means the fusion threshold is the binding constraint (more,
+// smaller groups); a low ratio means gradients fuse into one undersized
+// group and the threshold could shrink.
+
+import "repro/internal/obs"
+
+var (
+	obsCacheHits = obs.Default().Counter("horovod_response_cache_hits_total",
+		"Negotiations skipped because the response signature was cached.")
+	obsCacheMisses = obs.Default().Counter("horovod_response_cache_misses_total",
+		"Negotiations that ran the coordination allreduce.")
+	obsFusionGroups = obs.Default().Counter("horovod_fusion_groups_total",
+		"Fusion groups formed across all gradient exchanges.")
+	obsFusionFill = obs.Default().Histogram("horovod_fusion_fill_ratio",
+		"Fusion-group fill: group bytes over the fusion threshold.",
+		obs.RatioBuckets())
+)
+
+// observeFusion records one planned fusion group against the configured
+// threshold (in elements, matching tensor.PlanFusion's unit).
+func observeFusion(groupElems, capElems int) {
+	obsFusionGroups.Inc()
+	if capElems > 0 {
+		obsFusionFill.Observe(float64(groupElems) / float64(capElems))
+	}
+}

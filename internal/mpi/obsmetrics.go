@@ -1,0 +1,39 @@
+package mpi
+
+// Per-collective latency metrics. Children are resolved once at package
+// init and indexed by AllreduceAlgo, so the dispatch path adds one
+// time.Now, one array index, and two atomics per collective — nothing
+// that shows up next to a multi-millisecond allreduce.
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+var (
+	obsAllreduceSeconds [AlgoPipelinedRing + 1]*obs.Histogram
+	obsAllreduceErrors  = obs.Default().Counter("mpi_allreduce_errors_total",
+		"Allreduces that returned an error (peer failure, revoked comm, shutdown).")
+)
+
+func init() {
+	for a := AlgoAuto; a <= AlgoPipelinedRing; a++ {
+		obsAllreduceSeconds[a] = obs.Default().Histogram("mpi_allreduce_seconds",
+			"Wall latency of one allreduce, by schedule.",
+			obs.SecondsBuckets(), obs.L("algo", a.String()))
+	}
+}
+
+// observeAllreduce records one completed (or failed) allreduce under the
+// schedule that ran it. Out-of-range algos (future additions missing an
+// init entry) fall back to the auto child rather than panicking mid-step.
+func observeAllreduce(algo AllreduceAlgo, start time.Time, err error) {
+	if algo < 0 || int(algo) >= len(obsAllreduceSeconds) {
+		algo = AlgoAuto
+	}
+	obsAllreduceSeconds[algo].ObserveSince(start)
+	if err != nil {
+		obsAllreduceErrors.Inc()
+	}
+}

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/transport"
 )
@@ -197,14 +198,18 @@ func ParseAllreduceAlgo(s string) (AllreduceAlgo, error) {
 // the single dispatch point the ablation harness, the Horovod backend, and
 // cmd/elasticd all share.
 func AllreduceWith[T Number](c *Comm, data []T, op Op, algo AllreduceAlgo) error {
+	start := time.Now()
+	var err error
 	switch algo {
 	case AlgoRecursiveDoubling:
-		return AllreduceRecursiveDoubling(c, data, op)
+		err = AllreduceRecursiveDoubling(c, data, op)
 	case AlgoHierarchical:
-		return AllreduceHierarchical(c, data, op)
+		err = AllreduceHierarchical(c, data, op)
 	case AlgoPipelinedRing:
-		return AllreducePipelinedRing(c, data, op)
+		err = AllreducePipelinedRing(c, data, op)
 	default:
-		return Allreduce(c, data, op)
+		err = Allreduce(c, data, op)
 	}
+	observeAllreduce(algo, start, err)
+	return err
 }

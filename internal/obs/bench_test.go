@@ -1,0 +1,85 @@
+package obs
+
+// The allocation contract: every hot-path operation an instrumented
+// package performs — counter add, gauge move, histogram observe, timer
+// observe — is allocation-free, so instrumentation never perturbs the
+// data plane it measures. CI's bench smoke runs these with -benchtime 1x;
+// TestHotPathAllocFree enforces the 0 allocs/op bar deterministically.
+
+import (
+	"testing"
+	"time"
+)
+
+func benchRegistry() (*Counter, *Gauge, *Histogram) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "c", L("path", "send"))
+	g := r.Gauge("bench_gauge", "g")
+	h := r.Histogram("bench_seconds", "h", SecondsBuckets())
+	return c, g, h
+}
+
+func TestHotPathAllocFree(t *testing.T) {
+	c, g, h := benchRegistry()
+	t0 := time.Now()
+	cases := map[string]func(){
+		"counter.Inc":        func() { c.Inc() },
+		"counter.Add":        func() { c.Add(4096) },
+		"gauge.Set":          func() { g.Set(7) },
+		"gauge.Add":          func() { g.Add(-1) },
+		"histogram.Observe":  func() { h.Observe(3.5e-4) },
+		"histogram.SinceNow": func() { h.ObserveSince(t0) },
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c, _, _ := benchRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	_, _, h := benchRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) * 1e-6)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	_, _, h := benchRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(2.5e-4)
+		}
+	})
+}
+
+func BenchmarkWriteText(b *testing.B) {
+	r := NewRegistry()
+	for _, algo := range []string{"auto", "ring", "pipelined", "recdouble"} {
+		h := r.Histogram("mpi_allreduce_seconds", "latency", SecondsBuckets(), L("algo", algo))
+		h.Observe(0.001)
+	}
+	r.Counter("tcpnet_tx_bytes_total", "bytes").Add(1 << 30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.WriteText(discard{})
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format WriteText emits.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders the registry in the Prometheus text exposition
+// format, families sorted by name, children in registration order:
+//
+//	# HELP name help text
+//	# TYPE name counter|gauge|histogram
+//	name{label="value"} 42
+//
+// Histograms expose cumulative name_bucket{le="..."} series (the +Inf
+// bucket always equals name_count) plus name_sum and name_count.
+// The snapshot is per-metric atomic, not cross-metric consistent — the
+// standard trade-off for a lock-free hot path.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+			return err
+		}
+		for _, c := range f.children {
+			if err := writeChild(w, f, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// snapFamily is an exposition-ordered view of one family.
+type snapFamily struct {
+	name     string
+	help     string
+	kind     kind
+	children []*child
+}
+
+// snapshotFamilies copies the family/child structure (not the values)
+// under the registry lock, sorted by family name.
+func (r *Registry) snapshotFamilies() []snapFamily {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]snapFamily, 0, len(names))
+	for _, n := range names {
+		f := r.families[n]
+		sf := snapFamily{name: f.name, help: f.help, kind: f.kind}
+		for _, key := range f.order {
+			sf.children = append(sf.children, f.byKey[key])
+		}
+		out = append(out, sf)
+	}
+	r.mu.Unlock()
+	return out
+}
+
+func writeChild(w io.Writer, f snapFamily, c *child) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(c.labels, "", ""), c.c.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(c.labels, "", ""), c.g.Value())
+		return err
+	case kindGaugeFunc:
+		v := 0.0
+		if c.gf != nil {
+			v = c.gf()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(c.labels, "", ""), formatFloat(v))
+		return err
+	case kindHistogram:
+		h := c.h
+		var cum uint64
+		for i, ub := range h.upper {
+			cum += h.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, labelString(c.labels, "le", formatFloat(ub)), cum); err != nil {
+				return err
+			}
+		}
+		// The +Inf bucket is the total count by construction: every
+		// Observe lands in exactly one counts slot and bumps count once.
+		total := cum + h.counts[len(h.upper)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, labelString(c.labels, "le", "+Inf"), total); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+			f.name, labelString(c.labels, "", ""), formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(c.labels, "", ""), total)
+		return err
+	}
+	return nil
+}
+
+// labelString renders {k="v",...}, appending the extra pair (e.g. le)
+// last when extraKey is non-empty. Empty label sets render as "".
+func labelString(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraKey)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(extraVal))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snapshot dumps every metric's current value as a JSON-encodable tree
+// (the /varz surface): family name -> list of {labels, value} for
+// counters and gauges, {labels, count, sum, buckets} for histograms.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, f := range r.snapshotFamilies() {
+		var rows []map[string]any
+		for _, c := range f.children {
+			row := map[string]any{"labels": labelMap(c.labels)}
+			switch f.kind {
+			case kindCounter:
+				row["value"] = c.c.Value()
+			case kindGauge:
+				row["value"] = c.g.Value()
+			case kindGaugeFunc:
+				v := 0.0
+				if c.gf != nil {
+					v = c.gf()
+				}
+				row["value"] = v
+			case kindHistogram:
+				h := c.h
+				buckets := make(map[string]uint64, len(h.upper)+1)
+				var cum uint64
+				for i, ub := range h.upper {
+					cum += h.counts[i].Load()
+					buckets[formatFloat(ub)] = cum
+				}
+				buckets["+Inf"] = cum + h.counts[len(h.upper)].Load()
+				row["count"] = buckets["+Inf"]
+				row["sum"] = h.Sum()
+				row["buckets"] = buckets
+			}
+			rows = append(rows, row)
+		}
+		out[f.name] = rows
+	}
+	return out
+}
+
+func labelMap(labels []Label) map[string]string {
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}

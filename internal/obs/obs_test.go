@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_total", "events")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if again := r.Counter("events_total", "events"); again != c {
+		t.Fatalf("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("level", "level")
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestLabeledChildrenAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("peers", "p", L("state", "alive"))
+	d := r.Counter("peers", "p", L("state", "dead"))
+	if a == d {
+		t.Fatalf("distinct label values share a child")
+	}
+	a.Add(3)
+	d.Inc()
+	if a.Value() != 3 || d.Value() != 1 {
+		t.Fatalf("children cross-talk: alive=%d dead=%d", a.Value(), d.Value())
+	}
+	// Label order must not matter.
+	x := r.Counter("multi", "m", L("b", "2"), L("a", "1"))
+	y := r.Counter("multi", "m", L("a", "1"), L("b", "2"))
+	if x != y {
+		t.Fatalf("label order produced distinct children")
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "l", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if want := 0.005 + 0.01 + 0.05 + 0.5 + 5; math.Abs(h.Sum()-want) > 1e-12 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+	// le is inclusive: 0.01 lands in the first bucket.
+	if got := h.counts[0].Load(); got != 2 {
+		t.Fatalf("bucket le=0.01 raw count = %d, want 2", got)
+	}
+	if got := h.counts[3].Load(); got != 1 {
+		t.Fatalf("+Inf raw count = %d, want 1", got)
+	}
+	h.ObserveSince(time.Now())
+	if h.Count() != 6 {
+		t.Fatalf("ObserveSince did not record")
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	e := ExpBuckets(1e-6, 4, 3)
+	if len(e) != 3 || e[0] != 1e-6 || e[1] != 4e-6 || e[2] != 16e-6 {
+		t.Fatalf("ExpBuckets = %v", e)
+	}
+	l := LinearBuckets(0.1, 0.1, 3)
+	if len(l) != 3 || math.Abs(l[2]-0.3) > 1e-12 {
+		t.Fatalf("LinearBuckets = %v", l)
+	}
+	for _, bs := range [][]float64{SecondsBuckets(), RatioBuckets()} {
+		for i := 1; i < len(bs); i++ {
+			if bs[i] <= bs[i-1] {
+				t.Fatalf("buckets not ascending: %v", bs)
+			}
+		}
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 1.5
+	r.GaugeFunc("pool_outstanding", "p", func() float64 { return v })
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "pool_outstanding 1.5\n") {
+		t.Fatalf("gauge func missing from exposition:\n%s", sb.String())
+	}
+	v = 2
+	sb.Reset()
+	r.WriteText(&sb)
+	if !strings.Contains(sb.String(), "pool_outstanding 2\n") {
+		t.Fatalf("gauge func not re-read at scrape:\n%s", sb.String())
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_name", "x")
+	cases := map[string]func(){
+		"bad metric name":  func() { r.Counter("bad-name", "x") },
+		"bad label name":   func() { r.Counter("m1", "x", L("bad-label", "v")) },
+		"kind conflict":    func() { r.Gauge("ok_name", "x") },
+		"dup label":        func() { r.Counter("m2", "x", L("a", "1"), L("a", "2")) },
+		"empty buckets":    func() { r.Histogram("m3", "x", nil) },
+		"unsorted buckets": func() { r.Histogram("m4", "x", []float64{2, 1}) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c", L("k", "v")).Add(7)
+	r.Histogram("h_seconds", "h", []float64{1, 2}).Observe(1.5)
+	snap := r.Snapshot()
+	rows, ok := snap["c_total"].([]map[string]any)
+	if !ok || len(rows) != 1 {
+		t.Fatalf("c_total snapshot = %#v", snap["c_total"])
+	}
+	if rows[0]["value"] != uint64(7) || rows[0]["labels"].(map[string]string)["k"] != "v" {
+		t.Fatalf("c_total row = %#v", rows[0])
+	}
+	hr := snap["h_seconds"].([]map[string]any)[0]
+	if hr["count"] != uint64(1) {
+		t.Fatalf("histogram count = %#v", hr["count"])
+	}
+	buckets := hr["buckets"].(map[string]uint64)
+	if buckets["1"] != 0 || buckets["2"] != 1 || buckets["+Inf"] != 1 {
+		t.Fatalf("histogram buckets = %#v", buckets)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "c")
+	h := r.Histogram("conc_seconds", "h", SecondsBuckets())
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j) * 1e-5)
+			}
+		}()
+	}
+	// Scrape concurrently with the writers.
+	var sb strings.Builder
+	for i := 0; i < 50; i++ {
+		sb.Reset()
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: counter=%d hist=%d", c.Value(), h.Count())
+	}
+}

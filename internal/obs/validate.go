@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ValidateText checks a Prometheus text-format exposition for structural
+// validity: every line is a well-formed comment or sample, every sample
+// is preceded by its family's # TYPE, histogram bucket series are
+// cumulative (monotonically non-decreasing in le order) with le="+Inf"
+// present and equal to the family's _count, and no metric name appears in
+// two separate HELP/TYPE blocks. It is the conformance check the obs
+// tests and the scrape-under-chaos suite share; returning an error (not
+// panicking) lets callers attribute it to the scrape that produced it.
+func ValidateText(r io.Reader) error {
+	v := newTextValidator()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if err := v.feed(sc.Text()); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return v.finish()
+}
+
+var (
+	helpRE   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$`)
+	typeRE   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	sampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? ([0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
+	leRE     = regexp.MustCompile(`le="((?:[^"\\]|\\.)*)"`)
+)
+
+type bucketSeries struct {
+	lastLe  float64
+	lastCum uint64
+	infCum  uint64
+	hasInf  bool
+}
+
+type textValidator struct {
+	types   map[string]string
+	seen    map[string]bool // family blocks already closed
+	current string          // family of the open block
+	buckets map[string]*bucketSeries
+	counts  map[string]uint64
+}
+
+func newTextValidator() *textValidator {
+	return &textValidator{
+		types:   make(map[string]string),
+		seen:    make(map[string]bool),
+		buckets: make(map[string]*bucketSeries),
+		counts:  make(map[string]uint64),
+	}
+}
+
+// base maps a sample name to its family given the declared types
+// (histogram samples use _bucket/_sum/_count suffixes).
+func (v *textValidator) base(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if b, ok := strings.CutSuffix(name, suf); ok && v.types[b] == "histogram" {
+			return b
+		}
+	}
+	return name
+}
+
+func (v *textValidator) openBlock(fam string) error {
+	if fam == v.current {
+		return nil
+	}
+	if v.seen[fam] {
+		return fmt.Errorf("family %q reopened after its block closed (unstable grouping)", fam)
+	}
+	if v.current != "" {
+		v.seen[v.current] = true
+	}
+	v.current = fam
+	return nil
+}
+
+func (v *textValidator) feed(line string) error {
+	if line == "" {
+		return fmt.Errorf("blank line in exposition")
+	}
+	if m := helpRE.FindStringSubmatch(line); m != nil {
+		return v.openBlock(m[1])
+	}
+	if m := typeRE.FindStringSubmatch(line); m != nil {
+		if prev, ok := v.types[m[1]]; ok && prev != m[2] {
+			return fmt.Errorf("family %q declared both %s and %s", m[1], prev, m[2])
+		}
+		v.types[m[1]] = m[2]
+		return v.openBlock(m[1])
+	}
+	if strings.HasPrefix(line, "#") {
+		return fmt.Errorf("malformed comment line %q", line)
+	}
+	m := sampleRE.FindStringSubmatch(line)
+	if m == nil {
+		return fmt.Errorf("malformed sample line %q", line)
+	}
+	name := m[1]
+	fam := v.base(name)
+	if _, ok := v.types[fam]; !ok {
+		return fmt.Errorf("sample %q precedes its # TYPE declaration", name)
+	}
+	if err := v.openBlock(fam); err != nil {
+		return err
+	}
+	if v.types[fam] != "histogram" {
+		return nil
+	}
+	labels := m[2]
+	series := fam + "\xff" + stripLe(labels)
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		le := leRE.FindStringSubmatch(labels)
+		if le == nil {
+			return fmt.Errorf("histogram bucket %q lacks an le label", line)
+		}
+		val, err := strconv.ParseUint(m[len(m)-1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bucket value %q not a whole count", m[len(m)-1])
+		}
+		bs := v.buckets[series]
+		if bs == nil {
+			bs = &bucketSeries{lastLe: negInf}
+			v.buckets[series] = bs
+		}
+		if le[1] == "+Inf" {
+			bs.hasInf = true
+			bs.infCum = val
+			if val < bs.lastCum {
+				return fmt.Errorf("+Inf bucket %d below previous cumulative %d", val, bs.lastCum)
+			}
+			return nil
+		}
+		ub, err := strconv.ParseFloat(le[1], 64)
+		if err != nil {
+			return fmt.Errorf("unparseable le %q", le[1])
+		}
+		if bs.hasInf {
+			return fmt.Errorf("bucket le=%q after +Inf", le[1])
+		}
+		if ub <= bs.lastLe {
+			return fmt.Errorf("bucket bounds not ascending: le=%v after le=%v", ub, bs.lastLe)
+		}
+		if val < bs.lastCum {
+			return fmt.Errorf("bucket counts not cumulative: %d after %d", val, bs.lastCum)
+		}
+		bs.lastLe, bs.lastCum = ub, val
+	case strings.HasSuffix(name, "_count"):
+		val, err := strconv.ParseUint(m[len(m)-1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("histogram count %q not a whole count", m[len(m)-1])
+		}
+		v.counts[series] = val
+	}
+	return nil
+}
+
+func (v *textValidator) finish() error {
+	for series, bs := range v.buckets {
+		name := series[:strings.Index(series, "\xff")]
+		if !bs.hasInf {
+			return fmt.Errorf("histogram %q series lacks an le=\"+Inf\" bucket", name)
+		}
+		if count, ok := v.counts[series]; ok && count != bs.infCum {
+			return fmt.Errorf("histogram %q: +Inf bucket %d != _count %d", name, bs.infCum, count)
+		}
+	}
+	return nil
+}
+
+// stripLe removes the le pair so bucket/sum/count lines of one child key
+// to the same series.
+func stripLe(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	out := leRE.ReplaceAllString(labels, "")
+	out = strings.ReplaceAll(out, ",}", "}")
+	out = strings.ReplaceAll(out, "{,", "{")
+	out = strings.ReplaceAll(out, ",,", ",")
+	if out == "{}" {
+		return ""
+	}
+	return out
+}
+
+var negInf = math.Inf(-1)

@@ -140,6 +140,13 @@ func (d *Detector) State(id transport.ProcID) (State, bool) {
 	return st, ok
 }
 
+// LastSeen reports the detector time of a member's most recent sign of
+// life (join or heartbeat). Used to meter heartbeat gaps.
+func (d *Detector) LastSeen(id transport.ProcID) (float64, bool) {
+	t, ok := d.last[id]
+	return t, ok
+}
+
 // Alive returns the members not declared dead, sorted.
 func (d *Detector) Alive() []transport.ProcID {
 	var out []transport.ProcID

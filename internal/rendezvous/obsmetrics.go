@@ -1,0 +1,50 @@
+package rendezvous
+
+// Membership metrics for the rendezvous service. The peers-by-state
+// gauges mirror the failure detector exactly: every gauge move happens at
+// the same call site as the detector transition it reflects, under the
+// server's lock, so a scrape can never observe a state the detector
+// doesn't hold.
+
+import "repro/internal/obs"
+
+var (
+	obsJoins = obs.Default().Counter("rendezvous_joins_total",
+		"Workers admitted (ProcIDs assigned).")
+	obsLeaves = obs.Default().Counter("rendezvous_leaves_total",
+		"Clean departures (leave messages, not detector declarations).")
+	obsHeartbeats = obs.Default().Counter("rendezvous_heartbeats_total",
+		"Heartbeat messages accepted from armed members.")
+	obsSweeps = obs.Default().Counter("rendezvous_sweeps_total",
+		"Failure-detector sweeps run.")
+	obsHBGap = obs.Default().Histogram("rendezvous_heartbeat_gap_seconds",
+		"Silence between consecutive heartbeats from one member.",
+		obs.SecondsBuckets())
+	obsPeers       [StateDead + 1]*obs.Gauge
+	obsTransitions [StateDead + 1]*obs.Counter
+)
+
+func init() {
+	for st := StateAlive; st <= StateDead; st++ {
+		obsPeers[st] = obs.Default().Gauge("rendezvous_peers",
+			"Members currently in each failure-detector state.",
+			obs.L("state", st.String()))
+		obsTransitions[st] = obs.Default().Counter("rendezvous_detector_transitions_total",
+			"Detector transitions into each state (alive counts suspect recoveries).",
+			obs.L("to", st.String()))
+	}
+}
+
+// obsPeerArmed records a member entering detector tracking (alive).
+func obsPeerArmed() { obsPeers[StateAlive].Inc() }
+
+// obsPeerGone records a member leaving detector tracking from state st.
+func obsPeerGone(st State) { obsPeers[st].Dec() }
+
+// obsTransition moves the gauges along a detector transition and counts
+// it.
+func obsTransition(tr Transition) {
+	obsPeers[tr.From].Dec()
+	obsPeers[tr.To].Inc()
+	obsTransitions[tr.To].Inc()
+}

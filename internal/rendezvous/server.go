@@ -228,10 +228,13 @@ func (s *Server) join(conn net.Conn, addr string) *member {
 	if sendWorld {
 		for pid := range s.members {
 			s.det.Join(pid, now)
+			obsPeerArmed()
 		}
 	} else if lateJoin {
 		s.det.Join(proc, now)
+		obsPeerArmed()
 	}
+	obsJoins.Inc()
 	var recipients []*member
 	if sendWorld {
 		for _, mm := range s.members {
@@ -267,7 +270,16 @@ func (s *Server) join(conn net.Conn, addr string) *member {
 
 func (s *Server) heartbeat(m *member) {
 	s.mu.Lock()
-	tr := s.det.Heartbeat(m.proc, s.now())
+	now := s.now()
+	last, known := s.det.LastSeen(m.proc)
+	tr := s.det.Heartbeat(m.proc, now)
+	if known {
+		obsHeartbeats.Inc()
+		obsHBGap.Observe(now - last)
+	}
+	if tr != nil {
+		obsTransition(*tr)
+	}
 	s.mu.Unlock()
 	if tr != nil {
 		s.cfg.Trace.Membership(tr.At, int(tr.Proc), "hb_alive", nil)
@@ -285,7 +297,11 @@ func (s *Server) leave(m *member) {
 		return
 	}
 	delete(s.members, m.proc)
+	if st, ok := s.det.State(m.proc); ok {
+		obsPeerGone(st)
+	}
 	s.det.Leave(m.proc)
+	obsLeaves.Inc()
 	now := s.now()
 	rest := s.othersLocked(m.proc)
 	s.mu.Unlock()
@@ -336,6 +352,10 @@ func (s *Server) sweepLoop() {
 			return
 		}
 		trs := s.det.Sweep(s.now())
+		obsSweeps.Inc()
+		for _, tr := range trs {
+			obsTransition(tr)
+		}
 		type death struct {
 			proc transport.ProcID
 			rest []*member

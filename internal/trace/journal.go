@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bufio"
+	"os"
+	"sync"
+)
+
+// Journal owns a journal file and a buffered Recorder over it. The
+// buffering makes event emission cheap on the training path, which makes
+// Close load-bearing: any exit path that skips it loses the tail of the
+// journal, so daemons must route every exit — normal completion, fatal
+// errors, signals, and chaos-injected silent deaths — through Close. It
+// is idempotent and safe to call from multiple paths (a signal handler
+// racing a deferred close).
+type Journal struct {
+	f   *os.File
+	bw  *bufio.Writer
+	rec *Recorder
+
+	once sync.Once
+	err  error
+}
+
+// OpenJournal creates the journal file at path. An empty path returns a
+// nil *Journal, whose methods are all no-ops and whose Recorder is nil —
+// callers emit and close unconditionally.
+func OpenJournal(path string) (*Journal, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(f, 32<<10)
+	return &Journal{f: f, bw: bw, rec: New(bw)}, nil
+}
+
+// Recorder returns the journal's recorder (nil for a nil journal).
+func (j *Journal) Recorder() *Recorder {
+	if j == nil {
+		return nil
+	}
+	return j.rec
+}
+
+// Close flushes buffered events, syncs, and closes the file. Only the
+// first call does work; every call reports the first close's outcome.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.once.Do(func() {
+		// The recorder's lock orders this flush after any in-flight Emit.
+		j.rec.mu.Lock()
+		defer j.rec.mu.Unlock()
+		ferr := j.bw.Flush()
+		serr := j.f.Sync()
+		cerr := j.f.Close()
+		for _, e := range []error{ferr, serr, cerr} {
+			if e != nil {
+				j.err = e
+				break
+			}
+		}
+	})
+	return j.err
+}

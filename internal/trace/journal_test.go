@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenJournalEmptyPath(t *testing.T) {
+	jn, err := OpenJournal("")
+	if err != nil {
+		t.Fatalf("OpenJournal(\"\") = %v", err)
+	}
+	if jn != nil {
+		t.Fatalf("OpenJournal(\"\") = %v, want nil journal", jn)
+	}
+	// nil journal: recorder nil, close no-op.
+	if rec := jn.Recorder(); rec != nil {
+		t.Errorf("nil journal recorder = %v, want nil", rec)
+	}
+	if err := jn.Close(); err != nil {
+		t.Errorf("nil journal close = %v", err)
+	}
+	jn.Recorder().Emit(Event{Kind: "recovery"}) // must not panic
+}
+
+func TestJournalBufferedUntilClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	jn, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	jn.Recorder().Finish(1.5, 3, 0, 4)
+	jn.Recorder().Run(2.0, 4, 7)
+
+	// Small events sit in the 32KiB buffer until Close — the property
+	// that makes flushing on every exit path load-bearing.
+	if fi, err := os.Stat(path); err != nil || fi.Size() != 0 {
+		t.Fatalf("journal flushed before Close (size=%d, err=%v); buffering assumption broken", fi.Size(), err)
+	}
+	if err := jn.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := jn.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer f.Close()
+	var kinds []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		kinds = append(kinds, ev.Kind)
+	}
+	if len(kinds) != 2 || kinds[0] != "finish" || kinds[1] != "run" {
+		t.Errorf("journal kinds = %v, want [finish run]", kinds)
+	}
+}
+
+func TestEmitBridgesToObsCounters(t *testing.T) {
+	rec := New(discardWriter{})
+	known0 := obsEventKinds["recovery"].Value()
+	other0 := obsEventOther.Value()
+
+	rec.Emit(Event{Kind: "recovery"})
+	rec.Emit(Event{Kind: "recovery"})
+	rec.Emit(Event{Kind: "totally-novel-kind"})
+
+	if d := obsEventKinds["recovery"].Value() - known0; d != 2 {
+		t.Errorf("recovery counter moved %d, want 2", d)
+	}
+	if d := obsEventOther.Value() - other0; d != 1 {
+		t.Errorf("other-kind counter moved %d, want 1", d)
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

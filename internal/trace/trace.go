@@ -63,6 +63,7 @@ func (r *Recorder) Emit(ev Event) {
 		return
 	}
 	r.events++
+	obsCountEvent(ev.Kind)
 }
 
 // Recovery emits a reconfiguration event with its cost breakdown.

@@ -1,0 +1,146 @@
+package chaos_test
+
+// Scrape-under-chaos: the /metrics endpoint must stay serveable — and
+// keep producing structurally valid expositions — while the world is
+// mid-recovery from a cascading failure (a worker killed at its revoke
+// point during another death's repair, conformance scenario 8's shape).
+// Afterwards, the recovery-phase histograms must show the repair: this is
+// the live Figure-4 breakdown the observability layer exists to expose.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/transport/chaos"
+)
+
+func TestMetricsScrapeDuringKillAtRevoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration suite")
+	}
+	osrv, err := obs.Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatalf("obs serve: %v", err)
+	}
+	defer osrv.Close()
+	url := "http://" + osrv.Addr() + "/metrics"
+
+	f := newFixture(t, 4, chaos.Scenario{Name: "scrape_kill_at_revoke", Seed: *chaosSeed})
+	defer f.finish()
+	second := f.workers[2]
+	f.eng.AddRule(chaos.Rule{
+		Name: "kill2", Proc: second.proc, Point: transport.PointUlfmRevoked,
+		Nth: 1, Op: chaos.OpKill,
+	})
+	f.eng.OnKill(second.proc, second.die)
+
+	// Concurrent scraper: every 20ms until the scenario ends, /metrics
+	// must answer 200 with a conformant exposition. Failures are counted,
+	// not fatal mid-flight (the scenario goroutines must still drain).
+	stop := make(chan struct{})
+	scrapeDone := make(chan error, 1)
+	scrapes := 0
+	go func() {
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				scrapeDone <- nil
+				return
+			case <-tick.C:
+				if err := scrapeOnce(url); err != nil {
+					scrapeDone <- fmt.Errorf("scrape %d: %w", scrapes+1, err)
+					return
+				}
+				scrapes++
+			}
+		}
+	}()
+
+	outs := f.run(roundsBody(mpi.AlgoPipelinedRing, 2, func(w *worker, round int) bool {
+		if round == 1 && w.rank == 3 {
+			//lint:ignore sleepytest chaos choreography: the first death must land mid-round so the point-gated second kill fires during its repair
+			time.Sleep(50 * time.Millisecond)
+			w.die()
+			return false
+		}
+		return true
+	}))
+	close(stop)
+	if err := <-scrapeDone; err != nil {
+		t.Errorf("metrics endpoint failed under chaos: %v", err)
+	}
+	if scrapes == 0 {
+		t.Error("no scrape completed during the scenario")
+	}
+	f.checkOutcomes(outs, procsOfRanks(f, 0, 1))
+
+	// The recovery that just ran must be visible in the phase histograms.
+	body, err := fetch(url)
+	if err != nil {
+		t.Fatalf("final scrape: %v", err)
+	}
+	for _, phase := range []string{"revoke", "agree", "shrink", "retry"} {
+		series := fmt.Sprintf(`ulfm_recovery_phase_seconds_count{phase=%q}`, phase)
+		n, ok := sampleValue(body, series)
+		if !ok {
+			t.Errorf("exposition lacks %s", series)
+			continue
+		}
+		if n == 0 {
+			t.Errorf("%s = 0 after a completed repair", series)
+		}
+	}
+	if n, ok := sampleValue(body, "ulfm_recoveries_total"); !ok || n == 0 {
+		t.Errorf("ulfm_recoveries_total = %v (present=%v), want > 0", n, ok)
+	}
+}
+
+// scrapeOnce fetches and validates one exposition.
+func scrapeOnce(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return obs.ValidateText(resp.Body)
+}
+
+func fetch(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// sampleValue finds the sample line starting with series and parses its
+// value.
+func sampleValue(body, series string) (float64, bool) {
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, series)
+		if !ok || !strings.HasPrefix(rest, " ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}

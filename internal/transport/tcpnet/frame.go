@@ -46,6 +46,7 @@ type frame struct {
 // retry.
 var framePool = sync.Pool{
 	New: func() any {
+		obsFramePoolMisses.Inc()
 		b := make([]byte, 0, 4096)
 		return &b
 	},
@@ -64,6 +65,7 @@ func OutstandingFrameBufs() int64 { return frameBufsOut.Load() }
 
 func getFrameBuf() *[]byte {
 	frameBufsOut.Add(1)
+	obsFramePoolGets.Inc()
 	return framePool.Get().(*[]byte)
 }
 

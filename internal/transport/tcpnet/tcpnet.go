@@ -83,6 +83,9 @@ type peer struct {
 	mu   sync.Mutex
 	conn net.Conn
 	bw   *bufio.Writer
+	// everConnected distinguishes a first dial from a reconnect after a
+	// working connection was lost (the reconnects metric).
+	everConnected bool
 }
 
 // Endpoint is a process's TCP attachment: listener, mailbox, peer table,
@@ -321,6 +324,8 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		obsRxFrames.Inc()
+		obsRxBytes.Add(uint64(4 + frameHeaderLen + len(f.Payload)))
 		data, derr := transport.DecodePayload(f.Payload)
 		if derr != nil {
 			return
@@ -381,15 +386,21 @@ func (e *Endpoint) Send(dst transport.ProcID, tag int, data any, bytes int64) er
 		}
 		return fmt.Errorf("tcpnet: send to proc %d: %w", dst, err)
 	}
+	flushStart := time.Now()
 	werr := e.writeToPeer(p, buf)
+	wire := len(buf)
 	*bufp = buf
 	putFrameBuf(bufp)
 	if werr != nil {
+		obsSendErrors.Inc()
 		if e.Closed() {
 			return transport.ErrDead
 		}
 		return &transport.PeerFailedError{Proc: dst}
 	}
+	obsWriteFlush.ObserveSince(flushStart)
+	obsTxFrames.Inc()
+	obsTxBytes.Add(uint64(wire))
 	e.touch()
 	return nil
 }
@@ -413,6 +424,7 @@ func (e *Endpoint) writeToPeer(p *peer, buf []byte) error {
 	backoff := e.cfg.DialBackoff
 	for attempt := 0; attempt <= e.cfg.DialRetries; attempt++ {
 		if attempt > 0 {
+			obsDialRetries.Inc()
 			select {
 			case <-e.done:
 				return transport.ErrDead
@@ -430,6 +442,11 @@ func (e *Endpoint) writeToPeer(p *peer, buf []byte) error {
 			if e.cfg.WrapConn != nil {
 				conn = e.cfg.WrapConn(conn, true)
 			}
+			obsDials.Inc()
+			if p.everConnected {
+				obsReconnects.Inc()
+			}
+			p.everConnected = true
 			p.conn = conn
 			p.bw = bufio.NewWriterSize(conn, writeBufSize)
 		}

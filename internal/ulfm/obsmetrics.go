@@ -1,0 +1,44 @@
+package ulfm
+
+// Recovery-phase metrics — the live counterpart of the paper's Figure 4
+// breakdown. Each repair observes the same stopwatch laps it already
+// feeds into metrics.Breakdown, so the journal and /metrics can never
+// disagree about where recovery time went. Phase durations come from the
+// endpoint's VClock: wall seconds on the TCP backend, virtual seconds
+// under simnet (the only place both run).
+
+import "repro/internal/obs"
+
+// Phase label values follow the paper's four-phase pipeline; the retry
+// phase is the re-execution of the interrupted collective after repair.
+const (
+	obsPhaseRevoke = iota
+	obsPhaseAgree
+	obsPhaseShrink
+	obsPhaseRetry
+	obsPhaseCount
+)
+
+var (
+	obsPhaseSeconds [obsPhaseCount]*obs.Histogram
+	obsPhaseTotal   [obsPhaseCount]*obs.Counter
+	obsRecoveries   = obs.Default().Counter("ulfm_recoveries_total",
+		"Completed repair pipelines (revoke+agree+shrink), across all communicators.")
+	obsRepairFailures = obs.Default().Counter("ulfm_repair_failures_total",
+		"Repairs that aborted (agreement error, shrink error, or drop policy).")
+)
+
+func init() {
+	for i, phase := range [obsPhaseCount]string{"revoke", "agree", "shrink", "retry"} {
+		obsPhaseSeconds[i] = obs.Default().Histogram("ulfm_recovery_phase_seconds",
+			"Time spent in one recovery phase of one repair (VClock seconds).",
+			obs.SecondsBuckets(), obs.L("phase", phase))
+		obsPhaseTotal[i] = obs.Default().Counter("ulfm_recovery_phase_total",
+			"Executions of one recovery phase.", obs.L("phase", phase))
+	}
+}
+
+func observePhase(phase int, sec float64) {
+	obsPhaseSeconds[phase].Observe(sec)
+	obsPhaseTotal[phase].Inc()
+}

@@ -152,7 +152,16 @@ func Allgather[T any](r *ResilientComm, send []T, recvOf func(size int) []T) ([]
 // ULFM's uniform collectives.
 func (r *ResilientComm) retry(op func() error) error {
 	for attempt := 0; ; attempt++ {
+		var sw *vtime.Stopwatch
+		if attempt > 0 {
+			// Re-executions after a repair are the paper's fourth recovery
+			// phase; first attempts are ordinary collectives and untimed.
+			sw = vtime.NewStopwatch(r.comm.Proc().Endpoint().VClock())
+		}
 		err := op()
+		if sw != nil {
+			observePhase(obsPhaseRetry, sw.Lap())
+		}
 		if err != nil && !mpi.IsFault(err) {
 			return err
 		}
@@ -180,29 +189,46 @@ func (r *ResilientComm) retry(op func() error) error {
 	}
 }
 
-// repair runs the ULFM pipeline and applies the drop policy.
+// repair runs the ULFM pipeline and applies the drop policy, mirroring
+// each phase's stopwatch lap into the live recovery metrics so the
+// journal breakdown and /metrics always agree.
 func (r *ResilientComm) repair() error {
+	err := r.repairPipeline()
+	if err != nil {
+		obsRepairFailures.Inc()
+	} else {
+		obsRecoveries.Inc()
+	}
+	return err
+}
+
+func (r *ResilientComm) repairPipeline() error {
 	bd := metrics.NewBreakdown()
 	sw := vtime.NewStopwatch(r.comm.Proc().Endpoint().VClock())
 
 	ep := r.comm.Proc().Endpoint()
 
 	r.comm.Revoke()
-	bd.Add(metrics.PhaseRevoke, sw.Lap())
+	lap := sw.Lap()
+	bd.Add(metrics.PhaseRevoke, lap)
+	observePhase(obsPhaseRevoke, lap)
 	transport.Hit(ep.ID(), transport.PointUlfmRevoked)
 
 	r.comm.FailureAck()
 	if _, err := r.comm.Agree(1); err != nil && !mpi.IsProcFailed(err) {
 		return err
 	}
-	bd.Add(metrics.PhaseAgree, sw.Lap())
+	lap = sw.Lap()
+	bd.Add(metrics.PhaseAgree, lap)
+	observePhase(obsPhaseAgree, lap)
 	transport.Hit(ep.ID(), transport.PointUlfmAgreed)
 
 	shrunk, err := r.comm.Shrink()
 	if err != nil {
 		return err
 	}
-	bd.Add(metrics.PhaseShrink, sw.Lap())
+	shrinkSec := sw.Lap()
+	bd.Add(metrics.PhaseShrink, shrinkSec)
 	transport.Hit(ep.ID(), transport.PointUlfmShrunk)
 
 	if r.policy.Drop == failure.KillNode && r.cluster != nil {
@@ -223,13 +249,17 @@ func (r *ResilientComm) repair() error {
 		if serr != nil {
 			return serr
 		}
-		bd.Add(metrics.PhaseShrink, sw.Lap())
+		lap = sw.Lap()
+		bd.Add(metrics.PhaseShrink, lap)
+		shrinkSec += lap
 		if sub == nil {
+			observePhase(obsPhaseShrink, shrinkSec)
 			r.events = append(r.events, bd)
 			return ErrDropped
 		}
 		shrunk = sub
 	}
+	observePhase(obsPhaseShrink, shrinkSec)
 
 	r.comm = shrunk
 	r.events = append(r.events, bd)
