@@ -6,6 +6,7 @@
 #   make lint    analyzer self-tests + elasticvet over the whole tree
 #   make test    full test suite (+ race on the fast packages)
 #   make chaos   chaos conformance at the pinned seeds
+#   make cluster clustertest conformance (gossip control plane) at world 32
 #   make cover   per-package coverage summary + gates (floors, baseline)
 #   make bench-gate  data-plane benchmarks vs the committed baseline
 #   make check   everything above, in CI order
@@ -14,7 +15,11 @@ GO      ?= go
 BIN     := bin
 SEEDS   ?= 1 7 42
 
-.PHONY: all build vet lint test race chaos cover bench-gate check clean
+.PHONY: all build vet lint test race chaos cluster cover bench-gate check clean
+
+# World size for the clustertest conformance suite (CI: 32 per PR,
+# 64/128 nightly).
+CLUSTER_WORLD ?= 32
 
 all: check
 
@@ -60,6 +65,16 @@ chaos:
 			-chaos.seed="$$seed" || exit 1; \
 	done
 
+# cluster: the same nine recovery scenarios, driven through the
+# clustertest harness with SWIM gossip as the only failure detector.
+cluster:
+	@for seed in $(SEEDS); do \
+		echo "=== cluster world $(CLUSTER_WORLD) seed $$seed ==="; \
+		$(GO) test -count=1 -timeout 20m ./internal/clustertest/ \
+			-run TestClusterConformance \
+			-cluster.world=$(CLUSTER_WORLD) -cluster.seed="$$seed" || exit 1; \
+	done
+
 # cover: per-package statement coverage, gated. internal/obs carries an
 # absolute 70% floor; transport/mpi/ulfm must stay within 2 points of the
 # committed COVERAGE_baseline.json. Regenerate the baseline after an
@@ -71,6 +86,8 @@ cover:
 	$(GO) test ./... -coverprofile=cover.out -covermode=atomic
 	$(GO) run ./cmd/covergate -profile cover.out \
 		-floor repro/internal/obs=70 \
+		-floor repro/internal/gossip=70 \
+		-floor repro/internal/clustertest=70 \
 		-baseline COVERAGE_baseline.json -maxdrop 2
 	$(GO) tool cover -html=cover.out -o cover.html
 
@@ -81,8 +98,11 @@ bench-gate:
 	$(GO) run ./cmd/benchtab -dataplane fresh_dataplane.json -benchtime 3x
 	$(GO) run ./cmd/benchgate -baseline BENCH_dataplane.json \
 		-fresh fresh_dataplane.json -tolerance 0.30
+	$(GO) run ./cmd/benchtab -controlplane fresh_controlplane.json
+	$(GO) run ./cmd/benchgate -controlplane -baseline BENCH_controlplane.json \
+		-fresh fresh_controlplane.json -tolerance 0.10
 
-check: build vet lint test race chaos
+check: build vet lint test race chaos cluster
 
 clean:
-	rm -rf $(BIN) cover.out cover.html fresh_dataplane.json
+	rm -rf $(BIN) cover.out cover.html fresh_dataplane.json fresh_controlplane.json

@@ -11,6 +11,14 @@
 // The tolerance is deliberately loose: CI runners are noisy and the gate
 // exists to catch step-change regressions (an accidental gob fallback, a
 // lost pipelining path), not single-digit drift.
+//
+// With -controlplane, the reports are instead gossip control-plane
+// measurements (BENCH_controlplane.json): membership-convergence and
+// kill-detection latencies on the deterministic simulator. Those numbers
+// carry no host noise at all, so the tolerance there can be tight.
+//
+//	benchtab -controlplane fresh_cp.json
+//	benchgate -controlplane -baseline BENCH_controlplane.json -fresh fresh_cp.json -tolerance 0.10
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/controlplane"
 	"repro/internal/dataplane"
 )
 
@@ -28,10 +37,15 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional ns/op regression (0.30 = +30%)")
 	minNs := flag.Float64("min-ns", 50_000, "skip cells whose baseline is below this many ns/op (too noise-dominated at CI iteration counts to gate)")
 	gobToo := flag.Bool("gob", false, "also gate the gob-codec cells (off: the legacy envelope may drift)")
+	cp := flag.Bool("controlplane", false, "gate gossip control-plane reports instead of data-plane reports")
 	flag.Parse()
 	if *freshPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -fresh is required")
 		os.Exit(2)
+	}
+	if *cp {
+		gateControlplane(*basePath, *freshPath, *tolerance)
+		return
 	}
 
 	base, err := load(*basePath)
@@ -88,6 +102,63 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchgate: %d cells within %.0f%% of baseline\n", compared, *tolerance*100)
+}
+
+// gateControlplane diffs two controlplane.Report documents: every world
+// present in both is compared on join-convergence and kill-detection
+// latency. The measurements are virtual-time deterministic, so any
+// regression beyond the tolerance is an algorithmic change in the SWIM
+// layer, not runner noise.
+func gateControlplane(basePath, freshPath string, tolerance float64) {
+	base, err := loadControlplane(basePath)
+	check(err)
+	fresh, err := loadControlplane(freshPath)
+	check(err)
+
+	failures := 0
+	compared := 0
+	report := func(key string, baseMS, freshMS float64) {
+		compared++
+		ratio := freshMS / baseMS
+		status := "ok"
+		if ratio > 1+tolerance {
+			status = "REGRESSION"
+			failures++
+		}
+		fmt.Printf("%-40s %10.1f -> %10.1f ms  %+6.1f%%  %s\n",
+			key, baseMS, freshMS, (ratio-1)*100, status)
+	}
+	for _, b := range base.Cells {
+		for _, f := range fresh.Cells {
+			if f.World != b.World {
+				continue
+			}
+			report(fmt.Sprintf("join-converge/world=%d", b.World), b.JoinConvergeMS, f.JoinConvergeMS)
+			report(fmt.Sprintf("kill-detect/world=%d", b.World), b.KillDetectMS, f.KillDetectMS)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no comparable cells between baseline and fresh report")
+		os.Exit(1)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d of %d control-plane cells regressed more than %.0f%%\n",
+			failures, compared, tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d control-plane cells within %.0f%% of baseline\n", compared, tolerance*100)
+}
+
+func loadControlplane(path string) (*controlplane.Report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep controlplane.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
 }
 
 func load(path string) (*dataplane.Report, error) {

@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/controlplane"
 	"repro/internal/dataplane"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
@@ -34,6 +35,7 @@ func main() {
 	eq1 := flag.Bool("eq1", false, "evaluate the Eq. (1) cost model")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations (allreduce algorithm, fusion, cache, detection timeout, goodput)")
 	dataplanePath := flag.String("dataplane", "", "measure the TCP data plane (codec + loopback allreduce) and write the JSON report to this file (- = stdout)")
+	controlplanePath := flag.String("controlplane", "", "measure the gossip control plane (membership convergence, simnet virtual time) and write the JSON report to this file (- = stdout)")
 	benchtime := flag.String("benchtime", "", "with -dataplane: per-cell measurement goal in -test.benchtime syntax (e.g. 3x, 200ms; default 1s)")
 	all := flag.Bool("all", false, "regenerate everything")
 	scalesFlag := flag.String("scales", "", "comma-separated GPU counts for sweeps (default 12,24,48,96,192)")
@@ -163,6 +165,22 @@ func main() {
 		} else {
 			check(os.WriteFile(*dataplanePath, blob, 0o644))
 			fmt.Fprintf(os.Stderr, "benchtab: wrote %s\n", *dataplanePath)
+		}
+		ran = true
+	}
+	if *controlplanePath != "" {
+		// Deterministic virtual-time measurements: the simulator's event
+		// heap and seeded RNG fully determine every number, so this runs
+		// in well under a second and reproduces bit-for-bit.
+		rep, err := controlplane.Collect(controlplane.Default())
+		check(err)
+		blob, err := rep.JSON()
+		check(err)
+		if *controlplanePath == "-" {
+			fmt.Print(string(blob))
+		} else {
+			check(os.WriteFile(*controlplanePath, blob, 0o644))
+			fmt.Fprintf(os.Stderr, "benchtab: wrote %s\n", *controlplanePath)
 		}
 		ran = true
 	}

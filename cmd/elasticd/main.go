@@ -88,13 +88,18 @@ func main() {
 		os.Exit(130)
 	}()
 
+	// Resolved addresses go to stdout (scripts launching with ":0" read
+	// them there) and into the journal, so a run's artifacts record where
+	// the process actually listened.
+	obsAddr := ""
 	if *obsListen != "" {
 		osrv, err := obs.Serve(*obsListen, nil)
 		if err != nil {
 			fatalf("elasticd: %v", err)
 		}
 		defer osrv.Close()
-		log.Printf("elasticd: serving metrics on http://%s/metrics", osrv.Addr())
+		obsAddr = osrv.Addr()
+		fmt.Printf("elasticd: metrics on http://%s/metrics\n", obsAddr)
 	}
 
 	if *serve {
@@ -143,6 +148,8 @@ func main() {
 		fatalf("elasticd: %v", err)
 	}
 	defer ep.Close()
+	fmt.Printf("elasticd: transport listening on %s\n", ep.Addr())
+	rec.Membership(0, -1, "listen", map[string]any{"addr": ep.Addr(), "obs": obsAddr})
 
 	cl, err := rendezvous.Join(*rdv, ep.Addr(), 5*time.Minute)
 	if err != nil {

@@ -30,6 +30,7 @@ func main() {
 	hb := flag.Duration("hb", 500*time.Millisecond, "heartbeat interval workers are told to use")
 	suspect := flag.Duration("suspect", 0, "silence before suspicion (default 3x hb)")
 	dead := flag.Duration("dead", 0, "silence before declaration (default 6x hb)")
+	gossipMode := flag.Bool("gossip", false, "SWIM gossip mode: no heartbeats, failure verdicts arrive from workers, membership changes publish as versioned deltas")
 	tracePath := flag.String("trace", "", "write a JSON-lines membership journal to this file")
 	obsListen := flag.String("obs.listen", "", "serve /metrics, /healthz, /varz on this address (empty = no metrics endpoint)")
 	flag.Parse()
@@ -43,6 +44,10 @@ func main() {
 	defer jn.Close()
 	rec := jn.Recorder()
 
+	// Resolved addresses go to stdout (scripts launching with ":0" read
+	// them there) and into the journal, so a run's artifacts record where
+	// it actually listened.
+	obsAddr := ""
 	if *obsListen != "" {
 		osrv, oerr := obs.Serve(*obsListen, nil)
 		if oerr != nil {
@@ -50,7 +55,8 @@ func main() {
 			log.Fatalf("rendezvousd: %v", oerr)
 		}
 		defer osrv.Close()
-		log.Printf("rendezvousd: serving metrics on http://%s/metrics", osrv.Addr())
+		obsAddr = osrv.Addr()
+		fmt.Printf("rendezvousd: metrics on http://%s/metrics\n", obsAddr)
 	}
 
 	srv, err := rendezvous.ListenAndServe(*listen, rendezvous.Config{
@@ -58,6 +64,7 @@ func main() {
 		HeartbeatInterval: *hb,
 		SuspectAfter:      *suspect,
 		DeadAfter:         *dead,
+		Gossip:            *gossipMode,
 		Trace:             rec,
 		Logf:              log.Printf,
 	})
@@ -66,6 +73,7 @@ func main() {
 		log.Fatalf("rendezvousd: %v", err)
 	}
 	fmt.Printf("rendezvousd: listening on %s, gathering %d workers\n", srv.Addr(), *world)
+	rec.Membership(0, -1, "listen", map[string]any{"addr": srv.Addr(), "obs": obsAddr})
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

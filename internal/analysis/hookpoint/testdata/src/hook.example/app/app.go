@@ -27,6 +27,16 @@ func hits(p transport.ProcID, dyn string) {
 	transport.Hit(p, "ulfm."+"repair.revoked")    // want `raw string "ulfm.repair.revoked": use the named constant transport.PointUlfmRevoked`
 }
 
+// gossipHits exercises the SWIM membership vocabulary: canonical
+// constants pass, raw strings and near-miss values are rejected.
+func gossipHits(p transport.ProcID) {
+	transport.Hit(p, transport.PointGossipProbe)   // canonical: ok
+	transport.Hit(p, transport.PointGossipSuspect) // canonical: ok
+	transport.Hit(p, transport.PointGossipRefute)  // canonical: ok
+	transport.Hit(p, "gossip.dead")                // want `raw string "gossip.dead": use the named constant transport.PointGossipDead`
+	transport.Hit(p, "gossip.ping-req")            // want `raw string "gossip.ping-req", which matches no transport.Point\* hook point`
+}
+
 func rules() []chaos.Rule {
 	return []chaos.Rule{
 		{Name: "ok", Proc: 2, Point: transport.PointUlfmRevoked, Nth: 1, Op: chaos.OpKill},
@@ -35,5 +45,7 @@ func rules() []chaos.Rule {
 		{Name: "raw", Point: "elastic.round.start"},             // want `raw string "elastic.round.start": use the named constant transport.PointElasticRound`
 		{Name: "stale", Point: localStale},                      // want `constant localStale with value "ulfm.repair.revokd", which matches no transport.Point\* hook point`
 		{"pos", 3, "elastic.grow.send", 1, chaos.OpKill},        // want `raw string "elastic.grow.send": use the named constant transport.PointGrowSend`
+		{Name: "gossipok", Point: transport.PointGossipDead, Op: chaos.OpKill}, // canonical gossip point: ok
+		{Name: "gossipraw", Point: "gossip.probe"},              // want `raw string "gossip.probe": use the named constant transport.PointGossipProbe`
 	}
 }

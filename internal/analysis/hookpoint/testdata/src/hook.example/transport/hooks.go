@@ -10,6 +10,13 @@ const (
 	PointUlfmRevoked  = "ulfm.repair.revoked"
 	PointElasticRound = "elastic.round.start"
 	PointGrowSend     = "elastic.grow.send"
+
+	// The gossip membership points, mirroring hooks.go.
+	PointGossipProbe   = "gossip.probe"
+	PointGossipPingReq = "gossip.pingreq"
+	PointGossipSuspect = "gossip.suspect"
+	PointGossipDead    = "gossip.dead"
+	PointGossipRefute  = "gossip.refute"
 )
 
 // Hit announces that proc reached the named protocol point.

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package clustertest
+
+// RaiseFDLimit is a no-op where rlimits do not exist.
+func RaiseFDLimit() error { return nil }

@@ -1,0 +1,159 @@
+// Package controlplane measures the membership control plane on the
+// deterministic gossip simulator: how fast a membership change reaches
+// every member, in virtual time and in protocol rounds. Unlike the
+// data-plane benchmarks these numbers involve no wall clock at all —
+// the simulator's event heap and seeded RNG fully determine them — so
+// the committed baseline (BENCH_controlplane.json) gates algorithmic
+// regressions in the SWIM layer (a slower dissemination path, a
+// widened detection window) rather than host noise.
+package controlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/gossip"
+	"repro/internal/transport"
+)
+
+// Config parameterizes Collect.
+type Config struct {
+	// Worlds are the membership sizes to measure (default 16, 64, 128).
+	Worlds []int
+	// Seeds are averaged over (default 1..5); each seed reshuffles every
+	// member's probe rotation and the switchboard's loss draws.
+	Seeds []int64
+	// DropProb is the simulated datagram loss rate (default 0.02).
+	DropProb float64
+	// Node tunes the detector (zero = gossip defaults with 200ms period).
+	Node gossip.Config
+}
+
+// Default returns the measurement configuration CI runs.
+func Default() Config {
+	return Config{
+		Worlds:   []int{16, 64, 128},
+		Seeds:    []int64{1, 2, 3, 4, 5},
+		DropProb: 0.02,
+	}
+}
+
+// Cell is one (world) row of the report, averaged over the seeds.
+type Cell struct {
+	World int `json:"world"`
+	// JoinConvergeMS is the virtual time from a newcomer's join until
+	// every member holds it alive — the cost of publishing a membership
+	// update epidemically.
+	JoinConvergeMS float64 `json:"join_converge_ms"`
+	// JoinRounds is the same interval in protocol periods: the epidemic
+	// dissemination round count the paper's O(log n) claim is about.
+	JoinRounds float64 `json:"join_rounds"`
+	// KillDetectMS is the virtual time from an abrupt kill until every
+	// survivor believes the victim dead: probe rotation + suspicion
+	// window + dissemination, end to end.
+	KillDetectMS float64 `json:"kill_detect_ms"`
+	// KillRounds is KillDetectMS in protocol periods.
+	KillRounds float64 `json:"kill_rounds"`
+}
+
+// Report is the JSON document benchgate diffs.
+type Report struct {
+	Baseline string `json:"baseline"`
+	Period   string `json:"period"`
+	DropProb float64 `json:"drop_prob"`
+	Cells    []Cell `json:"cells"`
+}
+
+// JSON renders the report.
+func (r *Report) JSON() ([]byte, error) {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
+}
+
+// Collect runs the measurements. Everything is virtual time: a full
+// sweep takes well under a wall-clock second.
+func Collect(cfg Config) (*Report, error) {
+	if len(cfg.Worlds) == 0 {
+		cfg.Worlds = Default().Worlds
+	}
+	if len(cfg.Seeds) == 0 {
+		cfg.Seeds = Default().Seeds
+	}
+	if cfg.DropProb == 0 {
+		cfg.DropProb = Default().DropProb
+	}
+	node := cfg.Node
+	if node.Period == 0 {
+		node.Period = 200 * time.Millisecond
+	}
+	if node.ProbeTimeout == 0 {
+		node.ProbeTimeout = node.Period / 4
+	}
+	if node.SuspicionTimeout == 0 {
+		node.SuspicionTimeout = 5 * node.Period
+	}
+	period := node.Period.Seconds()
+
+	rep := &Report{
+		Baseline: "SWIM gossip membership (simnet, virtual time)",
+		Period:   node.Period.String(),
+		DropProb: cfg.DropProb,
+	}
+	for _, world := range cfg.Worlds {
+		cell := Cell{World: world}
+		for _, seed := range cfg.Seeds {
+			jms, kms, err := measure(world, seed, cfg.DropProb, node)
+			if err != nil {
+				return nil, fmt.Errorf("world %d seed %d: %w", world, seed, err)
+			}
+			cell.JoinConvergeMS += jms
+			cell.KillDetectMS += kms
+		}
+		n := float64(len(cfg.Seeds))
+		cell.JoinConvergeMS /= n
+		cell.KillDetectMS /= n
+		cell.JoinRounds = cell.JoinConvergeMS / 1e3 / period
+		cell.KillRounds = cell.KillDetectMS / 1e3 / period
+		rep.Cells = append(rep.Cells, cell)
+	}
+	return rep, nil
+}
+
+// measure runs one world through a join and a kill, returning the two
+// convergence latencies in virtual milliseconds.
+func measure(world int, seed int64, drop float64, node gossip.Config) (joinMS, killMS float64, err error) {
+	node.Seed = seed
+	s := gossip.NewSim(gossip.SimConfig{
+		Seed:     seed,
+		DropProb: drop,
+		Node:     node,
+	})
+	s.Boot(world)
+	// Let the booted world settle (probe rotations underway, no churn).
+	s.Run(5 * node.Period.Seconds())
+
+	// A newcomer joins knowing the world; the world learns epidemically.
+	joiner := transport.ProcID(world)
+	t0 := s.Now()
+	s.Join(joiner)
+	budget := 200 * node.Period.Seconds()
+	if !s.RunUntil(func() bool { return s.AllKnow(joiner) }, s.Now()+budget) {
+		return 0, 0, fmt.Errorf("join never converged within %.0f periods", budget/node.Period.Seconds())
+	}
+	joinMS = (s.Now() - t0) * 1e3
+
+	// Settle again, then kill the newcomer and time full detection.
+	s.Run(s.Now() + 5*node.Period.Seconds())
+	t1 := s.Now()
+	s.Kill(joiner)
+	detectBudget := 400*node.Period.Seconds() + 2*node.SuspicionTimeout.Seconds()
+	if !s.RunUntil(func() bool { return s.AllBelieve(joiner, gossip.Dead) }, s.Now()+detectBudget) {
+		return 0, 0, fmt.Errorf("kill never fully detected within %.1fs", detectBudget)
+	}
+	killMS = (s.Now() - t1) * 1e3
+	return joinMS, killMS, nil
+}

@@ -1,0 +1,74 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// smallCfg keeps unit runs fast: two worlds, two seeds.
+func smallCfg() Config {
+	return Config{Worlds: []int{8, 16}, Seeds: []int64{1, 2}}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	a, err := Collect(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collect(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := a.JSON()
+	jb, _ := b.JSON()
+	if string(ja) != string(jb) {
+		t.Fatalf("virtual-time measurement not reproducible:\n%s\nvs\n%s", ja, jb)
+	}
+}
+
+func TestCollectShape(t *testing.T) {
+	rep, err := Collect(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.JoinConvergeMS <= 0 || c.KillDetectMS <= 0 {
+			t.Fatalf("world %d: non-positive latency: %+v", c.World, c)
+		}
+		if c.JoinRounds <= 0 || c.KillRounds <= 0 {
+			t.Fatalf("world %d: non-positive rounds: %+v", c.World, c)
+		}
+		// A kill costs at least the suspicion window on top of the
+		// dissemination a join needs; the ordering is structural.
+		if c.KillDetectMS <= c.JoinConvergeMS {
+			t.Fatalf("world %d: kill detection (%.1fms) not slower than join convergence (%.1fms)",
+				c.World, c.KillDetectMS, c.JoinConvergeMS)
+		}
+	}
+	blob, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(back.Cells) != len(rep.Cells) {
+		t.Fatalf("round-trip lost cells")
+	}
+}
+
+func TestCollectDefaults(t *testing.T) {
+	// The zero config fills in the CI sweep; just check it does not
+	// error and covers the advertised worlds.
+	rep, err := Collect(Config{Worlds: []int{4}, Seeds: []int64{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Period == "" || rep.DropProb == 0 {
+		t.Fatalf("defaults not applied: %+v", rep)
+	}
+}

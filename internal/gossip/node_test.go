@@ -1,0 +1,383 @@
+package gossip
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// testConfig is fast and fixed for deterministic unit tests.
+func testConfig(seed int64) Config {
+	return Config{
+		Period:           100 * time.Millisecond,
+		ProbeTimeout:     25 * time.Millisecond,
+		SuspicionTimeout: 500 * time.Millisecond,
+		IndirectK:        2,
+		MaxPiggyback:     8,
+		RetransmitMult:   3,
+		Seed:             seed,
+	}
+}
+
+func bootPair(t *testing.T) (a, b *Node) {
+	t.Helper()
+	a = NewNode(0, "addr-0", testConfig(1))
+	b = NewNode(1, "addr-1", testConfig(1))
+	peers := map[transport.ProcID]string{0: "addr-0", 1: "addr-1"}
+	a.Bootstrap(peers, 0)
+	b.Bootstrap(peers, 0)
+	a.Events()
+	b.Events()
+	return a, b
+}
+
+func TestPingAckConfirmsProbe(t *testing.T) {
+	a, b := bootPair(t)
+
+	envs := a.Tick(0)
+	if len(envs) != 1 || envs[0].Pkt.Kind != KindPing || envs[0].To != 1 {
+		t.Fatalf("expected one ping to proc 1, got %+v", envs)
+	}
+	acks := b.HandlePacket(envs[0].Pkt, 0.001)
+	if len(acks) != 1 || acks[0].Pkt.Kind != KindAck || acks[0].Pkt.Target != 1 {
+		t.Fatalf("expected ack naming the target, got %+v", acks)
+	}
+	if out := a.HandlePacket(acks[0].Pkt, 0.002); len(out) != 0 {
+		t.Fatalf("ack should produce no traffic, got %+v", out)
+	}
+	if a.cur != nil {
+		t.Fatal("probe not cleared by matching ack")
+	}
+	// The whole period elapses with the probe confirmed: no suspicion.
+	a.Tick(0.1)
+	if st, _ := a.StateOf(1); st != Alive {
+		t.Fatalf("proc 1 state = %v, want alive", st)
+	}
+}
+
+func TestDirectTimeoutFansOutPingReqs(t *testing.T) {
+	cfg := testConfig(7)
+	world := 5
+	peers := map[transport.ProcID]string{}
+	for i := 0; i < world; i++ {
+		peers[transport.ProcID(i)] = "addr"
+	}
+	n := NewNode(0, "addr", cfg)
+	n.Bootstrap(peers, 0)
+
+	envs := n.Tick(0)
+	if len(envs) != 1 || envs[0].Pkt.Kind != KindPing {
+		t.Fatalf("expected a direct ping, got %+v", envs)
+	}
+	target := envs[0].To
+
+	// Past the direct deadline: IndirectK ping-reqs, none to target/self.
+	envs = n.Tick(0.030)
+	if len(envs) != cfg.IndirectK {
+		t.Fatalf("expected %d ping-reqs, got %d", cfg.IndirectK, len(envs))
+	}
+	seen := map[transport.ProcID]bool{}
+	for _, e := range envs {
+		if e.Pkt.Kind != KindPingReq || e.Pkt.Target != target {
+			t.Fatalf("bad indirect probe %+v", e.Pkt)
+		}
+		if e.To == target || e.To == 0 || seen[e.To] {
+			t.Fatalf("bad ping-req recipient %d", e.To)
+		}
+		seen[e.To] = true
+	}
+
+	// Still silent at the period deadline: suspect, with an origin event.
+	n.Events()
+	n.Tick(0.100)
+	if st, _ := n.StateOf(target); st != Suspect {
+		t.Fatalf("target state = %v, want suspect", st)
+	}
+	evs := n.Events()
+	found := false
+	for _, ev := range evs {
+		if ev.Kind == EvSuspect && ev.Proc == target && ev.Origin {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no origin suspect event in %+v", evs)
+	}
+}
+
+func TestPingReqRelayRoundTrip(t *testing.T) {
+	// a probes c through relay b.
+	cfg := testConfig(3)
+	peers := map[transport.ProcID]string{0: "a", 1: "b", 2: "c"}
+	a := NewNode(0, "a", cfg)
+	b := NewNode(1, "b", cfg)
+	c := NewNode(2, "c", cfg)
+	for _, n := range []*Node{a, b, c} {
+		n.Bootstrap(peers, 0)
+	}
+
+	pingReq := &Packet{Kind: KindPingReq, From: 0, Seq: 77, Target: 2}
+	fwd := b.HandlePacket(pingReq, 0)
+	if len(fwd) != 1 || fwd[0].To != 2 || fwd[0].Pkt.Kind != KindPing {
+		t.Fatalf("relay did not ping target: %+v", fwd)
+	}
+	if fwd[0].Pkt.Seq == 77 {
+		t.Fatal("relay must use its own sequence space")
+	}
+	ack := c.HandlePacket(fwd[0].Pkt, 0.001)
+	if len(ack) != 1 || ack[0].To != 1 {
+		t.Fatalf("target did not ack relay: %+v", ack)
+	}
+	back := b.HandlePacket(ack[0].Pkt, 0.002)
+	if len(back) != 1 || back[0].To != 0 || back[0].Pkt.Seq != 77 || back[0].Pkt.Target != 2 {
+		t.Fatalf("relay did not forward ack rewritten to origin seq: %+v", back)
+	}
+	// The relay entry is consumed: a duplicate ack is not re-forwarded.
+	if dup := b.HandlePacket(ack[0].Pkt, 0.003); len(dup) != 0 {
+		t.Fatalf("duplicate ack re-forwarded: %+v", dup)
+	}
+}
+
+func TestPingReqForUnknownTargetIgnored(t *testing.T) {
+	_, b := bootPair(t)
+	if out := b.HandlePacket(&Packet{Kind: KindPingReq, From: 0, Seq: 1, Target: 99}, 0); len(out) != 0 {
+		t.Fatalf("relay pinged an unknown target: %+v", out)
+	}
+}
+
+func TestRelayExpires(t *testing.T) {
+	_, b := bootPair(t)
+	fwd := b.HandlePacket(&Packet{Kind: KindPingReq, From: 0, Seq: 5, Target: 0}, 0)
+	if len(fwd) != 1 {
+		t.Fatalf("expected forwarded ping, got %+v", fwd)
+	}
+	b.Tick(1.0) // far past 2*ProbeTimeout
+	if late := b.HandlePacket(&Packet{Kind: KindAck, From: 0, Seq: fwd[0].Pkt.Seq, Target: 0}, 1.0); len(late) != 0 {
+		t.Fatalf("expired relay still forwarded: %+v", late)
+	}
+}
+
+func TestSuspicionExpiresToDead(t *testing.T) {
+	a, _ := bootPair(t)
+	a.Tick(0)     // ping
+	a.Tick(0.030) // indirect (no-op candidates)
+	a.Tick(0.100) // suspect
+	a.Events()
+	a.Tick(0.650) // past suspicion timeout
+	if st, _ := a.StateOf(1); st != Dead {
+		t.Fatalf("proc 1 state = %v, want dead", st)
+	}
+	var dead *Event
+	for _, ev := range a.Events() {
+		if ev.Kind == EvDead {
+			e := ev
+			dead = &e
+		}
+	}
+	if dead == nil || !dead.Origin || dead.Proc != 1 {
+		t.Fatalf("missing origin dead event, got %+v", dead)
+	}
+	// Dead members are never probed again.
+	for i := 0; i < 10; i++ {
+		if envs := a.Tick(0.7 + float64(i)*0.1); len(envs) != 0 {
+			t.Fatalf("dead member probed: %+v", envs)
+		}
+	}
+	if got := a.Alive(); len(got) != 0 {
+		t.Fatalf("Alive() = %v, want empty", got)
+	}
+}
+
+func TestRefutationBumpsIncarnation(t *testing.T) {
+	a, _ := bootPair(t)
+	evs := a.HandlePacket(&Packet{
+		Kind: KindPing, From: 1, Seq: 9,
+		Updates: []Update{{Proc: 0, Inc: 0, State: Suspect}},
+	}, 0.5)
+	if a.Incarnation() != 1 {
+		t.Fatalf("incarnation = %d, want 1", a.Incarnation())
+	}
+	// The ack carries the refutation.
+	if len(evs) != 1 || evs[0].Pkt.Kind != KindAck {
+		t.Fatalf("expected ack, got %+v", evs)
+	}
+	found := false
+	for _, up := range evs[0].Pkt.Updates {
+		if up.Proc == 0 && up.State == Alive && up.Inc == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("refutation not piggybacked: %+v", evs[0].Pkt.Updates)
+	}
+	refuted := false
+	for _, ev := range a.Events() {
+		if ev.Kind == EvRefute && ev.Inc == 1 {
+			refuted = true
+		}
+	}
+	if !refuted {
+		t.Fatal("no refute event emitted")
+	}
+
+	// A stale suspicion at a lower incarnation is ignored.
+	a.HandlePacket(&Packet{Kind: KindPing, From: 1, Seq: 10,
+		Updates: []Update{{Proc: 0, Inc: 0, State: Suspect}}}, 0.6)
+	if a.Incarnation() != 1 {
+		t.Fatalf("stale suspicion bumped incarnation to %d", a.Incarnation())
+	}
+}
+
+func TestRefutationRecoversSuspect(t *testing.T) {
+	a, _ := bootPair(t)
+	a.Tick(0)
+	a.Tick(0.030)
+	a.Tick(0.100) // 1 is now suspect (inc 0)
+	a.Events()
+	// 1's refutation arrives: alive at incarnation 1.
+	a.HandlePacket(&Packet{Kind: KindPing, From: 1, Seq: 1,
+		Updates: []Update{{Proc: 1, Inc: 1, State: Alive}}}, 0.2)
+	if st, _ := a.StateOf(1); st != Alive {
+		t.Fatalf("state after refutation = %v, want alive", st)
+	}
+	recovered := false
+	for _, ev := range a.Events() {
+		if ev.Kind == EvAlive && ev.Proc == 1 {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Fatal("no alive event on refutation")
+	}
+	// The refuted suspicion never expires to dead (a re-suspicion from
+	// the still-unanswered probe restarts its own clock).
+	a.Tick(0.9)
+	if st, _ := a.StateOf(1); st == Dead {
+		t.Fatal("refuted member later declared dead")
+	}
+}
+
+func TestSelfDeadIsAbsorbing(t *testing.T) {
+	a, _ := bootPair(t)
+	a.HandlePacket(&Packet{Kind: KindPing, From: 1, Seq: 2,
+		Updates: []Update{{Proc: 0, Inc: 0, State: Dead}}}, 0.3)
+	if !a.SelfDead() {
+		t.Fatal("node did not notice its own declaration")
+	}
+	selfDead := false
+	for _, ev := range a.Events() {
+		if ev.Kind == EvSelfDead {
+			selfDead = true
+		}
+	}
+	if !selfDead {
+		t.Fatal("no self-dead event")
+	}
+	if envs := a.Tick(0.4); envs != nil {
+		t.Fatalf("declared-dead node still probing: %+v", envs)
+	}
+	if envs := a.HandlePacket(&Packet{Kind: KindPing, From: 1, Seq: 3}, 0.5); envs != nil {
+		t.Fatalf("declared-dead node still answering: %+v", envs)
+	}
+}
+
+func TestJoinDisseminatesEpidemically(t *testing.T) {
+	a, b := bootPair(t)
+	_ = b
+	// A newcomer announces itself via piggyback on a's traffic.
+	a.HandlePacket(&Packet{Kind: KindPing, From: 2, Seq: 1,
+		Updates: []Update{{Proc: 2, Addr: "addr-2", Inc: 0, State: Alive}}}, 0.1)
+	if st, ok := a.StateOf(2); !ok || st != Alive {
+		t.Fatalf("newcomer not learned: state=%v known=%v", st, ok)
+	}
+	join := false
+	for _, ev := range a.Events() {
+		if ev.Kind == EvJoin && ev.Proc == 2 {
+			join = true
+		}
+	}
+	if !join {
+		t.Fatal("no join event")
+	}
+	// The learned member is probeable: its address came with the update.
+	found := false
+	for i := 0; !found && i < 10; i++ {
+		for _, env := range a.Tick(0.2 + float64(i)*0.1) {
+			if env.Pkt.Kind == KindPing && env.To == 2 {
+				if env.ToAddr != "addr-2" {
+					t.Fatalf("bad learned addr %q", env.ToAddr)
+				}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("learned member never probed")
+	}
+}
+
+func TestAddPeerAndRemove(t *testing.T) {
+	a, _ := bootPair(t)
+	a.AddPeer(5, "addr-5", 0.1)
+	if st, ok := a.StateOf(5); !ok || st != Alive {
+		t.Fatalf("AddPeer: state=%v known=%v", st, ok)
+	}
+	a.Remove(5)
+	if st, _ := a.StateOf(5); st != Dead {
+		t.Fatalf("Remove: state=%v, want dead", st)
+	}
+	// Remove is silent: nothing queued about 5's death.
+	for _, q := range a.tbl.queue {
+		if q.up.Proc == 5 && q.up.State == Dead {
+			t.Fatal("Remove gossiped a declaration")
+		}
+	}
+	a.AddPeer(a.Self(), "self", 0.2) // self is a no-op
+	if _, ok := a.tbl.members[a.Self()]; ok {
+		t.Fatal("AddPeer(self) created a self row")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() []transport.ProcID {
+		cfg := testConfig(42)
+		peers := map[transport.ProcID]string{}
+		for i := 0; i < 8; i++ {
+			peers[transport.ProcID(i)] = "addr"
+		}
+		n := NewNode(0, "addr", cfg)
+		n.Bootstrap(peers, 0)
+		var order []transport.ProcID
+		for i := 0; i < 20; i++ {
+			for _, env := range n.Tick(float64(i) * 0.1) {
+				if env.Pkt.Kind == KindPing {
+					order = append(order, env.To)
+				}
+			}
+			// Ack each probe so nothing goes suspect.
+			if n.cur != nil {
+				n.HandlePacket(&Packet{Kind: KindAck, From: n.cur.target, Seq: n.cur.seq, Target: n.cur.target}, float64(i)*0.1+0.001)
+			}
+		}
+		return order
+	}
+	first := run()
+	second := run()
+	if len(first) == 0 {
+		t.Fatal("no probes recorded")
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("probe order diverged at %d: %v vs %v", i, first, second)
+		}
+	}
+	// Round-robin: within the first len(order) probes every member shows up.
+	world := map[transport.ProcID]bool{}
+	for _, id := range first[:7] {
+		world[id] = true
+	}
+	if len(world) != 7 {
+		t.Fatalf("first rotation visited %d distinct members, want 7: %v", len(world), first[:7])
+	}
+}

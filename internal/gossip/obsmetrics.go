@@ -1,0 +1,33 @@
+package gossip
+
+// Gossip metrics. Counters move on the Runtime's dispatch path (outside
+// the node lock); the hops and echo histograms are the live counterpart
+// of the BENCH_controlplane.json dissemination numbers.
+
+import "repro/internal/obs"
+
+var (
+	obsPacketsIn = obs.Default().Counter("gossip_packets_in_total",
+		"Gossip datagrams received and decoded.")
+	obsPacketsOut = obs.Default().Counter("gossip_packets_out_total",
+		"Gossip datagrams written to the wire.")
+	obsBadPackets = obs.Default().Counter("gossip_bad_packets_total",
+		"Inbound datagrams that failed to decode.")
+	obsDropped = obs.Default().Counter("gossip_dropped_total",
+		"Datagrams vetoed by the Drop filter (chaos partitions).")
+	obsHops = obs.Default().Histogram("gossip_update_hops",
+		"Dissemination rounds membership news traveled before arriving here.",
+		[]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32})
+	obsEcho = obs.Default().Histogram("gossip_echo_seconds",
+		"Local-clock delay between originating a declaration and hearing it back.",
+		obs.SecondsBuckets())
+	obsEvents [EvSelfDead + 1]*obs.Counter
+)
+
+func init() {
+	for k := EvJoin; k <= EvSelfDead; k++ {
+		obsEvents[k] = obs.Default().Counter("gossip_events_total",
+			"Membership transitions observed, by kind.",
+			obs.L("kind", k.String()))
+	}
+}

@@ -1,0 +1,278 @@
+package gossip
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// RuntimeConfig tunes the wall-clock host for one Node.
+type RuntimeConfig struct {
+	// Node configures the embedded detector.
+	Node Config
+	// Drop, if set, vetoes traffic with a peer: checked on send (by
+	// destination) and on receive (by claimed sender). The chaos engine
+	// wires its partition view here so a partitioned member's gossip is
+	// cut exactly like its collective traffic — otherwise the UDP side
+	// channel would keep an "isolated" member alive forever.
+	Drop func(peer transport.ProcID) bool
+	// OnEvent observes every membership transition (serialized, from the
+	// runtime's goroutines). The rendezvous client hooks verdict
+	// reporting here; the elastic worker hooks MarkDead.
+	OnEvent func(ev Event)
+	// Logf, if set, receives debug lines.
+	Logf func(format string, args ...any)
+}
+
+// Runtime drives one gossip Node on wall time over a UDP socket. It owns
+// two goroutines — a datagram reader and a protocol ticker — both of
+// which exit on Close.
+type Runtime struct {
+	cfg   RuntimeConfig
+	conn  net.PacketConn
+	start time.Time
+
+	mu    sync.Mutex
+	node  *Node
+	addrs map[string]net.Addr // resolved destination cache
+
+	tick     *time.Ticker
+	done     chan struct{}
+	wg       sync.WaitGroup
+	closeOne sync.Once
+}
+
+// NewRuntime binds a UDP socket at listenAddr (":0" for ephemeral) and
+// builds the member around it. The node does not probe until Bootstrap.
+func NewRuntime(self transport.ProcID, listenAddr string, cfg RuntimeConfig) (*Runtime, error) {
+	conn, err := net.ListenPacket("udp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("gossip: listen %s: %w", listenAddr, err)
+	}
+	return NewRuntimeOn(conn, self, cfg), nil
+}
+
+// NewRuntimeOn builds the member around an already-bound packet socket.
+// Hosts bind first when they must announce the gossip address (via the
+// rendezvous join) before the ProcID that names the member is assigned.
+// The runtime owns conn from here on.
+func NewRuntimeOn(conn net.PacketConn, self transport.ProcID, cfg RuntimeConfig) *Runtime {
+	cfg.Node = cfg.Node.withDefaults()
+	return &Runtime{
+		cfg:   cfg,
+		conn:  conn,
+		start: time.Now(),
+		node:  NewNode(self, conn.LocalAddr().String(), cfg.Node),
+		addrs: make(map[string]net.Addr),
+		done:  make(chan struct{}),
+	}
+}
+
+// Addr returns the bound gossip address (resolved, usable by peers on
+// the same host even when listenAddr was ":0").
+func (r *Runtime) Addr() string { return r.conn.LocalAddr().String() }
+
+// Self returns the member's identity.
+func (r *Runtime) Self() transport.ProcID { return r.node.Self() }
+
+func (r *Runtime) now() float64 { return time.Since(r.start).Seconds() }
+
+// Bootstrap seeds membership from the rendezvous welcome and starts the
+// protocol goroutines.
+func (r *Runtime) Bootstrap(peers map[transport.ProcID]string) {
+	r.mu.Lock()
+	r.node.Bootstrap(peers, r.now())
+	r.mu.Unlock()
+
+	every := r.cfg.Node.ProbeTimeout / 2
+	if every <= 0 {
+		every = 25 * time.Millisecond
+	}
+	r.tick = time.NewTicker(every)
+	r.wg.Add(2)
+	go r.readLoop()
+	go r.tickLoop()
+}
+
+// AddPeer learns a member out-of-band (a rendezvous join delta).
+func (r *Runtime) AddPeer(id transport.ProcID, addr string) {
+	r.mu.Lock()
+	r.node.AddPeer(id, addr, r.now())
+	evs := r.node.Events()
+	r.mu.Unlock()
+	r.dispatch(evs)
+}
+
+// Remove drops a member without gossiping a declaration (authoritative
+// clean leave from the rendezvous service).
+func (r *Runtime) Remove(id transport.ProcID) {
+	r.mu.Lock()
+	r.node.Remove(id)
+	r.mu.Unlock()
+}
+
+// Alive returns the members currently believed not-declared, sorted.
+func (r *Runtime) Alive() []transport.ProcID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.node.Alive()
+}
+
+// StateOf reports the local view of a member.
+func (r *Runtime) StateOf(id transport.ProcID) (State, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.node.StateOf(id)
+}
+
+// SelfDead reports whether the world has declared this member dead.
+func (r *Runtime) SelfDead() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.node.SelfDead()
+}
+
+// Close stops the protocol goroutines and releases the socket. Safe to
+// call more than once and before Bootstrap.
+func (r *Runtime) Close() error {
+	var err error
+	r.closeOne.Do(func() {
+		close(r.done)
+		if r.tick != nil {
+			r.tick.Stop()
+		}
+		err = r.conn.Close() // unblocks the reader
+		r.wg.Wait()
+	})
+	return err
+}
+
+func (r *Runtime) tickLoop() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-r.tick.C:
+			r.mu.Lock()
+			envs := r.node.Tick(r.now())
+			evs := r.node.Events()
+			r.mu.Unlock()
+			r.send(envs)
+			r.dispatch(evs)
+		}
+	}
+}
+
+func (r *Runtime) readLoop() {
+	defer r.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, _, err := r.conn.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-r.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		pkt, err := Decode(buf[:n])
+		if err != nil {
+			obsBadPackets.Inc()
+			continue
+		}
+		if r.cfg.Drop != nil && r.cfg.Drop(pkt.From) {
+			obsDropped.Inc()
+			continue
+		}
+		obsPacketsIn.Inc()
+		r.mu.Lock()
+		envs := r.node.HandlePacket(pkt, r.now())
+		evs := r.node.Events()
+		r.mu.Unlock()
+		r.send(envs)
+		r.dispatch(evs)
+	}
+}
+
+// send resolves destinations and writes datagrams, hitting the protocol
+// points the chaos harness owns.
+func (r *Runtime) send(envs []Envelope) {
+	for _, env := range envs {
+		if r.cfg.Drop != nil && r.cfg.Drop(env.To) {
+			obsDropped.Inc()
+			continue
+		}
+		switch env.Pkt.Kind {
+		case KindPing:
+			transport.Hit(r.node.Self(), transport.PointGossipProbe)
+		case KindPingReq:
+			transport.Hit(r.node.Self(), transport.PointGossipPingReq)
+		}
+		dst, err := r.resolve(env.ToAddr)
+		if err != nil {
+			if r.cfg.Logf != nil {
+				r.cfg.Logf("gossip: resolve %s: %v", env.ToAddr, err)
+			}
+			continue
+		}
+		blob, err := Encode(env.Pkt)
+		if err != nil {
+			continue
+		}
+		if _, err := r.conn.WriteTo(blob, dst); err == nil {
+			obsPacketsOut.Inc()
+		}
+	}
+}
+
+func (r *Runtime) resolve(addr string) (net.Addr, error) {
+	r.mu.Lock()
+	if a, ok := r.addrs[addr]; ok {
+		r.mu.Unlock()
+		return a, nil
+	}
+	r.mu.Unlock()
+	a, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.addrs[addr] = a
+	r.mu.Unlock()
+	return a, nil
+}
+
+// dispatch forwards drained events to metrics, protocol points, and the
+// host callback — outside the node lock, since OnEvent may call back
+// into the runtime (e.g. Remove after a verdict round-trips the hub).
+func (r *Runtime) dispatch(evs []Event) {
+	for _, ev := range evs {
+		obsEvents[ev.Kind].Inc()
+		if ev.EchoSeconds >= 0 {
+			obsEcho.Observe(ev.EchoSeconds)
+		}
+		if !ev.Origin && (ev.Kind == EvSuspect || ev.Kind == EvDead || ev.Kind == EvAlive || ev.Kind == EvJoin) {
+			obsHops.Observe(float64(ev.Hops))
+		}
+		switch {
+		case ev.Kind == EvSuspect && ev.Origin:
+			transport.Hit(r.node.Self(), transport.PointGossipSuspect)
+		case ev.Kind == EvDead && ev.Origin:
+			transport.Hit(r.node.Self(), transport.PointGossipDead)
+		case ev.Kind == EvRefute:
+			transport.Hit(r.node.Self(), transport.PointGossipRefute)
+		}
+		if r.cfg.OnEvent != nil {
+			r.cfg.OnEvent(ev)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package gossip
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/vtime"
+)
+
+// fastRuntime is aggressive wall-clock tuning so detection completes in
+// well under a second of real time.
+func fastRuntime(onEvent func(Event)) RuntimeConfig {
+	return RuntimeConfig{
+		Node: Config{
+			Period:           40 * time.Millisecond,
+			ProbeTimeout:     10 * time.Millisecond,
+			SuspicionTimeout: 400 * time.Millisecond,
+		},
+		OnEvent: onEvent,
+	}
+}
+
+// bootWorld starts n runtimes on loopback UDP and bootstraps them with
+// the full peer map, returning them ready to probe.
+func bootWorld(t *testing.T, n int, cfg func(i int) RuntimeConfig) []*Runtime {
+	t.Helper()
+	rts := make([]*Runtime, n)
+	peers := make(map[transport.ProcID]string, n)
+	for i := 0; i < n; i++ {
+		r, err := NewRuntime(transport.ProcID(i), "127.0.0.1:0", cfg(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { r.Close() })
+		rts[i] = r
+		peers[transport.ProcID(i)] = r.Addr()
+	}
+	for _, r := range rts {
+		r.Bootstrap(peers)
+	}
+	return rts
+}
+
+func TestRuntimeDetectsKilledPeer(t *testing.T) {
+	const world = 4
+	var mu sync.Mutex
+	deaths := map[transport.ProcID][]transport.ProcID{}
+	rts := bootWorld(t, world, func(i int) RuntimeConfig {
+		self := transport.ProcID(i)
+		return fastRuntime(func(ev Event) {
+			if ev.Kind == EvDead {
+				mu.Lock()
+				deaths[self] = append(deaths[self], ev.Proc)
+				mu.Unlock()
+			}
+		})
+	})
+
+	// Ephemeral binds resolved to dialable addresses.
+	for _, r := range rts {
+		if r.Addr() == "" || r.Addr() == "127.0.0.1:0" {
+			t.Fatalf("unresolved listen address %q", r.Addr())
+		}
+	}
+
+	victim := rts[world-1]
+	victim.Close() // kill -9: socket gone, no leave protocol
+
+	converged := vtime.WaitUntil(10*time.Second, func() bool {
+		for _, r := range rts[:world-1] {
+			if st, ok := r.StateOf(victim.Self()); !ok || st != Dead {
+				return false
+			}
+		}
+		return true
+	})
+	if !converged {
+		for _, r := range rts[:world-1] {
+			st, ok := r.StateOf(victim.Self())
+			t.Logf("proc %d sees victim as %v (known=%v)", r.Self(), st, ok)
+		}
+		t.Fatal("runtimes never converged on the killed peer")
+	}
+
+	// Nobody declared a live member.
+	mu.Lock()
+	defer mu.Unlock()
+	for viewer, procs := range deaths {
+		for _, p := range procs {
+			if p != victim.Self() {
+				t.Fatalf("proc %d declared live member %d dead", viewer, p)
+			}
+		}
+	}
+	for _, r := range rts[:world-1] {
+		alive := r.Alive()
+		if len(alive) != world-2 {
+			t.Fatalf("proc %d Alive() = %v, want %d live peers", r.Self(), alive, world-2)
+		}
+	}
+}
+
+func TestRuntimeDropFilterCutsTraffic(t *testing.T) {
+	// Two members that veto each other: each must (wrongly, from the
+	// global view) declare the other — proving the chaos partition hook
+	// actually severs gossip rather than just the collective transport.
+	mkCfg := func(i int) RuntimeConfig {
+		cfg := fastRuntime(nil)
+		cfg.Drop = func(peer transport.ProcID) bool { return true }
+		return cfg
+	}
+	rts := bootWorld(t, 2, mkCfg)
+	converged := vtime.WaitUntil(10*time.Second, func() bool {
+		a, _ := rts[0].StateOf(1)
+		b, _ := rts[1].StateOf(0)
+		return a == Dead && b == Dead
+	})
+	if !converged {
+		t.Fatal("fully vetoed members never declared each other")
+	}
+}
+
+func TestRuntimeAddPeerAndRemove(t *testing.T) {
+	rts := bootWorld(t, 2, func(i int) RuntimeConfig { return fastRuntime(nil) })
+	late, err := NewRuntime(7, "127.0.0.1:0", fastRuntime(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { late.Close() })
+	late.Bootstrap(map[transport.ProcID]string{
+		0: rts[0].Addr(), 1: rts[1].Addr(), 7: late.Addr(),
+	})
+	rts[0].AddPeer(7, late.Addr())
+	rts[1].AddPeer(7, late.Addr())
+
+	if !vtime.WaitUntil(10*time.Second, func() bool {
+		a, aok := rts[0].StateOf(7)
+		b, bok := rts[1].StateOf(7)
+		return aok && bok && a == Alive && b == Alive
+	}) {
+		t.Fatal("late joiner not alive in peer views")
+	}
+	if late.SelfDead() {
+		t.Fatal("late joiner believes itself declared")
+	}
+
+	// A clean authoritative removal stops probing without a declaration.
+	rts[0].Remove(7)
+	if st, _ := rts[0].StateOf(7); st != Dead {
+		t.Fatalf("Remove: state = %v, want dead bookkeeping", st)
+	}
+}
+
+func TestRuntimeCloseIdempotent(t *testing.T) {
+	r, err := NewRuntime(0, "127.0.0.1:0", fastRuntime(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	// Close before Bootstrap must not hang (no goroutines started).
+	r2, err := NewRuntime(1, "127.0.0.1:0", fastRuntime(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,284 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// simConfig is the standard virtual-world tuning for tests: protocol
+// periods far larger than network latency, mild loss.
+func simConfig(seed int64) SimConfig {
+	return SimConfig{
+		Seed:     seed,
+		Latency:  time.Millisecond,
+		Jitter:   time.Millisecond,
+		DropProb: 0.02,
+		Node:     Config{Period: 200 * time.Millisecond},
+	}
+}
+
+func TestSimKillDetectedEverywhere(t *testing.T) {
+	for _, world := range []int{8, 32} {
+		t.Run(fmt.Sprintf("world=%d", world), func(t *testing.T) {
+			s := NewSim(simConfig(1))
+			s.Boot(world)
+			s.Run(1.0) // settle
+			victim := transport.ProcID(world - 1)
+			s.Kill(victim)
+			if !s.RunUntil(func() bool { return s.AllBelieve(victim, Dead) }, 30) {
+				t.Fatalf("world %d never converged on %d dead", world, victim)
+			}
+			// No collateral damage: every other member still alive in
+			// every view.
+			for i := 0; i < world-1; i++ {
+				for j := 0; j < world-1; j++ {
+					if i == j {
+						continue
+					}
+					if st, _ := s.Node(transport.ProcID(i)).StateOf(transport.ProcID(j)); st == Dead {
+						t.Fatalf("live member %d declared dead in %d's view", j, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSimJoinReachesEveryone(t *testing.T) {
+	s := NewSim(simConfig(2))
+	s.Boot(16)
+	s.Run(1.0)
+	newbie := transport.ProcID(16)
+	s.Join(newbie)
+	if !s.RunUntil(func() bool { return s.AllKnow(newbie) }, 30) {
+		t.Fatal("join announcement never reached the whole world")
+	}
+	if !s.AllBelieve(newbie, Alive) {
+		t.Fatal("newcomer known but not believed alive everywhere")
+	}
+}
+
+func TestSimPartitionRefutation(t *testing.T) {
+	// Isolate one member for less than the suspicion timeout, then heal:
+	// the world must suspect it (probes black-holed) and the refutation
+	// must win — the member ends alive everywhere, never declared.
+	s := NewSim(SimConfig{
+		Seed:    3,
+		Latency: time.Millisecond,
+		Node: Config{
+			Period:           200 * time.Millisecond,
+			SuspicionTimeout: 3 * time.Second,
+		},
+	})
+	s.Boot(16)
+	s.Run(1.0)
+	victim := transport.ProcID(5)
+	rest := make([]transport.ProcID, 0, 15)
+	for i := 0; i < 16; i++ {
+		if transport.ProcID(i) != victim {
+			rest = append(rest, transport.ProcID(i))
+		}
+	}
+	s.Partition([]transport.ProcID{victim}, rest)
+
+	suspected := func() bool {
+		for _, id := range rest {
+			if st, _ := s.Node(id).StateOf(victim); st == Suspect {
+				return true
+			}
+		}
+		return false
+	}
+	if !s.RunUntil(suspected, 20) {
+		t.Fatal("isolated member never suspected")
+	}
+	s.Heal()
+	if !s.RunUntil(func() bool { return s.AllBelieve(victim, Alive) }, 20) {
+		t.Fatal("refutation did not recover the member everywhere")
+	}
+	if s.Node(victim).SelfDead() {
+		t.Fatal("member wrongly saw itself declared")
+	}
+	if s.Node(victim).Incarnation() == 0 {
+		t.Fatal("recovery happened without an incarnation bump — refutation untested")
+	}
+	for _, ev := range s.Journal() {
+		if ev.Kind == EvDead && ev.Proc == victim {
+			t.Fatalf("refuted member was declared dead by %d", ev.Viewer)
+		}
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	run := func() []SimEvent {
+		s := NewSim(simConfig(7))
+		s.Boot(16)
+		s.Run(1.0)
+		s.Kill(3)
+		s.Run(10.0)
+		return s.Journal()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("journals diverge in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("journals diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSimSeedsDiffer(t *testing.T) {
+	// Different seeds must actually explore different schedules.
+	journal := func(seed int64) []SimEvent {
+		s := NewSim(simConfig(seed))
+		s.Boot(8)
+		s.Run(1.0)
+		s.Kill(1)
+		s.Run(10.0)
+		return s.Journal()
+	}
+	a, b := journal(1), journal(99)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 99 produced identical journals")
+	}
+}
+
+// TestSimChurnNoFalseDead is the world-128 flapping test: under
+// sustained churn (a kill every two protocol periods for 16 rounds) and
+// 2% packet loss, no member that stays alive is ever declared dead, and
+// every suspicion of a live member resolves within the suspicion
+// timeout plus a dissemination allowance.
+func TestSimChurnNoFalseDead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("world-128 churn sim in -short mode")
+	}
+	const world = 128
+	cfg := simConfig(42)
+	// Suspicion must outlive two one-way epidemic latencies (accusation
+	// out, refutation back), each O(log n) protocol periods at world 128.
+	cfg.Node.SuspicionTimeout = 3 * time.Second
+	s := NewSim(cfg)
+	s.Boot(world)
+	s.Run(2.0)
+
+	killed := map[transport.ProcID]bool{}
+	for round := 0; round < 16; round++ {
+		victim := transport.ProcID(world - 1 - round)
+		killed[victim] = true
+		s.Kill(victim)
+		s.Run(s.Now() + 0.4) // two protocol periods between kills
+	}
+	// Let the dust settle: every killed member declared everywhere.
+	ok := s.RunUntil(func() bool {
+		for v := range killed {
+			if !s.AllBelieve(v, Dead) {
+				return false
+			}
+		}
+		return true
+	}, 120)
+	if !ok {
+		t.Fatal("churned world never converged on the kill set")
+	}
+	// Settle: outstanding suspicions of live members must resolve — to
+	// alive (refutation) or to dead (which invariant 1 then rejects).
+	s.Run(s.Now() + 3*cfg.Node.SuspicionTimeout.Seconds())
+
+	// Invariant 1: no false dead — every dead declaration names a victim.
+	for _, ev := range s.Journal() {
+		if ev.Kind == EvDead && !killed[ev.Proc] {
+			t.Fatalf("live member %d declared dead in %d's view at t=%.3f",
+				ev.Proc, ev.Viewer, ev.At)
+		}
+		if ev.Kind == EvSelfDead {
+			t.Fatalf("live member %d saw itself declared dead", ev.Proc)
+		}
+	}
+
+	// Invariant 2: bounded suspicion of live members. Each suspicion
+	// episode (measured from its most recent accusation — re-suspicion at
+	// a higher incarnation legitimately restarts the clock) must resolve
+	// to alive within SuspicionTimeout plus dissemination slack, and after
+	// the settle window nothing may still be suspecting a live member.
+	type viewKey struct {
+		viewer, proc transport.ProcID
+	}
+	open := map[viewKey]float64{}
+	slack := cfg.Node.SuspicionTimeout.Seconds() + 1.0
+	for _, ev := range s.Journal() {
+		// Skip news about victims, and the views of members that were
+		// themselves later killed: a dead viewer's table freezes, so its
+		// last observation may legitimately stay an open suspicion.
+		if killed[ev.Proc] || killed[ev.Viewer] {
+			continue
+		}
+		k := viewKey{ev.Viewer, ev.Proc}
+		switch ev.Kind {
+		case EvSuspect:
+			open[k] = ev.At
+		case EvAlive:
+			if t0, ok := open[k]; ok {
+				if ev.At-t0 > slack {
+					t.Fatalf("suspicion of live %d in %d's view lasted %.3fs (> %.3fs)",
+						ev.Proc, ev.Viewer, ev.At-t0, slack)
+				}
+				delete(open, k)
+			}
+		}
+	}
+	for k := range open {
+		if st, _ := s.Node(k.viewer).StateOf(k.proc); st != Alive {
+			t.Fatalf("after settle, %d still holds live member %d as %v",
+				k.viewer, k.proc, st)
+		}
+	}
+
+	// Invariant 3: live members still see each other alive.
+	for i := 0; i < world; i++ {
+		if killed[transport.ProcID(i)] {
+			continue
+		}
+		for j := 0; j < world; j++ {
+			if i == j || killed[transport.ProcID(j)] {
+				continue
+			}
+			st, ok := s.Node(transport.ProcID(i)).StateOf(transport.ProcID(j))
+			if !ok || st == Dead {
+				t.Fatalf("live pair broken: %d sees %d as %v (known=%v)", i, j, st, ok)
+			}
+		}
+	}
+}
+
+func TestSimEventJournalCallback(t *testing.T) {
+	s := NewSim(simConfig(11))
+	var fromCallback int
+	s.OnEvent = func(viewer transport.ProcID, ev Event) { fromCallback++ }
+	s.Boot(8)
+	s.Run(1.0)
+	s.Kill(0)
+	s.RunUntil(func() bool { return s.AllBelieve(0, Dead) }, 30)
+	if fromCallback != len(s.Journal()) {
+		t.Fatalf("callback saw %d events, journal has %d", fromCallback, len(s.Journal()))
+	}
+	if !s.Live(1) || s.Live(0) {
+		t.Fatal("Live() bookkeeping wrong")
+	}
+}

@@ -1,0 +1,142 @@
+package gossip
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/transport"
+)
+
+// entry is one member's row in the local membership table.
+type entry struct {
+	addr  string
+	inc   uint32
+	state State
+	since float64 // local time the member entered its current state
+}
+
+// table is the local membership view plus the piggyback queue. It is
+// owned by a single Node and never locked: drivers serialize access.
+type table struct {
+	self    transport.ProcID
+	members map[transport.ProcID]*entry
+
+	// queue is the piggyback buffer: updates are retransmitted up to
+	// limit() times each, youngest-first (fewest sends first), so fresh
+	// news floods before stale news finishes its rounds.
+	queue []*queued
+
+	retransmitMult int
+}
+
+// queued is one update awaiting its remaining piggyback transmissions.
+type queued struct {
+	up   Update
+	sent int
+}
+
+func newTable(self transport.ProcID, retransmitMult int) *table {
+	return &table{
+		self:           self,
+		members:        make(map[transport.ProcID]*entry),
+		retransmitMult: retransmitMult,
+	}
+}
+
+// limit is the per-update retransmission budget: mult * ceil(log2(n+1)),
+// the classic SWIM dissemination bound — enough sends for an epidemic to
+// reach every member w.h.p., few enough that the queue drains.
+func (t *table) limit() int {
+	n := len(t.members)
+	if n < 1 {
+		n = 1
+	}
+	return t.retransmitMult * int(math.Ceil(math.Log2(float64(n+1))))
+}
+
+// enqueue adds an update to the piggyback queue, dropping any queued
+// update about the same member unless it strictly supersedes the new one
+// (stale news must not keep flooding after fresher news arrives).
+func (t *table) enqueue(up Update) {
+	kept := t.queue[:0]
+	for _, q := range t.queue {
+		if q.up.Proc == up.Proc && !overrides(up, q.up) {
+			continue
+		}
+		kept = append(kept, q)
+	}
+	t.queue = append(kept, &queued{up: up})
+}
+
+// take returns up to max updates to piggyback on one outgoing packet,
+// preferring the least-transmitted, and retires updates that exhausted
+// their budget.
+func (t *table) take(max int) []Update {
+	if len(t.queue) == 0 || max <= 0 {
+		return nil
+	}
+	sort.SliceStable(t.queue, func(i, j int) bool { return t.queue[i].sent < t.queue[j].sent })
+	lim := t.limit()
+	out := make([]Update, 0, max)
+	for _, q := range t.queue {
+		if len(out) == max {
+			break
+		}
+		out = append(out, q.up)
+		q.sent++
+	}
+	kept := t.queue[:0]
+	for _, q := range t.queue {
+		if q.sent < lim {
+			kept = append(kept, q)
+		}
+	}
+	t.queue = kept
+	return out
+}
+
+// overrides reports whether update b supersedes update a (same member),
+// per SWIM precedence: Dead beats everything; otherwise higher
+// incarnation wins, and at equal incarnation Suspect beats Alive.
+func overrides(a, b Update) bool {
+	if b.State == Dead {
+		return true
+	}
+	if a.State == Dead {
+		return false
+	}
+	if b.Inc != a.Inc {
+		return b.Inc > a.Inc
+	}
+	return b.State == Suspect && a.State == Alive
+}
+
+// applies reports whether update up changes the current entry e
+// (nil e = unknown member) under the same precedence rules.
+func applies(e *entry, up Update) bool {
+	if e == nil {
+		return true
+	}
+	if e.state == Dead {
+		return false
+	}
+	if up.State == Dead {
+		return true
+	}
+	if up.Inc != e.inc {
+		return up.Inc > e.inc
+	}
+	return up.State == Suspect && e.state == Alive
+}
+
+// alive returns the non-dead members excluding self, sorted by ProcID.
+func (t *table) alive() []transport.ProcID {
+	out := make([]transport.ProcID, 0, len(t.members))
+	for id, e := range t.members {
+		if id != t.self && e.state != Dead {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,176 @@
+package gossip
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func TestOverridesPrecedence(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Update
+		want bool
+	}{
+		{"dead beats alive", Update{State: Alive, Inc: 9}, Update{State: Dead, Inc: 0}, true},
+		{"dead beats suspect", Update{State: Suspect, Inc: 9}, Update{State: Dead, Inc: 0}, true},
+		{"nothing beats dead", Update{State: Dead}, Update{State: Alive, Inc: 99}, false},
+		{"higher inc alive beats suspect", Update{State: Suspect, Inc: 1}, Update{State: Alive, Inc: 2}, true},
+		{"lower inc loses", Update{State: Alive, Inc: 2}, Update{State: Suspect, Inc: 1}, false},
+		{"equal inc suspect beats alive", Update{State: Alive, Inc: 3}, Update{State: Suspect, Inc: 3}, true},
+		{"equal inc alive does not beat suspect", Update{State: Suspect, Inc: 3}, Update{State: Alive, Inc: 3}, false},
+		{"equal inc alive does not beat alive", Update{State: Alive, Inc: 3}, Update{State: Alive, Inc: 3}, false},
+	}
+	for _, tc := range cases {
+		if got := overrides(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: overrides(%+v, %+v) = %v, want %v", tc.name, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestAppliesMirrorsOverrides(t *testing.T) {
+	if !applies(nil, Update{State: Alive}) {
+		t.Fatal("news about an unknown member must apply")
+	}
+	e := &entry{inc: 2, state: Suspect}
+	if applies(e, Update{Inc: 2, State: Alive}) {
+		t.Fatal("equal-inc alive must not override suspect")
+	}
+	if !applies(e, Update{Inc: 3, State: Alive}) {
+		t.Fatal("higher-inc alive (a refutation) must override suspect")
+	}
+	if !applies(e, Update{Inc: 0, State: Dead}) {
+		t.Fatal("dead must override at any incarnation")
+	}
+	if applies(&entry{state: Dead}, Update{Inc: 99, State: Alive}) {
+		t.Fatal("dead is absorbing")
+	}
+}
+
+func TestEnqueueDropsSupersededNews(t *testing.T) {
+	tbl := newTable(0, 3)
+	tbl.enqueue(Update{Proc: 7, Inc: 1, State: Alive})
+	tbl.enqueue(Update{Proc: 7, Inc: 1, State: Suspect}) // supersedes
+	if len(tbl.queue) != 1 {
+		t.Fatalf("queue len = %d, want 1 (stale alive dropped)", len(tbl.queue))
+	}
+	if tbl.queue[0].up.State != Suspect {
+		t.Fatalf("queued state = %v, want suspect", tbl.queue[0].up.State)
+	}
+
+	// A refutation at a higher incarnation displaces the suspicion.
+	tbl.enqueue(Update{Proc: 7, Inc: 2, State: Alive})
+	if len(tbl.queue) != 1 || tbl.queue[0].up.Inc != 2 || tbl.queue[0].up.State != Alive {
+		t.Fatalf("refutation did not displace suspicion: %+v", tbl.queue[0].up)
+	}
+
+	// Stale news arriving after fresh news keeps both only if the queued
+	// update strictly supersedes the newcomer.
+	tbl.enqueue(Update{Proc: 7, Inc: 1, State: Suspect})
+	if len(tbl.queue) != 2 {
+		t.Fatalf("queue len = %d, want 2 (fresh queued news outranks stale newcomer)", len(tbl.queue))
+	}
+
+	// Updates about different members never interfere.
+	tbl.enqueue(Update{Proc: 8, Inc: 0, State: Alive})
+	if len(tbl.queue) != 3 {
+		t.Fatalf("queue len = %d, want 3", len(tbl.queue))
+	}
+}
+
+func TestTakePrefersLeastSentAndRetires(t *testing.T) {
+	tbl := newTable(0, 1) // limit = 1*ceil(log2(n+1))
+	tbl.members[1] = &entry{state: Alive}
+	// n=1 -> limit = ceil(log2(2)) = 1: one transmission each.
+	tbl.enqueue(Update{Proc: 1, Inc: 0, State: Alive})
+	tbl.enqueue(Update{Proc: 2, Inc: 0, State: Alive})
+
+	got := tbl.take(1)
+	if len(got) != 1 {
+		t.Fatalf("take(1) returned %d updates", len(got))
+	}
+	// The taken update hit its budget (1) and retired; the other remains.
+	if len(tbl.queue) != 1 {
+		t.Fatalf("queue len after take = %d, want 1", len(tbl.queue))
+	}
+	if tbl.queue[0].up.Proc == got[0].Proc {
+		t.Fatal("retired update still queued")
+	}
+
+	got2 := tbl.take(4)
+	if len(got2) != 1 {
+		t.Fatalf("second take returned %d updates", len(got2))
+	}
+	if len(tbl.queue) != 0 {
+		t.Fatalf("queue not drained: %d left", len(tbl.queue))
+	}
+	if tbl.take(4) != nil {
+		t.Fatal("take on empty queue must return nil")
+	}
+}
+
+func TestTakeBudgetGrowsWithMembership(t *testing.T) {
+	tbl := newTable(0, 3)
+	for i := 1; i <= 15; i++ {
+		tbl.members[transport.ProcID(i)] = &entry{state: Alive}
+	}
+	// n=15 -> 3*ceil(log2(16)) = 12 transmissions.
+	if lim := tbl.limit(); lim != 12 {
+		t.Fatalf("limit() = %d, want 12", lim)
+	}
+	tbl.enqueue(Update{Proc: 1, Inc: 0, State: Alive})
+	for i := 0; i < 12; i++ {
+		if got := tbl.take(8); len(got) != 1 {
+			t.Fatalf("transmission %d: take returned %d updates", i, len(got))
+		}
+	}
+	if got := tbl.take(8); got != nil {
+		t.Fatalf("update outlived its budget: %+v", got)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	in := &Packet{
+		Kind:   KindPingReq,
+		From:   3,
+		Seq:    42,
+		Target: 9,
+		Updates: []Update{
+			{Proc: 9, Addr: "127.0.0.1:9999", Inc: 2, State: Suspect, Hops: 4},
+			{Proc: 1, Inc: 0, State: Dead},
+		},
+	}
+	blob, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Fatal("Decode accepted garbage")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, s := range []State{Alive, Suspect, Dead, State(99)} {
+		if s.String() == "" {
+			t.Fatalf("State(%d).String() empty", int(s))
+		}
+	}
+	for _, k := range []Kind{KindPing, KindAck, KindPingReq, Kind(99)} {
+		if k.String() == "" {
+			t.Fatalf("Kind(%d).String() empty", int(k))
+		}
+	}
+	for _, e := range []EventKind{EvJoin, EvSuspect, EvAlive, EvDead, EvRefute, EvSelfDead, EventKind(99)} {
+		if e.String() == "" {
+			t.Fatalf("EventKind(%d).String() empty", int(e))
+		}
+	}
+}

@@ -34,6 +34,13 @@ type agreeMsg struct {
 	Round  int
 	Flags  uint32
 	Failed []ProcID // sender's failure knowledge within the comm
+	// Unacked is set when the sender knows of a member failure it has not
+	// acknowledged. The coordinator ORs the bit across contributions so the
+	// resulting ProcFailedError is raised uniformly: either every survivor
+	// sees it, or none does. Deciding it locally instead would let a late
+	// failure notice split the membership — members that had acked return
+	// success while the rest launch a repair nobody else will join.
+	Unacked bool
 }
 
 type joinInfo struct {
@@ -76,18 +83,26 @@ func (c *Comm) Revoke() {
 // members: it returns the bitwise AND of the flags contributed by the
 // processes that participated in the decision, with the guarantee that
 // every surviving caller returns the same value, regardless of failures
-// during the protocol. If a member failure had not been acknowledged
-// before the call, the agreed value is returned together with a
-// ProcFailedError, mirroring MPIX_Comm_agree semantics.
+// during the protocol. If any participant knew of a member failure it had
+// not acknowledged, the agreed value is returned together with a
+// ProcFailedError at EVERY caller, mirroring MPIX_Comm_agree's uniform
+// error semantics — the unacked flag travels inside the agreed decision,
+// never from a local lookup, so success-vs-repair cannot diverge across
+// members.
 func (c *Comm) Agree(flags uint32) (uint32, error) {
-	val, failed, err := c.agreeFull(flags)
+	val, failed, unacked, err := c.agreeFull(flags)
 	if err != nil {
 		return val, err
 	}
 	for _, pr := range failed {
-		if !c.p.acked[pr] {
-			return val, &ProcFailedError{Comm: c.id, Rank: c.rankOfProc(pr), Proc: pr}
+		c.p.noteFailure(pr)
+	}
+	if unacked {
+		pr := ProcID(-1)
+		if len(failed) > 0 {
+			pr = failed[0]
 		}
+		return val, &ProcFailedError{Comm: c.id, Rank: c.rankOfProc(pr), Proc: pr}
 	}
 	return val, nil
 }
@@ -106,7 +121,8 @@ func failedProcOf(err error) (ProcID, bool) {
 }
 
 // agreeFull is the protocol engine shared by Agree and Shrink. It returns
-// the agreed flags and the agreed set of failed member processes.
+// the agreed flags, the agreed set of failed member processes, and the
+// agreed unacknowledged-failure flag (see Agree).
 //
 // The protocol is a rotating-coordinator consensus backed by the perfect
 // failure detector the simulated runtime provides (failure notices are
@@ -122,14 +138,14 @@ func failedProcOf(err error) (ProcID, bool) {
 //     a coordinator crash after a partial flood cannot strand survivors.
 //   - If the coordinator dies before deciding, survivors move to the next
 //     round.
-func (c *Comm) agreeFull(flags uint32) (uint32, []ProcID, error) {
+func (c *Comm) agreeFull(flags uint32) (uint32, []ProcID, bool, error) {
 	_ = c.p.Poll()
 	seq := c.nextAgreeSeq()
 	tag := c.agreeTag(seq)
 	me := c.rank
 	n := c.Size()
 	if n == 1 {
-		return flags, c.failedMembers(), nil
+		return flags, c.failedMembers(), c.hasUnackedMembers(), nil
 	}
 
 	scope := &opScope{comm: c, members: c.memberSet(), abortOnRevoke: false}
@@ -158,34 +174,37 @@ func (c *Comm) agreeFull(flags uint32) (uint32, []ProcID, error) {
 		if coord == me {
 			dec, decided, err := c.coordinateRound(tag, flags, flood, &stash)
 			if err != nil {
-				return 0, nil, err
+				return 0, nil, false, err
 			}
 			if decided {
-				return dec.Flags, dec.Failed, nil
+				return dec.Flags, dec.Failed, dec.Unacked, nil
 			}
 			continue
 		}
 		// Participant: contribute, then wait for a decision or for the
 		// coordinator's death.
-		contrib := agreeMsg{Kind: agreeContrib, Round: round, Flags: flags, Failed: c.failedMembers()}
+		contrib := agreeMsg{
+			Kind: agreeContrib, Round: round, Flags: flags,
+			Failed: c.failedMembers(), Unacked: c.hasUnackedMembers(),
+		}
 		if err := c.p.ep.Send(c.procs[coord], tag, contrib, int64(16+8*len(contrib.Failed))); err != nil {
 			if proc, ok := failedProcOf(err); ok {
 				c.p.noteFailure(proc)
 				continue // coordinator died; next round
 			}
-			return 0, nil, err
+			return 0, nil, false, err
 		}
 		transport.Hit(c.p.ep.ID(), transport.PointAgreeContrib)
 		dec, ok, err := c.awaitDecision(tag, c.procs[coord], flood, &stash)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, false, err
 		}
 		if ok {
-			return dec.Flags, dec.Failed, nil
+			return dec.Flags, dec.Failed, dec.Unacked, nil
 		}
 		// Coordinator died before deciding; advance to the next round.
 	}
-	return 0, nil, fmt.Errorf("mpi: comm %#x: agreement did not converge", c.id)
+	return 0, nil, false, fmt.Errorf("mpi: comm %#x: agreement did not converge", c.id)
 }
 
 // coordinateRound runs the coordinator side of one agreement round: it
@@ -195,6 +214,7 @@ func (c *Comm) agreeFull(flags uint32) (uint32, []ProcID, error) {
 func (c *Comm) coordinateRound(tag int, flags uint32, flood func(agreeMsg), stash *[]*transport.Message) (dec agreeMsg, decided bool, err error) {
 	me := c.rank
 	agreedFlags := flags
+	unacked := c.hasUnackedMembers()
 	union := make(map[ProcID]bool)
 	for _, pr := range c.failedMembers() {
 		union[pr] = true
@@ -205,10 +225,18 @@ func (c *Comm) coordinateRound(tag int, flags uint32, flood func(agreeMsg), stas
 			pending[r] = true
 		}
 	}
+	// drop folds a failure notice into the round. Only member deaths enter
+	// the agreed failed set: a notice about a proc outside this comm (a
+	// stale detector verdict for an already-shrunken-out process) is noted
+	// locally but must not pollute the decision, or survivors would
+	// "agree" on a failure no current member has.
 	drop := func(pr ProcID) {
 		c.p.noteFailure(pr)
-		union[pr] = true
 		if r := c.rankOfProc(pr); r >= 0 {
+			union[pr] = true
+			if !c.p.acked[pr] {
+				unacked = true
+			}
 			delete(pending, r)
 		}
 	}
@@ -224,6 +252,7 @@ func (c *Comm) coordinateRound(tag int, flags uint32, flood func(agreeMsg), stas
 			return msg, true, nil
 		case agreeContrib:
 			agreedFlags &= msg.Flags
+			unacked = unacked || msg.Unacked
 			for _, pr := range msg.Failed {
 				drop(pr)
 			}
@@ -252,7 +281,7 @@ func (c *Comm) coordinateRound(tag int, flags uint32, flood func(agreeMsg), stas
 			return d, done, aerr
 		}
 	}
-	out := agreeMsg{Kind: agreeDecided, Flags: agreedFlags, Failed: setToList(union)}
+	out := agreeMsg{Kind: agreeDecided, Flags: agreedFlags, Failed: setToList(union), Unacked: unacked}
 	flood(out)
 	return out, true, nil
 }
@@ -301,7 +330,7 @@ func (c *Comm) awaitDecision(tag int, coordProc ProcID, flood func(agreeMsg), st
 // revoked communicators. Every survivor obtains the same membership and
 // the same new context id without further communication.
 func (c *Comm) Shrink() (*Comm, error) {
-	_, failed, err := c.agreeFull(^uint32(0))
+	_, failed, _, err := c.agreeFull(^uint32(0))
 	if err != nil {
 		return nil, err
 	}
@@ -378,6 +407,17 @@ func (c *Comm) failedMembers() []ProcID {
 		}
 	}
 	return out
+}
+
+// hasUnackedMembers reports whether any member failure is known locally
+// but not yet acknowledged via FailureAck.
+func (c *Comm) hasUnackedMembers() bool {
+	for _, pr := range c.procs {
+		if c.p.failed[pr] && !c.p.acked[pr] {
+			return true
+		}
+	}
+	return false
 }
 
 func setToList(set map[ProcID]bool) []ProcID {

@@ -319,6 +319,64 @@ func TestAgreeAfterAckNoError(t *testing.T) {
 	}
 }
 
+// TestAgreeUniformError: the ProcFailedError side-channel must be as
+// uniform as the agreed value. Rank 1 privately knows (and has acked) a
+// failure the others have never heard of; the unacked bit the coordinator
+// raises on first sight must reach every member through the decision, so
+// either all six ranks report ProcFailedError or none do — a local acked
+// lookup would split them, and on a scenario's last collective the clean
+// members would exit and strand the erroring ones in a repair nobody
+// joins.
+func TestAgreeUniformError(t *testing.T) {
+	c := newTestCluster(2, 3)
+	procs := c.Procs()
+	var mu sync.Mutex
+	vals := map[int]uint32{}
+	failedAt := map[int]bool{}
+	errs := simnet.RunAll(c, procs, func(rank int, ep *simnet.Endpoint) error {
+		p := Attach(ep)
+		comm, err := World(p, procs)
+		if err != nil {
+			return err
+		}
+		if rank == 1 {
+			// Private, already-acknowledged failure knowledge about rank 5
+			// (which is in fact alive and participating).
+			p.noteFailure(procs[5])
+			comm.FailureAck()
+		}
+		v, err := comm.Agree(1)
+		if err != nil && !IsProcFailed(err) {
+			return err
+		}
+		mu.Lock()
+		vals[rank] = v
+		failedAt[rank] = err != nil
+		mu.Unlock()
+		return nil
+	})
+	if err := simnet.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range vals {
+		if v != vals[0] {
+			t.Fatalf("rank %d agreed on %#x, others on %#x", r, v, vals[0])
+		}
+	}
+	n := 0
+	for _, f := range failedAt {
+		if f {
+			n++
+		}
+	}
+	if n != 0 && n != len(failedAt) {
+		t.Fatalf("ProcFailedError at %d of %d ranks; must be all or none: %v", n, len(failedAt), failedAt)
+	}
+	if n == 0 {
+		t.Fatalf("expected the injected unacked failure to surface as a uniform ProcFailedError")
+	}
+}
+
 // TestShrinkProducesWorkingComm: revoke + shrink after a failure, then run
 // a full allreduce on the survivor communicator.
 func TestShrinkProducesWorkingComm(t *testing.T) {

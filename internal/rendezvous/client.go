@@ -21,14 +21,17 @@ import (
 //	cl.Start(func(dead transport.ProcID) { ep.MarkDead(dead) })
 //	defer cl.Close()
 type Client struct {
-	conn  net.Conn
-	enc   *json.Encoder
-	dec   *json.Decoder
-	proc  transport.ProcID
-	rank  int
-	world int
-	hbInt time.Duration
-	peers map[transport.ProcID]string
+	conn    net.Conn
+	enc     *json.Encoder
+	dec     *json.Decoder
+	proc    transport.ProcID
+	rank    int
+	world   int
+	hbInt   time.Duration
+	noHB    bool // gossip mode: server asked for no heartbeats
+	peers   map[transport.ProcID]string
+	gossips map[transport.ProcID]string
+	mapVer  uint64
 
 	mu      sync.Mutex
 	started bool
@@ -37,12 +40,28 @@ type Client struct {
 	wg      sync.WaitGroup
 }
 
+// JoinOptions parameterizes JoinWith.
+type JoinOptions struct {
+	// SelfAddr is this worker's transport listen address. Required.
+	SelfAddr string
+	// GossipAddr is this worker's gossip UDP address, announced so peers
+	// can probe it (gossip-mode servers include it in welcomes/deltas).
+	GossipAddr string
+	// Timeout bounds the whole welcome wait (0 means no limit).
+	Timeout time.Duration
+}
+
 // Join connects to the rendezvous server, announces selfAddr (this
 // worker's transport listen address), and blocks until the server sends
 // the welcome with the assigned ProcID/rank and the full peer address
 // map — i.e. until the expected world has gathered. timeout bounds the
 // whole wait (0 means no limit).
 func Join(serverAddr, selfAddr string, timeout time.Duration) (*Client, error) {
+	return JoinWith(serverAddr, JoinOptions{SelfAddr: selfAddr, Timeout: timeout})
+}
+
+// JoinWith is Join with the full option set (gossip address).
+func JoinWith(serverAddr string, opts JoinOptions) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", serverAddr, 5*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("rendezvous: dial %s: %w", serverAddr, err)
@@ -53,12 +72,12 @@ func Join(serverAddr, selfAddr string, timeout time.Duration) (*Client, error) {
 		dec:  json.NewDecoder(conn),
 		done: make(chan struct{}),
 	}
-	if err := c.enc.Encode(&wireMsg{Op: "join", Addr: selfAddr}); err != nil {
+	if err := c.enc.Encode(&wireMsg{Op: "join", Addr: opts.SelfAddr, GossipAddr: opts.GossipAddr}); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("rendezvous: join: %w", err)
 	}
-	if timeout > 0 {
-		conn.SetReadDeadline(time.Now().Add(timeout))
+	if opts.Timeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(opts.Timeout))
 	}
 	var msg wireMsg
 	for {
@@ -75,18 +94,35 @@ func Join(serverAddr, selfAddr string, timeout time.Duration) (*Client, error) {
 	transport.Hit(c.proc, transport.PointRdvWelcome)
 	c.rank = msg.Rank
 	c.world = msg.World
-	c.hbInt = time.Duration(msg.HBMillis) * time.Millisecond
-	if c.hbInt <= 0 {
+	c.mapVer = msg.Ver
+	switch {
+	case msg.HBMillis < 0:
+		// Gossip mode: liveness is the SWIM layer's job; the hub must see
+		// no heartbeats at steady state.
+		c.noHB = true
+	case msg.HBMillis == 0:
 		c.hbInt = 500 * time.Millisecond
+	default:
+		c.hbInt = time.Duration(msg.HBMillis) * time.Millisecond
 	}
-	c.peers = make(map[transport.ProcID]string, len(msg.Peers))
-	for k, addr := range msg.Peers {
-		id, err := strconv.Atoi(k)
-		if err != nil {
-			conn.Close()
-			return nil, fmt.Errorf("rendezvous: bad peer id %q in welcome", k)
+	parse := func(in map[string]string, what string) (map[transport.ProcID]string, error) {
+		out := make(map[transport.ProcID]string, len(in))
+		for k, addr := range in {
+			id, err := strconv.Atoi(k)
+			if err != nil {
+				return nil, fmt.Errorf("rendezvous: bad peer id %q in welcome %s", k, what)
+			}
+			out[transport.ProcID(id)] = addr
 		}
-		c.peers[transport.ProcID(id)] = addr
+		return out, nil
+	}
+	if c.peers, err = parse(msg.Peers, "peers"); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if c.gossips, err = parse(msg.Gossips, "gossips"); err != nil {
+		conn.Close()
+		return nil, err
 	}
 	return c, nil
 }
@@ -101,8 +137,10 @@ func (c *Client) Rank() int { return c.rank }
 func (c *Client) World() int { return c.world }
 
 // Peers returns a copy of the ProcID -> transport address map, self
-// included.
+// included, reflecting any deltas applied so far.
 func (c *Client) Peers() map[transport.ProcID]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make(map[transport.ProcID]string, len(c.peers))
 	for id, addr := range c.peers {
 		out[id] = addr
@@ -110,9 +148,31 @@ func (c *Client) Peers() map[transport.ProcID]string {
 	return out
 }
 
+// GossipPeers returns a copy of the ProcID -> gossip address map (empty
+// unless the server runs in gossip mode).
+func (c *Client) GossipPeers() map[transport.ProcID]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[transport.ProcID]string, len(c.gossips))
+	for id, addr := range c.gossips {
+		out[id] = addr
+	}
+	return out
+}
+
+// MapVersion returns the version of the peer map currently held: the
+// welcome's version plus every delta applied since.
+func (c *Client) MapVersion() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mapVer
+}
+
 // Procs returns the gathered ProcIDs in ascending order (the world rank
 // order every worker agrees on).
 func (c *Client) Procs() []transport.ProcID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]transport.ProcID, 0, len(c.peers))
 	for id := range c.peers {
 		out = append(out, id)
@@ -121,14 +181,47 @@ func (c *Client) Procs() []transport.ProcID {
 	return out
 }
 
-// HeartbeatInterval returns the cadence the server asked for.
+// HeartbeatInterval returns the cadence the server asked for (0 in
+// gossip mode: no heartbeats are sent at all).
 func (c *Client) HeartbeatInterval() time.Duration { return c.hbInt }
 
-// Start launches the background heartbeat sender and the notification
-// reader. onPeerDown is invoked (on the reader goroutine) for every
-// failure or departure the server declares; wire it to the transport's
-// MarkDead so declarations become CtlPeerDown injections.
+// NoHeartbeat reports whether the server asked for gossip-mode silence.
+func (c *Client) NoHeartbeat() bool { return c.noHB }
+
+// ReportDead submits this worker's SWIM verdict that dead has been
+// declared, moving the authoritative peer map. Duplicate reports from
+// other members are fine; the hub takes the first.
+func (c *Client) ReportDead(dead transport.ProcID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return net.ErrClosed
+	}
+	return c.enc.Encode(&wireMsg{Op: "verdict", Proc: int(dead)})
+}
+
+// Notifications are the membership callbacks delivered by Start's reader
+// goroutine.
+type Notifications struct {
+	// OnPeerDown is invoked for every failure or departure the server
+	// declares; wire it to the transport's MarkDead so declarations
+	// become CtlPeerDown injections.
+	OnPeerDown func(transport.ProcID)
+	// OnPeerUp is invoked for every late joiner published as a peerup
+	// delta (gossip mode); wire it to the transport's Start and the
+	// gossip runtime's AddPeer.
+	OnPeerUp func(proc transport.ProcID, addr, gossipAddr string)
+}
+
+// Start launches the background heartbeat sender (none in gossip mode)
+// and the notification reader. onPeerDown is invoked (on the reader
+// goroutine) for every failure or departure the server declares.
 func (c *Client) Start(onPeerDown func(transport.ProcID)) {
+	c.StartNotify(Notifications{OnPeerDown: onPeerDown})
+}
+
+// StartNotify is Start with the full callback set.
+func (c *Client) StartNotify(n Notifications) {
 	c.mu.Lock()
 	if c.started || c.closed {
 		c.mu.Unlock()
@@ -137,28 +230,31 @@ func (c *Client) Start(onPeerDown func(transport.ProcID)) {
 	c.started = true
 	c.mu.Unlock()
 
-	c.wg.Add(2)
-	go func() { // heartbeat sender
-		defer c.wg.Done()
-		ticker := time.NewTicker(c.hbInt)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-c.done:
-				return
-			case <-ticker.C:
-				c.mu.Lock()
-				closed := c.closed
-				if !closed {
-					c.enc.Encode(&wireMsg{Op: "hb"})
-				}
-				c.mu.Unlock()
-				if closed {
+	if !c.noHB {
+		c.wg.Add(1)
+		go func() { // heartbeat sender
+			defer c.wg.Done()
+			ticker := time.NewTicker(c.hbInt)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-c.done:
 					return
+				case <-ticker.C:
+					c.mu.Lock()
+					closed := c.closed
+					if !closed {
+						c.enc.Encode(&wireMsg{Op: "hb"})
+					}
+					c.mu.Unlock()
+					if closed {
+						return
+					}
 				}
 			}
-		}
-	}()
+		}()
+	}
+	c.wg.Add(1)
 	go func() { // notification reader
 		defer c.wg.Done()
 		for {
@@ -166,8 +262,42 @@ func (c *Client) Start(onPeerDown func(transport.ProcID)) {
 			if err := c.dec.Decode(&msg); err != nil {
 				return
 			}
-			if msg.Op == "peerdown" && onPeerDown != nil {
-				onPeerDown(transport.ProcID(msg.Proc))
+			switch msg.Op {
+			case "peerdown":
+				c.mu.Lock()
+				delete(c.peers, transport.ProcID(msg.Proc))
+				delete(c.gossips, transport.ProcID(msg.Proc))
+				if msg.Ver > c.mapVer {
+					c.mapVer = msg.Ver
+				}
+				c.mu.Unlock()
+				if n.OnPeerDown != nil {
+					n.OnPeerDown(transport.ProcID(msg.Proc))
+				}
+			case "doubt":
+				// The hub is arbitrating a death verdict against this
+				// member: answer immediately to be acquitted. Responding
+				// here, on the reader goroutine over the hub TCP
+				// connection, is deliberately independent of the gossip
+				// runtime the accusation came from.
+				c.mu.Lock()
+				if !c.closed {
+					c.enc.Encode(&wireMsg{Op: "pong"})
+				}
+				c.mu.Unlock()
+			case "peerup":
+				c.mu.Lock()
+				c.peers[transport.ProcID(msg.Proc)] = msg.Addr
+				if msg.GossipAddr != "" {
+					c.gossips[transport.ProcID(msg.Proc)] = msg.GossipAddr
+				}
+				if msg.Ver > c.mapVer {
+					c.mapVer = msg.Ver
+				}
+				c.mu.Unlock()
+				if n.OnPeerUp != nil {
+					n.OnPeerUp(transport.ProcID(msg.Proc), msg.Addr, msg.GossipAddr)
+				}
 			}
 		}
 	}()

@@ -1,0 +1,317 @@
+package rendezvous
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/vtime"
+)
+
+func gossipServer(t *testing.T, world int) *Server {
+	t.Helper()
+	s, err := ListenAndServe("127.0.0.1:0", Config{World: world, Gossip: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func gossipJoin(t *testing.T, s *Server, i int) *Client {
+	t.Helper()
+	cl, err := JoinWith(s.Addr(), JoinOptions{
+		SelfAddr:   fmt.Sprintf("127.0.0.1:%d", 20000+i),
+		GossipAddr: fmt.Sprintf("127.0.0.1:%d", 30000+i),
+		Timeout:    10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Abandon() })
+	return cl
+}
+
+// gossipGather joins world clients concurrently (Join blocks until the
+// world gathers) and returns them once all welcomes have arrived.
+func gossipGather(t *testing.T, s *Server, world int) []*Client {
+	t.Helper()
+	type res struct {
+		cl  *Client
+		err error
+	}
+	done := make(chan res, world)
+	for i := 0; i < world; i++ {
+		go func(i int) {
+			cl, err := JoinWith(s.Addr(), JoinOptions{
+				SelfAddr:   fmt.Sprintf("127.0.0.1:%d", 20000+i),
+				GossipAddr: fmt.Sprintf("127.0.0.1:%d", 30000+i),
+				Timeout:    10 * time.Second,
+			})
+			done <- res{cl, err}
+		}(i)
+	}
+	out := make([]*Client, 0, world)
+	for i := 0; i < world; i++ {
+		r := <-done
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		cl := r.cl
+		t.Cleanup(func() { cl.Abandon() })
+		out = append(out, cl)
+	}
+	return out
+}
+
+func TestGossipModeWelcome(t *testing.T) {
+	const world = 3
+	s := gossipServer(t, world)
+	clients := gossipGather(t, s, world)
+	for _, cl := range clients {
+		if !cl.NoHeartbeat() {
+			t.Fatalf("proc %d: gossip-mode welcome did not disable heartbeats", cl.Proc())
+		}
+		if cl.HeartbeatInterval() != 0 {
+			t.Fatalf("proc %d: HeartbeatInterval = %v, want 0", cl.Proc(), cl.HeartbeatInterval())
+		}
+		// ProcIDs are assigned in arrival order, so check the address SET:
+		// every announced gossip address appears exactly once, and every
+		// member holds the same map.
+		gp := cl.GossipPeers()
+		if len(gp) != world {
+			t.Fatalf("proc %d: gossip map has %d entries, want %d: %v", cl.Proc(), len(gp), world, gp)
+		}
+		seen := map[string]bool{}
+		for _, addr := range gp {
+			seen[addr] = true
+		}
+		for i := 0; i < world; i++ {
+			want := fmt.Sprintf("127.0.0.1:%d", 30000+i)
+			if !seen[want] {
+				t.Fatalf("proc %d: announced gossip addr %q missing from map %v", cl.Proc(), want, gp)
+			}
+		}
+		if cl.MapVersion() == 0 {
+			t.Fatalf("proc %d: welcome carried no map version", cl.Proc())
+		}
+	}
+}
+
+func TestGossipModeZeroHeartbeatsAtSteadyState(t *testing.T) {
+	const world = 3
+	s := gossipServer(t, world)
+	for _, cl := range gossipGather(t, s, world) {
+		cl.Start(nil)
+	}
+	// Steady state: nothing should heartbeat, ever. Give the (absent)
+	// senders several legacy intervals to misbehave.
+	if vtime.WaitUntil(600*time.Millisecond, func() bool { return s.HBSeen() > 0 }) {
+		t.Fatalf("gossip-mode workers sent %d heartbeats", s.HBSeen())
+	}
+
+	// The counter itself works: a stray hand-rolled heartbeat is counted
+	// (and ignored) rather than silently dropped.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, `{"op":"hb"}`+"\n")
+	if !vtime.WaitUntil(5*time.Second, func() bool { return s.HBSeen() == 1 }) {
+		t.Fatalf("stray heartbeat not counted: HBSeen=%d", s.HBSeen())
+	}
+}
+
+func TestGossipModeVerdictMovesMap(t *testing.T) {
+	const world = 3
+	s := gossipServer(t, world)
+	byProc := map[transport.ProcID]*Client{}
+	downs := make(chan transport.ProcID, world)
+	for _, cl := range gossipGather(t, s, world) {
+		byProc[cl.Proc()] = cl
+		cl.Start(func(dead transport.ProcID) { downs <- dead })
+	}
+	verBefore := s.MapVersion()
+
+	// Proc 2 really dies (kill -9: the hub's doubt probe can never be
+	// answered), then proc 0's SWIM layer declares it. The hub upholds
+	// the verdict and republishes it as a versioned delta; survivors'
+	// maps shrink and versions advance.
+	byProc[2].Abandon()
+	if err := byProc[0].ReportDead(2); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate verdicts (e.g. from a second member) are no-ops.
+	byProc[1].ReportDead(2)
+
+	for _, p := range []transport.ProcID{0, 1} {
+		cl := byProc[p]
+		if !vtime.WaitUntil(5*time.Second, func() bool {
+			_, ok := cl.Peers()[2]
+			return !ok && cl.MapVersion() > verBefore
+		}) {
+			t.Fatalf("proc %d: peer map never shrank (ver=%d, peers=%v)", p, cl.MapVersion(), cl.Peers())
+		}
+		if _, ok := cl.GossipPeers()[2]; ok {
+			t.Fatalf("proc %d: gossip map still holds the declared member", p)
+		}
+	}
+	dead := <-downs
+	if dead != 2 {
+		t.Fatalf("peerdown for %d, want 2", dead)
+	}
+	if got := s.MapVersion(); got != verBefore+1 {
+		t.Fatalf("server map version = %d, want %d (one bump for one declaration)", got, verBefore+1)
+	}
+	if s.HBSeen() != 0 {
+		t.Fatalf("verdict flow leaked %d heartbeats", s.HBSeen())
+	}
+}
+
+// TestGossipModeVerdictAcquittal pins the hub's arbitration of false
+// verdicts: a death verdict against a member whose connection is still
+// healthy is answered by the member itself (doubt -> pong over the hub
+// TCP conn, independent of the gossip fabric), and the membership is
+// untouched. A later verdict against the same member, once it has
+// really died, must still be upheld — acquittal clears the trial state.
+func TestGossipModeVerdictAcquittal(t *testing.T) {
+	const world = 3
+	s := gossipServer(t, world)
+	byProc := map[transport.ProcID]*Client{}
+	downs := make(chan transport.ProcID, world)
+	for _, cl := range gossipGather(t, s, world) {
+		byProc[cl.Proc()] = cl
+		cl.Start(func(dead transport.ProcID) { downs <- dead })
+	}
+	verBefore := s.MapVersion()
+
+	// A false verdict: proc 2 is alive and connected (a CPU-starved SWIM
+	// runtime elsewhere timed it out). The hub doubts, proc 2 pongs, and
+	// nothing happens to the map.
+	if err := byProc[0].ReportDead(2); err != nil {
+		t.Fatal(err)
+	}
+	if vtime.WaitUntil(600*time.Millisecond, func() bool { return s.MapVersion() != verBefore }) {
+		t.Fatalf("false verdict moved the map: ver %d -> %d", verBefore, s.MapVersion())
+	}
+	for _, p := range []transport.ProcID{0, 1, 2} {
+		if _, ok := byProc[p].Peers()[2]; !ok {
+			t.Fatalf("proc %d: acquitted member evicted from peer map", p)
+		}
+	}
+	select {
+	case dead := <-downs:
+		t.Fatalf("false verdict delivered peerdown for proc %d", dead)
+	default:
+	}
+
+	// The same member really dies later: the verdict must be upheld —
+	// the dismissed trial must not shadow the real death.
+	byProc[2].Abandon()
+	if err := byProc[0].ReportDead(2); err != nil {
+		t.Fatal(err)
+	}
+	if !vtime.WaitUntil(5*time.Second, func() bool { return s.MapVersion() == verBefore+1 }) {
+		t.Fatalf("real death after acquittal not declared (ver=%d)", s.MapVersion())
+	}
+	if dead := <-downs; dead != 2 {
+		t.Fatalf("peerdown for %d, want 2", dead)
+	}
+}
+
+// TestGossipModeDeltasOnlyAfterJoin pins the wire protocol at the byte
+// level: after a member's welcome, every server->client message must be
+// an incremental delta — "peerup"/"peerdown" with a monotonically
+// increasing "ver" and no "peers" or "gossips" key. The full map travels
+// exactly once, in the welcome.
+func TestGossipModeDeltasOnlyAfterJoin(t *testing.T) {
+	const world = 2
+	s := gossipServer(t, world)
+
+	// A raw protocol speaker, so assertions see exact bytes.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, `{"op":"join","addr":"127.0.0.1:19000","gaddr":"127.0.0.1:19001"}`+"\n")
+
+	other := gossipJoin(t, s, 1) // completes the world
+
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		t.Fatal("no welcome line")
+	}
+	welcome := sc.Text()
+	var wm map[string]any
+	if err := json.Unmarshal([]byte(welcome), &wm); err != nil {
+		t.Fatalf("welcome not JSON: %v\n%s", err, welcome)
+	}
+	if wm["op"] != "welcome" {
+		t.Fatalf("first message op = %v, want welcome", wm["op"])
+	}
+	if _, ok := wm["peers"]; !ok {
+		t.Fatalf("welcome carries no full peer map: %s", welcome)
+	}
+	if _, ok := wm["gossips"]; !ok {
+		t.Fatalf("gossip-mode welcome carries no gossip map: %s", welcome)
+	}
+	if hb, ok := wm["hb_ms"].(float64); !ok || hb != -1 {
+		t.Fatalf("gossip-mode welcome hb_ms = %v, want -1: %s", wm["hb_ms"], welcome)
+	}
+	welcomeVer, ok := wm["ver"].(float64)
+	if !ok || welcomeVer <= 0 {
+		t.Fatalf("welcome ver = %v, want positive: %s", wm["ver"], welcome)
+	}
+
+	// Drive three membership changes — a late join, a verdict on it, and
+	// the other member's clean leave — reading each resulting delta
+	// before triggering the next so cross-connection ordering is fixed.
+	lastVer := welcomeVer
+	readDelta := func(want string) map[string]any {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("stream ended before %s delta: %v", want, sc.Err())
+		}
+		line := sc.Text()
+		var dm map[string]any
+		if err := json.Unmarshal([]byte(line), &dm); err != nil {
+			t.Fatalf("delta not JSON: %v\n%s", err, line)
+		}
+		if dm["op"] != want {
+			t.Fatalf("delta op = %v, want %s: %s", dm["op"], want, line)
+		}
+		for _, forbidden := range []string{"peers", "gossips"} {
+			if _, ok := dm[forbidden]; ok {
+				t.Fatalf("post-join message carries a full %q map: %s", forbidden, line)
+			}
+		}
+		ver, ok := dm["ver"].(float64)
+		if !ok || ver <= lastVer {
+			t.Fatalf("delta ver = %v, want > %v: %s", dm["ver"], lastVer, line)
+		}
+		lastVer = ver
+		return dm
+	}
+
+	late := gossipJoin(t, s, 7)
+	up := readDelta("peerup")
+	if up["addr"] != "127.0.0.1:20007" || up["gaddr"] != "127.0.0.1:30007" {
+		t.Fatalf("peerup addresses wrong: %+v", up)
+	}
+	late.Abandon() // really dead, so the verdict below is upheld
+	if err := other.ReportDead(late.Proc()); err != nil {
+		t.Fatal(err)
+	}
+	down := readDelta("peerdown")
+	if int(down["proc"].(float64)) != int(late.Proc()) {
+		t.Fatalf("peerdown names %v, want %d", down["proc"], late.Proc())
+	}
+	other.Close()
+	readDelta("peerdown")
+}

@@ -20,6 +20,16 @@ var (
 	obsHBGap = obs.Default().Histogram("rendezvous_heartbeat_gap_seconds",
 		"Silence between consecutive heartbeats from one member.",
 		obs.SecondsBuckets())
+	obsVerdicts = obs.Default().Counter("rendezvous_verdicts_total",
+		"SWIM death verdicts accepted from members (gossip mode).")
+	obsConvictions = obs.Default().Counter("rendezvous_convictions_total",
+		"Verdicts upheld after the doubt probe: member stripped and peerdown broadcast.")
+	obsAcquittals = obs.Default().Counter("rendezvous_acquittals_total",
+		"Verdicts dismissed because the accused answered the doubt probe (false positives).")
+	obsDeltas = obs.Default().Counter("rendezvous_deltas_total",
+		"Incremental peerup/peerdown messages sent (full map only at join).")
+	obsStrayHBs = obs.Default().Counter("rendezvous_stray_heartbeats_total",
+		"Heartbeats received while in gossip mode (invariant: zero).")
 	obsPeers       [StateDead + 1]*obs.Gauge
 	obsTransitions [StateDead + 1]*obs.Counter
 )

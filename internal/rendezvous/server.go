@@ -6,6 +6,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/trace"
@@ -14,18 +15,27 @@ import (
 
 // wireMsg is the line-delimited JSON protocol both directions speak.
 //
-// client -> server: {"op":"join","addr":...}, {"op":"hb"}, {"op":"leave"}
+// client -> server: {"op":"join","addr":...}, {"op":"hb"}, {"op":"leave"},
+// and in gossip mode {"op":"verdict","proc":N} (the SWIM detector's death
+// declaration, reported by any member) and {"op":"pong"} (the accused
+// answering a doubt).
 // server -> client: {"op":"welcome",...} once the world has gathered,
-// then {"op":"peerdown","proc":N} for each declared failure or clean
-// departure.
+// then incremental deltas: {"op":"peerdown","proc":N} for each declared
+// failure or clean departure, and in gossip mode {"op":"peerup",...} for
+// each late joiner and {"op":"doubt"} to a member some verdict accused.
+// In gossip mode every delta carries the peer-map version it produced;
+// the full map travels only in the welcome.
 type wireMsg struct {
-	Op       string            `json:"op"`
-	Addr     string            `json:"addr,omitempty"`  // join: worker's transport listen address
-	Proc     int               `json:"proc,omitempty"`  // welcome: assigned ProcID; peerdown: the affected process
-	Rank     int               `json:"rank,omitempty"`  // welcome: assigned world rank
-	World    int               `json:"world,omitempty"` // welcome: world size
-	HBMillis int64             `json:"hb_ms,omitempty"` // welcome: heartbeat interval to honor
-	Peers    map[string]string `json:"peers,omitempty"` // welcome: ProcID (decimal) -> transport address
+	Op         string            `json:"op"`
+	Addr       string            `json:"addr,omitempty"`    // join/peerup: worker's transport listen address
+	GossipAddr string            `json:"gaddr,omitempty"`   // join/peerup: worker's gossip UDP address
+	Proc       int               `json:"proc,omitempty"`    // welcome: assigned ProcID; peerup/peerdown: the affected process
+	Rank       int               `json:"rank,omitempty"`    // welcome: assigned world rank
+	World      int               `json:"world,omitempty"`   // welcome: world size
+	HBMillis   int64             `json:"hb_ms,omitempty"`   // welcome: heartbeat interval to honor (-1: none, gossip mode)
+	Ver        uint64            `json:"ver,omitempty"`     // welcome/deltas: peer-map version (gossip mode)
+	Peers      map[string]string `json:"peers,omitempty"`   // welcome: ProcID (decimal) -> transport address
+	Gossips    map[string]string `json:"gossips,omitempty"` // welcome: ProcID (decimal) -> gossip address (gossip mode)
 }
 
 // Config tunes the rendezvous service.
@@ -46,6 +56,24 @@ type Config struct {
 	Trace *trace.Recorder
 	// Logf, if set, receives human-readable service logs.
 	Logf func(format string, args ...any)
+	// Gossip moves failure-detection authority to the members' SWIM
+	// detector: welcomes carry the peers' gossip addresses and HBMillis=-1
+	// (workers send no heartbeats and the server runs no sweeps), deaths
+	// arrive as member verdicts, and post-join membership changes are
+	// published as versioned peerup/peerdown deltas — the hub keeps only
+	// rank-assignment and welcome authority.
+	Gossip bool
+	// DoubtGrace is how long an accused member gets to answer the hub's
+	// doubt probe before a gossip verdict is acted on. The hub holds a
+	// liveness channel the detector does not — the accused's own TCP
+	// connection — so before stripping membership it asks the accused
+	// directly. A dead process has a closed connection and is convicted
+	// the moment the probe write fails, keeping real detection latency
+	// unchanged; a live-but-starved process (an oversubscribed host can
+	// stall a member's gossip responder past the SWIM suspicion window)
+	// answers with a pong and is acquitted, so false verdicts cause zero
+	// membership damage. Default 2s.
+	DoubtGrace time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -58,17 +86,29 @@ func (c Config) withDefaults() Config {
 	if c.DeadAfter <= 0 {
 		c.DeadAfter = 6 * c.HeartbeatInterval
 	}
+	if c.DoubtGrace <= 0 {
+		c.DoubtGrace = 2 * time.Second
+	}
 	return c
 }
 
 // member is one connected worker.
 type member struct {
-	proc transport.ProcID
-	rank int
-	addr string
-	conn net.Conn
-	enc  *json.Encoder
-	mu   sync.Mutex // serializes writes to conn
+	proc  transport.ProcID
+	rank  int
+	addr  string
+	gaddr string // gossip UDP address (gossip mode)
+	conn  net.Conn
+	enc   *json.Encoder
+	mu    sync.Mutex // serializes writes to conn
+	gone  bool       // reader saw EOF/reset: no pong can ever arrive (guarded by Server.mu)
+
+	// acquittedAt is when this member last answered a doubt (guarded by
+	// Server.mu). Verdicts arriving within DoubtGrace of it are dropped
+	// without a new trial: under CPU starvation many peers declare the
+	// same struggling-but-alive member nearly at once, and re-trying it
+	// for each would turn the doubt probe into its own load source.
+	acquittedAt time.Time
 }
 
 func (m *member) send(msg *wireMsg) error {
@@ -86,9 +126,14 @@ type Server struct {
 	mu        sync.Mutex
 	members   map[transport.ProcID]*member
 	det       *Detector
+	doubting  map[transport.ProcID]*time.Timer // accused members awaiting their doubt answer
+	accused   map[transport.ProcID]bool        // members any verdict has EVER named (survives acquittal)
 	nextProc  transport.ProcID
+	mapVer    uint64 // peer-map version, bumped on every membership change
 	worldSent bool
 	closed    bool
+
+	hbSeen atomic.Uint64 // heartbeats received in gossip mode (should stay 0)
 
 	wg sync.WaitGroup
 }
@@ -108,16 +153,35 @@ func ListenAndServe(addr string, cfg Config) (*Server, error) {
 // Serve runs the service on an existing listener.
 func Serve(ln net.Listener, cfg Config) *Server {
 	s := &Server{
-		cfg:     cfg.withDefaults(),
-		ln:      ln,
-		epoch:   time.Now(),
-		members: make(map[transport.ProcID]*member),
+		cfg:      cfg.withDefaults(),
+		ln:       ln,
+		epoch:    time.Now(),
+		members:  make(map[transport.ProcID]*member),
+		doubting: make(map[transport.ProcID]*time.Timer),
+		accused:  make(map[transport.ProcID]bool),
 	}
 	s.det = NewDetector(s.cfg.SuspectAfter.Seconds(), s.cfg.DeadAfter.Seconds())
-	s.wg.Add(2)
+	s.wg.Add(1)
 	go s.acceptLoop()
-	go s.sweepLoop()
+	if !s.cfg.Gossip {
+		// Gossip mode runs no hub-side detector: liveness authority lives
+		// in the members' SWIM layer and arrives as verdicts.
+		s.wg.Add(1)
+		go s.sweepLoop()
+	}
 	return s
+}
+
+// HBSeen reports how many heartbeat messages arrived while in gossip
+// mode — the steady-state invariant the conformance suite pins is that
+// this stays zero.
+func (s *Server) HBSeen() uint64 { return s.hbSeen.Load() }
+
+// MapVersion returns the current peer-map version.
+func (s *Server) MapVersion() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mapVer
 }
 
 // Addr returns the bound listen address.
@@ -131,6 +195,9 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	for _, t := range s.doubting {
+		t.Stop()
+	}
 	conns := make([]net.Conn, 0, len(s.members))
 	for _, m := range s.members {
 		conns = append(conns, m.conn)
@@ -174,6 +241,11 @@ func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	dec := json.NewDecoder(conn)
 	var m *member
+	defer func() {
+		if m != nil {
+			s.connGone(m)
+		}
+	}()
 	for {
 		var msg wireMsg
 		if err := dec.Decode(&msg); err != nil {
@@ -184,10 +256,25 @@ func (s *Server) handle(conn net.Conn) {
 			if m != nil {
 				continue // duplicate join on one connection
 			}
-			m = s.join(conn, msg.Addr)
+			m = s.join(conn, msg.Addr, msg.GossipAddr)
 		case "hb":
+			if s.cfg.Gossip {
+				// Steady-state invariant: gossip-mode workers send no
+				// heartbeats. Count strays so tests can pin zero.
+				s.hbSeen.Add(1)
+				obsStrayHBs.Inc()
+				continue
+			}
 			if m != nil {
 				s.heartbeat(m)
+			}
+		case "verdict":
+			if s.cfg.Gossip && m != nil {
+				s.verdict(m, transport.ProcID(msg.Proc))
+			}
+		case "pong":
+			if s.cfg.Gossip && m != nil {
+				s.acquit(m)
 			}
 		case "leave":
 			if m != nil {
@@ -200,19 +287,24 @@ func (s *Server) handle(conn net.Conn) {
 
 // join admits a worker: assigns the next ProcID (never reused), records
 // its transport address, and — once the expected world has gathered —
-// publishes the address map to everyone.
-func (s *Server) join(conn net.Conn, addr string) *member {
+// publishes the address map to everyone. After that point the full map
+// travels only in the late joiner's own welcome; members already in the
+// world get an incremental peerup delta (gossip mode).
+func (s *Server) join(conn net.Conn, addr, gaddr string) *member {
 	s.mu.Lock()
 	proc := s.nextProc
 	s.nextProc++
 	m := &member{
-		proc: proc,
-		rank: int(proc),
-		addr: addr,
-		conn: conn,
-		enc:  json.NewEncoder(conn),
+		proc:  proc,
+		rank:  int(proc),
+		addr:  addr,
+		gaddr: gaddr,
+		conn:  conn,
+		enc:   json.NewEncoder(conn),
 	}
 	s.members[proc] = m
+	s.mapVer++
+	ver := s.mapVer
 	now := s.now()
 	gathered := len(s.members)
 	world := s.cfg.World
@@ -224,48 +316,189 @@ func (s *Server) join(conn net.Conn, addr string) *member {
 	// Arm the failure detector at welcome time, not join time: clients
 	// only start heartbeating once the welcome arrives, so a member that
 	// joins early (e.g. a worker that also hosts this service) must not
-	// accrue silence while the rest of the world is still gathering.
-	if sendWorld {
-		for pid := range s.members {
-			s.det.Join(pid, now)
+	// accrue silence while the rest of the world is still gathering. In
+	// gossip mode there is no hub detector to arm.
+	if !s.cfg.Gossip {
+		if sendWorld {
+			for pid := range s.members {
+				s.det.Join(pid, now)
+				obsPeerArmed()
+			}
+		} else if lateJoin {
+			s.det.Join(proc, now)
 			obsPeerArmed()
 		}
-	} else if lateJoin {
-		s.det.Join(proc, now)
-		obsPeerArmed()
 	}
 	obsJoins.Inc()
 	var recipients []*member
+	var deltaTo []*member
 	if sendWorld {
 		for _, mm := range s.members {
 			recipients = append(recipients, mm)
 		}
 	} else if lateJoin {
 		recipients = []*member{m}
+		if s.cfg.Gossip {
+			deltaTo = s.othersLocked(proc)
+		}
 	}
 	peers := make(map[string]string, len(s.members))
+	gossips := make(map[string]string, len(s.members))
 	for id, mm := range s.members {
 		peers[strconv.Itoa(int(id))] = mm.addr
+		if s.cfg.Gossip {
+			gossips[strconv.Itoa(int(id))] = mm.gaddr
+		}
 	}
 	s.mu.Unlock()
 
 	s.cfg.Trace.Membership(now, int(proc), "member_join", map[string]any{"addr": addr, "rank": m.rank})
 	s.logf("rendezvous: proc %d joined from %s (%d/%d)", proc, addr, gathered, world)
 
+	hbMillis := s.cfg.HeartbeatInterval.Milliseconds()
+	if s.cfg.Gossip {
+		hbMillis = -1 // gossip mode: send no heartbeats
+	}
 	for _, mm := range recipients {
 		msg := &wireMsg{
 			Op:       "welcome",
 			Proc:     int(mm.proc),
 			Rank:     mm.rank,
 			World:    len(peers),
-			HBMillis: s.cfg.HeartbeatInterval.Milliseconds(),
+			HBMillis: hbMillis,
+			Ver:      ver,
 			Peers:    peers,
+		}
+		if s.cfg.Gossip {
+			msg.Gossips = gossips
 		}
 		if err := mm.send(msg); err != nil {
 			s.logf("rendezvous: welcome to proc %d failed: %v", mm.proc, err)
 		}
 	}
+	for _, mm := range deltaTo {
+		obsDeltas.Inc()
+		if err := mm.send(&wireMsg{Op: "peerup", Proc: int(proc), Addr: addr, GossipAddr: gaddr, Ver: ver}); err != nil {
+			s.logf("rendezvous: peerup(%d) to proc %d failed: %v", proc, mm.proc, err)
+		}
+	}
 	return m
+}
+
+// verdict arbitrates a member's SWIM death declaration. The hub does not
+// act on the detector's word alone: it probes the accused over its own
+// rendezvous connection and only convicts if the probe write fails (the
+// process is gone, its socket closed) or the grace expires unanswered (a
+// true hang). A live member answers the doubt with a pong and is
+// acquitted — see Config.DoubtGrace. First verdict arms the doubt;
+// verdicts arriving while one is pending are absorbed.
+func (s *Server) verdict(from *member, dead transport.ProcID) {
+	s.mu.Lock()
+	mm, ok := s.members[dead]
+	if !ok || s.doubting[dead] != nil || s.closed {
+		s.mu.Unlock()
+		return // already declared, already left, or already on trial
+	}
+	by := from.proc
+	s.accused[dead] = true
+	if mm.gone {
+		// The accused's connection already dropped: no pong can ever
+		// arrive, so skip the grace and convict now. This keeps real
+		// deaths at SWIM detection latency — only a true hang (process
+		// alive enough to hold its socket, too wedged to answer) waits
+		// out the grace.
+		s.mu.Unlock()
+		obsVerdicts.Inc()
+		s.convict(dead, by)
+		return
+	}
+	if !mm.acquittedAt.IsZero() && time.Since(mm.acquittedAt) < s.cfg.DoubtGrace {
+		// Freshly acquitted: the member just proved it is alive, so
+		// verdicts from other starved observers are stale by
+		// construction. Absorbing them here keeps a verdict storm from
+		// becoming a doubt storm.
+		s.mu.Unlock()
+		return
+	}
+	timer := time.AfterFunc(s.cfg.DoubtGrace, func() { s.convict(dead, by) })
+	s.doubting[dead] = timer
+	s.mu.Unlock()
+
+	obsVerdicts.Inc()
+	if err := mm.send(&wireMsg{Op: "doubt"}); err != nil {
+		if timer.Stop() {
+			s.convict(dead, by)
+		}
+		return
+	}
+	s.logf("rendezvous: proc %d accused by proc %d's verdict; doubting", dead, by)
+}
+
+// connGone records that a member's connection reader exited (EOF or
+// reset). If the member is on trial, the doubt can never be answered:
+// convict without waiting out the grace. The same applies to a member
+// any verdict has EVER named, even one acquitted since: its accusers'
+// SWIM tables hold it dead (dead is absorbing), so when it later
+// really dies nobody is left to re-report it — the unclean conn drop
+// is the only death evidence the hub will ever see. A member no one
+// ever accused is left alone: its eventual death cannot have been
+// absorbed, so the normal verdict path will cover it, and a transient
+// hub-link drop never kills an unaccused worker.
+func (s *Server) connGone(m *member) {
+	s.mu.Lock()
+	m.gone = true
+	timer := s.doubting[m.proc]
+	delete(s.doubting, m.proc)
+	wasAccused := s.accused[m.proc]
+	s.mu.Unlock()
+	if timer != nil {
+		if timer.Stop() {
+			s.convict(m.proc, -1)
+		}
+		return
+	}
+	if wasAccused {
+		s.convict(m.proc, -1)
+	}
+}
+
+// convict strips an accused member that failed its doubt: removes it from
+// the map, bumps the version, and republishes the change as a delta.
+func (s *Server) convict(dead transport.ProcID, by transport.ProcID) {
+	s.mu.Lock()
+	delete(s.doubting, dead)
+	delete(s.accused, dead)
+	mm, ok := s.members[dead]
+	if !ok || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.members, dead)
+	s.mapVer++
+	ver := s.mapVer
+	now := s.now()
+	rest := s.othersLocked(dead)
+	s.mu.Unlock()
+
+	obsConvictions.Inc()
+	s.cfg.Trace.Membership(now, int(dead), "gossip_dead", map[string]any{"by": int(by)})
+	s.logf("rendezvous: proc %d declared dead by proc %d's verdict", dead, by)
+	mm.conn.Close()
+	s.broadcastDownVer(rest, dead, ver)
+}
+
+// acquit clears a pending doubt: the accused answered, so the verdict
+// that raised it is dismissed without touching the membership.
+func (s *Server) acquit(m *member) {
+	s.mu.Lock()
+	timer := s.doubting[m.proc]
+	delete(s.doubting, m.proc)
+	m.acquittedAt = time.Now()
+	s.mu.Unlock()
+	if timer != nil && timer.Stop() {
+		obsAcquittals.Inc()
+		s.logf("rendezvous: proc %d answered the doubt; verdict dismissed", m.proc)
+	}
 }
 
 func (s *Server) heartbeat(m *member) {
@@ -296,19 +529,26 @@ func (s *Server) leave(m *member) {
 		s.mu.Unlock()
 		return
 	}
+	if t := s.doubting[m.proc]; t != nil {
+		t.Stop()
+		delete(s.doubting, m.proc)
+	}
+	delete(s.accused, m.proc)
 	delete(s.members, m.proc)
 	if st, ok := s.det.State(m.proc); ok {
 		obsPeerGone(st)
 	}
 	s.det.Leave(m.proc)
 	obsLeaves.Inc()
+	s.mapVer++
+	ver := s.mapVer
 	now := s.now()
 	rest := s.othersLocked(m.proc)
 	s.mu.Unlock()
 
 	s.cfg.Trace.Membership(now, int(m.proc), "member_leave", nil)
 	s.logf("rendezvous: proc %d left", m.proc)
-	s.broadcastDown(rest, m.proc)
+	s.broadcastDownVer(rest, m.proc, ver)
 }
 
 // othersLocked snapshots every member except id.
@@ -322,9 +562,10 @@ func (s *Server) othersLocked(id transport.ProcID) []*member {
 	return out
 }
 
-func (s *Server) broadcastDown(to []*member, dead transport.ProcID) {
+func (s *Server) broadcastDownVer(to []*member, dead transport.ProcID, ver uint64) {
 	for _, mm := range to {
-		if err := mm.send(&wireMsg{Op: "peerdown", Proc: int(dead)}); err != nil {
+		obsDeltas.Inc()
+		if err := mm.send(&wireMsg{Op: "peerdown", Proc: int(dead), Ver: ver}); err != nil {
 			s.logf("rendezvous: peerdown(%d) to proc %d failed: %v", dead, mm.proc, err)
 		}
 	}
@@ -360,6 +601,7 @@ func (s *Server) sweepLoop() {
 			proc transport.ProcID
 			rest []*member
 			conn net.Conn
+			ver  uint64
 		}
 		var deaths []death
 		for _, tr := range trs {
@@ -369,6 +611,8 @@ func (s *Server) sweepLoop() {
 					d.conn = mm.conn
 					delete(s.members, tr.Proc)
 				}
+				s.mapVer++
+				d.ver = s.mapVer
 				deaths = append(deaths, d)
 			}
 		}
@@ -388,7 +632,7 @@ func (s *Server) sweepLoop() {
 			if d.conn != nil {
 				d.conn.Close()
 			}
-			s.broadcastDown(d.rest, d.proc)
+			s.broadcastDownVer(d.rest, d.proc, d.ver)
 		}
 	}
 }

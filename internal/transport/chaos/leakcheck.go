@@ -13,6 +13,8 @@ var leakPackages = []string{
 	"repro/internal/transport/tcpnet.",
 	"repro/internal/transport/chaos.",
 	"repro/internal/rendezvous.",
+	"repro/internal/gossip.",
+	"repro/internal/clustertest.",
 }
 
 // Leaked scans all goroutine stacks for frames owned by the transport,

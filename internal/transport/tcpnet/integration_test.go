@@ -232,8 +232,8 @@ func TestLoopbackPipelinedSurvivesMidCollectiveKill(t *testing.T) {
 	srv, err := rendezvous.ListenAndServe("127.0.0.1:0", rendezvous.Config{
 		World:             world,
 		HeartbeatInterval: 25 * time.Millisecond,
-		SuspectAfter:      100 * time.Millisecond,
-		DeadAfter:         250 * time.Millisecond,
+		SuspectAfter:      200 * time.Millisecond,
+		DeadAfter:         500 * time.Millisecond,
 		Trace:             rec,
 	})
 	if err != nil {
@@ -294,8 +294,8 @@ func TestLoopbackWorldSurvivesKill(t *testing.T) {
 	srv, err := rendezvous.ListenAndServe("127.0.0.1:0", rendezvous.Config{
 		World:             world,
 		HeartbeatInterval: 25 * time.Millisecond,
-		SuspectAfter:      100 * time.Millisecond,
-		DeadAfter:         250 * time.Millisecond,
+		SuspectAfter:      200 * time.Millisecond,
+		DeadAfter:         500 * time.Millisecond,
 		Trace:             rec,
 	})
 	if err != nil {
