@@ -37,6 +37,8 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional ns/op regression (0.30 = +30%)")
 	minNs := flag.Float64("min-ns", 50_000, "skip cells whose baseline is below this many ns/op (too noise-dominated at CI iteration counts to gate)")
 	gobToo := flag.Bool("gob", false, "also gate the gob-codec cells (off: the legacy envelope may drift)")
+	pipeSlack := flag.Float64("pipelined-slack", 0.10, "allowed fractional ns/op excess of raw pipelined over raw ring at the same size (the pipelined floor: chunking must never lose to the plain ring)")
+	minMBps := flag.Float64("min-mbps", 0, "required MB/s for the largest raw pipelined allreduce row in the fresh report (0 = off)")
 	cp := flag.Bool("controlplane", false, "gate gossip control-plane reports instead of data-plane reports")
 	flag.Parse()
 	if *freshPath == "" {
@@ -96,12 +98,109 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: no comparable cells between baseline and fresh report")
 		os.Exit(1)
 	}
+	failures += gateInvariants(fresh, *pipeSlack, *minMBps)
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d of %d cells regressed more than %.0f%%\n",
+		fmt.Fprintf(os.Stderr, "benchgate: %d of %d cells regressed more than %.0f%% (or violated a data-plane invariant)\n",
 			failures, compared, *tolerance*100)
 		os.Exit(1)
 	}
 	fmt.Printf("benchgate: %d cells within %.0f%% of baseline\n", compared, *tolerance*100)
+}
+
+// gateInvariants checks properties of the fresh report alone — claims the
+// data plane makes about itself, independent of any baseline drift:
+//
+//   - the pipelined floor: at every tensor size measured, the raw
+//     pipelined row must not exceed the raw ring row's ns/op by more
+//     than pipeSlack (the chunk-count heuristic degrades pipelining to
+//     the plain ring rather than paying chunk overhead it can't win back);
+//   - compression really compresses: every fp16 row must move fewer
+//     wire bytes than the raw row with the same schedule and size
+//     (at most ~half plus framing, gated loosely at 0.75x);
+//   - optionally, an absolute throughput floor for the headline cell
+//     (largest raw pipelined row), for CI hosts with known capability.
+//
+// Returns the number of violations, each printed in the cell format of
+// the regression report.
+func gateInvariants(fresh *dataplane.Report, pipeSlack, minMBps float64) int {
+	type cellKey struct {
+		bytes int64
+		algo  string
+		codec string
+	}
+	cells := make(map[cellKey]dataplane.AllreduceResult, len(fresh.TCPAllreduce))
+	for _, c := range fresh.TCPAllreduce {
+		cells[cellKey{c.TensorBytes, c.Algo, c.Codec}] = c
+	}
+
+	failures := 0
+	sizes := map[int64]bool{}
+	for _, c := range fresh.TCPAllreduce {
+		sizes[c.TensorBytes] = true
+	}
+	for bytes := range sizes {
+		ring, okR := cells[cellKey{bytes, "ring", "raw"}]
+		pipe, okP := cells[cellKey{bytes, "pipelined", "raw"}]
+		if okR && okP {
+			ratio := pipe.NsPerOp / ring.NsPerOp
+			status := "ok"
+			if ratio > 1+pipeSlack {
+				status = "FLOOR VIOLATION"
+				failures++
+			}
+			fmt.Printf("%-12s %-40s %12.0f vs %12.0f ns/op  %+6.1f%%  %s\n",
+				"pipe-floor", fmt.Sprintf("%dB pipelined-vs-ring/raw", bytes),
+				pipe.NsPerOp, ring.NsPerOp, (ratio-1)*100, status)
+		}
+	}
+
+	fp16Seen := false
+	for key, c := range cells {
+		if key.codec != "fp16" {
+			continue
+		}
+		raw, ok := cells[cellKey{key.bytes, key.algo, "raw"}]
+		if !ok {
+			continue
+		}
+		fp16Seen = true
+		status := "ok"
+		if c.WireBytes <= 0 || raw.WireBytes <= 0 ||
+			float64(c.WireBytes) > 0.75*float64(raw.WireBytes) {
+			status = "NO WIRE REDUCTION"
+			failures++
+		}
+		fmt.Printf("%-12s %-40s %12d vs %12d wire B/op          %s\n",
+			"fp16-wire", fmt.Sprintf("%dB %s/fp16-vs-raw", key.bytes, key.algo),
+			c.WireBytes, raw.WireBytes, status)
+	}
+	if !fp16Seen {
+		fmt.Fprintln(os.Stderr, "benchgate: fresh report has no fp16 allreduce row with a matching raw row")
+		failures++
+	}
+
+	if minMBps > 0 {
+		var head dataplane.AllreduceResult
+		for _, c := range fresh.TCPAllreduce {
+			if c.Algo == "pipelined" && c.Codec == "raw" && c.TensorBytes > head.TensorBytes {
+				head = c
+			}
+		}
+		if head.TensorBytes == 0 {
+			fmt.Fprintln(os.Stderr, "benchgate: -min-mbps set but fresh report has no raw pipelined row")
+			failures++
+		} else {
+			status := "ok"
+			if head.MBPerSec < minMBps {
+				status = "BELOW FLOOR"
+				failures++
+			}
+			fmt.Printf("%-12s %-40s %12.1f MB/s (floor %.1f)  %s\n",
+				"throughput", fmt.Sprintf("%dB pipelined/raw", head.TensorBytes),
+				head.MBPerSec, minMBps, status)
+		}
+	}
+	return failures
 }
 
 // gateControlplane diffs two controlplane.Report documents: every world

@@ -146,6 +146,9 @@ func main() {
 		tab, err = experiments.ConvergenceTable()
 		check(err)
 		printTable(tab)
+		tab, err = experiments.CompressionTable(8, 1<<16)
+		check(err)
+		printTable(tab)
 		printTable(experiments.PFSTable())
 		ran = true
 	}

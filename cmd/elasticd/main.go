@@ -46,7 +46,9 @@ func main() {
 	steps := flag.Int("steps", 30, "allreduce steps to run")
 	n := flag.Int("n", 1024, "elements per allreduce")
 	stepInterval := flag.Duration("step-interval", time.Second, "pause between steps (gives humans time to kill workers)")
-	algoName := flag.String("allreduce", "auto", "allreduce algorithm: auto, recdouble, hier, or pipelined")
+	algoName := flag.String("allreduce", "auto", "allreduce algorithm: auto, ring, recdouble, hier, or pipelined")
+	chunks := flag.Int("chunks", 0, "pipelined-ring chunk count (0 = size-derived)")
+	codecName := flag.String("codec", "raw", "gradient wire codec: raw, fp16, or int8")
 	hb := flag.Duration("hb", 500*time.Millisecond, "heartbeat interval (used with -serve)")
 	suspect := flag.Duration("suspect", 0, "suspicion threshold (used with -serve; default 3x hb)")
 	dead := flag.Duration("dead", 0, "declaration threshold (used with -serve; default 6x hb)")
@@ -60,6 +62,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("elasticd: %v", err)
 	}
+	codec, err := mpi.ParseWireCodec(*codecName)
+	if err != nil {
+		log.Fatalf("elasticd: %v", err)
+	}
+	opts := mpi.AllreduceOptions{Algo: algo, Chunks: *chunks, Codec: codec}
 
 	// The journal is buffered, so every way out of this process must flush
 	// it: the deferred close (normal completion and ErrDropped), fatalf
@@ -199,16 +206,26 @@ func main() {
 	}
 	r := ulfm.New(comm, nil, policy)
 
+	// The resolved data-plane plan goes to stdout at startup (what the
+	// first round will run, per the tuner's current model) and into the
+	// journal every round — after a shrink or enough observations the
+	// tuned pick can change, and the journal is where that shows.
+	tensorBytes := int64(*n) * 8
+	plan := mpi.PlanAllreduce(tensorBytes, cl.World(), opts)
+	fmt.Printf("elasticd: data plane: %s (%d x float64, world %d)\n", plan, *n, cl.World())
+
 	// Each worker contributes a constant vector of proc+1, so the
 	// reduced value tracks exactly which members contributed: with
 	// procs 0..3 alive the sum is 10; after proc 3 dies it drops to 6.
 	for step := 0; step < *steps; step++ {
 		transport.Hit(cl.Proc(), transport.PointElasticRound)
+		plan = mpi.PlanAllreduce(tensorBytes, r.Size(), opts)
+		rec.Plan(ep.VClock().Now(), int(cl.Proc()), step, plan.Algo.String(), plan.Chunks, plan.Codec.String(), plan.Tuned)
 		data := make([]float64, *n)
 		for i := range data {
 			data[i] = float64(cl.Proc()) + 1
 		}
-		if err := ulfm.AllreduceWith(r, data, mpi.OpSum, algo); err != nil {
+		if err := ulfm.AllreduceOpts(r, data, mpi.OpSum, opts); err != nil {
 			if errors.Is(err, ulfm.ErrDropped) {
 				log.Printf("elasticd: dropped from the communicator, exiting")
 				return

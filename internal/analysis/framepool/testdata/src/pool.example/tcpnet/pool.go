@@ -121,3 +121,53 @@ func reuseAfterFreshGet() {
 	*b = append(*b, 1)
 	putFrameBuf(b)
 }
+
+// sendVecOK is the round-2 scatter-gather send: the pooled buffer holds
+// only the header iovec, the payload body aliases the caller's slice,
+// and both go to the writer before the header returns to the pool.
+// Compliant — the pooled memory is done the moment writeVec returns.
+func sendVecOK(appendHeader func([]byte) []byte, writeVec func(hdr, body []byte) error, body []byte) error {
+	bufp := getFrameBuf()
+	hdr := appendHeader((*bufp)[:0])
+	werr := writeVec(hdr, body)
+	*bufp = hdr
+	putFrameBuf(bufp)
+	return werr
+}
+
+// sendVecUseAfterPut flushes the header back to the pool before the
+// vectored write consumes it: the kernel would read recycled memory.
+func sendVecUseAfterPut(appendHeader func([]byte) []byte, writeVec func(hdr, body []byte) error, body []byte) error {
+	bufp := getFrameBuf()
+	hdr := appendHeader((*bufp)[:0])
+	*bufp = hdr
+	putFrameBuf(bufp)
+	return writeVec(*bufp, body) // want `use of frame buffer bufp after putFrameBuf returned it to the pool`
+}
+
+// sendVecRetryOK rebuilds the iovec list per attempt while the checkout
+// stays open across the whole retry loop: compliant.
+func sendVecRetryOK(appendHeader func([]byte) []byte, writeVec func(hdr, body []byte) error, body []byte) error {
+	bufp := getFrameBuf()
+	defer putFrameBuf(bufp)
+	hdr := appendHeader((*bufp)[:0])
+	*bufp = hdr
+	var werr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if werr = writeVec(hdr, body); werr == nil {
+			return nil
+		}
+	}
+	return werr
+}
+
+// sendVecEscape hands the pooled header to a goroutine for an async
+// write but returns it to the pool synchronously — the writev would
+// race the next checkout.
+func sendVecEscape(writeVec func(hdr, body []byte) error, body []byte, done chan error) {
+	bufp := getFrameBuf()
+	go func(hdr []byte) { // want `goroutine captures frame buffer bufp`
+		done <- writeVec(hdr, body)
+	}(*bufp)
+	putFrameBuf(bufp)
+}

@@ -395,11 +395,22 @@ func (c *Cluster) teardown() {
 // Allreduce contributes proc+1 at every element, checks the result is
 // uniform, and returns the element value for cross-worker comparison.
 func (w *Worker) Allreduce(algo mpi.AllreduceAlgo) (float64, error) {
+	return w.AllreduceOpts(mpi.AllreduceOptions{Algo: algo})
+}
+
+// AllreduceOpts is Allreduce under explicit data-plane options, so
+// scenarios can run compressed collectives. The proc+1 contributions
+// and their partial sums are small integers — exact in binary16 up to
+// 2048 — so under CodecFP16 the uniform-result check and the exact-sum
+// assertions still apply bit for bit at the world sizes tests use.
+// (CodecInt8 rounds through a float32 scale and is NOT exact; scenarios
+// using it must assert within the documented error bound instead.)
+func (w *Worker) AllreduceOpts(o mpi.AllreduceOptions) (float64, error) {
 	data := make([]float64, w.c.cfg.Elems)
 	for i := range data {
 		data[i] = float64(w.Proc) + 1
 	}
-	if err := ulfm.AllreduceWith(w.R, data, mpi.OpSum, algo); err != nil {
+	if err := ulfm.AllreduceOpts(w.R, data, mpi.OpSum, o); err != nil {
 		return 0, err
 	}
 	for i := 1; i < len(data); i++ {

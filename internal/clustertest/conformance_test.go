@@ -80,6 +80,35 @@ func TestClusterConformance(t *testing.T) {
 		c.CheckOutcomes(outs, c.ProcsExcept(world-1))
 	})
 
+	// Scenario 1b: the same mid-chunk kill with fp16 gradient compression
+	// on the wire. The victim's stale frames in the survivors' pooled
+	// buffers now hold binary16 payloads; the retry over the shrunken
+	// world must still land the bit-exact survivors-only sum at every
+	// rank — proving the shrink renegotiates the compressed collective
+	// uniformly and stale compressed chunks never leak into it. The
+	// proc+1 contributions and all partial sums are integers, exact in
+	// binary16 while the full sum stays at or under 2048 (world <= 63).
+	t.Run("kill_mid_compressed", func(t *testing.T) {
+		if sum := world * (world + 1) / 2; sum > 2048 {
+			t.Skipf("world %d: full sum %d exceeds the binary16 exact-integer range; the bit-exact check needs world <= 63", world, sum)
+		}
+		c := boot(t)
+		victim := c.Workers[world-1]
+		c.Eng.AddRule(chaos.Rule{
+			Name: "killcomp", Proc: victim.Proc, Point: transport.PointPipelineRSChunk,
+			Nth: 5, Op: chaos.OpKill, Disabled: true,
+		})
+		c.Eng.OnKill(victim.Proc, victim.Die)
+		opts := mpi.AllreduceOptions{Algo: mpi.AlgoPipelinedRing, Codec: mpi.CodecFP16}
+		outs := c.Run(clustertest.RoundsBodyOpts(opts, 2, func(w *clustertest.Worker, round int) bool {
+			if round == 1 && w.Rank == world-1 {
+				c.Eng.Enable("killcomp") // armed after the clean round
+			}
+			return true
+		}))
+		c.CheckOutcomes(outs, c.ProcsExcept(world-1))
+	})
+
 	// Scenario 2: node kill — two co-located workers die at once, so one
 	// repair must absorb a multi-process failure event.
 	t.Run("kill_node", func(t *testing.T) {

@@ -83,13 +83,19 @@ func (c *Cluster) Run(body func(w *Worker) *Outcome) []*Outcome {
 // — dying, arming rules — live there). onRound returning false means
 // the worker dies instead of running that round.
 func RoundsBody(algo mpi.AllreduceAlgo, rounds int, onRound func(w *Worker, round int) bool) func(w *Worker) *Outcome {
+	return RoundsBodyOpts(mpi.AllreduceOptions{Algo: algo}, rounds, onRound)
+}
+
+// RoundsBodyOpts is RoundsBody under explicit data-plane options, so
+// scenarios can run their rounds over compressed wire formats.
+func RoundsBodyOpts(o mpi.AllreduceOptions, rounds int, onRound func(w *Worker, round int) bool) func(w *Worker) *Outcome {
 	return func(w *Worker) *Outcome {
 		var sums []float64
 		for round := 0; round < rounds; round++ {
 			if onRound != nil && !onRound(w, round) {
 				return &Outcome{Died: true}
 			}
-			s, err := w.Allreduce(algo)
+			s, err := w.AllreduceOpts(o)
 			if err != nil {
 				if w.Killed.Load() {
 					return &Outcome{Died: true}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/transport/tcpnet"
 )
@@ -33,10 +34,14 @@ type CodecResult struct {
 // loopback TCP allreduce comparison.
 type AllreduceResult struct {
 	TensorBytes int64   `json:"tensor_bytes"`
-	Algo        string  `json:"algo"`  // "ring" or "pipelined"
-	Codec       string  `json:"codec"` // "raw" or "gob"
+	Algo        string  `json:"algo"`  // "ring", "pipelined", or "tuned"
+	Codec       string  `json:"codec"` // "raw", "gob", or "fp16"
 	NsPerOp     float64 `json:"ns_per_op"`
 	MBPerSec    float64 `json:"mb_per_sec"` // tensor bytes reduced per second
+	// WireBytes is the measured per-rank wire traffic of one allreduce
+	// (tcpnet tx counter delta over the timed loop), so compression rows
+	// carry their byte reduction, not just their latency.
+	WireBytes int64 `json:"wire_bytes,omitempty"`
 }
 
 // Report is the full BENCH_dataplane.json document.
@@ -69,12 +74,37 @@ type Config struct {
 
 // Default is the configuration benchtab -dataplane uses: the codec at
 // the acceptance-bar size (256k float32) plus a small size, and the
-// allreduce at 1 MiB and 16 MiB with four workers.
+// allreduce at 256 KiB (the pipelined-floor regime, where chunking must
+// degrade to the plain ring), 1 MiB, and 16 MiB with four workers.
 func Default() Config {
 	return Config{
 		World:       4,
 		CodecElems:  []int{1 << 10, 256 << 10},
-		TensorElems: []int{1 << 18, 1 << 22},
+		TensorElems: []int{1 << 16, 1 << 18, 1 << 22},
+	}
+}
+
+// allreduceCell names one allreduce row: the schedule and wire codec it
+// runs, and the labels it reports under. The gob rows keep the pre-PR
+// envelope measurable; "tuned" is AlgoAuto routed through the
+// self-tuning selector (it runs last so the explicit rows' observations
+// have already seeded the model, as they would in a long-lived daemon).
+type allreduceCell struct {
+	algoLabel  string
+	codecLabel string
+	algo       mpi.AllreduceAlgo
+	raw        bool
+	codec      mpi.WireCodec
+}
+
+func allreduceCells() []allreduceCell {
+	return []allreduceCell{
+		{"ring", "gob", mpi.AlgoRing, false, mpi.CodecRaw},
+		{"pipelined", "gob", mpi.AlgoPipelinedRing, false, mpi.CodecRaw},
+		{"ring", "raw", mpi.AlgoRing, true, mpi.CodecRaw},
+		{"pipelined", "raw", mpi.AlgoPipelinedRing, true, mpi.CodecRaw},
+		{"pipelined", "fp16", mpi.AlgoPipelinedRing, true, mpi.CodecFP16},
+		{"tuned", "raw", mpi.AlgoAuto, true, mpi.CodecRaw},
 	}
 }
 
@@ -109,14 +139,12 @@ func Collect(cfg Config) (*Report, error) {
 		}
 	}
 	for _, n := range cfg.TensorElems {
-		for _, raw := range []bool{false, true} {
-			for _, algo := range []mpi.AllreduceAlgo{mpi.AlgoAuto, mpi.AlgoPipelinedRing} {
-				res, err := benchAllreduce(cfg.World, n, algo, raw)
-				if err != nil {
-					return nil, err
-				}
-				rep.TCPAllreduce = append(rep.TCPAllreduce, res)
+		for _, cell := range allreduceCells() {
+			res, err := benchAllreduce(cfg.World, n, cell)
+			if err != nil {
+				return nil, err
 			}
+			rep.TCPAllreduce = append(rep.TCPAllreduce, res)
 		}
 	}
 	return rep, nil
@@ -186,11 +214,16 @@ func encodeWith(v any, raw bool) ([]byte, error) {
 	return transport.EncodePayload(v)
 }
 
-func benchAllreduce(world, elems int, algo mpi.AllreduceAlgo, raw bool) (AllreduceResult, error) {
+func benchAllreduce(world, elems int, cell allreduceCell) (AllreduceResult, error) {
 	var failure error
 	tensorBytes := int64(elems) * 4
+	// The tx counter is process-global; deltas across the timed loop give
+	// the wire bytes the row actually moved (per rank, per op).
+	txBytes := obs.Default().Counter("tcpnet_tx_bytes_total",
+		"Wire bytes written to peers, length prefixes included.")
+	var wirePerOp int64
 	r := testing.Benchmark(func(b *testing.B) {
-		prev := transport.SetRawCodec(raw)
+		prev := transport.SetRawCodec(cell.raw)
 		defer transport.SetRawCodec(prev)
 
 		cfg := tcpnet.Config{DialRetries: 4, DialBackoff: 20 * time.Millisecond, DialTimeout: time.Second}
@@ -231,13 +264,15 @@ func benchAllreduce(world, elems int, algo mpi.AllreduceAlgo, raw bool) (Allredu
 		}
 		b.SetBytes(tensorBytes)
 		b.ResetTimer()
+		tx0 := txBytes.Value()
 		errs := make([]error, world)
 		done := make(chan struct{})
+		opts := mpi.AllreduceOptions{Algo: cell.algo, Codec: cell.codec}
 		for i := 0; i < world; i++ {
 			go func(rank int) {
 				defer func() { done <- struct{}{} }()
 				for it := 0; it < b.N; it++ {
-					if err := mpi.AllreduceWith(comms[rank], tensors[rank], mpi.OpSum, algo); err != nil {
+					if err := mpi.AllreduceOpts(comms[rank], tensors[rank], mpi.OpSum, opts); err != nil {
 						errs[rank] = err
 						return
 					}
@@ -248,6 +283,7 @@ func benchAllreduce(world, elems int, algo mpi.AllreduceAlgo, raw bool) (Allredu
 			<-done
 		}
 		b.StopTimer()
+		wirePerOp = int64(txBytes.Value()-tx0) / int64(b.N*world)
 		for _, err := range errs {
 			if err != nil {
 				failure = err
@@ -258,17 +294,14 @@ func benchAllreduce(world, elems int, algo mpi.AllreduceAlgo, raw bool) (Allredu
 	if failure != nil {
 		return AllreduceResult{}, failure
 	}
-	algoName := "ring"
-	if algo == mpi.AlgoPipelinedRing {
-		algoName = "pipelined"
-	}
 	ns := float64(r.NsPerOp())
 	return AllreduceResult{
 		TensorBytes: tensorBytes,
-		Algo:        algoName,
-		Codec:       codecName(raw),
+		Algo:        cell.algoLabel,
+		Codec:       cell.codecLabel,
 		NsPerOp:     ns,
 		MBPerSec:    float64(tensorBytes) / ns * 1e3,
+		WireBytes:   wirePerOp,
 	}, nil
 }
 

@@ -26,8 +26,17 @@ func TestCollectQuick(t *testing.T) {
 	if len(rep.Codec) != 2 { // raw + gob for one size
 		t.Fatalf("codec cells = %d, want 2", len(rep.Codec))
 	}
-	if len(rep.TCPAllreduce) != 4 { // {raw,gob} x {ring,pipelined} for one size
-		t.Fatalf("allreduce cells = %d, want 4", len(rep.TCPAllreduce))
+	if want := len(allreduceCells()); len(rep.TCPAllreduce) != want {
+		t.Fatalf("allreduce cells = %d, want %d", len(rep.TCPAllreduce), want)
+	}
+	seen := map[string]bool{}
+	for _, a := range rep.TCPAllreduce {
+		seen[a.Algo+"/"+a.Codec] = true
+	}
+	for _, key := range []string{"ring/raw", "pipelined/raw", "pipelined/fp16", "tuned/raw"} {
+		if !seen[key] {
+			t.Fatalf("missing allreduce cell %s (have %v)", key, seen)
+		}
 	}
 	for _, c := range rep.Codec {
 		if c.NsPerOp <= 0 || c.WireBytes <= 0 {

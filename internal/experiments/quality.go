@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/gloo"
 	"repro/internal/horovod"
 	"repro/internal/metrics"
+	"repro/internal/mpi"
 	"repro/internal/simnet"
 	"repro/internal/train"
 )
@@ -154,6 +157,84 @@ func ConvergenceTable() (*metrics.Table, error) {
 	add("ULFM-down", ulDown)
 	add("ULFM-replace", ulSame)
 	add("EH-down(node)", ehDown)
+	return t, nil
+}
+
+// CompressionTable is the bit-accuracy ablation for the wire-format
+// gradient codecs: the same gradient-like tensors are allreduced over a
+// full schedule under each codec, and each lossy row reports its wire
+// cost next to the error it actually injects — max and RMS relative to
+// the lossless float64 sum — plus the cross-rank bit-consistency the
+// ULFM layer requires. Magnitudes span blocks from 2^-6 to 2^6 so the
+// per-chunk int8 scale and the fp16 dynamic range are both stressed.
+func CompressionTable(ranks, elems int) (*metrics.Table, error) {
+	inputs := make([][]float32, ranks)
+	exact := make([]float64, elems)
+	for r := range inputs {
+		rng := rand.New(rand.NewSource(int64(71 + r)))
+		inputs[r] = make([]float32, elems)
+		for i := range inputs[r] {
+			block := float32(math.Pow(2, float64(6-12*i/elems)))
+			inputs[r][i] = float32(rng.NormFloat64()) * block
+			exact[i] += float64(inputs[r][i])
+		}
+	}
+	var norm float64 // RMS of the exact sum, the error denominators
+	for _, v := range exact {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm / float64(elems))
+
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("Ablation: gradient wire compression (pipelined ring, %d ranks, %d elems)", ranks, elems),
+		Headers: []string{"codec", "wire-bytes/elem", "max-err/rms(sum)", "rms-err/rms(sum)", "replicas-bit-identical"},
+	}
+	for _, codec := range []mpi.WireCodec{mpi.CodecRaw, mpi.CodecFP16, mpi.CodecInt8} {
+		results := make([][]float32, ranks)
+		cl := simnet.New(simnet.Config{
+			Nodes: ranks, ProcsPerNode: 1,
+			IntraNodeLatency: 1.5e-6, InterNodeLatency: 3e-6,
+			IntraNodeBandwidth: 50e9, InterNodeBandwidth: 4e9,
+			DetectLatency: 2e-3, SpawnDelay: 1,
+		})
+		procs := cl.Procs()
+		errs := simnet.RunAll(cl, procs, func(rank int, ep *simnet.Endpoint) error {
+			comm, err := mpi.World(mpi.Attach(ep), procs)
+			if err != nil {
+				return err
+			}
+			data := append([]float32(nil), inputs[rank]...)
+			err = mpi.AllreduceOpts(comm, data, mpi.OpSum,
+				mpi.AllreduceOptions{Algo: mpi.AlgoPipelinedRing, Codec: codec})
+			results[rank] = data
+			return err
+		})
+		if err := simnet.FirstError(errs); err != nil {
+			return nil, err
+		}
+		consistent := true
+		for r := 1; r < ranks; r++ {
+			for i := range results[0] {
+				if math.Float32bits(results[r][i]) != math.Float32bits(results[0][i]) {
+					consistent = false
+				}
+			}
+		}
+		var maxErr, sumSq float64
+		for i, got := range results[0] {
+			e := math.Abs(float64(got) - exact[i])
+			if e > maxErr {
+				maxErr = e
+			}
+			sumSq += e * e
+		}
+		wirePerElem := float64(mpi.WireBytesPerElem(codec, 4))
+		t.AddRow(codec.String(),
+			fmt.Sprintf("%.2f", wirePerElem),
+			fmt.Sprintf("%.2e", maxErr/norm),
+			fmt.Sprintf("%.2e", math.Sqrt(sumSq/float64(elems))/norm),
+			fmt.Sprintf("%v", consistent))
+	}
 	return t, nil
 }
 

@@ -48,6 +48,54 @@ func TestConvergenceTable(t *testing.T) {
 	}
 }
 
+func TestCompressionTable(t *testing.T) {
+	tab, err := CompressionTable(6, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d:\n%s", len(tab.Rows), tab)
+	}
+	cells := map[string][]string{}
+	for _, row := range tab.Rows {
+		cells[row[0]] = row
+		// Uniformity is non-negotiable under every codec.
+		if row[4] != "true" {
+			t.Fatalf("codec %s: replicas not bit-identical", row[0])
+		}
+	}
+	parse := func(codec string, col int) float64 {
+		v, err := strconv.ParseFloat(cells[codec][col], 64)
+		if err != nil {
+			t.Fatalf("%s col %d = %q: %v", codec, col, cells[codec][col], err)
+		}
+		return v
+	}
+	// Raw is lossless on the wire — only float32 accumulation separates
+	// it from the float64 reference. The lossy codecs trade bytes for
+	// bounded error, in order.
+	if e := parse("raw", 2); e > 1e-5 {
+		t.Fatalf("raw max error = %v, want float32-accumulation noise only", e)
+	}
+	if !(parse("raw", 2) < parse("fp16", 2)) {
+		t.Fatalf("expected raw err < fp16 err:\n%s", tab)
+	}
+	if b := parse("raw", 1); b != 4 {
+		t.Fatalf("raw wire bytes/elem = %v", b)
+	}
+	if !(parse("fp16", 1) == 2 && parse("int8", 1) == 1) {
+		t.Fatalf("lossy wire bytes wrong:\n%s", tab)
+	}
+	if !(parse("fp16", 2) > 0 && parse("fp16", 2) < parse("int8", 2)) {
+		t.Fatalf("expected 0 < fp16 err < int8 err:\n%s", tab)
+	}
+	// fp16's relative RMS error should sit near its 2^-11 grid — catch
+	// order-of-magnitude regressions, not exact values.
+	if rms := parse("fp16", 3); rms > 1e-2 {
+		t.Fatalf("fp16 rms error %v implausibly large:\n%s", rms, tab)
+	}
+}
+
 func TestPFSTable(t *testing.T) {
 	tab := PFSTable()
 	if len(tab.Rows) != 4 {

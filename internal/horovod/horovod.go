@@ -47,11 +47,16 @@ type Backend interface {
 // --- MPI backend -----------------------------------------------------------
 
 // MPIBackend adapts an mpi.Comm (ULFM-capable) as a Horovod backend.
-// Algo selects the allreduce schedule for gradient exchange; the zero
-// value keeps the library's automatic ring/tree pick.
+// Algo selects the allreduce schedule for gradient exchange (the zero
+// value keeps the library's automatic pick, which self-tunes on real
+// transports); Chunks pins the pipelined split factor and Codec selects
+// the gradient wire format — zero values mean size-derived chunking and
+// lossless full-width floats.
 type MPIBackend struct {
-	Comm *mpi.Comm
-	Algo mpi.AllreduceAlgo
+	Comm   *mpi.Comm
+	Algo   mpi.AllreduceAlgo
+	Chunks int
+	Codec  mpi.WireCodec
 }
 
 // NewMPIBackend wraps a communicator.
@@ -60,7 +65,8 @@ func NewMPIBackend(c *mpi.Comm) *MPIBackend { return &MPIBackend{Comm: c} }
 func (b *MPIBackend) Rank() int { return b.Comm.Rank() }
 func (b *MPIBackend) Size() int { return b.Comm.Size() }
 func (b *MPIBackend) Allreduce(data []float32) error {
-	return mpi.AllreduceWith(b.Comm, data, mpi.OpSum, b.Algo)
+	return mpi.AllreduceOpts(b.Comm, data, mpi.OpSum,
+		mpi.AllreduceOptions{Algo: b.Algo, Chunks: b.Chunks, Codec: b.Codec})
 }
 func (b *MPIBackend) AllreduceVirtual(bytes int64) error {
 	return mpi.AllreduceVirtual(b.Comm, bytes)

@@ -3,6 +3,8 @@ package mpi
 import (
 	"fmt"
 	"unsafe"
+
+	"repro/internal/transport"
 )
 
 // Op identifies a reduction operator. All supported operators are
@@ -74,13 +76,95 @@ func (b numBuf[T]) extract(lo, hi int) any {
 }
 
 func (b numBuf[T]) setIn(lo, hi int, pay any) {
+	if rp, ok := pay.(*transport.RawPayload); ok {
+		if v, ok := lazyView[T](rp); ok {
+			copy(b.v[lo:hi], v)
+			rp.Release()
+			return
+		}
+		copy(b.v[lo:hi], decodeLazy[T](rp))
+		return
+	}
 	copy(b.v[lo:hi], pay.([]T))
 }
 
 func (b numBuf[T]) reduceIn(lo, hi int, pay any, op Op) {
-	in := pay.([]T)
 	dst := b.v[lo:hi]
-	reduceSlice(dst, in, op)
+	if rp, ok := pay.(*transport.RawPayload); ok {
+		// In-place reduction: combine straight out of the transport's
+		// frame buffer into the receive segment — no decoded scratch
+		// slice, one traversal instead of two.
+		if v, ok := lazyView[T](rp); ok {
+			reduceSlice(dst, v, op)
+			rp.Release()
+			return
+		}
+		reduceSlice(dst, decodeLazy[T](rp), op)
+		return
+	}
+	reduceSlice(dst, pay.([]T), op)
+}
+
+// lazyView returns a zero-copy typed view of a lazy raw payload for the
+// element types that have a direct wire representation. The named-type
+// instantiations of Number (and ~int, whose wire width differs from the
+// host's) report false and take the decode path.
+func lazyView[T Number](rp *transport.RawPayload) ([]T, bool) {
+	var z []T
+	switch any(z).(type) {
+	case []float32:
+		v, ok := transport.RawPayloadView[float32](rp)
+		return any(v).([]T), ok
+	case []float64:
+		v, ok := transport.RawPayloadView[float64](rp)
+		return any(v).([]T), ok
+	case []int32:
+		v, ok := transport.RawPayloadView[int32](rp)
+		return any(v).([]T), ok
+	case []int64:
+		v, ok := transport.RawPayloadView[int64](rp)
+		return any(v).([]T), ok
+	case []uint8:
+		v, ok := transport.RawPayloadView[uint8](rp)
+		return any(v).([]T), ok
+	case []uint32:
+		v, ok := transport.RawPayloadView[uint32](rp)
+		return any(v).([]T), ok
+	case []uint64:
+		v, ok := transport.RawPayloadView[uint64](rp)
+		return any(v).([]T), ok
+	default:
+		return nil, false
+	}
+}
+
+// decodeLazy materializes a lazy raw payload into an owning slice and
+// releases the underlying transport buffer. The payload was validated
+// at receive time, so a decode failure here is a programming error.
+func decodeLazy[T any](rp *transport.RawPayload) []T {
+	v, err := rp.Decode()
+	if err != nil {
+		panic(fmt.Sprintf("mpi: corrupt lazy payload: %v", err))
+	}
+	if v == nil {
+		return nil
+	}
+	return v.([]T)
+}
+
+// payloadAs converts a received message payload to []T, materializing
+// lazy raw payloads. Call sites that consume Message.Data directly use
+// this instead of a type assertion so large in-place-capable frames
+// still reach them.
+func payloadAs[T any](pay any) []T {
+	if rp, ok := pay.(*transport.RawPayload); ok {
+		return decodeLazy[T](rp)
+	}
+	if pay == nil {
+		var z []T
+		return z
+	}
+	return pay.([]T)
 }
 
 func reduceSlice[T Number](dst, in []T, op Op) {
@@ -181,7 +265,7 @@ func (b rawBuf[T]) extract(lo, hi int) any {
 }
 
 func (b rawBuf[T]) setIn(lo, hi int, pay any) {
-	copy(b.v[lo:hi], pay.([]T))
+	copy(b.v[lo:hi], payloadAs[T](pay))
 }
 
 func (b rawBuf[T]) reduceIn(lo, hi int, pay any, op Op) {

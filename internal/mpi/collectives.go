@@ -150,6 +150,7 @@ func (c *Comm) allreduce(b buf, op Op) error {
 		if err := c.reduceTree(b, op, 0, seq); err != nil {
 			return err
 		}
+		markDistribute(b)
 		return c.bcastTree(b, 0, seq)
 	}
 	// Bandwidth-optimal ring: reduce-scatter then ring allgather.
@@ -157,6 +158,30 @@ func (c *Comm) allreduce(b buf, op Op) error {
 	if err := c.reduceScatterRing(b, op, bounds, seq); err != nil {
 		return err
 	}
+	markDistribute(b)
+	return c.ringAllgather(b, bounds, seq, true)
+}
+
+// allreduceRing is the explicit plain-ring allreduce (AlgoRing): the
+// bandwidth-optimal reduce-scatter + allgather schedule with no
+// small-payload tree shortcut, so benchmarks and the tuner can pin the
+// exact algorithm regardless of tensor size.
+func (c *Comm) allreduceRing(b buf, op Op) error {
+	seq := c.nextSeq()
+	if err := c.checkCollective(); err != nil {
+		return err
+	}
+	if c.Size() == 1 {
+		return nil
+	}
+	scope := &opScope{comm: c, members: c.memberSet(), abortOnRevoke: true}
+	c.p.begin(scope)
+	defer c.p.end()
+	bounds := evenBounds(b.length(), c.Size())
+	if err := c.reduceScatterRing(b, op, bounds, seq); err != nil {
+		return err
+	}
+	markDistribute(b)
 	return c.ringAllgather(b, bounds, seq, true)
 }
 

@@ -67,7 +67,7 @@ func ReduceScatterBlock[T Number](c *Comm, data []T, recv []T, op Op) error {
 	if err != nil {
 		return err
 	}
-	copy(recv, m.Data.([]T))
+	copy(recv, payloadAs[T](m.Data))
 	return nil
 }
 
@@ -105,7 +105,7 @@ func Alltoall[T any](c *Comm, send, recv []T) error {
 		if err != nil {
 			return err
 		}
-		copy(recv[src*n:(src+1)*n], m.Data.([]T))
+		copy(recv[src*n:(src+1)*n], payloadAs[T](m.Data))
 	}
 	return nil
 }
@@ -169,7 +169,7 @@ func Exscan[T Number](c *Comm, data []T, op Op) error {
 		if err != nil {
 			return err
 		}
-		prev := m.Data.([]T)
+		prev := payloadAs[T](m.Data)
 		incl := make([]T, len(data))
 		copy(incl, prev)
 		reduceSlice(incl, data, op)
@@ -195,6 +195,10 @@ func Exscan[T Number](c *Comm, data []T, op Op) error {
 // algorithm-ablation benchmarks; Allreduce picks ring or tree
 // automatically.
 func AllreduceRecursiveDoubling[T Number](c *Comm, data []T, op Op) error {
+	return c.allreduceRecDouble(numBuf[T]{v: data}, op)
+}
+
+func (c *Comm) allreduceRecDouble(b buf, op Op) error {
 	seq := c.nextSeq()
 	if err := c.checkCollective(); err != nil {
 		return err
@@ -207,8 +211,7 @@ func AllreduceRecursiveDoubling[T Number](c *Comm, data []T, op Op) error {
 	c.p.begin(scope)
 	defer c.p.end()
 
-	b := numBuf[T]{v: data}
-	n := len(data)
+	n := b.length()
 	tag := c.collTag(seq, phRecDouble)
 	fixTag := c.collTag(seq, phPairFix)
 
@@ -258,7 +261,10 @@ func AllreduceRecursiveDoubling[T Number](c *Comm, data []T, op Op) error {
 		}
 	}
 
-	// Post-phase: odds return the result to their even partners.
+	// Post-phase: odds return the finished result to their even partners —
+	// a distribution-direction send, so lossy-by-requantization codecs
+	// (int8) switch to lossless bytes to keep the result uniform.
+	markDistribute(b)
 	switch {
 	case r < 2*rem && r%2 == 0:
 		m, err := c.recvRaw(r+1, fixTag)
@@ -278,6 +284,10 @@ func AllreduceRecursiveDoubling[T Number](c *Comm, data []T, op Op) error {
 // allreduce among the node leaders, then broadcasts within each node —
 // the topology-aware schedule Horovod/NCCL use across multi-GPU nodes.
 func AllreduceHierarchical[T Number](c *Comm, data []T, op Op) error {
+	return c.allreduceHier(numBuf[T]{v: data}, op)
+}
+
+func (c *Comm) allreduceHier(b buf, op Op) error {
 	seq := c.nextSeq()
 	if err := c.checkCollective(); err != nil {
 		return err
@@ -289,8 +299,7 @@ func AllreduceHierarchical[T Number](c *Comm, data []T, op Op) error {
 	c.p.begin(scope)
 	defer c.p.end()
 
-	b := numBuf[T]{v: data}
-	n := len(data)
+	n := b.length()
 
 	// Group ranks by node, deterministically. Placement comes from the
 	// transport's optional Locator capability; backends without placement
@@ -353,7 +362,9 @@ func AllreduceHierarchical[T Number](c *Comm, data []T, op Op) error {
 				return err
 			}
 		}
-		// Phase 3: intra-node broadcast from the leader.
+		// Phase 3: intra-node broadcast from the leader. The result is
+		// final from here on — distribution-direction sends.
+		markDistribute(b)
 		for _, peer := range myPeers[1:] {
 			if err := c.sendRaw(peer, bcTag, b.extract(0, n), b.bytesFor(n)); err != nil {
 				return err
@@ -391,6 +402,8 @@ func (c *Comm) ringAmong(b buf, op Op, members []int, idx int, bounds []int, seq
 		lo, hi = bounds[rc], bounds[rc+1]
 		b.reduceIn(lo, hi, m.Data, op)
 	}
+	// Allgather half: completed segments circulate unchanged.
+	markDistribute(b)
 	start := (idx + 1) % p
 	for step := 0; step < p-1; step++ {
 		sc := (start - step + 2*p) % p

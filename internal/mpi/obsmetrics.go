@@ -12,16 +12,20 @@ import (
 )
 
 var (
-	obsAllreduceSeconds [AlgoPipelinedRing + 1]*obs.Histogram
+	obsAllreduceSeconds [algoCount]*obs.Histogram
+	obsTunerDecisions   [algoCount]*obs.Counter
 	obsAllreduceErrors  = obs.Default().Counter("mpi_allreduce_errors_total",
 		"Allreduces that returned an error (peer failure, revoked comm, shutdown).")
 )
 
 func init() {
-	for a := AlgoAuto; a <= AlgoPipelinedRing; a++ {
+	for a := AlgoAuto; int(a) < algoCount; a++ {
 		obsAllreduceSeconds[a] = obs.Default().Histogram("mpi_allreduce_seconds",
 			"Wall latency of one allreduce, by schedule.",
 			obs.SecondsBuckets(), obs.L("algo", a.String()))
+		obsTunerDecisions[a] = obs.Default().Counter("mpi_tuner_decisions_total",
+			"Schedules picked by the self-tuning allreduce selector.",
+			obs.L("algo", a.String()))
 	}
 }
 
@@ -36,4 +40,12 @@ func observeAllreduce(algo AllreduceAlgo, start time.Time, err error) {
 	if err != nil {
 		obsAllreduceErrors.Inc()
 	}
+}
+
+// observeTunerDecision counts one selector pick under its schedule.
+func observeTunerDecision(algo AllreduceAlgo) {
+	if algo < 0 || int(algo) >= len(obsTunerDecisions) {
+		algo = AlgoAuto
+	}
+	obsTunerDecisions[algo].Inc()
 }

@@ -24,7 +24,7 @@ func Recv[T any](c *Comm, src int, tag int) ([]T, error) {
 	if m.Data == nil {
 		return nil, nil
 	}
-	return m.Data.([]T), nil
+	return payloadAs[T](m.Data), nil
 }
 
 // SendVal transmits a single value of any type (copied by value).

@@ -3,7 +3,6 @@ package mpi
 import (
 	"fmt"
 	"strings"
-	"time"
 
 	"repro/internal/transport"
 )
@@ -48,6 +47,10 @@ func AllreducePipelinedRing[T Number](c *Comm, data []T, op Op) error {
 // schedule works for any n, including n not divisible by Size()*K and
 // n < Size() (empty chunks travel as empty frames).
 func AllreducePipelinedRingChunks[T Number](c *Comm, data []T, op Op, chunks int) error {
+	return c.allreducePipelined(numBuf[T]{v: data}, op, chunks)
+}
+
+func (c *Comm) allreducePipelined(b buf, op Op, chunks int) error {
 	seq := c.nextSeq()
 	if err := c.checkCollective(); err != nil {
 		return err
@@ -62,13 +65,44 @@ func AllreducePipelinedRingChunks[T Number](c *Comm, data []T, op Op, chunks int
 	c.p.begin(scope)
 	defer c.p.end()
 
-	b := numBuf[T]{v: data}
-	bounds := evenBounds(len(data), c.Size())
+	bounds := evenBounds(b.length(), c.Size())
 	if err := c.reduceScatterRingPipelined(b, op, bounds, seq, chunks); err != nil {
 		return err
 	}
+	markDistribute(b)
 	return c.ringAllgatherPipelined(b, bounds, seq, chunks)
 }
+
+// PipelineChunksFor picks the chunk split factor K for a pipelined ring
+// allreduce of totalBytes across world ranks. Each ring step moves one
+// segment of totalBytes/world; splitting it into ~pipelineTargetChunk
+// pieces keeps both ring directions busy without dropping frames into
+// the latency-dominated regime. Small segments get K=1 — the plain ring
+// schedule — which is what fixes the static-K regression at 1 MiB: a
+// 256 KiB segment split four ways made 64 KiB frames whose per-frame
+// overhead outweighed the overlap.
+func PipelineChunksFor(totalBytes int64, world int) int {
+	if world <= 1 {
+		return 1
+	}
+	seg := totalBytes / int64(world)
+	k := int(seg / pipelineTargetChunk)
+	if k < 1 {
+		return 1
+	}
+	if k > maxPipelineChunks {
+		return maxPipelineChunks
+	}
+	return k
+}
+
+// pipelineTargetChunk is the per-chunk frame payload PipelineChunksFor
+// aims for; maxPipelineChunks caps the split so tiny chunks never
+// dominate per-frame overhead.
+const (
+	pipelineTargetChunk = 512 << 10
+	maxPipelineChunks   = 8
+)
 
 // reduceScatterRingPipelined is reduceScatterRing with each per-step
 // segment split into K chunks: the send of chunk k overlaps the receive
@@ -160,7 +194,14 @@ const (
 	AlgoHierarchical
 	// AlgoPipelinedRing is the chunk-pipelined bandwidth-optimal ring.
 	AlgoPipelinedRing
+	// AlgoRing is the plain ring schedule, forced even for payloads the
+	// auto path would route to the tree (benchmarks and the tuner use it
+	// to pin the exact algorithm).
+	AlgoRing
 )
+
+// algoCount is the number of AllreduceAlgo values (array sizing).
+const algoCount = int(AlgoRing) + 1
 
 func (a AllreduceAlgo) String() string {
 	switch a {
@@ -172,6 +213,8 @@ func (a AllreduceAlgo) String() string {
 		return "hier"
 	case AlgoPipelinedRing:
 		return "pipelined"
+	case AlgoRing:
+		return "ring"
 	default:
 		return fmt.Sprintf("algo(%d)", int(a))
 	}
@@ -189,27 +232,17 @@ func ParseAllreduceAlgo(s string) (AllreduceAlgo, error) {
 		return AlgoHierarchical, nil
 	case "pipelined", "pipelined-ring":
 		return AlgoPipelinedRing, nil
+	case "ring":
+		return AlgoRing, nil
 	default:
-		return AlgoAuto, fmt.Errorf("mpi: unknown allreduce algorithm %q (want auto, recdouble, hier, or pipelined)", s)
+		return AlgoAuto, fmt.Errorf("mpi: unknown allreduce algorithm %q (want auto, ring, recdouble, hier, or pipelined)", s)
 	}
 }
 
 // AllreduceWith runs an allreduce with an explicitly selected schedule —
-// the single dispatch point the ablation harness, the Horovod backend, and
-// cmd/elasticd all share.
+// kept as the compact dispatch the ablation harness, the Horovod
+// backend, and cmd/elasticd share. It is AllreduceOpts with only the
+// algorithm chosen.
 func AllreduceWith[T Number](c *Comm, data []T, op Op, algo AllreduceAlgo) error {
-	start := time.Now()
-	var err error
-	switch algo {
-	case AlgoRecursiveDoubling:
-		err = AllreduceRecursiveDoubling(c, data, op)
-	case AlgoHierarchical:
-		err = AllreduceHierarchical(c, data, op)
-	case AlgoPipelinedRing:
-		err = AllreducePipelinedRing(c, data, op)
-	default:
-		err = Allreduce(c, data, op)
-	}
-	observeAllreduce(algo, start, err)
-	return err
+	return AllreduceOpts(c, data, op, AllreduceOptions{Algo: algo})
 }

@@ -78,7 +78,14 @@ func (w *worker) allreduce(algo mpi.AllreduceAlgo) (float64, error) {
 	for i := range data {
 		data[i] = float64(w.proc) + 1
 	}
-	if err := ulfm.AllreduceWith(w.r, data, mpi.OpSum, algo); err != nil {
+	// The pipelined chunk count is pinned at the static default: the kill
+	// and delay rules below count chunk-point hits, so the split must not
+	// shift with PipelineChunksFor's size-derived pick.
+	opts := mpi.AllreduceOptions{Algo: algo}
+	if algo == mpi.AlgoPipelinedRing {
+		opts.Chunks = mpi.DefaultPipelineChunks
+	}
+	if err := ulfm.AllreduceOpts(w.r, data, mpi.OpSum, opts); err != nil {
 		return 0, err
 	}
 	for i := 1; i < len(data); i++ {

@@ -51,6 +51,8 @@ const (
 	rawInt    // transmitted as 64-bit regardless of host int width
 	rawBool   // one byte per element
 	rawProcID // transmitted as 64-bit
+	rawF16    // IEEE 754 binary16 bit patterns, two bytes per element
+	rawQ8     // block-quantized int8: 4-byte scale prefix + 1 byte per element; count = total bytes
 )
 
 // rawDisabled turns the raw fast path off, forcing every payload through
@@ -187,7 +189,7 @@ func rawHeader(dst []byte, tag byte, count int, elemBytes int) []byte {
 
 // appendFixed bulk-appends a slice of fixed-width little-endian elements.
 // On little-endian hosts this is a single copy of the backing array.
-func appendFixed[T uint32 | uint64 | int32 | int64 | float32 | float64](dst []byte, v []T) []byte {
+func appendFixed[T uint16 | uint32 | uint64 | int32 | int64 | float32 | float64](dst []byte, v []T) []byte {
 	var z T
 	size := int(unsafe.Sizeof(z))
 	if hostLittleEndian {
@@ -199,6 +201,9 @@ func appendFixed[T uint32 | uint64 | int32 | int64 | float32 | float64](dst []by
 	var e [8]byte
 	for _, x := range v {
 		switch size {
+		case 2:
+			binary.LittleEndian.PutUint16(e[:2], uint16(toRawBits(x)))
+			dst = append(dst, e[:2]...)
 		case 4:
 			binary.LittleEndian.PutUint32(e[:4], uint32(toRawBits(x)))
 			dst = append(dst, e[:4]...)
@@ -210,8 +215,10 @@ func appendFixed[T uint32 | uint64 | int32 | int64 | float32 | float64](dst []by
 	return dst
 }
 
-func toRawBits[T uint32 | uint64 | int32 | int64 | float32 | float64](x T) uint64 {
+func toRawBits[T uint16 | uint32 | uint64 | int32 | int64 | float32 | float64](x T) uint64 {
 	switch v := any(x).(type) {
+	case uint16:
+		return uint64(v)
 	case uint32:
 		return uint64(v)
 	case uint64:
@@ -228,7 +235,7 @@ func toRawBits[T uint32 | uint64 | int32 | int64 | float32 | float64](x T) uint6
 }
 
 // decodeFixed reverses appendFixed; b must hold exactly count elements.
-func decodeFixed[T uint32 | uint64 | int32 | int64 | float32 | float64](b []byte, count int) []T {
+func decodeFixed[T uint16 | uint32 | uint64 | int32 | int64 | float32 | float64](b []byte, count int) []T {
 	if count == 0 {
 		return nil // gob decodes empty slices to nil; stay byte-identical
 	}
@@ -240,9 +247,12 @@ func decodeFixed[T uint32 | uint64 | int32 | int64 | float32 | float64](b []byte
 	}
 	for i := range out {
 		var bits uint64
-		if size == 4 {
+		switch size {
+		case 2:
+			bits = uint64(binary.LittleEndian.Uint16(b[i*2:]))
+		case 4:
 			bits = uint64(binary.LittleEndian.Uint32(b[i*4:]))
-		} else {
+		default:
 			bits = binary.LittleEndian.Uint64(b[i*8:])
 		}
 		out[i] = fromRawBits[T](bits)
@@ -250,9 +260,11 @@ func decodeFixed[T uint32 | uint64 | int32 | int64 | float32 | float64](b []byte
 	return out
 }
 
-func fromRawBits[T uint32 | uint64 | int32 | int64 | float32 | float64](bits uint64) T {
+func fromRawBits[T uint16 | uint32 | uint64 | int32 | int64 | float32 | float64](bits uint64) T {
 	var z T
 	switch any(z).(type) {
+	case uint16:
+		return T(any(uint16(bits)).(T))
 	case uint32:
 		return T(any(uint32(bits)).(T))
 	case uint64:
@@ -286,6 +298,10 @@ func appendRaw(dst []byte, v any) (out []byte, ok bool) {
 		return appendFixed(rawHeader(dst, rawU64, len(s), 8), s), true
 	case []uint8:
 		return append(rawHeader(dst, rawU8, len(s), 1), s...), true
+	case F16:
+		return appendFixed(rawHeader(dst, rawF16, len(s), 2), []uint16(s)), true
+	case Q8:
+		return append(rawHeader(dst, rawQ8, len(s), 1), s...), true
 	case []int:
 		dst = rawHeader(dst, rawInt, len(s), 8)
 		var e [8]byte
@@ -330,14 +346,11 @@ func decodeRaw(b []byte) (any, error) {
 	}
 	count := int(count64)
 	body := b[rawHeaderLen:]
-	elemBytes := map[byte]int{
-		rawF32: 4, rawF64: 8, rawI32: 4, rawI64: 8,
-		rawU8: 1, rawU32: 4, rawU64: 8, rawInt: 8, rawBool: 1, rawProcID: 8,
-	}[tag]
+	elemBytes := rawElemBytes(tag)
 	if elemBytes == 0 {
 		return nil, fmt.Errorf("transport: decode payload: unknown raw type tag %#02x", tag)
 	}
-	if len(body) != count*elemBytes {
+	if len(body) != rawBodyBytes(tag, count) {
 		return nil, fmt.Errorf("transport: decode payload: raw body of %d bytes for %d elements of %d bytes",
 			len(body), count, elemBytes)
 	}
@@ -359,6 +372,15 @@ func decodeRaw(b []byte) (any, error) {
 			return []uint8(nil), nil
 		}
 		out := make([]uint8, count)
+		copy(out, body)
+		return out, nil
+	case rawF16:
+		return F16(decodeFixed[uint16](body, count)), nil
+	case rawQ8:
+		if count == 0 {
+			return Q8(nil), nil
+		}
+		out := make(Q8, count)
 		copy(out, body)
 		return out, nil
 	case rawInt:

@@ -108,6 +108,21 @@ func appendFrame(dst []byte, from, to transport.ProcID, tag int, bytes int64, da
 	return dst, nil
 }
 
+// appendVecHeader appends the length prefix and frame header for a
+// scatter-gather send whose total body length n (header + payload) is
+// known up front, so no prefix patching is needed. The payload bytes
+// follow in separate iovecs via net.Buffers; only the header lives in
+// the pooled buffer.
+func appendVecHeader(dst []byte, n int, from, to transport.ProcID, tag int, bytes int64) []byte {
+	var hdr [4 + frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(n))
+	binary.BigEndian.PutUint64(hdr[4:12], uint64(int64(from)))
+	binary.BigEndian.PutUint64(hdr[12:20], uint64(int64(to)))
+	binary.BigEndian.PutUint64(hdr[20:28], uint64(int64(tag)))
+	binary.BigEndian.PutUint64(hdr[28:36], uint64(bytes))
+	return append(dst, hdr[:]...)
+}
+
 // writeFrame serializes f (with an already-encoded payload) to w,
 // rejecting oversized frames before any bytes hit the wire.
 func writeFrame(w io.Writer, f *frame, maxFrame int) error {
@@ -125,6 +140,15 @@ func writeFrame(w io.Writer, f *frame, maxFrame int) error {
 	_, err := w.Write(buf)
 	return err
 }
+
+// payloadAlignPad offsets the frame body inside the read scratch buffer
+// so the raw-codec bulk bytes land 8-byte aligned: the body starts with
+// the 32-byte frame header plus the 10-byte raw payload header, so
+// shifting the body by 6 puts the first element at offset 48 of an
+// (8-aligned) pooled allocation. That alignment is what lets receivers
+// take in-place typed views of the payload (transport.RawPayloadView)
+// instead of decoding into a fresh slice.
+const payloadAlignPad = 6
 
 // readFrameBuf reads one frame from r using buf as scratch storage,
 // growing it as needed. The returned frame's Payload aliases the returned
@@ -144,10 +168,10 @@ func readFrameBuf(r io.Reader, buf []byte, maxFrame int) (*frame, []byte, error)
 	if n > maxFrame {
 		return nil, buf, fmt.Errorf("tcpnet: frame body of %d bytes exceeds limit %d", n, maxFrame)
 	}
-	if cap(buf) < n {
-		buf = make([]byte, n)
+	if cap(buf) < payloadAlignPad+n {
+		buf = make([]byte, payloadAlignPad+n)
 	}
-	body := buf[:n]
+	body := buf[payloadAlignPad : payloadAlignPad+n]
 	if _, err := io.ReadFull(r, body); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF

@@ -166,9 +166,13 @@ func runPipelinedWorker(srvAddr string, world, elems int, results chan<- workerR
 		return data
 	}
 
-	// Step 0: full-world pipelined allreduce.
+	// Step 0: full-world pipelined allreduce. The chunk count is pinned
+	// explicitly (SPMD: the victim's doomed step-1 call below must split
+	// segments identically) and chosen so elems is not a multiple of
+	// world*K — the uneven-chunk case this test exists to exercise.
+	pipelined := mpi.AllreduceOptions{Algo: mpi.AlgoPipelinedRing, Chunks: mpi.DefaultPipelineChunks}
 	data := mkData()
-	if err := ulfm.AllreduceWith(r, data, mpi.OpSum, mpi.AlgoPipelinedRing); err != nil {
+	if err := ulfm.AllreduceOpts(r, data, mpi.OpSum, pipelined); err != nil {
 		fail(err)
 		return
 	}
@@ -187,7 +191,7 @@ func runPipelinedWorker(srvAddr string, world, elems int, results chan<- workerR
 		// heartbeats reveal the death.
 		go func() {
 			d := mkData()
-			_ = mpi.AllreducePipelinedRing(r.Comm(), d, mpi.OpSum)
+			_ = mpi.AllreduceOpts(r.Comm(), d, mpi.OpSum, pipelined)
 		}()
 		//lint:ignore sleepytest chaos choreography: the death must land mid-collective, after the first chunks ship but before the ring completes
 		time.Sleep(50 * time.Millisecond)
@@ -202,7 +206,7 @@ func runPipelinedWorker(srvAddr string, world, elems int, results chan<- workerR
 	time.Sleep(150 * time.Millisecond)
 
 	data = mkData()
-	if err := ulfm.AllreduceWith(r, data, mpi.OpSum, mpi.AlgoPipelinedRing); err != nil {
+	if err := ulfm.AllreduceOpts(r, data, mpi.OpSum, pipelined); err != nil {
 		fail(err)
 		return
 	}

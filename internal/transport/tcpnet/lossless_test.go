@@ -1,0 +1,148 @@
+package tcpnet_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/transport"
+	"repro/internal/transport/tcpnet"
+)
+
+// loopbackWorld spins up a fully connected loopback TCP world and runs
+// body at every rank, returning each rank's tensor afterwards.
+func loopbackWorld(t *testing.T, world int, cfg tcpnet.Config, inputs [][]float32,
+	body func(c *mpi.Comm, data []float32) error) [][]float32 {
+	t.Helper()
+	eps := make([]*tcpnet.Endpoint, world)
+	peers := make(map[transport.ProcID]string, world)
+	procs := make([]transport.ProcID, world)
+	for i := 0; i < world; i++ {
+		ep, err := tcpnet.Listen("127.0.0.1:0", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+		peers[transport.ProcID(i)] = ep.Addr()
+		procs[i] = transport.ProcID(i)
+	}
+	defer func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}()
+	for i, ep := range eps {
+		ep.Start(transport.ProcID(i), peers)
+	}
+	out := make([][]float32, world)
+	errs := make([]error, world)
+	done := make(chan int, world)
+	for i, ep := range eps {
+		go func(rank int, ep *tcpnet.Endpoint) {
+			defer func() { done <- rank }()
+			comm, err := mpi.World(mpi.Attach(ep), procs)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			data := append([]float32(nil), inputs[rank]...)
+			errs[rank] = body(comm, data)
+			out[rank] = data
+		}(i, ep)
+	}
+	for range eps {
+		<-done
+	}
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	return out
+}
+
+// The whole round-2 lossless fast path — raw wire codec, scatter-gather
+// writev sends, lazy zero-copy payload delivery, in-place reduction —
+// must be bit-identical to the seed ring. ZeroCopyMin is forced to 1 so
+// every frame, chunk fragments included, takes the vectored send and
+// RawPayload receive paths.
+func TestZeroCopyLosslessBitIdenticalToSeedRing(t *testing.T) {
+	const world = 4
+	const elems = 64<<10 + 7 // > smallThreshold bytes, uneven split
+	inputs := make([][]float32, world)
+	for r := range inputs {
+		rng := rand.New(rand.NewSource(int64(42 + r)))
+		inputs[r] = make([]float32, elems)
+		for i := range inputs[r] {
+			inputs[r][i] = float32(rng.NormFloat64()) * float32(math.Pow(2, float64(rng.Intn(12)-6)))
+		}
+	}
+	base := tcpnet.Config{DialRetries: 4, DialBackoff: 20 * time.Millisecond, DialTimeout: time.Second}
+	zc := base
+	zc.ZeroCopyMin = 1
+
+	prev := transport.SetRawCodec(true)
+	defer transport.SetRawCodec(prev)
+
+	// Reference: the seed entry point on a default-config world (the
+	// pre-round-2 data plane: 16 KiB zero-copy floor, static auto pick).
+	seed := loopbackWorld(t, world, base, inputs, func(c *mpi.Comm, data []float32) error {
+		return mpi.Allreduce(c, data, mpi.OpSum)
+	})
+	for _, tc := range []struct {
+		name string
+		opts mpi.AllreduceOptions
+	}{
+		{"ring", mpi.AllreduceOptions{Algo: mpi.AlgoRing}},
+		{"pipelined", mpi.AllreduceOptions{Algo: mpi.AlgoPipelinedRing, Chunks: 3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := loopbackWorld(t, world, zc, inputs, func(c *mpi.Comm, data []float32) error {
+				return mpi.AllreduceOpts(c, data, mpi.OpSum, tc.opts)
+			})
+			for r := 0; r < world; r++ {
+				for i := range seed[r] {
+					if math.Float32bits(got[r][i]) != math.Float32bits(seed[r][i]) {
+						t.Fatalf("rank %d elem %d: zero-copy %s = %v (%08x), seed ring = %v (%08x)",
+							r, i, tc.name, got[r][i], math.Float32bits(got[r][i]),
+							seed[r][i], math.Float32bits(seed[r][i]))
+					}
+				}
+			}
+		})
+	}
+}
+
+// Compressed traffic under the forced zero-copy floor: the fp16 wire
+// payloads ride the same vectored-send/lazy-delivery path, and every
+// rank must still agree bit for bit (AsF16 views into the frame buffer
+// must decode the same bits the sender wrote).
+func TestZeroCopyCompressedUniform(t *testing.T) {
+	const world = 3
+	const elems = 48 << 10
+	inputs := make([][]float32, world)
+	for r := range inputs {
+		rng := rand.New(rand.NewSource(int64(9 + r)))
+		inputs[r] = make([]float32, elems)
+		for i := range inputs[r] {
+			inputs[r][i] = float32(rng.NormFloat64())
+		}
+	}
+	cfg := tcpnet.Config{DialRetries: 4, DialBackoff: 20 * time.Millisecond, DialTimeout: time.Second, ZeroCopyMin: 1}
+	prev := transport.SetRawCodec(true)
+	defer transport.SetRawCodec(prev)
+	got := loopbackWorld(t, world, cfg, inputs, func(c *mpi.Comm, data []float32) error {
+		return mpi.AllreduceOpts(c, data, mpi.OpSum,
+			mpi.AllreduceOptions{Algo: mpi.AlgoPipelinedRing, Chunks: 2, Codec: mpi.CodecFP16})
+	})
+	for r := 1; r < world; r++ {
+		for i := range got[0] {
+			if math.Float32bits(got[r][i]) != math.Float32bits(got[0][i]) {
+				t.Fatalf("rank %d elem %d = %v, rank 0 = %v — compressed zero-copy path diverged",
+					r, i, got[r][i], got[0][i])
+			}
+		}
+	}
+}

@@ -28,6 +28,12 @@ var (
 		"Frame buffer checkouts (send assembly + read-loop scratch).")
 	obsFramePoolMisses = obs.Default().Counter("tcpnet_frame_pool_misses_total",
 		"Checkouts the pool satisfied with a fresh allocation.")
+	obsTxVecFrames = obs.Default().Counter("tcpnet_tx_writev_frames_total",
+		"Frames sent scatter-gather (net.Buffers): header and payload reach the kernel without frame assembly.")
+	obsTxVecBytes = obs.Default().Counter("tcpnet_tx_writev_bytes_total",
+		"Payload bytes sent zero-copy straight from the caller's slice.")
+	obsRxInplace = obs.Default().Counter("tcpnet_rx_inplace_frames_total",
+		"Frames delivered as lazy raw payloads for in-place consumption (no eager decode copy).")
 	obsWriteFlush = obs.Default().Histogram("tcpnet_write_flush_seconds",
 		"Latency of writing one frame to a peer, dial/retry and flush included.",
 		obs.SecondsBuckets())

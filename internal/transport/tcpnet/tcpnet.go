@@ -47,7 +47,20 @@ type Config struct {
 	// traffic flows. The fault-injection harness uses it to sever
 	// connections mid-frame; production configs leave it nil.
 	WrapConn func(conn net.Conn, dialed bool) net.Conn
+	// ZeroCopyMin is the payload size, in encoded bytes, at which the
+	// endpoint switches to its zero-copy paths: sends go scatter-gather
+	// via net.Buffers (writev) straight from the caller's slice, and
+	// received raw payloads are delivered lazily (transport.RawPayload)
+	// for in-place consumption instead of being decoded into a fresh
+	// slice. Below the threshold the pooled contiguous paths win — a
+	// writev of two tiny iovecs costs more than one memcpy. 0 means
+	// DefaultZeroCopyMin; negative disables both zero-copy paths.
+	ZeroCopyMin int
 }
+
+// DefaultZeroCopyMin is the default payload size at which sends switch
+// to writev and receives deliver lazy in-place payloads.
+const DefaultZeroCopyMin = 16 << 10
 
 func (c Config) withDefaults() Config {
 	if c.MaxFrame <= 0 {
@@ -61,6 +74,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DialBackoff <= 0 {
 		c.DialBackoff = 50 * time.Millisecond
+	}
+	if c.ZeroCopyMin == 0 {
+		c.ZeroCopyMin = DefaultZeroCopyMin
 	}
 	return c
 }
@@ -246,6 +262,11 @@ func (e *Endpoint) Close() error {
 	}
 	e.closed = true
 	close(e.done)
+	for _, m := range e.queue {
+		// Undelivered lazy payloads still own pooled read buffers; give
+		// them back so the post-shutdown leak checks stay at zero.
+		transport.ReleaseMessage(m)
+	}
 	e.queue = nil
 	conns := make([]net.Conn, 0, len(e.conns))
 	for c := range e.conns {
@@ -302,9 +323,15 @@ func (e *Endpoint) acceptLoop() {
 
 // readLoop decodes frames off one inbound connection into the mailbox.
 // Any framing or decoding error drops the connection; the peer redials.
-// The loop holds one pooled scratch buffer for the connection's lifetime:
-// frames are read into it and the payload decoder copies out into typed
-// slices, so the steady state allocates only the decoded payloads.
+// The loop holds one pooled scratch buffer for the connection's
+// lifetime: frames are read into it and small payloads are decoded into
+// typed slices before the buffer is reused. Large raw payloads (the
+// gradient chunks) skip the decode copy: the scratch buffer is handed
+// off with the message as a lazy transport.RawPayload whose Release
+// returns it to the pool, and the loop checks out a fresh buffer for
+// the next frame. Exactly one consumer-side Release (or Decode) per
+// handed-off buffer keeps OutstandingFrameBufs balanced; deliver and
+// Close release payloads that can no longer reach a consumer.
 func (e *Endpoint) readLoop(conn net.Conn) {
 	defer e.wg.Done()
 	defer func() {
@@ -314,11 +341,11 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 		e.mu.Unlock()
 	}()
 	bufp := getFrameBuf()
-	defer putFrameBuf(bufp)
-	buf := *bufp
+	defer func() { putFrameBuf(bufp) }()
 	for {
 		var f *frame
 		var err error
+		buf := *bufp
 		f, buf, err = readFrameBuf(conn, buf, e.cfg.MaxFrame)
 		*bufp = buf
 		if err != nil {
@@ -326,9 +353,25 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 		}
 		obsRxFrames.Inc()
 		obsRxBytes.Add(uint64(4 + frameHeaderLen + len(f.Payload)))
-		data, derr := transport.DecodePayload(f.Payload)
-		if derr != nil {
-			return
+		var data any
+		if zc := e.cfg.ZeroCopyMin; zc > 0 && len(f.Payload) >= zc && f.Tag > int64(transport.CtlTagBase) {
+			owned := bufp
+			rp, ok, perr := transport.ParseRawPayload(f.Payload, func() { putFrameBuf(owned) })
+			if perr != nil {
+				return
+			}
+			if ok {
+				obsRxInplace.Inc()
+				data = rp
+				bufp = getFrameBuf()
+			}
+		}
+		if data == nil {
+			var derr error
+			data, derr = transport.DecodePayload(f.Payload)
+			if derr != nil {
+				return
+			}
 		}
 		e.deliver(&transport.Message{
 			From:     transport.ProcID(f.From),
@@ -342,11 +385,13 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 }
 
 // deliver enqueues m and wakes the owner. Messages to a closed endpoint
-// are dropped, as the wire would.
+// are dropped, as the wire would; a dropped lazy payload gives its
+// pooled buffer back here, since no consumer will.
 func (e *Endpoint) deliver(m *transport.Message) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
+		transport.ReleaseMessage(m)
 		return
 	}
 	e.queue = append(e.queue, m)
@@ -375,6 +420,11 @@ func (e *Endpoint) Send(dst transport.ProcID, tag int, data any, bytes int64) er
 	e.mu.Unlock()
 	if p == nil {
 		return &transport.UnknownProcError{Proc: dst}
+	}
+	if zc := e.cfg.ZeroCopyMin; zc > 0 {
+		if ptag, count, body, ok := transport.RawSendView(data); ok && len(body) >= zc {
+			return e.sendVec(p, from, dst, tag, bytes, ptag, count, body)
+		}
 	}
 	bufp := getFrameBuf()
 	buf, err := appendFrame((*bufp)[:0], from, dst, tag, bytes, data, e.cfg.MaxFrame)
@@ -405,6 +455,46 @@ func (e *Endpoint) Send(dst transport.ProcID, tag int, data any, bytes int64) er
 	return nil
 }
 
+// sendVec is the zero-copy send path: the length prefix, frame header,
+// and raw payload header are assembled into a small pooled buffer, and
+// the payload body goes to the kernel as a second iovec via net.Buffers
+// (writev on *net.TCPConn) — no contiguous frame is ever built, so the
+// last per-chunk copy on the send path disappears. The body slice
+// aliases the caller's data; it is written (possibly across redial
+// attempts) entirely before Send returns, matching the contract that a
+// payload may be reused once Send completes. Wrapped connections that
+// are not *net.TCPConn degrade to sequential writes inside
+// net.Buffers.WriteTo, keeping the chaos harness's byte-level conn
+// faults effective.
+func (e *Endpoint) sendVec(p *peer, from, dst transport.ProcID, tag int, bytes int64, ptag byte, count int, body []byte) error {
+	n := frameHeaderLen + transport.RawPayloadHeaderLen + len(body)
+	if n > e.cfg.MaxFrame {
+		return &oversizeError{err: fmt.Errorf(
+			"tcpnet: frame body of %d bytes exceeds limit %d", n, e.cfg.MaxFrame)}
+	}
+	bufp := getFrameBuf()
+	hdr := appendVecHeader((*bufp)[:0], n, from, dst, tag, bytes)
+	hdr = transport.AppendRawPayloadHeader(hdr, ptag, count)
+	flushStart := time.Now()
+	werr := e.writeVecToPeer(p, hdr, body)
+	*bufp = hdr
+	putFrameBuf(bufp)
+	if werr != nil {
+		obsSendErrors.Inc()
+		if e.Closed() {
+			return transport.ErrDead
+		}
+		return &transport.PeerFailedError{Proc: dst}
+	}
+	obsWriteFlush.ObserveSince(flushStart)
+	obsTxFrames.Inc()
+	obsTxBytes.Add(uint64(4 + n))
+	obsTxVecFrames.Inc()
+	obsTxVecBytes.Add(uint64(len(body)))
+	e.touch()
+	return nil
+}
+
 // oversizeError marks frame-limit violations so Send reports them as
 // usage errors rather than peer failures.
 type oversizeError struct{ err error }
@@ -418,6 +508,34 @@ func (e *oversizeError) Unwrap() error { return e.err }
 // and is flushed before returning, so every Send leaves the wire at a
 // message boundary.
 func (e *Endpoint) writeToPeer(p *peer, buf []byte) error {
+	return e.writeToPeerFn(p, func(p *peer) error {
+		return writeBuffered(p.bw, buf)
+	})
+}
+
+// writeVecToPeer writes one frame as two iovecs — pooled header, caller
+// payload — through writev, redialing like writeToPeer. A failed
+// attempt rewrites the whole frame on the fresh connection, so the
+// net.Buffers list (which WriteTo consumes) is rebuilt per attempt.
+func (e *Endpoint) writeVecToPeer(p *peer, hdr, body []byte) error {
+	return e.writeToPeerFn(p, func(p *peer) error {
+		// The buffered writer is empty at message boundaries, but flush
+		// defensively: header bytes must never pass buffered ones.
+		if err := p.bw.Flush(); err != nil {
+			return err
+		}
+		v := net.Buffers{hdr, body}
+		_, err := v.WriteTo(p.conn)
+		return err
+	})
+}
+
+// writeToPeerFn runs one frame-write attempt function against p's live
+// connection, dialing (or redialing) with exponential backoff between
+// attempts. The write function sees a connected peer (p.conn, p.bw
+// valid) under p.mu; any error it returns drops the connection and
+// retries the whole frame on a fresh one.
+func (e *Endpoint) writeToPeerFn(p *peer, write func(p *peer) error) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var lastErr error
@@ -450,7 +568,7 @@ func (e *Endpoint) writeToPeer(p *peer, buf []byte) error {
 			p.conn = conn
 			p.bw = bufio.NewWriterSize(conn, writeBufSize)
 		}
-		if err := writeBuffered(p.bw, buf); err != nil {
+		if err := write(p); err != nil {
 			p.conn.Close()
 			p.conn = nil
 			p.bw = nil

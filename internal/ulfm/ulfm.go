@@ -92,10 +92,19 @@ func Allreduce[T mpi.Number](r *ResilientComm, data []T, op mpi.Op) error {
 // mpi.AllreduceAlgo); every retry after a repair reuses the same
 // algorithm over the shrunken world.
 func AllreduceWith[T mpi.Number](r *ResilientComm, data []T, op mpi.Op, algo mpi.AllreduceAlgo) error {
+	return AllreduceOpts(r, data, op, mpi.AllreduceOptions{Algo: algo})
+}
+
+// AllreduceOpts is Allreduce under explicit data-plane options (schedule,
+// pipeline chunks, wire codec). Each retry restores the caller's original
+// contribution and re-resolves the plan against the repaired communicator
+// — a tuned pick or a size-derived chunk count renegotiates at the new
+// world size, uniformly, because resolution happens inside the collective.
+func AllreduceOpts[T mpi.Number](r *ResilientComm, data []T, op mpi.Op, o mpi.AllreduceOptions) error {
 	orig := append([]T(nil), data...)
 	return r.retry(func() error {
 		copy(data, orig)
-		return mpi.AllreduceWith(r.comm, data, op, algo)
+		return mpi.AllreduceOpts(r.comm, data, op, o)
 	})
 }
 
