@@ -7,6 +7,7 @@
 #   make test    full test suite (+ race on the fast packages)
 #   make chaos   chaos conformance at the pinned seeds
 #   make cluster clustertest conformance (gossip control plane) at world 32
+#   make grow    grow-path conformance (autopilot + warm spares) at world 32
 #   make cover   per-package coverage summary + gates (floors, baseline)
 #   make bench-gate  data-plane benchmarks vs the committed baseline
 #   make check   everything above, in CI order
@@ -15,7 +16,7 @@ GO      ?= go
 BIN     := bin
 SEEDS   ?= 1 7 42
 
-.PHONY: all build vet lint test race chaos cluster cover bench-gate check clean
+.PHONY: all build vet lint test race chaos cluster grow cover bench-gate check clean
 
 # World size for the clustertest conformance suite (CI: 32 per PR,
 # 64/128 nightly).
@@ -75,6 +76,17 @@ cluster:
 			-cluster.world=$(CLUSTER_WORLD) -cluster.seed="$$seed" || exit 1; \
 	done
 
+# grow: the four grow-path elasticity scenarios — spare-swap-on-kill,
+# scheduled scale-up, kill-during-state-transfer, flapping autoscale —
+# under -race, like the grow-scenarios CI leg.
+grow:
+	@for seed in $(SEEDS); do \
+		echo "=== grow world $(CLUSTER_WORLD) seed $$seed ==="; \
+		$(GO) test -race -count=1 -timeout 20m ./internal/clustertest/ \
+			-run TestGrowConformance \
+			-cluster.world=$(CLUSTER_WORLD) -cluster.seed="$$seed" || exit 1; \
+	done
+
 # cover: per-package statement coverage, gated. internal/obs carries an
 # absolute 70% floor; transport/mpi/ulfm must stay within 2 points of the
 # committed COVERAGE_baseline.json. Regenerate the baseline after an
@@ -88,6 +100,7 @@ cover:
 		-floor repro/internal/obs=70 \
 		-floor repro/internal/gossip=70 \
 		-floor repro/internal/clustertest=70 \
+		-floor repro/internal/autopilot=70 \
 		-baseline COVERAGE_baseline.json -maxdrop 2
 	$(GO) tool cover -html=cover.out -o cover.html
 
@@ -102,7 +115,7 @@ bench-gate:
 	$(GO) run ./cmd/benchgate -controlplane -baseline BENCH_controlplane.json \
 		-fresh fresh_controlplane.json -tolerance 0.10
 
-check: build vet lint test race chaos cluster
+check: build vet lint test race chaos cluster grow
 
 clean:
 	rm -rf $(BIN) cover.out cover.html fresh_dataplane.json fresh_controlplane.json

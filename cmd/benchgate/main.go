@@ -227,6 +227,19 @@ func gateControlplane(basePath, freshPath string, tolerance float64) {
 		fmt.Printf("%-40s %10.1f -> %10.1f ms  %+6.1f%%  %s\n",
 			key, baseMS, freshMS, (ratio-1)*100, status)
 	}
+	// Throughput rows gate downward: fresh below baseline by more than
+	// the tolerance is the regression (the capped stream got slower).
+	reportThroughput := func(key string, baseMBps, freshMBps float64) {
+		compared++
+		ratio := freshMBps / baseMBps
+		status := "ok"
+		if ratio < 1-tolerance {
+			status = "REGRESSION"
+			failures++
+		}
+		fmt.Printf("%-40s %10.1f -> %10.1f MB/s %+6.1f%%  %s\n",
+			key, baseMBps, freshMBps, (ratio-1)*100, status)
+	}
 	for _, b := range base.Cells {
 		for _, f := range fresh.Cells {
 			if f.World != b.World {
@@ -234,6 +247,15 @@ func gateControlplane(basePath, freshPath string, tolerance float64) {
 			}
 			report(fmt.Sprintf("join-converge/world=%d", b.World), b.JoinConvergeMS, f.JoinConvergeMS)
 			report(fmt.Sprintf("kill-detect/world=%d", b.World), b.KillDetectMS, f.KillDetectMS)
+			// Baselines written before the autopilot rows existed carry
+			// zeros here; like cells present in only one report, they
+			// don't break the gate.
+			if b.SpareSwapRecoveryMS > 0 {
+				report(fmt.Sprintf("spare-swap-recovery/world=%d", b.World), b.SpareSwapRecoveryMS, f.SpareSwapRecoveryMS)
+			}
+			if b.StateXferMBps > 0 {
+				reportThroughput(fmt.Sprintf("state-transfer-throughput/world=%d", b.World), b.StateXferMBps, f.StateXferMBps)
+			}
 		}
 	}
 	if compared == 0 {

@@ -56,6 +56,25 @@ var pointPresets = map[string]func(seed int64) chaos.Scenario{
 			Point: transport.PointGrowSend, Nth: 1, Op: chaos.OpKill,
 		}}}
 	},
+	// kill-at-state-transfer: pass to a -spare worker; it dies on the
+	// first chunk of the newcomer state stream, leaving the sender
+	// blocked on an ack that never comes until the death verdict lands.
+	"kill-at-state-transfer": func(seed int64) chaos.Scenario {
+		return chaos.Scenario{Name: "kill-at-state-transfer", Seed: seed, Rules: []chaos.Rule{{
+			Name: "kill-at-state-transfer", Proc: chaos.AnyProc,
+			Point: transport.PointStateRecv, Nth: 1, Op: chaos.OpKill,
+		}}}
+	},
+	// flap-autoscale: pass to a -spare worker; it receives and acks the
+	// full state stream, then dies before its first round — a scale-up
+	// verdict immediately followed by the newcomer's death, the flap the
+	// autopilot must absorb without double-booking the pool.
+	"flap-autoscale": func(seed int64) chaos.Scenario {
+		return chaos.Scenario{Name: "flap-autoscale", Seed: seed, Rules: []chaos.Rule{{
+			Name: "flap-autoscale", Proc: chaos.AnyProc,
+			Point: transport.PointStateAck, Nth: 1, Op: chaos.OpKill,
+		}}}
+	},
 }
 
 // chaosScenario resolves -chaos: elasticd's point-gated presets first,

@@ -13,6 +13,13 @@
 //
 // Then kill -9 any non-serving worker and watch the survivors shrink
 // and keep stepping with the reduced sum.
+//
+// With -scale-policy and warm spares the world heals instead of
+// shrinking: start the workers with `-scale-policy swap`, add
+// `-spare -scale-policy swap` processes, and a kill -9 is absorbed by
+// the autopilot swapping a spare in at the next step boundary — the
+// newcomer receives the model state over a bandwidth-capped stream and
+// enters at the following step with the world back at full size.
 package main
 
 import (
@@ -52,6 +59,10 @@ func main() {
 	hb := flag.Duration("hb", 500*time.Millisecond, "heartbeat interval (used with -serve)")
 	suspect := flag.Duration("suspect", 0, "suspicion threshold (used with -serve; default 3x hb)")
 	dead := flag.Duration("dead", 0, "declaration threshold (used with -serve; default 6x hb)")
+	spare := flag.Bool("spare", false, "join as a warm spare: register idle, wait for the autopilot to swap this process in, receive state, then train")
+	spares := flag.Int("spares", 0, "wait for this many warm spares to register before training (demo choreography)")
+	scalePolicy := flag.String("scale-policy", "", "enable the autopilot grow boundary: 'swap' (replace deaths from the spare pool) or a schedule like '10:+2,20:-1'; every worker and spare must pass the same value")
+	xferRate := flag.Float64("xfer-rate", 64<<20, "newcomer state-transfer bandwidth cap in bytes/sec (0 = unlimited)")
 	tracePath := flag.String("trace", "", "write a JSON-lines event journal to this file")
 	obsListen := flag.String("obs.listen", "", "serve /metrics, /healthz, /varz on this address (empty = no metrics endpoint)")
 	chaosName := flag.String("chaos", "", "inject faults from a named chaos scenario: "+chaosNames())
@@ -67,6 +78,17 @@ func main() {
 		log.Fatalf("elasticd: %v", err)
 	}
 	opts := mpi.AllreduceOptions{Algo: algo, Chunks: *chunks, Codec: codec}
+
+	if *spare && *scalePolicy == "" {
+		// A spare runs the same boundaries as every member once admitted,
+		// so it needs a policy; default to swap-only rather than deadlock.
+		*scalePolicy = "swap"
+		log.Printf("elasticd: -spare without -scale-policy, defaulting to 'swap'")
+	}
+	sched, elasticOn, err := parseScalePolicy(*scalePolicy)
+	if err != nil {
+		log.Fatalf("elasticd: %v", err)
+	}
 
 	// The journal is buffered, so every way out of this process must flush
 	// it: the deferred close (normal completion and ErrDropped), fatalf
@@ -158,16 +180,30 @@ func main() {
 	fmt.Printf("elasticd: transport listening on %s\n", ep.Addr())
 	rec.Membership(0, -1, "listen", map[string]any{"addr": ep.Addr(), "obs": obsAddr})
 
-	cl, err := rendezvous.Join(*rdv, ep.Addr(), 5*time.Minute)
+	cl, err := rendezvous.JoinWith(*rdv, rendezvous.JoinOptions{
+		SelfAddr: ep.Addr(),
+		Timeout:  5 * time.Minute,
+		Spare:    *spare,
+	})
 	if err != nil {
 		fatalf("elasticd: %v", err)
 	}
 	defer cl.Close()
 	selfProc.Store(int64(cl.Proc()))
 	ep.Start(cl.Proc(), cl.Peers())
-	cl.Start(func(d transport.ProcID) {
-		log.Printf("elasticd: rendezvous declared proc %d down", d)
-		ep.MarkDead(d)
+	// Late joiners and warm spares announced after the welcome must be
+	// dialable before the autopilot streams state to them or grows them
+	// into a collective; Start is idempotent.
+	teach := func(p transport.ProcID, addr, _ string) {
+		ep.Start(cl.Proc(), map[transport.ProcID]string{p: addr})
+	}
+	cl.StartNotify(rendezvous.Notifications{
+		OnPeerDown: func(d transport.ProcID) {
+			log.Printf("elasticd: rendezvous declared proc %d down", d)
+			ep.MarkDead(d)
+		},
+		OnPeerUp:  teach,
+		OnSpareUp: teach,
 	})
 	log.Printf("elasticd: joined as proc %d (rank %d of %d), transport %s",
 		cl.Proc(), cl.Rank(), cl.World(), ep.Addr())
@@ -192,10 +228,6 @@ func main() {
 		tep = eng.Wrap(ep)
 	}
 	p := mpi.Attach(tep)
-	comm, err := mpi.World(p, cl.Procs())
-	if err != nil {
-		fatalf("elasticd: %v", err)
-	}
 
 	policy := ulfm.DefaultPolicy()
 	reconfigs := 0
@@ -204,39 +236,43 @@ func main() {
 		rec.Recovery(ep.VClock().Now(), int(cl.Proc()), reconfigs, "failure", bd, false)
 		log.Printf("elasticd: reconfigured to size %d (recovery #%d)", nc.Size(), reconfigs)
 	}
-	r := ulfm.New(comm, nil, policy)
 
-	// The resolved data-plane plan goes to stdout at startup (what the
-	// first round will run, per the tuner's current model) and into the
-	// journal every round — after a shrink or enough observations the
-	// tuned pick can change, and the journal is where that shows.
-	tensorBytes := int64(*n) * 8
-	plan := mpi.PlanAllreduce(tensorBytes, cl.World(), opts)
-	fmt.Printf("elasticd: data plane: %s (%d x float64, world %d)\n", plan, *n, cl.World())
+	d := &daemon{
+		cl: cl, ep: ep, rec: rec, opts: opts,
+		n: *n, steps: *steps, stepInterval: *stepInterval,
+	}
+	if elasticOn {
+		d.el = newElastic(cl, rec, sched, *xferRate)
+	}
 
 	// Each worker contributes a constant vector of proc+1, so the
 	// reduced value tracks exactly which members contributed: with
-	// procs 0..3 alive the sum is 10; after proc 3 dies it drops to 6.
-	for step := 0; step < *steps; step++ {
-		transport.Hit(cl.Proc(), transport.PointElasticRound)
-		plan = mpi.PlanAllreduce(tensorBytes, r.Size(), opts)
-		rec.Plan(ep.VClock().Now(), int(cl.Proc()), step, plan.Algo.String(), plan.Chunks, plan.Codec.String(), plan.Tuned)
-		data := make([]float64, *n)
-		for i := range data {
-			data[i] = float64(cl.Proc()) + 1
+	// procs 0..3 alive the sum is 10; after proc 3 dies it drops to 6 —
+	// or, with -scale-policy and a spare pool, bounces back as the
+	// autopilot swaps a newcomer in.
+	runErr := func() error {
+		if *spare {
+			return d.runSpare(p, policy)
 		}
-		if err := ulfm.AllreduceOpts(r, data, mpi.OpSum, opts); err != nil {
-			if errors.Is(err, ulfm.ErrDropped) {
-				log.Printf("elasticd: dropped from the communicator, exiting")
-				return
-			}
-			fatalf("elasticd: step %d: %v", step, err)
+		comm, err := mpi.World(p, cl.Procs())
+		if err != nil {
+			return err
 		}
-		fmt.Printf("step %3d  proc %d  size %d  sum %.0f\n",
-			step, cl.Proc(), r.Size(), data[0])
-		transport.Hit(cl.Proc(), transport.PointElasticCommit)
-		time.Sleep(*stepInterval)
+		r := ulfm.New(comm, nil, policy)
+		// The resolved data-plane plan goes to stdout at startup (what the
+		// first round will run, per the tuner's current model) and into the
+		// journal every round — after a shrink or enough observations the
+		// tuned pick can change, and the journal is where that shows.
+		plan := mpi.PlanAllreduce(int64(*n)*8, cl.World(), opts)
+		fmt.Printf("elasticd: data plane: %s (%d x float64, world %d)\n", plan, *n, cl.World())
+		d.awaitSpares(*spares, 2*time.Minute)
+		return d.runSteps(r, 0)
+	}()
+	if runErr != nil {
+		if errors.Is(runErr, ulfm.ErrDropped) {
+			log.Printf("elasticd: dropped from the communicator, exiting")
+			return
+		}
+		fatalf("elasticd: %v", runErr)
 	}
-	rec.Finish(ep.VClock().Now(), int(cl.Proc()), r.Comm().Rank(), r.Size())
-	log.Printf("elasticd: done after %d steps, final size %d", *steps, r.Size())
 }

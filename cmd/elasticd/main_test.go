@@ -170,6 +170,89 @@ func TestJournalFlushedOnSigterm(t *testing.T) {
 	}
 }
 
+// TestSpareSwapAbsorbsKill is the daemon-level elasticity demo as a
+// test: a two-worker world with one warm spare and -scale-policy swap.
+// One worker is chaos-killed mid-training (silent death, exit 3); the
+// autopilot on the surviving rank 0 swaps the spare in at the next
+// boundary, streams it the model state, and both the leader and the
+// spare finish all steps — their journals must carry finish events.
+func TestSpareSwapAbsorbsKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+	rdv := freePort(t)
+	dir := t.TempDir()
+	journal := func(name string) string { return filepath.Join(dir, name+".jsonl") }
+	mk := func(name string, extra ...string) *exec.Cmd {
+		args := append([]string{
+			"-rendezvous", rdv, "-steps", "12", "-step-interval", "20ms",
+			"-n", "16", "-scale-policy", "swap", "-hb", "50ms",
+			"-trace", journal(name),
+		}, extra...)
+		cmd := exec.Command(os.Args[0], args...)
+		cmd.Env = append(os.Environ(), "ELASTICD_MAIN=1")
+		return cmd
+	}
+	lead := mk("lead", "-serve", "-world", "2", "-spares", "1")
+	victim := mk("victim", "-chaos", "kill-at-round", "-chaos.seed", "1")
+	spare := mk("spare", "-spare")
+
+	var leadOut, victimOut, spareOut strings.Builder
+	lead.Stdout, lead.Stderr = &leadOut, &leadOut
+	victim.Stdout, victim.Stderr = &victimOut, &victimOut
+	spare.Stdout, spare.Stderr = &spareOut, &spareOut
+	if err := lead.Start(); err != nil {
+		t.Fatalf("start lead: %v", err)
+	}
+	defer func() { lead.Process.Kill(); lead.Wait() }()
+	if err := victim.Start(); err != nil {
+		t.Fatalf("start victim: %v", err)
+	}
+	defer func() { victim.Process.Kill(); victim.Wait() }()
+	if err := spare.Start(); err != nil {
+		t.Fatalf("start spare: %v", err)
+	}
+	defer func() { spare.Process.Kill(); spare.Wait() }()
+
+	wait := func(name string, cmd *exec.Cmd, wantExit int) {
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			code := 0
+			if ee, ok := err.(*exec.ExitError); ok {
+				code = ee.ExitCode()
+			} else if err != nil {
+				t.Fatalf("%s: wait: %v", name, err)
+			}
+			if code != wantExit {
+				t.Fatalf("%s: exit %d, want %d\nlead:\n%s\nvictim:\n%s\nspare:\n%s",
+					name, code, wantExit, leadOut.String(), victimOut.String(), spareOut.String())
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("%s did not exit\nlead:\n%s\nvictim:\n%s\nspare:\n%s",
+				name, leadOut.String(), victimOut.String(), spareOut.String())
+		}
+	}
+	wait("victim", victim, 3) // chaos kill
+	wait("lead", lead, 0)
+	wait("spare", spare, 0)
+
+	if !hasKind(checkJournal(t, journal("lead")), "finish") {
+		t.Errorf("lead journal lacks a finish event\n%s", leadOut.String())
+	}
+	spareEvents := checkJournal(t, journal("spare"))
+	if !hasKind(spareEvents, "finish") {
+		t.Errorf("spare journal lacks a finish event\n%s", spareOut.String())
+	}
+	if !hasKind(spareEvents, "spare_enter") {
+		t.Errorf("spare journal lacks a spare_enter event\n%s", spareOut.String())
+	}
+	if !strings.Contains(leadOut.String(), "admitted proc") {
+		t.Errorf("lead never logged a spare admission\n%s", leadOut.String())
+	}
+}
+
 // TestObsEndpointServes boots a worker with -obs.listen and scrapes it
 // while it steps: /metrics must answer with a valid exposition that
 // includes the transport counters this very run is driving.

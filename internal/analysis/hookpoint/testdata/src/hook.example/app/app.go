@@ -37,6 +37,16 @@ func gossipHits(p transport.ProcID) {
 	transport.Hit(p, "gossip.ping-req")            // want `raw string "gossip.ping-req", which matches no transport.Point\* hook point`
 }
 
+// stateHits exercises the state-transfer handshake vocabulary: the
+// canonical constants pass, raw strings and stale values are rejected.
+func stateHits(p transport.ProcID) {
+	transport.Hit(p, transport.PointStateOffer) // canonical: ok
+	transport.Hit(p, transport.PointStateChunk) // canonical: ok
+	transport.Hit(p, transport.PointStateAck)   // canonical: ok
+	transport.Hit(p, "autopilot.state.recv")    // want `raw string "autopilot.state.recv": use the named constant transport.PointStateRecv`
+	transport.Hit(p, "autopilot.state.done")    // want `raw string "autopilot.state.done", which matches no transport.Point\* hook point`
+}
+
 func rules() []chaos.Rule {
 	return []chaos.Rule{
 		{Name: "ok", Proc: 2, Point: transport.PointUlfmRevoked, Nth: 1, Op: chaos.OpKill},
@@ -47,5 +57,7 @@ func rules() []chaos.Rule {
 		{"pos", 3, "elastic.grow.send", 1, chaos.OpKill},        // want `raw string "elastic.grow.send": use the named constant transport.PointGrowSend`
 		{Name: "gossipok", Point: transport.PointGossipDead, Op: chaos.OpKill}, // canonical gossip point: ok
 		{Name: "gossipraw", Point: "gossip.probe"},              // want `raw string "gossip.probe": use the named constant transport.PointGossipProbe`
+		{Name: "xferok", Point: transport.PointStateRecv, Op: chaos.OpKill},    // canonical state-transfer point: ok
+		{Name: "xferraw", Point: "autopilot.state.chunk"},       // want `raw string "autopilot.state.chunk": use the named constant transport.PointStateChunk`
 	}
 }

@@ -17,6 +17,12 @@ const (
 	PointGossipSuspect = "gossip.suspect"
 	PointGossipDead    = "gossip.dead"
 	PointGossipRefute  = "gossip.refute"
+
+	// The state-transfer handshake points, mirroring hooks.go.
+	PointStateOffer = "autopilot.state.offer"
+	PointStateChunk = "autopilot.state.chunk"
+	PointStateRecv  = "autopilot.state.recv"
+	PointStateAck   = "autopilot.state.ack"
 )
 
 // Hit announces that proc reached the named protocol point.

@@ -1,0 +1,297 @@
+// Package autopilot is the elasticity control loop: it watches
+// membership (gossip verdicts surfaced as member-set changes) and the
+// warm spare pool, and decides how the world should change — swap a
+// spare in on a death instead of shrinking, scale up or down on a
+// schedule or load signal, or hold. The controller is sans-IO in the
+// style of internal/gossip: callers feed observations in and apply the
+// returned Decision through their own machinery (ulfm.Grow over live
+// communicators, rendezvous activation for bookkeeping), so the same
+// loop drives the in-process clustertest harness and the elasticd
+// daemon, and unit tests need no sockets.
+//
+// The newcomer state transfer lives in statexfer.go: model/optimizer
+// state streamed chunked over the raw codec with a token-bucket
+// bandwidth cap, entering at the next epoch boundary as the paper
+// specifies.
+package autopilot
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Kind classifies a Decision.
+type Kind int
+
+const (
+	// KindHold: no change this boundary.
+	KindHold Kind = iota
+	// KindSwapIn: admit spares to replace observed deaths.
+	KindSwapIn
+	// KindScaleUp: admit spares to grow past the current world size.
+	KindScaleUp
+	// KindScaleDown: shrink the target world size.
+	KindScaleDown
+
+	decisionKinds = iota
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHold:
+		return "hold"
+	case KindSwapIn:
+		return "swap_in"
+	case KindScaleUp:
+		return "scale_up"
+	case KindScaleDown:
+		return "scale_down"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Decision is one control-loop verdict, applied by the caller at the
+// next epoch boundary.
+type Decision struct {
+	Kind   Kind
+	Admit  []transport.ProcID // spares to admit (SwapIn / ScaleUp)
+	Target int                // desired world size after applying
+	Reason string
+}
+
+// ScheduleStep scales the world by Delta at training step Step.
+type ScheduleStep struct {
+	Step  int
+	Delta int
+}
+
+// ParseSchedule parses a -scale-policy flag value: comma-separated
+// "step:delta" entries, e.g. "10:+2,200:-1". An empty string is an
+// empty schedule.
+func ParseSchedule(s string) ([]ScheduleStep, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []ScheduleStep
+	for _, part := range strings.Split(s, ",") {
+		step, delta, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("autopilot: schedule entry %q: want step:delta", part)
+		}
+		st, err := strconv.Atoi(step)
+		if err != nil {
+			return nil, fmt.Errorf("autopilot: schedule step %q: %v", step, err)
+		}
+		d, err := strconv.Atoi(strings.TrimPrefix(delta, "+"))
+		if err != nil {
+			return nil, fmt.Errorf("autopilot: schedule delta %q: %v", delta, err)
+		}
+		if d == 0 {
+			return nil, fmt.Errorf("autopilot: schedule entry %q: zero delta", part)
+		}
+		out = append(out, ScheduleStep{Step: st, Delta: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Step < out[j].Step })
+	return out, nil
+}
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Target is the desired steady-state world size.
+	Target int
+	// Schedule lists step-triggered scale events (sorted or not; the
+	// controller sorts). Each fires once, at the first Decide whose step
+	// is >= its Step.
+	Schedule []ScheduleStep
+	// Load, when non-nil, is sampled at every Decide; a reading above
+	// LoadHigh scales up by one, below LoadLow scales down by one (after
+	// the schedule, at most one load-driven step per Decide).
+	Load              func() float64
+	LoadHigh, LoadLow float64
+	// Trace records decisions in the journal (nil = discard).
+	Trace *trace.Recorder
+	// Proc stamps trace records with the controlling process.
+	Proc transport.ProcID
+}
+
+// Controller is the sans-IO decision core. Not safe for concurrent use;
+// callers that share one controller across worker goroutines (the
+// clustertest harness does, so the loop survives rank-0 death) guard it
+// with their own mutex.
+type Controller struct {
+	cfg     Config
+	target  int
+	members map[transport.ProcID]bool
+	pool    []transport.ProcID
+	deaths  int     // observed deaths not yet answered by a swap
+	deathAt float64 // earliest unanswered death, for recovery latency
+	fired   map[int]bool
+}
+
+// New builds a controller. Target <= 0 is taken from the first
+// ObserveMembers call.
+func New(cfg Config) *Controller {
+	c := &Controller{
+		cfg:     cfg,
+		target:  cfg.Target,
+		members: map[transport.ProcID]bool{},
+		fired:   map[int]bool{},
+	}
+	sort.Slice(c.cfg.Schedule, func(i, j int) bool { return c.cfg.Schedule[i].Step < c.cfg.Schedule[j].Step })
+	return c
+}
+
+// Target reports the current desired world size.
+func (c *Controller) Target() int { return c.target }
+
+// ObserveMembers feeds the current live member set at time now. Members
+// that disappear since the previous observation are counted as deaths
+// (the gossip verdict already arbitrated false positives upstream).
+func (c *Controller) ObserveMembers(now float64, members []transport.ProcID) {
+	next := make(map[transport.ProcID]bool, len(members))
+	for _, p := range members {
+		next[p] = true
+	}
+	if c.target <= 0 {
+		c.target = len(members)
+	}
+	for p := range c.members {
+		if !next[p] {
+			if c.deaths == 0 {
+				c.deathAt = now
+			}
+			c.deaths++
+		}
+	}
+	c.members = next
+}
+
+// ObservePool feeds the current warm spare pool.
+func (c *Controller) ObservePool(pool []transport.ProcID) {
+	c.pool = append(c.pool[:0], pool...)
+	obsSparePool.Set(int64(len(c.pool)))
+}
+
+// Pool returns the spares the controller currently believes are idle.
+func (c *Controller) Pool() []transport.ProcID {
+	return append([]transport.ProcID(nil), c.pool...)
+}
+
+// Decide computes the action for the epoch boundary at training step
+// step, time now. Priority: replace deaths from the pool, then the
+// schedule, then the load signal. The caller applies the decision
+// (ulfm.Grow + state transfer) and reports back via Admitted or
+// SwapFailed.
+func (c *Controller) Decide(now float64, step int) Decision {
+	d := c.decide(step)
+	obsDecisions[d.Kind].Inc()
+	if d.Kind != KindHold {
+		c.cfg.Trace.Decision(now, int(c.cfg.Proc), step, d.Kind.String(), len(d.Admit), d.Target, d.Reason)
+	}
+	return d
+}
+
+func (c *Controller) decide(step int) Decision {
+	// Schedule and load adjust the target even while a swap is pending;
+	// the admit list below then covers both at once.
+	reason := ""
+	kind := KindHold
+	for _, s := range c.cfg.Schedule {
+		if step >= s.Step && !c.fired[s.Step] {
+			c.fired[s.Step] = true
+			c.target += s.Delta
+			if s.Delta > 0 {
+				kind, reason = KindScaleUp, fmt.Sprintf("schedule step %d: %+d", s.Step, s.Delta)
+				obsScaleUps.Inc()
+			} else {
+				kind, reason = KindScaleDown, fmt.Sprintf("schedule step %d: %+d", s.Step, s.Delta)
+				obsScaleDowns.Inc()
+			}
+		}
+	}
+	if c.cfg.Load != nil && kind == KindHold {
+		switch v := c.cfg.Load(); {
+		case v > c.cfg.LoadHigh && c.cfg.LoadHigh > 0:
+			c.target++
+			kind, reason = KindScaleUp, fmt.Sprintf("load %.2f > %.2f", v, c.cfg.LoadHigh)
+			obsScaleUps.Inc()
+		case v < c.cfg.LoadLow:
+			c.target--
+			kind, reason = KindScaleDown, fmt.Sprintf("load %.2f < %.2f", v, c.cfg.LoadLow)
+			obsScaleDowns.Inc()
+		}
+	}
+
+	missing := c.target - len(c.members)
+	if missing > 0 && len(c.pool) > 0 {
+		n := missing
+		if n > len(c.pool) {
+			n = len(c.pool)
+		}
+		admit := append([]transport.ProcID(nil), c.pool[:n]...)
+		if kind == KindHold {
+			kind = KindScaleUp
+			if c.deaths > 0 {
+				kind = KindSwapIn
+			}
+			reason = fmt.Sprintf("%d below target %d", missing, c.target)
+		}
+		return Decision{Kind: kind, Admit: admit, Target: c.target, Reason: reason}
+	}
+	if kind == KindScaleDown || kind == KindScaleUp {
+		// Target moved but nothing to admit (scale-down, or empty pool).
+		return Decision{Kind: kind, Target: c.target, Reason: reason}
+	}
+	return Decision{Kind: KindHold, Target: c.target}
+}
+
+// Admitted reports that the listed spares were successfully grown into
+// the world (state transferred, entered at the epoch boundary). It
+// moves them out of the pool and, if they answered deaths, records the
+// swap and its recovery latency.
+func (c *Controller) Admitted(now float64, procs []transport.ProcID) {
+	for _, p := range procs {
+		c.members[p] = true
+		c.removeSpare(p)
+		if c.deaths > 0 {
+			c.deaths--
+			obsSpareSwaps.Inc()
+			obsSwapRecovery.Observe(now - c.deathAt)
+		}
+	}
+	if c.deaths == 0 {
+		c.deathAt = 0
+	}
+	obsSparePool.Set(int64(len(c.pool)))
+}
+
+// Evicted reports a planned scale-down departure before it happens, so
+// the next ObserveMembers does not book the disappearance as a death
+// (which would otherwise trigger a compensating swap-in).
+func (c *Controller) Evicted(proc transport.ProcID) {
+	delete(c.members, proc)
+}
+
+// SwapFailed reports that an admitted spare died before completing its
+// swap-in (e.g. killed during state transfer). The spare is discarded
+// from the pool; the death it was answering stays outstanding so the
+// next Decide tries the next spare.
+func (c *Controller) SwapFailed(proc transport.ProcID) {
+	c.removeSpare(proc)
+	obsSwapFailures.Inc()
+	obsSparePool.Set(int64(len(c.pool)))
+}
+
+func (c *Controller) removeSpare(p transport.ProcID) {
+	for i, s := range c.pool {
+		if s == p {
+			c.pool = append(c.pool[:i], c.pool[i+1:]...)
+			return
+		}
+	}
+}

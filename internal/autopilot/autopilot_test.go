@@ -1,0 +1,172 @@
+package autopilot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+func procs(ids ...int) []transport.ProcID {
+	out := make([]transport.ProcID, len(ids))
+	for i, id := range ids {
+		out[i] = transport.ProcID(id)
+	}
+	return out
+}
+
+// TestSwapInOnDeath: a member disappearing between observations yields a
+// swap-in decision admitting exactly one spare; after Admitted the
+// controller holds steady and the spare has left the pool.
+func TestSwapInOnDeath(t *testing.T) {
+	c := New(Config{})
+	c.ObserveMembers(0, procs(1, 2, 3, 4))
+	c.ObservePool(procs(10, 11))
+
+	if d := c.Decide(1, 0); d.Kind != KindHold {
+		t.Fatalf("healthy world decided %v", d.Kind)
+	}
+
+	c.ObserveMembers(2, procs(1, 2, 4)) // 3 died
+	d := c.Decide(3, 1)
+	if d.Kind != KindSwapIn || len(d.Admit) != 1 || d.Admit[0] != 10 {
+		t.Fatalf("death decided %+v, want swap_in of spare 10", d)
+	}
+	if d.Target != 4 {
+		t.Fatalf("target %d, want 4", d.Target)
+	}
+
+	c.Admitted(4, d.Admit)
+	if got := c.Pool(); len(got) != 1 || got[0] != 11 {
+		t.Fatalf("pool after admit: %v, want [11]", got)
+	}
+	if d := c.Decide(5, 2); d.Kind != KindHold {
+		t.Fatalf("post-swap world decided %v", d.Kind)
+	}
+}
+
+// TestSwapFailureRetriesNextSpare: a spare dying during its swap-in is
+// discarded and the next Decide admits the remaining spare for the same
+// death.
+func TestSwapFailureRetriesNextSpare(t *testing.T) {
+	c := New(Config{})
+	c.ObserveMembers(0, procs(1, 2, 3))
+	c.ObservePool(procs(10, 11))
+	c.ObserveMembers(1, procs(1, 2))
+
+	d := c.Decide(2, 0)
+	if d.Kind != KindSwapIn || len(d.Admit) != 1 {
+		t.Fatalf("decided %+v", d)
+	}
+	c.SwapFailed(d.Admit[0])
+
+	d = c.Decide(3, 1)
+	if d.Kind != KindSwapIn || len(d.Admit) != 1 || d.Admit[0] != 11 {
+		t.Fatalf("retry decided %+v, want swap_in of spare 11", d)
+	}
+	c.Admitted(4, d.Admit)
+	if len(c.Pool()) != 0 {
+		t.Fatalf("pool not drained: %v", c.Pool())
+	}
+}
+
+// TestScheduleScaling: schedule entries fire once each at their step,
+// moving the target and admitting spares when available; scale-down
+// just lowers the target.
+func TestScheduleScaling(t *testing.T) {
+	sched, err := ParseSchedule("5:+2, 9:-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{Schedule: sched})
+	c.ObserveMembers(0, procs(1, 2))
+	c.ObservePool(procs(10, 11, 12))
+
+	if d := c.Decide(1, 4); d.Kind != KindHold {
+		t.Fatalf("pre-schedule decided %v", d.Kind)
+	}
+	d := c.Decide(2, 5)
+	if d.Kind != KindScaleUp || len(d.Admit) != 2 || d.Target != 4 {
+		t.Fatalf("step 5 decided %+v, want scale_up admitting 2 toward target 4", d)
+	}
+	c.Admitted(3, d.Admit)
+	if d := c.Decide(4, 6); d.Kind != KindHold {
+		t.Fatalf("schedule refired: %+v", d)
+	}
+
+	d = c.Decide(5, 9)
+	if d.Kind != KindScaleDown || len(d.Admit) != 0 || d.Target != 3 {
+		t.Fatalf("step 9 decided %+v, want scale_down to target 3", d)
+	}
+}
+
+// TestLoadSignal: load above the high-water mark scales up by one,
+// below the low-water mark scales down by one.
+func TestLoadSignal(t *testing.T) {
+	load := 0.5
+	c := New(Config{Load: func() float64 { return load }, LoadHigh: 0.9, LoadLow: 0.1})
+	c.ObserveMembers(0, procs(1, 2, 3))
+	c.ObservePool(procs(10))
+
+	if d := c.Decide(1, 0); d.Kind != KindHold {
+		t.Fatalf("mid load decided %v", d.Kind)
+	}
+	load = 0.95
+	d := c.Decide(2, 1)
+	if d.Kind != KindScaleUp || len(d.Admit) != 1 || d.Target != 4 {
+		t.Fatalf("high load decided %+v", d)
+	}
+	c.Admitted(3, d.Admit)
+	load = 0.05
+	if d := c.Decide(4, 2); d.Kind != KindScaleDown || d.Target != 3 {
+		t.Fatalf("low load decided %+v", d)
+	}
+}
+
+// TestParseScheduleRejectsGarbage covers the flag-parse error paths.
+func TestParseScheduleRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"5", "x:+1", "5:y", "5:0"} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", bad)
+		}
+	}
+	if s, err := ParseSchedule("  "); err != nil || s != nil {
+		t.Errorf("blank schedule: %v %v", s, err)
+	}
+	s, err := ParseSchedule("9:-1,5:+2")
+	if err != nil || len(s) != 2 || s[0].Step != 5 {
+		t.Errorf("schedule not sorted: %+v %v", s, err)
+	}
+}
+
+// TestDecisionTrace: non-hold decisions land in the trace journal as
+// "autopilot" records carrying kind, admit count, and target.
+func TestDecisionTrace(t *testing.T) {
+	var buf strings.Builder
+	rec := trace.New(&buf)
+	c := New(Config{Trace: rec, Proc: 9})
+	c.ObserveMembers(0, procs(1, 2))
+	c.ObservePool(procs(10))
+	c.ObserveMembers(1, procs(1))
+	c.Decide(2, 7)
+	out := buf.String()
+	for _, want := range []string{`"kind":"autopilot"`, `"decision":"swap_in"`, `"seq":7`, `"proc":9`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("journal %s missing %s", out, want)
+		}
+	}
+}
+
+// TestKindStrings pins the metric label vocabulary.
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{KindHold: "hold", KindSwapIn: "swap_in", KindScaleUp: "scale_up", KindScaleDown: "scale_down"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Errorf("unknown kind: %q", Kind(99).String())
+	}
+}

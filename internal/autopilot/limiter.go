@@ -1,0 +1,92 @@
+package autopilot
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter is a token-bucket bandwidth cap for the newcomer state stream.
+// Tokens are bytes; Take blocks until the requested bytes are available.
+// The clock and the blocking primitive are injectable so tests run the
+// limiter on virtual time with zero real sleeps, while production uses
+// wall time.
+//
+// The bucket starts full (burst bytes), so a transfer smaller than the
+// burst goes out at line rate — the cap exists to protect the training
+// collective from a long stream, not to slow a trivial one.
+type Limiter struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second
+	burst  float64 // bucket capacity in bytes
+	tokens float64
+	last   float64 // clock reading at the last refill
+
+	now   func() float64  // monotonic seconds
+	sleep func(d float64) // block the caller for d seconds
+}
+
+// NewLimiter builds a wall-clock limiter. rate is bytes/second; burst is
+// the bucket size in bytes (clamped up to one chunk's worth by Take, so
+// any positive value is workable). rate <= 0 means unlimited.
+func NewLimiter(rate, burst float64) *Limiter {
+	start := time.Now()
+	return newLimiter(rate, burst,
+		func() float64 { return time.Since(start).Seconds() },
+		func(d float64) { time.Sleep(time.Duration(d * float64(time.Second))) })
+}
+
+// NewLimiterFunc builds a limiter over caller-supplied clock and sleep
+// functions — the test seam. sleep(d) must cause now() to advance by at
+// least d eventually (e.g. vtime.Clock.Advance makes it immediate).
+func NewLimiterFunc(rate, burst float64, now func() float64, sleep func(float64)) *Limiter {
+	return newLimiter(rate, burst, now, sleep)
+}
+
+func newLimiter(rate, burst float64, now func() float64, sleep func(float64)) *Limiter {
+	if burst <= 0 {
+		burst = rate // default: one second of credit
+	}
+	return &Limiter{rate: rate, burst: burst, tokens: burst, last: now(), now: now, sleep: sleep}
+}
+
+// Take blocks until n bytes of credit are available, then spends them.
+// A nil limiter or a non-positive rate never blocks.
+func (l *Limiter) Take(n int) {
+	if l == nil || l.rate <= 0 || n <= 0 {
+		return
+	}
+	need := float64(n)
+	for {
+		l.mu.Lock()
+		nowS := l.now()
+		l.tokens += (nowS - l.last) * l.rate
+		l.last = nowS
+		limit := l.burst
+		if need > limit {
+			limit = need // oversize requests drain to exactly zero, never deadlock
+		}
+		if l.tokens > limit {
+			l.tokens = limit
+		}
+		// Accept a sub-microbyte shortfall: refills accumulate floating-
+		// point residue, and at large clock readings a residue-sized
+		// sleep is below the clock's ULP, so exact credit could never be
+		// reached again.
+		if l.tokens >= need-1e-4 {
+			l.tokens -= need
+			l.mu.Unlock()
+			return
+		}
+		wait := (need - l.tokens) / l.rate
+		l.mu.Unlock()
+		l.sleep(wait)
+	}
+}
+
+// Rate reports the configured bytes/second (0 = unlimited).
+func (l *Limiter) Rate() float64 {
+	if l == nil {
+		return 0
+	}
+	return l.rate
+}

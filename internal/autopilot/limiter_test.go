@@ -1,0 +1,94 @@
+package autopilot
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+// vtimeLimiter builds a limiter over a virtual clock: sleep advances the
+// clock immediately, so Take never blocks in real time and the measured
+// transfer duration is exact.
+func vtimeLimiter(rate, burst float64) (*Limiter, *vtime.Clock) {
+	clk := &vtime.Clock{}
+	lim := NewLimiterFunc(rate, burst, clk.Now, clk.Advance)
+	return lim, clk
+}
+
+// TestLimiterRespectsRate is the rate half of the bandwidth-cap
+// property: for randomized rates, bursts, and chunkings, the virtual
+// time a capped stream takes equals (total - burst) / rate within
+// tolerance — the bucket's initial credit goes out instantly and
+// everything after is paced at exactly the cap.
+func TestLimiterRespectsRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		rate := float64(1+rng.Intn(1000)) * 1024 // 1 KiB/s .. 1 MiB/s
+		burst := float64(1+rng.Intn(64)) * 1024
+		total := (64 + rng.Intn(4096)) * 1024
+		chunk := 1 + rng.Intn(total)
+
+		lim, clk := vtimeLimiter(rate, burst)
+		for off := 0; off < total; off += chunk {
+			n := chunk
+			if off+n > total {
+				n = total - off
+			}
+			lim.Take(n)
+		}
+
+		want := (float64(total) - burst) / rate
+		if want < 0 {
+			want = 0
+		}
+		got := clk.Now()
+		// Chunk granularity can leave up to one chunk of credit unspent
+		// at the end, so the elapsed time may undershoot by chunk/rate.
+		tol := float64(chunk)/rate + 1e-9
+		if got > want+tol || got < want-tol {
+			t.Fatalf("trial %d: rate=%g burst=%g total=%d chunk=%d: elapsed %g, want %g±%g",
+				trial, rate, burst, total, chunk, got, want, tol)
+		}
+	}
+}
+
+// TestLimiterBurstAtLineRate: a transfer no larger than the burst spends
+// no virtual time at all.
+func TestLimiterBurstAtLineRate(t *testing.T) {
+	lim, clk := vtimeLimiter(1024, 64*1024)
+	lim.Take(64 * 1024)
+	if clk.Now() != 0 {
+		t.Fatalf("burst-sized take advanced the clock by %g", clk.Now())
+	}
+	// The next byte must pay full price.
+	lim.Take(1024)
+	if got := clk.Now(); got < 0.99 || got > 1.01 {
+		t.Fatalf("post-burst take of one second of credit took %g virtual seconds", got)
+	}
+}
+
+// TestLimiterOversizeRequest: a single Take larger than the burst must
+// not deadlock — the bucket temporarily stretches to the request size.
+func TestLimiterOversizeRequest(t *testing.T) {
+	lim, clk := vtimeLimiter(1000, 10)
+	lim.Take(5000)
+	if got := clk.Now(); got < 4.9 || got > 5.1 {
+		t.Fatalf("oversize take of 5000B at 1000B/s burst 10 took %g virtual seconds", got)
+	}
+}
+
+// TestLimiterUnlimited: nil limiters and non-positive rates never block
+// and never touch a clock.
+func TestLimiterUnlimited(t *testing.T) {
+	var nilLim *Limiter
+	nilLim.Take(1 << 30)
+	if nilLim.Rate() != 0 {
+		t.Fatal("nil limiter reports a rate")
+	}
+	lim, clk := vtimeLimiter(0, 0)
+	lim.Take(1 << 30)
+	if clk.Now() != 0 {
+		t.Fatal("unlimited limiter advanced the clock")
+	}
+}

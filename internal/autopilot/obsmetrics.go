@@ -1,0 +1,39 @@
+package autopilot
+
+// Control-loop and state-transfer metrics. The spare-pool gauge and the
+// swap counter are the operator's first stop after a kill: a swap that
+// worked leaves the pool one smaller and the counter one larger, with
+// the recovery latency histogram recording how long the world ran
+// degraded. The transfer histograms let the bandwidth cap be tuned
+// against real state sizes.
+
+import "repro/internal/obs"
+
+var (
+	obsSparePool = obs.Default().Gauge("autopilot_spare_pool_size",
+		"Registered warm spares currently idle (not yet swapped in).")
+	obsSpareSwaps = obs.Default().Counter("autopilot_spare_swaps_total",
+		"Death verdicts answered by admitting a warm spare instead of shrinking.")
+	obsScaleUps = obs.Default().Counter("autopilot_scale_ups_total",
+		"Scale-up decisions issued by the control loop.")
+	obsScaleDowns = obs.Default().Counter("autopilot_scale_downs_total",
+		"Scale-down decisions issued by the control loop.")
+	obsSwapFailures = obs.Default().Counter("autopilot_swap_failures_total",
+		"Spare swap-ins that failed (newcomer died during admission or state transfer).")
+	obsSwapRecovery = obs.Default().Histogram("autopilot_spare_swap_recovery_seconds",
+		"Death observed to replacement admitted (VClock seconds).",
+		obs.SecondsBuckets())
+	obsXferBytes = obs.Default().Counter("autopilot_state_transfer_bytes_total",
+		"Model/optimizer state bytes streamed to joining ranks.")
+	obsXferSeconds = obs.Default().Histogram("autopilot_state_transfer_seconds",
+		"Duration of one full newcomer state transfer (VClock seconds).",
+		obs.SecondsBuckets())
+	obsDecisions [decisionKinds]*obs.Counter
+)
+
+func init() {
+	for k := range obsDecisions {
+		obsDecisions[k] = obs.Default().Counter("autopilot_decisions_total",
+			"Control-loop decisions by kind.", obs.L("kind", Kind(k).String()))
+	}
+}

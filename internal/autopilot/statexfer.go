@@ -1,0 +1,188 @@
+package autopilot
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/transport"
+)
+
+// Newcomer state transfer: the joining rank receives the model/optimizer
+// state as a chunked stream over the plain endpoint tag space, below the
+// communicator tag plane, so it can run concurrently with (and never
+// collide with) live collectives. The stream is bandwidth-capped by a
+// token bucket so a large state cannot stall the training collective
+// sharing the wire, exactly the paper's requirement that newcomers join
+// at epoch i+1 without slowing epoch i.
+//
+// Wire protocol (all on plain tags, clear of mpi's tagJoin=7 and the
+// comm tag plane which always carries a context id in bits 32..63):
+//
+//	offer  (tag 8): StateOffer{Total, ChunkBytes, CRC, Step}
+//	chunks (tag 9): []uint8 slices, rawU8 zero-copy path, in order
+//	ack    (tag 10): StateAck{OK, CRC}
+//
+// The receiver verifies length and CRC32 before acking; the sender
+// treats a missing or failed ack as a failed swap-in.
+const (
+	tagStateOffer = 8
+	tagStateChunk = 9
+	tagStateAck   = 10
+)
+
+// StateOffer announces a state stream to the joining rank.
+type StateOffer struct {
+	Total      int64  // total state bytes
+	ChunkBytes int    // chunk size the sender will use
+	CRC        uint32 // IEEE CRC32 of the full state
+	Step       int64  // training step the state is valid at (epoch boundary)
+}
+
+// StateAck closes the handshake from the receiver.
+type StateAck struct {
+	OK  bool
+	CRC uint32
+}
+
+func init() {
+	transport.RegisterWireType(StateOffer{})
+	transport.RegisterWireType(StateAck{})
+}
+
+// XferOptions configures one state transfer.
+type XferOptions struct {
+	// RateBytesPerSec caps the stream bandwidth (0 = unlimited).
+	RateBytesPerSec float64
+	// Burst is the token-bucket capacity in bytes (0 = one second of rate).
+	Burst float64
+	// ChunkBytes is the stream chunk size (0 = 256 KiB).
+	ChunkBytes int
+	// Limiter overrides the internally built token bucket — the vtime
+	// test seam. When set, RateBytesPerSec and Burst are ignored.
+	Limiter *Limiter
+	// Step is stamped into the offer so the newcomer knows which epoch
+	// boundary the state belongs to.
+	Step int64
+}
+
+const defaultChunkBytes = 256 << 10
+
+func (o XferOptions) limiter() *Limiter {
+	if o.Limiter != nil {
+		return o.Limiter
+	}
+	if o.RateBytesPerSec <= 0 {
+		return nil
+	}
+	return NewLimiter(o.RateBytesPerSec, o.Burst)
+}
+
+// SendState streams state to the joining process dst: one offer, then
+// bandwidth-capped chunks, then a blocking wait for the receiver's ack.
+// It returns an error if the receiver dies mid-stream or reports a
+// checksum mismatch — the caller records a failed swap and lets the next
+// collective repair the newcomer out.
+func SendState(ep transport.Endpoint, dst transport.ProcID, state []byte, opts XferOptions) error {
+	chunk := opts.ChunkBytes
+	if chunk <= 0 {
+		chunk = defaultChunkBytes
+	}
+	lim := opts.limiter()
+	self := ep.ID()
+	start := ep.VClock().Now()
+
+	offer := StateOffer{
+		Total:      int64(len(state)),
+		ChunkBytes: chunk,
+		CRC:        crc32.ChecksumIEEE(state),
+		Step:       opts.Step,
+	}
+	if err := ep.Send(dst, tagStateOffer, offer, 32); err != nil {
+		return fmt.Errorf("autopilot: state offer to %d: %w", dst, err)
+	}
+	transport.Hit(self, transport.PointStateOffer)
+
+	for off := 0; off < len(state); off += chunk {
+		end := off + chunk
+		if end > len(state) {
+			end = len(state)
+		}
+		lim.Take(end - off)
+		// Chunk slices are immutable views of state; Send does not copy
+		// in-process, which is exactly the rawU8 zero-copy contract.
+		if err := ep.Send(dst, tagStateChunk, state[off:end], int64(end-off)); err != nil {
+			obsSwapFailures.Inc()
+			return fmt.Errorf("autopilot: state chunk at %d/%d to %d: %w", off, len(state), dst, err)
+		}
+		transport.Hit(self, transport.PointStateChunk)
+	}
+
+	m, err := ep.Recv(dst, tagStateAck)
+	if err != nil {
+		obsSwapFailures.Inc()
+		return fmt.Errorf("autopilot: state ack from %d: %w", dst, err)
+	}
+	ack, ok := m.Data.(StateAck)
+	if !ok || !ack.OK || ack.CRC != offer.CRC {
+		obsSwapFailures.Inc()
+		return fmt.Errorf("autopilot: state stream to %d rejected (ack %+v)", dst, m.Data)
+	}
+	obsXferBytes.Add(uint64(len(state)))
+	obsXferSeconds.Observe(ep.VClock().Now() - start)
+	return nil
+}
+
+// RecvState blocks for a state stream from any sender and returns the
+// reassembled state and the step it is valid at. The received bytes are
+// verified against the offer's length and CRC32 and acked back; a
+// mismatch acks failure and returns an error.
+func RecvState(ep transport.Endpoint) (state []byte, step int64, err error) {
+	m, err := ep.Recv(transport.AnySource, tagStateOffer)
+	if err != nil {
+		return nil, 0, fmt.Errorf("autopilot: state offer: %w", err)
+	}
+	offer, ok := m.Data.(StateOffer)
+	if !ok {
+		return nil, 0, fmt.Errorf("autopilot: unexpected offer payload %T", m.Data)
+	}
+	src := m.From
+	self := ep.ID()
+
+	state = make([]byte, 0, offer.Total)
+	for int64(len(state)) < offer.Total {
+		cm, err := ep.Recv(src, tagStateChunk)
+		if err != nil {
+			return nil, 0, fmt.Errorf("autopilot: state chunk at %d/%d: %w", len(state), offer.Total, err)
+		}
+		switch d := cm.Data.(type) {
+		case []uint8:
+			// In-process transports deliver the sender's slice view.
+			state = append(state, d...)
+		case *transport.RawPayload:
+			// Wire transports deliver the pooled frame lazily; take the
+			// byte view, copy out, and release the buffer.
+			view, ok := transport.RawPayloadView[uint8](d)
+			if !ok {
+				d.Release()
+				return nil, 0, fmt.Errorf("autopilot: state chunk carries %d non-byte elements", d.Elems())
+			}
+			state = append(state, view...)
+			d.Release()
+		default:
+			return nil, 0, fmt.Errorf("autopilot: unexpected chunk payload %T", cm.Data)
+		}
+		transport.Hit(self, transport.PointStateRecv)
+	}
+
+	crc := crc32.ChecksumIEEE(state)
+	ack := StateAck{OK: int64(len(state)) == offer.Total && crc == offer.CRC, CRC: crc}
+	transport.Hit(self, transport.PointStateAck)
+	if err := ep.Send(src, tagStateAck, ack, 16); err != nil {
+		return nil, 0, fmt.Errorf("autopilot: state ack to %d: %w", src, err)
+	}
+	if !ack.OK {
+		return nil, 0, fmt.Errorf("autopilot: state stream corrupt: got %d bytes crc %08x, offered %d crc %08x",
+			len(state), crc, offer.Total, offer.CRC)
+	}
+	return state, offer.Step, nil
+}

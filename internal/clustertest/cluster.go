@@ -58,6 +58,11 @@ type Config struct {
 	// Elems is the allreduce payload length (default 1<<10+7, chosen so
 	// pipelined-ring chunk bounds come out uneven).
 	Elems int
+	// Spares is the number of warm spares to pre-register after the
+	// world gathers: full control-plane members (rendezvous rank -1,
+	// gossip, chaos-wrapped TCP endpoint) with no communicator, idle
+	// until an autopilot Pilot swaps them in (see grow.go).
+	Spares int
 	// JoinTimeout bounds each worker's rendezvous gather (default
 	// scales with World).
 	JoinTimeout time.Duration
@@ -98,8 +103,13 @@ type Worker struct {
 	R    *ulfm.ResilientComm
 
 	// Killed marks an expected death: the worker's own collectives may
-	// fail without failing the test. Die and Mute set it.
+	// fail without failing the test. Die, Leave, and Mute set it.
 	Killed atomic.Bool
+
+	// admit wakes an idle spare when a Pilot swaps it in; the value is
+	// the epoch boundary (round index) it enters at. Buffered so the
+	// admitting rank never blocks on a spare that died first.
+	admit chan int64
 
 	c *Cluster
 }
@@ -111,6 +121,9 @@ type Cluster struct {
 	Eng     *chaos.Engine
 	Srv     *rendezvous.Server
 	Workers []*Worker
+	// Spares are the warm pool, in registration (= ascending ProcID)
+	// order. They share the workers' teardown and leak assertions.
+	Spares []*Worker
 
 	cfg Config
 }
@@ -165,7 +178,7 @@ func New(t testing.TB, cfg Config) *Cluster {
 	errs := make(chan error, cfg.World)
 	for i := 0; i < cfg.World; i++ {
 		go func() {
-			w, err := c.startWorker(true)
+			w, err := c.startWorker(true, false)
 			if err != nil {
 				errs <- err
 				return
@@ -185,16 +198,26 @@ func New(t testing.TB, cfg Config) *Cluster {
 			t.Fatalf("clustertest: worker setup timed out gathering world %d", cfg.World)
 		}
 	}
+	// Spares register after the world gathers, sequentially so the pool
+	// order (ascending ProcID) is deterministic across seeds.
+	for i := 0; i < cfg.Spares; i++ {
+		sp, err := c.startWorker(false, true)
+		if err != nil {
+			t.Fatalf("clustertest: spare setup: %v", err)
+		}
+		c.Spares = append(c.Spares, sp)
+	}
 	return c
 }
 
 // startWorker brings up one member: the TCP endpoint (chaos-wrapped),
 // the pre-bound gossip socket (its address travels in the join), the
 // rendezvous gather, the SWIM member, and — for full workers — the MPI
-// world plus a resilient communicator. Late joiners skip the
-// communicator; the scenario decides how far they get.
-func (c *Cluster) startWorker(full bool) (*Worker, error) {
-	w := &Worker{c: c}
+// world plus a resilient communicator. Late joiners and spares skip
+// the communicator; the scenario (or the Pilot) decides how far they
+// get.
+func (c *Cluster) startWorker(full, spare bool) (*Worker, error) {
+	w := &Worker{c: c, admit: make(chan int64, 1)}
 	// The ProcID is assigned at the welcome, after the endpoint exists;
 	// the conn hook reads it through this atomic (dials happen
 	// post-Start, when it is set).
@@ -222,6 +245,7 @@ func (c *Cluster) startWorker(full bool) (*Worker, error) {
 		SelfAddr:   ep.Addr(),
 		GossipAddr: uconn.LocalAddr().String(),
 		Timeout:    c.cfg.JoinTimeout,
+		Spare:      spare,
 	})
 	if err != nil {
 		uconn.Close()
@@ -261,6 +285,15 @@ func (c *Cluster) startWorker(full bool) (*Worker, error) {
 				g.AddPeer(p, gaddr)
 			}
 		},
+		// A registered spare joins the gossip fabric right away: its
+		// death while idle (or mid-swap) must be detected and drained
+		// from the pool like any member's.
+		OnSpareUp: func(p transport.ProcID, addr, gaddr string) {
+			ep.Start(proc, map[transport.ProcID]string{p: addr})
+			if gaddr != "" {
+				g.AddPeer(p, gaddr)
+			}
+		},
 	})
 	g.Bootstrap(cl.GossipPeers())
 
@@ -281,7 +314,7 @@ func (c *Cluster) startWorker(full bool) (*Worker, error) {
 // (published to the gathered world as a peerup delta) — but no
 // communicator. The caller grows the survivors' communicators.
 func (c *Cluster) NewJoiner() (*Worker, error) {
-	return c.startWorker(false)
+	return c.startWorker(false, false)
 }
 
 // onGossip is every worker's SWIM event hook: a local death declaration
@@ -309,6 +342,17 @@ func (w *Worker) onGossip(ev gossip.Event) {
 func (w *Worker) Die() {
 	w.Killed.Store(true)
 	w.CL.Abandon()
+	w.G.Close()
+	w.EP.Close()
+}
+
+// Leave is the clean scale-down departure: a rendezvous leave (the hub
+// broadcasts the peerdown immediately, so survivors MarkDead without
+// waiting out a detection window), then gossip and transport shutdown.
+// The next collective repairs the evictee out.
+func (w *Worker) Leave() {
+	w.Killed.Store(true)
+	w.CL.Close()
 	w.G.Close()
 	w.EP.Close()
 }
@@ -369,7 +413,7 @@ func (c *Cluster) ProcsExcept(deadRanks ...int) []transport.ProcID {
 // by the hub (liveness must have been SWIM's job alone).
 func (c *Cluster) teardown() {
 	hbs := c.Srv.HBSeen()
-	for _, w := range c.Workers {
+	for _, w := range append(append([]*Worker(nil), c.Workers...), c.Spares...) {
 		w.CL.Close()
 		w.G.Close()
 		w.EP.Close()

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/autopilot"
 	"repro/internal/gossip"
 	"repro/internal/transport"
 )
@@ -55,14 +56,26 @@ type Cell struct {
 	KillDetectMS float64 `json:"kill_detect_ms"`
 	// KillRounds is KillDetectMS in protocol periods.
 	KillRounds float64 `json:"kill_rounds"`
+	// SpareSwapRecoveryMS is the autopilot's end-to-end spare-swap
+	// latency after an abrupt kill: the detection time above plus the
+	// bandwidth-capped newcomer state transfer (64 MiB at 100 MB/s
+	// through the token bucket, virtual time). This is the paper's
+	// forward-recovery claim as one number: how long the world runs
+	// short before a warm spare is serving again.
+	SpareSwapRecoveryMS float64 `json:"spare_swap_recovery_ms"`
+	// StateXferMBps is the throughput of the capped chunked state
+	// stream in the same virtual-time model — the token bucket must
+	// deliver its configured rate (plus the burst credit), or joins
+	// would stall longer than the cap promises.
+	StateXferMBps float64 `json:"state_xfer_mbps"`
 }
 
 // Report is the JSON document benchgate diffs.
 type Report struct {
-	Baseline string `json:"baseline"`
-	Period   string `json:"period"`
+	Baseline string  `json:"baseline"`
+	Period   string  `json:"period"`
 	DropProb float64 `json:"drop_prob"`
-	Cells    []Cell `json:"cells"`
+	Cells    []Cell  `json:"cells"`
 }
 
 // JSON renders the report.
@@ -103,6 +116,7 @@ func Collect(cfg Config) (*Report, error) {
 		Period:   node.Period.String(),
 		DropProb: cfg.DropProb,
 	}
+	xferS := measureXfer()
 	for _, world := range cfg.Worlds {
 		cell := Cell{World: world}
 		for _, seed := range cfg.Seeds {
@@ -118,9 +132,39 @@ func Collect(cfg Config) (*Report, error) {
 		cell.KillDetectMS /= n
 		cell.JoinRounds = cell.JoinConvergeMS / 1e3 / period
 		cell.KillRounds = cell.KillDetectMS / 1e3 / period
+		cell.SpareSwapRecoveryMS = cell.KillDetectMS + xferS*1e3
+		cell.StateXferMBps = xferStateBytes / xferS / 1e6
 		rep.Cells = append(rep.Cells, cell)
 	}
 	return rep, nil
+}
+
+// The state-transfer model matches the autopilot's defaults: a 64 MiB
+// model streamed in 256 KiB chunks through a 100 MB/s token bucket with
+// a 1 MiB burst. The pacing loop runs the real Limiter on a virtual
+// clock, so the number moves if (and only if) the bucket's refill math
+// changes.
+const (
+	xferStateBytes = 64 << 20
+	xferRateBps    = 100e6
+	xferBurstBytes = 1 << 20
+	xferChunkBytes = 256 << 10
+)
+
+// measureXfer returns the virtual seconds the capped stream takes.
+func measureXfer() float64 {
+	var now float64
+	lim := autopilot.NewLimiterFunc(xferRateBps, xferBurstBytes,
+		func() float64 { return now },
+		func(d float64) { now += d })
+	for off := 0; off < xferStateBytes; off += xferChunkBytes {
+		end := off + xferChunkBytes
+		if end > xferStateBytes {
+			end = xferStateBytes
+		}
+		lim.Take(end - off)
+	}
+	return now
 }
 
 // measure runs one world through a join and a kill, returning the two

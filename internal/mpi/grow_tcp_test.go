@@ -1,0 +1,110 @@
+package mpi_test
+
+// TestGrowAdmitsNewWorkers (ulfm_test.go) proves the Grow/Join
+// handshake on simnet's in-process fabric; this is the same scenario
+// ported to the real tcpnet stack through the clustertest harness, so
+// the grow path runs under -race on real sockets like every other
+// collective: three gathered workers Grow two registered spares in,
+// the spares Join, and all five allreduce together bit-identically.
+// Teardown's leak assertions cover the pooled-frame and goroutine
+// hygiene of the newcomer path.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/clustertest"
+	"repro/internal/mpi"
+	"repro/internal/transport"
+)
+
+func TestGrowAdmitsNewWorkersTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	c := clustertest.New(t, clustertest.Config{World: 3, Seed: 1, Spares: 2})
+	newProcs := []transport.ProcID{c.Spares[0].Proc, c.Spares[1].Proc}
+	const grownSize = 5
+
+	var mu sync.Mutex
+	sums := map[transport.ProcID]float64{}
+	record := func(p transport.ProcID, v float64) {
+		mu.Lock()
+		sums[p] = v
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(c.Spares))
+	for _, sp := range c.Spares {
+		wg.Add(1)
+		go func(sp *clustertest.Worker) {
+			defer wg.Done()
+			// The welcome peer map predates the other spare; make every
+			// grown member dialable before the collective (idempotent).
+			for _, other := range c.Spares {
+				if other.Proc != sp.Proc {
+					sp.EP.Start(sp.Proc, map[transport.ProcID]string{other.Proc: other.EP.Addr()})
+				}
+			}
+			comm, err := mpi.Join(mpi.Attach(c.Eng.Wrap(sp.EP)))
+			if err != nil {
+				errs <- fmt.Errorf("spare %d join: %w", sp.Proc, err)
+				return
+			}
+			if comm.Size() != grownSize {
+				errs <- fmt.Errorf("spare %d joined size %d, want %d", sp.Proc, comm.Size(), grownSize)
+				return
+			}
+			if comm.Rank() < 3 {
+				errs <- fmt.Errorf("newcomer %d got rank %d, want >= 3", sp.Proc, comm.Rank())
+				return
+			}
+			data := []float64{1}
+			if err := mpi.Allreduce(comm, data, mpi.OpSum); err != nil {
+				errs <- fmt.Errorf("spare %d allreduce: %w", sp.Proc, err)
+				return
+			}
+			record(sp.Proc, data[0])
+		}(sp)
+	}
+
+	outs := c.Run(func(w *clustertest.Worker) *clustertest.Outcome {
+		for _, sp := range c.Spares {
+			w.EP.Start(w.Proc, map[transport.ProcID]string{sp.Proc: sp.EP.Addr()})
+		}
+		grown, err := w.R.Comm().Grow(newProcs)
+		if err != nil {
+			return &clustertest.Outcome{Err: fmt.Errorf("grow: %w", err)}
+		}
+		if grown.Size() != grownSize {
+			return &clustertest.Outcome{Err: fmt.Errorf("grown size %d, want %d", grown.Size(), grownSize)}
+		}
+		data := []float64{1}
+		if err := mpi.Allreduce(grown, data, mpi.OpSum); err != nil {
+			return &clustertest.Outcome{Err: fmt.Errorf("grown allreduce: %w", err)}
+		}
+		record(w.Proc, data[0])
+		return &clustertest.Outcome{}
+	})
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Errorf("rank %d: %v", o.Rank, o.Err)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if len(sums) != grownSize {
+		t.Fatalf("%d participants finished, want %d", len(sums), grownSize)
+	}
+	for p, s := range sums {
+		if s != grownSize {
+			t.Errorf("proc %d sum = %v, want %d", p, s, grownSize)
+		}
+	}
+}

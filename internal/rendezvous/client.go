@@ -31,6 +31,8 @@ type Client struct {
 	noHB    bool // gossip mode: server asked for no heartbeats
 	peers   map[transport.ProcID]string
 	gossips map[transport.ProcID]string
+	spares  map[transport.ProcID]string // warm spares: ProcID -> transport address
+	spareGs map[transport.ProcID]string // warm spares: ProcID -> gossip address
 	mapVer  uint64
 
 	mu      sync.Mutex
@@ -47,8 +49,15 @@ type JoinOptions struct {
 	// GossipAddr is this worker's gossip UDP address, announced so peers
 	// can probe it (gossip-mode servers include it in welcomes/deltas).
 	GossipAddr string
-	// Timeout bounds the whole welcome wait (0 means no limit).
+	// Timeout bounds the whole join: dial retries (the server may not be
+	// listening yet when workers launch in arbitrary order) plus the
+	// welcome wait. 0 means a single dial attempt and no welcome limit.
 	Timeout time.Duration
+	// Spare registers this worker as a warm standby instead of a world
+	// member: it receives a welcome (rank -1) with the world's address
+	// map but joins the communicator only when the autopilot admits it
+	// through Grow and a member reports the activation.
+	Spare bool
 }
 
 // Join connects to the rendezvous server, announces selfAddr (this
@@ -62,9 +71,24 @@ func Join(serverAddr, selfAddr string, timeout time.Duration) (*Client, error) {
 
 // JoinWith is Join with the full option set (gossip address).
 func JoinWith(serverAddr string, opts JoinOptions) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", serverAddr, 5*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("rendezvous: dial %s: %w", serverAddr, err)
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	var conn net.Conn
+	for {
+		var err error
+		conn, err = net.DialTimeout("tcp", serverAddr, 5*time.Second)
+		if err == nil {
+			break
+		}
+		// The server races worker startup (one elasticd hosts the
+		// rendezvous the others dial), so a refused dial retries until
+		// the join deadline rather than failing the whole worker.
+		if deadline.IsZero() || !time.Now().Add(100*time.Millisecond).Before(deadline) {
+			return nil, fmt.Errorf("rendezvous: dial %s: %w", serverAddr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 	c := &Client{
 		conn: conn,
@@ -72,12 +96,12 @@ func JoinWith(serverAddr string, opts JoinOptions) (*Client, error) {
 		dec:  json.NewDecoder(conn),
 		done: make(chan struct{}),
 	}
-	if err := c.enc.Encode(&wireMsg{Op: "join", Addr: opts.SelfAddr, GossipAddr: opts.GossipAddr}); err != nil {
+	if err := c.enc.Encode(&wireMsg{Op: "join", Addr: opts.SelfAddr, GossipAddr: opts.GossipAddr, Spare: opts.Spare}); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("rendezvous: join: %w", err)
 	}
-	if opts.Timeout > 0 {
-		conn.SetReadDeadline(time.Now().Add(opts.Timeout))
+	if !deadline.IsZero() {
+		conn.SetReadDeadline(deadline)
 	}
 	var msg wireMsg
 	for {
@@ -116,6 +140,7 @@ func JoinWith(serverAddr string, opts JoinOptions) (*Client, error) {
 		}
 		return out, nil
 	}
+	var err error
 	if c.peers, err = parse(msg.Peers, "peers"); err != nil {
 		conn.Close()
 		return nil, err
@@ -124,6 +149,8 @@ func JoinWith(serverAddr string, opts JoinOptions) (*Client, error) {
 		conn.Close()
 		return nil, err
 	}
+	c.spares = make(map[transport.ProcID]string)
+	c.spareGs = make(map[transport.ProcID]string)
 	return c, nil
 }
 
@@ -158,6 +185,58 @@ func (c *Client) GossipPeers() map[transport.ProcID]string {
 		out[id] = addr
 	}
 	return out
+}
+
+// Spares returns a copy of the warm-spare ProcID -> transport address
+// map: spares announced by spareup deltas and not yet activated,
+// departed, or declared dead.
+func (c *Client) Spares() map[transport.ProcID]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[transport.ProcID]string, len(c.spares))
+	for id, addr := range c.spares {
+		out[id] = addr
+	}
+	return out
+}
+
+// SpareProcs returns the registered spare ProcIDs in ascending order —
+// the deterministic pool ordering every member's controller agrees on.
+func (c *Client) SpareProcs() []transport.ProcID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]transport.ProcID, 0, len(c.spares))
+	for id := range c.spares {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SpareGossips returns a copy of the warm-spare ProcID -> gossip
+// address map (empty unless the server runs in gossip mode).
+func (c *Client) SpareGossips() map[transport.ProcID]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[transport.ProcID]string, len(c.spareGs))
+	for id, addr := range c.spareGs {
+		out[id] = addr
+	}
+	return out
+}
+
+// Activate reports that the named spare was admitted into the
+// communicator (Grow completed): the hub promotes it to a full member
+// and publishes the change, keeping the authoritative world map in step
+// with the communicator. Any member may report — whichever rank hosts
+// the control loop.
+func (c *Client) Activate(spare transport.ProcID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return net.ErrClosed
+	}
+	return c.enc.Encode(&wireMsg{Op: "activate", Proc: int(spare)})
 }
 
 // MapVersion returns the version of the peer map currently held: the
@@ -208,9 +287,13 @@ type Notifications struct {
 	// become CtlPeerDown injections.
 	OnPeerDown func(transport.ProcID)
 	// OnPeerUp is invoked for every late joiner published as a peerup
-	// delta (gossip mode); wire it to the transport's Start and the
-	// gossip runtime's AddPeer.
+	// delta (gossip mode) and for every activated spare (both modes);
+	// wire it to the transport's Start and the gossip runtime's AddPeer.
 	OnPeerUp func(proc transport.ProcID, addr, gossipAddr string)
+	// OnSpareUp is invoked for every warm spare the server announces
+	// (spareup deltas, both modes); the autopilot's pool observations
+	// come from here or from polling Spares.
+	OnSpareUp func(proc transport.ProcID, addr, gossipAddr string)
 }
 
 // Start launches the background heartbeat sender (none in gossip mode)
@@ -267,6 +350,8 @@ func (c *Client) StartNotify(n Notifications) {
 				c.mu.Lock()
 				delete(c.peers, transport.ProcID(msg.Proc))
 				delete(c.gossips, transport.ProcID(msg.Proc))
+				delete(c.spares, transport.ProcID(msg.Proc))
+				delete(c.spareGs, transport.ProcID(msg.Proc))
 				if msg.Ver > c.mapVer {
 					c.mapVer = msg.Ver
 				}
@@ -291,12 +376,28 @@ func (c *Client) StartNotify(n Notifications) {
 				if msg.GossipAddr != "" {
 					c.gossips[transport.ProcID(msg.Proc)] = msg.GossipAddr
 				}
+				// An activated spare moves pool -> world.
+				delete(c.spares, transport.ProcID(msg.Proc))
+				delete(c.spareGs, transport.ProcID(msg.Proc))
 				if msg.Ver > c.mapVer {
 					c.mapVer = msg.Ver
 				}
 				c.mu.Unlock()
 				if n.OnPeerUp != nil {
 					n.OnPeerUp(transport.ProcID(msg.Proc), msg.Addr, msg.GossipAddr)
+				}
+			case "spareup":
+				c.mu.Lock()
+				c.spares[transport.ProcID(msg.Proc)] = msg.Addr
+				if msg.GossipAddr != "" {
+					c.spareGs[transport.ProcID(msg.Proc)] = msg.GossipAddr
+				}
+				if msg.Ver > c.mapVer {
+					c.mapVer = msg.Ver
+				}
+				c.mu.Unlock()
+				if n.OnSpareUp != nil {
+					n.OnSpareUp(transport.ProcID(msg.Proc), msg.Addr, msg.GossipAddr)
 				}
 			}
 		}

@@ -1,0 +1,77 @@
+package rendezvous
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestJoinRetriesUntilServerListens pins the startup-order contract:
+// workers and the rendezvous-hosting lead launch in arbitrary order, so
+// a join against a not-yet-listening address must retry inside its
+// Timeout instead of failing on the first refused dial.
+func TestJoinRetriesUntilServerListens(t *testing.T) {
+	// Reserve an address nobody is listening on yet.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	joined := make(chan error, 1)
+	go func() {
+		cl, err := JoinWith(addr, JoinOptions{
+			SelfAddr: "127.0.0.1:20999",
+			Timeout:  10 * time.Second,
+		})
+		if err == nil {
+			cl.Close()
+		}
+		joined <- err
+	}()
+
+	// Let the client hit at least one refused dial before the server
+	// appears.
+	<-time.After(300 * time.Millisecond)
+	srvLn, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind reserved addr: %v", err)
+	}
+	s := Serve(srvLn, Config{World: 1})
+	defer s.Close()
+
+	select {
+	case err := <-joined:
+		if err != nil {
+			t.Fatalf("join did not survive the late server start: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("join never completed")
+	}
+}
+
+// TestJoinWithoutTimeoutFailsFast pins the zero-Timeout behavior: a
+// single dial attempt, surfacing the refused connection immediately.
+func TestJoinWithoutTimeoutFailsFast(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	start := time.Now()
+	_, err = JoinWith(addr, JoinOptions{SelfAddr: "127.0.0.1:20998"})
+	if err == nil {
+		t.Fatal("join against a dead address succeeded")
+	}
+	var opErr *net.OpError
+	if !errors.As(err, &opErr) {
+		t.Fatalf("want a net error, got %v", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("zero-timeout join retried for %v, want immediate failure", d)
+	}
+}

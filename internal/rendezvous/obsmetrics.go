@@ -30,6 +30,10 @@ var (
 		"Incremental peerup/peerdown messages sent (full map only at join).")
 	obsStrayHBs = obs.Default().Counter("rendezvous_stray_heartbeats_total",
 		"Heartbeats received while in gossip mode (invariant: zero).")
+	obsSpares = obs.Default().Gauge("rendezvous_spares",
+		"Warm spares currently registered and idle (not yet activated).")
+	obsActivations = obs.Default().Counter("rendezvous_spare_activations_total",
+		"Spares promoted to full members after a Grow admission.")
 	obsPeers       [StateDead + 1]*obs.Gauge
 	obsTransitions [StateDead + 1]*obs.Counter
 )

@@ -15,27 +15,33 @@ import (
 
 // wireMsg is the line-delimited JSON protocol both directions speak.
 //
-// client -> server: {"op":"join","addr":...}, {"op":"hb"}, {"op":"leave"},
-// and in gossip mode {"op":"verdict","proc":N} (the SWIM detector's death
+// client -> server: {"op":"join","addr":...} (with "spare":true to
+// register as a warm spare instead of a world member), {"op":"hb"},
+// {"op":"leave"}, {"op":"activate","proc":N} (a member reporting that
+// spare N was admitted into the communicator via Grow), and in gossip
+// mode {"op":"verdict","proc":N} (the SWIM detector's death
 // declaration, reported by any member) and {"op":"pong"} (the accused
 // answering a doubt).
 // server -> client: {"op":"welcome",...} once the world has gathered,
 // then incremental deltas: {"op":"peerdown","proc":N} for each declared
-// failure or clean departure, and in gossip mode {"op":"peerup",...} for
-// each late joiner and {"op":"doubt"} to a member some verdict accused.
-// In gossip mode every delta carries the peer-map version it produced;
-// the full map travels only in the welcome.
+// failure or clean departure, {"op":"spareup",...} for each registered
+// spare (both modes — the autopilot's pool is mode-independent),
+// {"op":"peerup",...} for each activated spare (both modes) or late
+// joiner (gossip mode), and in gossip mode {"op":"doubt"} to a member
+// some verdict accused. Every delta carries the peer-map version it
+// produced; the full map travels only in the welcome.
 type wireMsg struct {
 	Op         string            `json:"op"`
-	Addr       string            `json:"addr,omitempty"`    // join/peerup: worker's transport listen address
-	GossipAddr string            `json:"gaddr,omitempty"`   // join/peerup: worker's gossip UDP address
-	Proc       int               `json:"proc,omitempty"`    // welcome: assigned ProcID; peerup/peerdown: the affected process
-	Rank       int               `json:"rank,omitempty"`    // welcome: assigned world rank
+	Addr       string            `json:"addr,omitempty"`    // join/peerup/spareup: worker's transport listen address
+	GossipAddr string            `json:"gaddr,omitempty"`   // join/peerup/spareup: worker's gossip UDP address
+	Proc       int               `json:"proc,omitempty"`    // welcome: assigned ProcID; peerup/peerdown/spareup/activate: the affected process
+	Rank       int               `json:"rank,omitempty"`    // welcome: assigned world rank (-1 for spares)
 	World      int               `json:"world,omitempty"`   // welcome: world size
 	HBMillis   int64             `json:"hb_ms,omitempty"`   // welcome: heartbeat interval to honor (-1: none, gossip mode)
 	Ver        uint64            `json:"ver,omitempty"`     // welcome/deltas: peer-map version (gossip mode)
 	Peers      map[string]string `json:"peers,omitempty"`   // welcome: ProcID (decimal) -> transport address
 	Gossips    map[string]string `json:"gossips,omitempty"` // welcome: ProcID (decimal) -> gossip address (gossip mode)
+	Spare      bool              `json:"spare,omitempty"`   // join: register as a warm spare
 }
 
 // Config tunes the rendezvous service.
@@ -102,6 +108,7 @@ type member struct {
 	enc   *json.Encoder
 	mu    sync.Mutex // serializes writes to conn
 	gone  bool       // reader saw EOF/reset: no pong can ever arrive (guarded by Server.mu)
+	spare bool       // registered as a warm spare, not a world member (guarded by Server.mu)
 
 	// acquittedAt is when this member last answered a doubt (guarded by
 	// Server.mu). Verdicts arriving within DoubtGrace of it are dropped
@@ -256,7 +263,11 @@ func (s *Server) handle(conn net.Conn) {
 			if m != nil {
 				continue // duplicate join on one connection
 			}
-			m = s.join(conn, msg.Addr, msg.GossipAddr)
+			m = s.join(conn, msg.Addr, msg.GossipAddr, msg.Spare)
+		case "activate":
+			if m != nil {
+				s.activate(m, transport.ProcID(msg.Proc))
+			}
 		case "hb":
 			if s.cfg.Gossip {
 				// Steady-state invariant: gossip-mode workers send no
@@ -290,23 +301,41 @@ func (s *Server) handle(conn net.Conn) {
 // publishes the address map to everyone. After that point the full map
 // travels only in the late joiner's own welcome; members already in the
 // world get an incremental peerup delta (gossip mode).
-func (s *Server) join(conn net.Conn, addr, gaddr string) *member {
+//
+// A spare join registers a warm standby instead: it gets a ProcID and a
+// welcome (rank -1, with the world's address map so it can attach its
+// transport) but never counts toward the world gather and never appears
+// in the welcome peer maps. Members learn of spares through spareup
+// deltas — in both modes, since the autopilot pool is mode-independent
+// — and a spare becomes a member only through an activate report after
+// a Grow admission.
+func (s *Server) join(conn net.Conn, addr, gaddr string, spare bool) *member {
 	s.mu.Lock()
 	proc := s.nextProc
 	s.nextProc++
+	rank := int(proc)
+	if spare {
+		rank = -1
+	}
 	m := &member{
 		proc:  proc,
-		rank:  int(proc),
+		rank:  rank,
 		addr:  addr,
 		gaddr: gaddr,
 		conn:  conn,
 		enc:   json.NewEncoder(conn),
+		spare: spare,
 	}
 	s.members[proc] = m
 	s.mapVer++
 	ver := s.mapVer
 	now := s.now()
-	gathered := len(s.members)
+	gathered := 0
+	for _, mm := range s.members {
+		if !mm.spare {
+			gathered++
+		}
+	}
 	world := s.cfg.World
 	sendWorld := !s.worldSent && gathered >= world
 	if sendWorld {
@@ -317,7 +346,9 @@ func (s *Server) join(conn net.Conn, addr, gaddr string) *member {
 	// only start heartbeating once the welcome arrives, so a member that
 	// joins early (e.g. a worker that also hosts this service) must not
 	// accrue silence while the rest of the world is still gathering. In
-	// gossip mode there is no hub detector to arm.
+	// gossip mode there is no hub detector to arm. Spares heartbeat like
+	// anyone else, so they are armed too — a cold corpse in the pool
+	// must be detected before the autopilot tries to swap it in.
 	if !s.cfg.Gossip {
 		if sendWorld {
 			for pid := range s.members {
@@ -330,21 +361,31 @@ func (s *Server) join(conn net.Conn, addr, gaddr string) *member {
 		}
 	}
 	obsJoins.Inc()
+	if spare {
+		obsSpares.Inc()
+	}
 	var recipients []*member
-	var deltaTo []*member
+	var deltaTo []*member  // targets of this joiner's own peerup/spareup
+	var spareUps []*member // spares announced when the world ships
 	if sendWorld {
 		for _, mm := range s.members {
 			recipients = append(recipients, mm)
+			if mm.spare {
+				spareUps = append(spareUps, mm)
+			}
 		}
 	} else if lateJoin {
 		recipients = []*member{m}
-		if s.cfg.Gossip {
+		if spare || s.cfg.Gossip {
 			deltaTo = s.othersLocked(proc)
 		}
 	}
 	peers := make(map[string]string, len(s.members))
 	gossips := make(map[string]string, len(s.members))
 	for id, mm := range s.members {
+		if mm.spare {
+			continue
+		}
 		peers[strconv.Itoa(int(id))] = mm.addr
 		if s.cfg.Gossip {
 			gossips[strconv.Itoa(int(id))] = mm.gaddr
@@ -352,8 +393,8 @@ func (s *Server) join(conn net.Conn, addr, gaddr string) *member {
 	}
 	s.mu.Unlock()
 
-	s.cfg.Trace.Membership(now, int(proc), "member_join", map[string]any{"addr": addr, "rank": m.rank})
-	s.logf("rendezvous: proc %d joined from %s (%d/%d)", proc, addr, gathered, world)
+	s.cfg.Trace.Membership(now, int(proc), "member_join", map[string]any{"addr": addr, "rank": m.rank, "spare": spare})
+	s.logf("rendezvous: proc %d joined from %s (%d/%d, spare=%v)", proc, addr, gathered, world, spare)
 
 	hbMillis := s.cfg.HeartbeatInterval.Milliseconds()
 	if s.cfg.Gossip {
@@ -376,13 +417,62 @@ func (s *Server) join(conn net.Conn, addr, gaddr string) *member {
 			s.logf("rendezvous: welcome to proc %d failed: %v", mm.proc, err)
 		}
 	}
+	op := "peerup"
+	if spare {
+		op = "spareup"
+	}
 	for _, mm := range deltaTo {
 		obsDeltas.Inc()
-		if err := mm.send(&wireMsg{Op: "peerup", Proc: int(proc), Addr: addr, GossipAddr: gaddr, Ver: ver}); err != nil {
-			s.logf("rendezvous: peerup(%d) to proc %d failed: %v", proc, mm.proc, err)
+		if err := mm.send(&wireMsg{Op: op, Proc: int(proc), Addr: addr, GossipAddr: gaddr, Ver: ver}); err != nil {
+			s.logf("rendezvous: %s(%d) to proc %d failed: %v", op, proc, mm.proc, err)
+		}
+	}
+	for _, sp := range spareUps {
+		for _, mm := range recipients {
+			if mm.proc == sp.proc {
+				continue
+			}
+			obsDeltas.Inc()
+			if err := mm.send(&wireMsg{Op: "spareup", Proc: int(sp.proc), Addr: sp.addr, GossipAddr: sp.gaddr, Ver: ver}); err != nil {
+				s.logf("rendezvous: spareup(%d) to proc %d failed: %v", sp.proc, mm.proc, err)
+			}
 		}
 	}
 	return m
+}
+
+// activate promotes a registered spare to a full member on a Grow
+// admission report from any current member. The hub stays the single
+// authority on who is world and who is pool — the report may come from
+// whichever rank ran the control loop, so the pool survives rank-0
+// deaths — and the promotion is published as a peerup delta in both
+// modes so every member's map converges on the new world.
+func (s *Server) activate(from *member, proc transport.ProcID) {
+	s.mu.Lock()
+	mm, ok := s.members[proc]
+	if !ok || !mm.spare || from.spare || s.closed {
+		s.mu.Unlock()
+		return // unknown, already activated, or reported by a non-member
+	}
+	mm.spare = false
+	mm.rank = int(mm.proc)
+	s.mapVer++
+	ver := s.mapVer
+	now := s.now()
+	rest := s.othersLocked(proc)
+	addr, gaddr := mm.addr, mm.gaddr
+	s.mu.Unlock()
+
+	obsSpares.Dec()
+	obsActivations.Inc()
+	s.cfg.Trace.Membership(now, int(proc), "spare_activate", map[string]any{"by": int(from.proc)})
+	s.logf("rendezvous: spare %d activated by proc %d", proc, from.proc)
+	for _, o := range rest {
+		obsDeltas.Inc()
+		if err := o.send(&wireMsg{Op: "peerup", Proc: int(proc), Addr: addr, GossipAddr: gaddr, Ver: ver}); err != nil {
+			s.logf("rendezvous: peerup(%d) to proc %d failed: %v", proc, o.proc, err)
+		}
+	}
 }
 
 // verdict arbitrates a member's SWIM death declaration. The hub does not
@@ -474,6 +564,9 @@ func (s *Server) convict(dead transport.ProcID, by transport.ProcID) {
 		return
 	}
 	delete(s.members, dead)
+	if mm.spare {
+		obsSpares.Dec()
+	}
 	s.mapVer++
 	ver := s.mapVer
 	now := s.now()
@@ -535,6 +628,9 @@ func (s *Server) leave(m *member) {
 	}
 	delete(s.accused, m.proc)
 	delete(s.members, m.proc)
+	if m.spare {
+		obsSpares.Dec()
+	}
 	if st, ok := s.det.State(m.proc); ok {
 		obsPeerGone(st)
 	}
@@ -610,6 +706,9 @@ func (s *Server) sweepLoop() {
 				if mm := s.members[tr.Proc]; mm != nil {
 					d.conn = mm.conn
 					delete(s.members, tr.Proc)
+					if mm.spare {
+						obsSpares.Dec()
+					}
 				}
 				s.mapVer++
 				d.ver = s.mapVer

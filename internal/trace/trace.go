@@ -113,6 +113,17 @@ func (r *Recorder) Plan(t float64, proc, step int, algo string, chunks int, code
 	}})
 }
 
+// Decision emits an autopilot control-loop record: what the elasticity
+// controller decided at an epoch boundary (swap_in / scale_up /
+// scale_down), how many spares it admitted, and the world size it was
+// steering toward. Seq carries the training step so journal analysis
+// can line decisions up with the rounds they took effect at.
+func (r *Recorder) Decision(t float64, proc, step int, kind string, admits, target int, reason string) {
+	r.Emit(Event{T: t, Proc: proc, Kind: "autopilot", Seq: step, Reason: reason, Extra: map[string]any{
+		"decision": kind, "admits": admits, "target": target,
+	}})
+}
+
 // Count reports how many events were written.
 func (r *Recorder) Count() int {
 	if r == nil {

@@ -51,6 +51,17 @@ const (
 	// PointGossipRefute: a gossip member saw itself suspected and is
 	// broadcasting a higher-incarnation refutation.
 	PointGossipRefute = "gossip.refute"
+	// PointStateOffer: a state-transfer sender has announced the stream
+	// (total bytes, chunking, checksum) to the joining rank.
+	PointStateOffer = "autopilot.state.offer"
+	// PointStateChunk: the sender has pushed one bandwidth-capped chunk
+	// of model/optimizer state onto the wire.
+	PointStateChunk = "autopilot.state.chunk"
+	// PointStateRecv: the joining rank has received one state chunk.
+	PointStateRecv = "autopilot.state.recv"
+	// PointStateAck: the joining rank has verified the full stream and
+	// acknowledged it back to the sender.
+	PointStateAck = "autopilot.state.ack"
 )
 
 // PointHook observes protocol points. proc is the process hitting the

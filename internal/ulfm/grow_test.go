@@ -1,0 +1,114 @@
+package ulfm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// TestGrowCollective drives the epoch-boundary grow path in-package:
+// an empty boundary costs one broadcast and admits nobody, then rank
+// 0's candidate list is replicated to every member, the communicator
+// is regrown, and old ranks and newcomers allreduce together.
+func TestGrowCollective(t *testing.T) {
+	c := testCluster(1, 3)
+	orig := c.Procs()
+	ep1, err := c.Spawn(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := c.Spawn(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newProcs := []simnet.ProcID{ep1.ID(), ep2.ID()}
+
+	var mu sync.Mutex
+	sums := map[simnet.ProcID]float64{}
+	g := simnet.NewGroup()
+	for i, id := range orig {
+		rank := i
+		g.Go(c.Endpoint(id), func(ep *simnet.Endpoint) error {
+			p := mpi.Attach(ep)
+			comm, err := mpi.World(p, orig)
+			if err != nil {
+				return err
+			}
+			r := New(comm, c, DefaultPolicy())
+
+			// An empty boundary: nobody to admit, nothing changes.
+			admitted, err := r.Grow(nil)
+			if err != nil {
+				return fmt.Errorf("rank %d empty boundary: %w", rank, err)
+			}
+			if len(admitted) != 0 || r.Size() != 3 {
+				return fmt.Errorf("rank %d: empty boundary admitted %v size %d", rank, admitted, r.Size())
+			}
+
+			// Rank 0 decides; non-roots pass nil and learn the list
+			// through the decision broadcasts.
+			var decision []simnet.ProcID
+			if rank == 0 {
+				decision = newProcs
+			}
+			admitted, err = r.Grow(decision)
+			if err != nil {
+				return fmt.Errorf("rank %d grow: %w", rank, err)
+			}
+			if len(admitted) != 2 {
+				return fmt.Errorf("rank %d: admitted %v, want both newcomers", rank, admitted)
+			}
+			for i, np := range newProcs {
+				if admitted[i] != np {
+					return fmt.Errorf("rank %d: admitted %v, want %v", rank, admitted, newProcs)
+				}
+			}
+			if r.Size() != 5 {
+				return fmt.Errorf("rank %d: size = %d after grow", rank, r.Size())
+			}
+			data := []float64{1}
+			if err := Allreduce(r, data, mpi.OpSum); err != nil {
+				return err
+			}
+			mu.Lock()
+			sums[ep.ID()] = data[0]
+			mu.Unlock()
+			return nil
+		})
+	}
+	for _, ep := range []*simnet.Endpoint{ep1, ep2} {
+		g.Go(ep, func(ep *simnet.Endpoint) error {
+			p := mpi.Attach(ep)
+			comm, err := mpi.Join(p)
+			if err != nil {
+				return err
+			}
+			r := New(comm, c, DefaultPolicy())
+			if r.Size() != 5 {
+				return fmt.Errorf("newcomer size = %d", r.Size())
+			}
+			data := []float64{1}
+			if err := Allreduce(r, data, mpi.OpSum); err != nil {
+				return err
+			}
+			mu.Lock()
+			sums[ep.ID()] = data[0]
+			mu.Unlock()
+			return nil
+		})
+	}
+	if err := simnet.FirstError(g.Wait()); err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 5 {
+		t.Fatalf("%d participants finished, want 5", len(sums))
+	}
+	for id, s := range sums {
+		if s != 5 {
+			t.Fatalf("proc %d sum = %v, want 5", id, s)
+		}
+	}
+}
