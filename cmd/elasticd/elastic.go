@@ -4,10 +4,13 @@ package main
 // every step boundary, plus the warm-spare life cycle for processes
 // started with -spare. The decision seat is rank 0 of the current
 // communicator, so it migrates on repair exactly like the clustertest
-// harness; the scale-down target is NOT replicated over the wire —
-// every worker passes the same -scale-policy, so the target at any step
-// is a pure function of the schedule and the gathered world size, and
-// each process computes it locally.
+// harness. The schedule half of the scale-down target is NOT replicated
+// over the wire — every worker passes the same -scale-policy, so that
+// component is a pure function of the schedule and the gathered world
+// size, and each process computes it locally. The load half cannot be:
+// only the seat samples the metric, so when -load-metric is set the
+// seat's current target rides a resilient broadcast at each boundary
+// and every member uses the replicated value for the eviction check.
 
 import (
 	"encoding/binary"
@@ -47,22 +50,35 @@ func parseScalePolicy(v string) (sched []autopilot.ScheduleStep, enabled bool, e
 type elastic struct {
 	ctl      *autopilot.Controller
 	sched    []autopilot.ScheduleStep
-	base     int // gathered world size: the schedule's starting target
+	base     int  // gathered world size: the schedule's starting target
+	loadOn   bool // -load-metric set: the seat's target replicates each boundary
+	target   int  // last broadcast seat target; 0 until the first boundary lands
 	xfer     autopilot.XferOptions
 	admitted map[transport.ProcID]bool
 	failed   map[transport.ProcID]bool
 }
 
-func newElastic(cl *rendezvous.Client, rec *trace.Recorder, sched []autopilot.ScheduleStep, rate float64) *elastic {
+func newElastic(cl *rendezvous.Client, rec *trace.Recorder, sched []autopilot.ScheduleStep, rate float64, loadMetric string, loadHigh, loadLow float64) *elastic {
+	// The load probe reads whatever the instrumented packages already
+	// publish to the default registry; before the metric's first
+	// registration it reads NaN, which Decide treats as "hold".
+	var load func() float64
+	if loadMetric != "" {
+		load = autopilot.LoadFromObs(nil, loadMetric)
+	}
 	return &elastic{
 		ctl: autopilot.New(autopilot.Config{
 			Target:   cl.World(),
 			Schedule: sched,
+			Load:     load,
+			LoadHigh: loadHigh,
+			LoadLow:  loadLow,
 			Trace:    rec,
 			Proc:     cl.Proc(),
 		}),
 		sched:    sched,
 		base:     cl.World(),
+		loadOn:   loadMetric != "",
 		xfer:     autopilot.XferOptions{RateBytesPerSec: rate},
 		admitted: map[transport.ProcID]bool{},
 		failed:   map[transport.ProcID]bool{},
@@ -149,9 +165,10 @@ func (d *daemon) runSteps(r *ulfm.ResilientComm, start int) error {
 
 // boundary is the epoch boundary after round `step`: rank 0 consults
 // the autopilot, the decision replicates through ulfm.Grow's resilient
-// broadcasts, admitted spares are streamed the model state (the round's
-// reduced tensor) under the bandwidth cap, and if the world exceeds the
-// schedule's target the highest rank reports evict=true and leaves.
+// broadcasts (plus one target broadcast when a load signal is on),
+// admitted spares are streamed the model state (the round's reduced
+// tensor) under the bandwidth cap, and if the world exceeds the target
+// the highest rank reports evict=true and leaves.
 func (d *daemon) boundary(r *ulfm.ResilientComm, step int, data []float64) (evict bool, err error) {
 	el := d.el
 	var admit []transport.ProcID
@@ -161,6 +178,26 @@ func (d *daemon) boundary(r *ulfm.ResilientComm, step int, data []float64) (evic
 		el.ctl.ObservePool(el.idle(d.cl))
 		dec := el.ctl.Decide(now, step)
 		admit = dec.Admit
+	}
+	// With a load signal the target is no longer a pure function of the
+	// schedule — only the seat samples the metric — so replicate it over
+	// the pre-grow communicator. Pre-grow, because a spare admitted this
+	// boundary is still inside RecvState and cannot take part in a
+	// collective; it picks the value up at its first boundary as a full
+	// member (until then its local targetAt equals its entry size, which
+	// holds it in place). On seat migration the load-accrued component
+	// resets and is re-derived from the metric at the next boundary.
+	if el.loadOn {
+		tgt := []int64{0}
+		if r.Comm().Rank() == 0 {
+			tgt[0] = int64(el.ctl.Target())
+		}
+		if berr := ulfm.Bcast(r, tgt, 0); berr != nil {
+			return false, berr
+		}
+		if tgt[0] > 0 {
+			el.target = int(tgt[0])
+		}
 	}
 	newcomers, err := r.Grow(admit)
 	if err != nil {
@@ -187,7 +224,11 @@ func (d *daemon) boundary(r *ulfm.ResilientComm, step int, data []float64) (evic
 			log.Printf("elasticd: admitted proc %d at step %d (world %d)", np, step, r.Size())
 		}
 	}
-	if target := el.targetAt(step); target > 0 && r.Size() > target {
+	target := el.targetAt(step)
+	if el.loadOn && el.target > 0 {
+		target = el.target
+	}
+	if target > 0 && r.Size() > target {
 		procs := r.Comm().Procs()
 		evictee := procs[len(procs)-1] // highest rank: the newest member
 		if r.Comm().Rank() == 0 {

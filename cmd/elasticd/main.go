@@ -63,6 +63,9 @@ func main() {
 	spares := flag.Int("spares", 0, "wait for this many warm spares to register before training (demo choreography)")
 	scalePolicy := flag.String("scale-policy", "", "enable the autopilot grow boundary: 'swap' (replace deaths from the spare pool) or a schedule like '10:+2,20:-1'; every worker and spare must pass the same value")
 	xferRate := flag.Float64("xfer-rate", 64<<20, "newcomer state-transfer bandwidth cap in bytes/sec (0 = unlimited)")
+	loadMetric := flag.String("load-metric", "", "obs metric sampled at every grow boundary as the load signal (counter/gauge by level, histogram by mean); enables load-driven scaling — every worker and spare must pass the same value, the target broadcast is a collective")
+	loadHigh := flag.Float64("load-high", 0, "scale up by one worker when -load-metric reads above this (0 disables the high-water mark)")
+	loadLow := flag.Float64("load-low", 0, "scale down by one worker when -load-metric reads below this")
 	tracePath := flag.String("trace", "", "write a JSON-lines event journal to this file")
 	obsListen := flag.String("obs.listen", "", "serve /metrics, /healthz, /varz on this address (empty = no metrics endpoint)")
 	chaosName := flag.String("chaos", "", "inject faults from a named chaos scenario: "+chaosNames())
@@ -88,6 +91,12 @@ func main() {
 	sched, elasticOn, err := parseScalePolicy(*scalePolicy)
 	if err != nil {
 		log.Fatalf("elasticd: %v", err)
+	}
+	// A load signal is a scale policy of its own: it enables the grow
+	// boundary even without a schedule, so the autopilot can answer
+	// sustained load with spares and shed them when it subsides.
+	if *loadMetric != "" {
+		elasticOn = true
 	}
 
 	// The journal is buffered, so every way out of this process must flush
@@ -242,7 +251,7 @@ func main() {
 		n: *n, steps: *steps, stepInterval: *stepInterval,
 	}
 	if elasticOn {
-		d.el = newElastic(cl, rec, sched, *xferRate)
+		d.el = newElastic(cl, rec, sched, *xferRate, *loadMetric, *loadHigh, *loadLow)
 	}
 
 	// Each worker contributes a constant vector of proc+1, so the

@@ -1,7 +1,8 @@
 // Command elasticvet is the multichecker for the repository's
 // fault-tolerance invariants. It bundles the internal/analysis suite —
-// mpierrcmp, framepool, hookpoint, lockhold, sleepytest — behind the
-// two interfaces a Go toolchain expects:
+// boundedwait, framepool, goroleak, hookpoint, lockhold, mpierrcmp,
+// obsinit, rawrelease, sleepytest — behind the two interfaces a Go
+// toolchain expects:
 //
 // Standalone, over one or more package patterns:
 //
@@ -41,20 +42,28 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/boundedwait"
 	"repro/internal/analysis/driver"
 	"repro/internal/analysis/framepool"
+	"repro/internal/analysis/goroleak"
 	"repro/internal/analysis/hookpoint"
 	"repro/internal/analysis/lockhold"
 	"repro/internal/analysis/mpierrcmp"
+	"repro/internal/analysis/obsinit"
+	"repro/internal/analysis/rawrelease"
 	"repro/internal/analysis/sleepytest"
 )
 
 // suite is every analyzer elasticvet runs, in diagnostic-prefix order.
 var suite = []*analysis.Analyzer{
+	boundedwait.Analyzer,
 	framepool.Analyzer,
+	goroleak.Analyzer,
 	hookpoint.Analyzer,
 	lockhold.Analyzer,
 	mpierrcmp.Analyzer,
+	obsinit.Analyzer,
+	rawrelease.Analyzer,
 	sleepytest.Analyzer,
 }
 

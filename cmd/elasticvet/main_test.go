@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/driver"
+)
+
+// capture runs f with os.Stdout and os.Stderr redirected and returns
+// what f wrote to each. Pipes are drained concurrently so large
+// findings lists cannot deadlock against the pipe buffer.
+func capture(t *testing.T, f func()) (stdout, stderr string) {
+	t.Helper()
+	redirect := func(target **os.File) func() string {
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := *target
+		*target = w
+		out := make(chan string, 1)
+		go func() {
+			b, _ := io.ReadAll(r)
+			out <- string(b)
+		}()
+		return func() string {
+			w.Close()
+			*target = prev
+			return <-out
+		}
+	}
+	getOut := redirect(&os.Stdout)
+	getErr := redirect(&os.Stderr)
+	f()
+	return getOut(), getErr()
+}
+
+// TestVersionProtocol pins the -V handshake the go command keys its
+// build cache on: the full form must be "<name> version <details...>"
+// with a stable buildID derived from the binary.
+func TestVersionProtocol(t *testing.T) {
+	var code int
+	out, _ := capture(t, func() { code = run([]string{"-V=full"}) })
+	if code != 0 {
+		t.Fatalf("run(-V=full) = %d, want 0", code)
+	}
+	if !regexp.MustCompile(`^elasticvet version devel buildID=[0-9a-f]+\n$`).MatchString(out) {
+		t.Errorf("-V=full output %q does not match the vet protocol form", out)
+	}
+	out, _ = capture(t, func() { code = run([]string{"-V=short"}) })
+	if code != 0 || out != "elasticvet version devel\n" {
+		t.Errorf("run(-V=short) = %d, %q", code, out)
+	}
+}
+
+// TestFlagsProtocol pins the -flags interrogation: the suite is not
+// configurable, so the advertised flag set is empty.
+func TestFlagsProtocol(t *testing.T) {
+	var code int
+	out, _ := capture(t, func() { code = run([]string{"-flags"}) })
+	if code != 0 || out != "[]\n" {
+		t.Errorf("run(-flags) = %d, %q; want 0, %q", code, out, "[]\n")
+	}
+}
+
+// TestStandaloneClean pins the exit-0 path over a package that trips
+// no analyzer.
+func TestStandaloneClean(t *testing.T) {
+	var code int
+	_, errOut := capture(t, func() {
+		code = run([]string{"-dir", "testdata/src/vet.example", "./clean/..."})
+	})
+	if code != 0 {
+		t.Fatalf("clean fixture exited %d: %s", code, errOut)
+	}
+}
+
+// TestStandaloneFindings pins the exit-2 path AND that standalone mode
+// reaches test variants: the fixture's only violation lives in a
+// _test.go file.
+func TestStandaloneFindings(t *testing.T) {
+	var code int
+	_, errOut := capture(t, func() {
+		code = run([]string{"-dir", "testdata/src/vet.example", "./..."})
+	})
+	if code != 2 {
+		t.Fatalf("dirty fixture exited %d, want 2; stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "dirty_test.go") || !strings.Contains(errOut, "(sleepytest)") {
+		t.Errorf("stderr %q does not carry the test-variant sleepytest finding", errOut)
+	}
+}
+
+// TestStandaloneJSON pins the -json output contract: a machine-readable
+// findings array on stdout, still exit 2.
+func TestStandaloneJSON(t *testing.T) {
+	var code int
+	out, _ := capture(t, func() {
+		code = run([]string{"-json", "-dir", "testdata/src/vet.example", "./..."})
+	})
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	var findings []driver.Finding
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("stdout is not a findings array: %v\n%s", err, out)
+	}
+	if len(findings) == 0 || findings[0].Analyzer != "sleepytest" {
+		t.Errorf("JSON findings %v, want one sleepytest entry", findings)
+	}
+}
+
+// TestUnitcheck pins the go vet vettool path: a vet.cfg describing one
+// compilation unit, the mandatory (empty) facts file, and exit 2 for a
+// diagnostic in a non-test file.
+func TestUnitcheck(t *testing.T) {
+	tmp := t.TempDir()
+	cfg := vetConfig{
+		ID:         "vet.example/leaky",
+		Compiler:   "gc",
+		Dir:        "testdata/src/vet.example/leaky",
+		ImportPath: "vet.example/leaky",
+		GoFiles:    []string{"leaky.go"},
+		VetxOutput: filepath.Join(tmp, "leaky.vetx"),
+	}
+	writeCfg := func(c vetConfig) string {
+		t.Helper()
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(tmp, "vet.cfg")
+		if err := os.WriteFile(path, b, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	var code int
+	_, errOut := capture(t, func() { code = run([]string{writeCfg(cfg)}) })
+	if code != 2 {
+		t.Fatalf("unitcheck exited %d, want 2; stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "(goroleak)") {
+		t.Errorf("stderr %q does not carry the goroleak finding", errOut)
+	}
+	if _, err := os.Stat(cfg.VetxOutput); err != nil {
+		t.Errorf("facts file not written: %v", err)
+	}
+
+	// VetxOnly runs ask for facts alone; no analysis, no findings.
+	cfg.VetxOnly = true
+	capture(t, func() { code = run([]string{writeCfg(cfg)}) })
+	if code != 0 {
+		t.Errorf("VetxOnly unitcheck exited %d, want 0", code)
+	}
+}
+
+// TestBadFlag pins argument errors to exit 1, not a crash.
+func TestBadFlag(t *testing.T) {
+	var code int
+	capture(t, func() { code = run([]string{"-no-such-flag"}) })
+	if code != 1 {
+		t.Errorf("run(-no-such-flag) = %d, want 1", code)
+	}
+}

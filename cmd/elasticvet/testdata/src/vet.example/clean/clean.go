@@ -1,0 +1,6 @@
+// Package clean trips none of the suite's analyzers: the standalone
+// exit-0 path of the main_test fixture.
+package clean
+
+// Add is here so the package has a statement to type-check.
+func Add(a, b int) int { return a + b }

@@ -1,0 +1,13 @@
+package dirty
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSleeps carries a deliberate sleepytest violation: main_test uses
+// it to pin standalone mode's exit-2 path and to prove the loader
+// reaches test variants (this finding only exists in a _test.go file).
+func TestSleeps(t *testing.T) {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,3 @@
+module vet.example
+
+go 1.22

@@ -1,0 +1,12 @@
+// Package leaky carries a deliberate goroleak violation in a non-test
+// file: main_test builds a vet.cfg for this package to pin the
+// unitchecker path end to end.
+package leaky
+
+// Spawn starts a worker with no shutdown tie.
+func Spawn() {
+	go func() {
+		for {
+		}
+	}()
+}

@@ -1,0 +1,252 @@
+// Package boundedwait requires blocking waits in the recovery-critical
+// packages — mpi, ulfm, rendezvous, gossip, autopilot — to carry a
+// deadline, timeout, or cancellation path.
+//
+// The paper's recovery protocol only works if no phase can block
+// unboundedly: a worker stuck in a bare Recv or channel receive can
+// neither observe a revoke nor vote in an agreement. The PR-8 JoinWith
+// fix (retry with a dial timeout instead of blocking on a dead hub) is
+// the motivating instance. The analyzer flags, in non-test files of the
+// checked packages:
+//
+//   - net.Dial: unbounded connection establishment — use
+//     net.DialTimeout or a net.Dialer with Timeout/Context;
+//   - a bare channel receive (outside select) from a channel that is
+//     not itself a completion signal (time.After/Tick, a Done() call, a
+//     ticker/timer .C, or a done/stop/quit/cancel/close-named channel);
+//   - a select with no default and no case receiving from such a
+//     completion signal — every arm can block forever;
+//   - a transport Recv or net Accept whose error result is discarded:
+//     the error is the call's cancellation signal (endpoint close,
+//     revoke, peer death), and dropping it severs the bounded-wait
+//     path the rest of the protocol relies on.
+//
+// Waits whose bound genuinely lives elsewhere (a conn deadline set by
+// the caller, a test-only hook) carry //lint:ignore boundedwait with
+// the justification.
+package boundedwait
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the boundedwait pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundedwait",
+	Doc:  "blocking waits in mpi/ulfm/rendezvous/gossip/autopilot must carry a deadline, timeout, or cancellation path",
+	Run:  run,
+}
+
+// checkedPkgs are the recovery-critical packages, by final path segment.
+var checkedPkgs = map[string]bool{
+	"mpi":        true,
+	"ulfm":       true,
+	"rendezvous": true,
+	"gossip":     true,
+	"autopilot":  true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg == nil {
+		return nil, nil
+	}
+	path := pass.Pkg.Path()
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[i+1:]
+	}
+	if !checkedPkgs[path] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		check(pass, file)
+	}
+	return nil, nil
+}
+
+func check(pass *analysis.Pass, file *ast.File) {
+	// Receives appearing as a select communication are judged as part
+	// of their select, not as bare receives.
+	inSelect := map[*ast.UnaryExpr]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cc := range sel.Body.List {
+			clause := cc.(*ast.CommClause)
+			if clause.Comm == nil {
+				continue
+			}
+			ast.Inspect(clause.Comm, func(n ast.Node) bool {
+				if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					inSelect[u] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isNetDial(pass, n) {
+				pass.Reportf(n.Pos(), "net.Dial has no bound: use net.DialTimeout, a net.Dialer with Timeout, or DialContext")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !inSelect[n] && !isCompletionChan(pass, n.X) {
+				pass.Reportf(n.Pos(), "bare receive can block forever: select on it against a deadline or cancellation signal")
+			}
+		case *ast.SelectStmt:
+			checkSelect(pass, n)
+		case *ast.AssignStmt:
+			checkErrDiscard(pass, n)
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if name, ok := blockingRecv(pass, call); ok {
+					pass.Reportf(n.Pos(), "%s result discarded: the error is the call's cancellation signal (endpoint close, revoke, peer death)", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkSelect flags selects in which every arm can block forever.
+func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt) {
+	for _, cc := range sel.Body.List {
+		clause := cc.(*ast.CommClause)
+		if clause.Comm == nil {
+			return // default: the select polls, never blocks
+		}
+		bounded := false
+		ast.Inspect(clause.Comm, func(n ast.Node) bool {
+			if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW && isCompletionChan(pass, u.X) {
+				bounded = true
+			}
+			return true
+		})
+		if bounded {
+			return
+		}
+	}
+	pass.Reportf(sel.Pos(), "select has no deadline, timeout, or cancellation case: every arm can block forever")
+}
+
+// isCompletionChan recognizes channel expressions that are themselves
+// the bound: timer/ticker channels, Done() results, and channels whose
+// name says shutdown.
+func isCompletionChan(pass *analysis.Pass, e ast.Expr) bool {
+	for {
+		if p, ok := e.(*ast.ParenExpr); ok {
+			e = p.X
+			continue
+		}
+		break
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		switch fun := e.Fun.(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Done" {
+				return true // ctx.Done(), ep.Done(), ...
+			}
+			if fn, ok := pass.ObjectOf(fun.Sel).(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "time" &&
+				(fn.Name() == "After" || fn.Name() == "Tick") {
+				return true
+			}
+		case *ast.Ident:
+			if fun.Name == "Done" {
+				return true
+			}
+		}
+		return false
+	case *ast.SelectorExpr:
+		if e.Sel.Name == "C" {
+			return true // time.Ticker/Timer channel
+		}
+		return shutdownName(e.Sel.Name)
+	case *ast.Ident:
+		return shutdownName(e.Name)
+	}
+	return false
+}
+
+func shutdownName(name string) bool {
+	l := strings.ToLower(name)
+	for _, s := range []string{"done", "stop", "quit", "cancel", "close", "exit", "dead"} {
+		if strings.Contains(l, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// isNetDial matches a direct call to net.Dial.
+func isNetDial(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Dial" {
+		return false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "net"
+}
+
+// blockingRecv matches transport Recv / net Accept calls whose last
+// result is an error, returning a display name.
+func blockingRecv(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if name != "Recv" && name != "Accept" {
+		return "", false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	pkg := fn.Pkg().Path()
+	fromTransport := analysis.PathHasSuffix(pkg, "transport") || strings.Contains(pkg, "transport/")
+	if pkg != "net" && !fromTransport {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if named, ok := last.(*types.Named); !ok || named.Obj().Name() != "error" {
+		return "", false
+	}
+	return pkg[strings.LastIndexByte(pkg, '/')+1:] + "." + name, true
+}
+
+// checkErrDiscard flags `m, _ := ep.Recv(...)`-style assignments.
+func checkErrDiscard(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 || len(as.Lhs) < 2 {
+		return
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := blockingRecv(pass, call)
+	if !ok {
+		return
+	}
+	last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if ok && last.Name == "_" {
+		pass.Reportf(as.Pos(), "%s error discarded: the error is the call's cancellation signal (endpoint close, revoke, peer death)", name)
+	}
+}

@@ -1,0 +1,12 @@
+package boundedwait_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/boundedwait"
+)
+
+func TestBoundedwait(t *testing.T) {
+	analysistest.Run(t, "testdata/src/wait.example", boundedwait.Analyzer)
+}

@@ -1,0 +1,3 @@
+module wait.example
+
+go 1.22

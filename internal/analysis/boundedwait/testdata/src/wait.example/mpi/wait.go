@@ -1,0 +1,98 @@
+// Package mpi exercises every boundedwait verdict inside a checked
+// package.
+package mpi
+
+import (
+	"net"
+	"time"
+
+	"wait.example/transport"
+)
+
+// waitForever blocks with no bound at all.
+func waitForever(ch chan int) int {
+	return <-ch // want `bare receive can block forever`
+}
+
+// waitDone receives from a completion signal: the channel IS the bound.
+func waitDone(done chan struct{}) {
+	<-done
+}
+
+// waitDeadline is the canonical bounded select.
+func waitDeadline(ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	case <-time.After(time.Second):
+		return 0, false
+	}
+}
+
+// waitTicker accepts a ticker channel as the bound.
+func waitTicker(ch chan int, t *time.Ticker) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-t.C:
+		return 0
+	}
+}
+
+// badSelect has two arms that can both block forever.
+func badSelect(a, b chan int) int {
+	select { // want `no deadline, timeout, or cancellation case`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// pollSelect never blocks: default is the bound.
+func pollSelect(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// discardRecvErr drops the only cancellation signal Recv has.
+func discardRecvErr(ep transport.Endpoint) *transport.Message {
+	m, _ := ep.Recv(0, 1) // want `Recv error discarded`
+	return m
+}
+
+// dropRecv discards the whole result tuple.
+func dropRecv(ep transport.Endpoint) {
+	ep.Recv(0, 1) // want `Recv result discarded`
+}
+
+// goodRecv threads the error through.
+func goodRecv(ep transport.Endpoint) (*transport.Message, error) {
+	return ep.Recv(0, 1)
+}
+
+// dialBad establishes a connection with no bound.
+func dialBad() (net.Conn, error) {
+	return net.Dial("tcp", "127.0.0.1:0") // want `net.Dial has no bound`
+}
+
+// dialGood uses the bounded dialer.
+func dialGood() (net.Conn, error) {
+	return net.DialTimeout("tcp", "127.0.0.1:0", time.Second)
+}
+
+// discardAcceptErr applies the same rule to listeners.
+func discardAcceptErr(ln net.Listener) net.Conn {
+	c, _ := ln.Accept() // want `Accept error discarded`
+	return c
+}
+
+// suppressed: the bound lives in a conn deadline the caller set.
+func suppressed(ch chan int) int {
+	//lint:ignore boundedwait the producer enforces the bound via SetReadDeadline upstream
+	return <-ch
+}

@@ -1,0 +1,7 @@
+// Package other is outside the checked set: bare receives here are the
+// caller's business.
+package other
+
+func waitForever(ch chan int) int {
+	return <-ch
+}

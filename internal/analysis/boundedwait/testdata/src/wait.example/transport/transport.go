@@ -1,0 +1,18 @@
+// Package transport mirrors the endpoint surface the boundedwait
+// fixtures need; the analyzer recognizes it by path suffix.
+package transport
+
+// ProcID identifies a process.
+type ProcID int
+
+// Message is a delivered transport message.
+type Message struct {
+	From ProcID
+	Data any
+}
+
+// Endpoint is the blocking messaging surface.
+type Endpoint interface {
+	Recv(src ProcID, tag int64) (*Message, error)
+	Send(dst ProcID, tag int64, v any, bytes int64) error
+}

@@ -1,0 +1,230 @@
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// testcheck flags every call to a function literally named "flagme".
+// It is deliberately trivial: these tests pin the DRIVER — loading,
+// variant collapsing, suppression, ordering — not any real analyzer.
+var testcheck = &analysis.Analyzer{
+	Name: "testcheck",
+	Doc:  "flags calls to flagme (driver test fixture)",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagme" {
+					pass.Reportf(call.Pos(), "call to flagme")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+func loadFixture(t *testing.T) []*Unit {
+	t.Helper()
+	units, err := Load("testdata/src/driver.example", []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return units
+}
+
+// TestLoadCollapsesTestVariant pins the superset rule: a package with
+// internal test files is analyzed exactly once, as its test variant,
+// with the _test.go files present — the plain package never appears as
+// a second unit (which would double every finding).
+func TestLoadCollapsesTestVariant(t *testing.T) {
+	units := loadFixture(t)
+	var variant *Unit
+	for _, u := range units {
+		switch u.ImportPath {
+		case "driver.example/p":
+			t.Errorf("plain package analyzed alongside its test variant")
+		case "driver.example/p [driver.example/p.test]":
+			variant = u
+		}
+		if strings.HasSuffix(u.ImportPath, ".test") {
+			t.Errorf("synthesized test-main binary %s was analyzed", u.ImportPath)
+		}
+	}
+	if variant == nil {
+		t.Fatalf("test variant not loaded; got units %v", importPaths(units))
+	}
+	var names []string
+	for _, f := range variant.Files {
+		names = append(names, variant.Fset.Position(f.Pos()).Filename)
+	}
+	if !containsSuffix(names, "p.go") || !containsSuffix(names, "p_test.go") {
+		t.Errorf("variant files %v do not include both p.go and p_test.go", names)
+	}
+	if variant.Pkg == nil || variant.Info == nil {
+		t.Fatalf("variant loaded without type information")
+	}
+}
+
+// TestRunSuppression pins the full directive grammar against the
+// fixture: line-above, same-line, and list forms suppress; a bare
+// directive (no reason) and a directive naming another analyzer do
+// not; "all" covers everything.
+func TestRunSuppression(t *testing.T) {
+	findings, err := Run(loadFixture(t), []*analysis.Analyzer{testcheck})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var lines []int
+	for _, f := range findings {
+		if !strings.HasSuffix(f.Pos.Filename, "p.go") {
+			continue // the test-file call has no directive and survives too
+		}
+		lines = append(lines, f.Pos.Line)
+		if f.Analyzer != "testcheck" {
+			t.Errorf("finding attributed to %q, want testcheck", f.Analyzer)
+		}
+	}
+	// p.go: survivors are the bare call (11), the reasonless directive's
+	// call (19), and the wrong-analyzer call (22).
+	want := []int{11, 19, 22}
+	if !reflect.DeepEqual(lines, want) {
+		t.Errorf("surviving finding lines %v, want %v", lines, want)
+	}
+}
+
+// TestRunOrdering pins the deterministic sort: findings come out
+// ordered by (file, line, column, analyzer) regardless of the order
+// analyzers and units produced them.
+func TestRunOrdering(t *testing.T) {
+	findings, err := Run(loadFixture(t), []*analysis.Analyzer{testcheck})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Errorf("findings out of order: %s before %s", a, b)
+		}
+	}
+}
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text  string
+		names []string
+		ok    bool
+	}{
+		{"//lint:ignore sleepytest the wait is semantic", []string{"sleepytest"}, true},
+		{"//lint:ignore a,b covers both", []string{"a", "b"}, true},
+		{"//lint:ignore sleepytest", nil, false}, // reason is mandatory
+		{"//lint:ignore", nil, false},
+		{"// lint:ignore sleepytest reason", nil, false}, // space breaks the directive
+		{"//nolint:sleepytest reason", nil, false},       // foreign directive syntax
+	}
+	for _, c := range cases {
+		names, ok := parseIgnore(c.text)
+		if ok != c.ok || (ok && !reflect.DeepEqual(names, c.names)) {
+			t.Errorf("parseIgnore(%q) = %v, %v; want %v, %v", c.text, names, ok, c.names, c.ok)
+		}
+	}
+}
+
+func TestSuppressesLineWindow(t *testing.T) {
+	s := ignoreSet{"f.go": {10: {"testcheck"}}}
+	at := func(line int) token.Position { return token.Position{Filename: "f.go", Line: line} }
+	if !s.suppresses("testcheck", at(10)) || !s.suppresses("testcheck", at(11)) {
+		t.Error("directive must cover its own line and the line below")
+	}
+	if s.suppresses("testcheck", at(9)) || s.suppresses("testcheck", at(12)) {
+		t.Error("directive must not reach beyond the one-line window")
+	}
+	if s.suppresses("othercheck", at(10)) {
+		t.Error("directive must only suppress the named analyzer")
+	}
+	if s.suppresses("testcheck", token.Position{Filename: "g.go", Line: 10}) {
+		t.Error("directive must not cross files")
+	}
+}
+
+// TestTypeCheckReportsFirstError pins the error path the vettool mode
+// relies on: a broken unit surfaces its first type error instead of a
+// partial package.
+func TestTypeCheckReportsFirstError(t *testing.T) {
+	fset := token.NewFileSet()
+	src := "package broken\n\nvar x int = \"not an int\"\nvar y bool = 3\n"
+	f, err := parser.ParseFile(fset, "broken.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		return nil, fmt.Errorf("no export data in this test")
+	}
+	_, _, err = TypeCheck(fset, "broken", []*ast.File{f}, lookup)
+	if err == nil || !strings.Contains(err.Error(), "cannot use") {
+		t.Fatalf("TypeCheck error = %v, want the first conversion error", err)
+	}
+}
+
+// TestTypeCheckUnsafe pins the unsafe short-circuit: the pseudo-package
+// has no export data, so the importer must synthesize it rather than
+// consult lookup.
+func TestTypeCheckUnsafe(t *testing.T) {
+	fset := token.NewFileSet()
+	src := "package u\n\nimport \"unsafe\"\n\nconst W = unsafe.Sizeof(int(0))\n"
+	f, err := parser.ParseFile(fset, "u.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		return nil, fmt.Errorf("lookup must not be consulted for %q", path)
+	}
+	pkg, info, err := TypeCheck(fset, "u", []*ast.File{f}, lookup)
+	if err != nil {
+		t.Fatalf("TypeCheck: %v", err)
+	}
+	if pkg == nil || info == nil {
+		t.Fatal("TypeCheck returned no package or info")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{
+		Analyzer: "testcheck",
+		Pos:      token.Position{Filename: "p.go", Line: 3, Column: 2},
+		Message:  "call to flagme",
+	}
+	if got, want := f.String(), "p.go:3:2: call to flagme (testcheck)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func importPaths(units []*Unit) []string {
+	var out []string
+	for _, u := range units {
+		out = append(out, u.ImportPath)
+	}
+	return out
+}
+
+func containsSuffix(names []string, suffix string) bool {
+	for _, n := range names {
+		if strings.HasSuffix(n, suffix) {
+			return true
+		}
+	}
+	return false
+}

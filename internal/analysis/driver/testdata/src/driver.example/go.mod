@@ -1,0 +1,3 @@
+module driver.example
+
+go 1.22

@@ -1,0 +1,29 @@
+// Package p is the driver test fixture: a package with an internal
+// test file (so Load must collapse it into its test variant) and a
+// spread of //lint:ignore directives (so Run's suppression mechanics
+// are pinned). The driver test's inline analyzer flags every call to
+// flagme; which calls survive is the assertion.
+package p
+
+func flagme() {}
+
+func spread() {
+	flagme() // survives: no directive anywhere near
+
+	//lint:ignore testcheck the line-above form suppresses
+	flagme()
+
+	flagme() //lint:ignore testcheck the same-line form suppresses
+
+	//lint:ignore testcheck
+	flagme() // survives: directive has no reason, so it does not count
+
+	//lint:ignore othercheck reason names a different analyzer
+	flagme() // survives: directive is for another analyzer
+
+	//lint:ignore all blanket directives cover every analyzer
+	flagme()
+
+	//lint:ignore othercheck,testcheck the list form matches any member
+	flagme()
+}

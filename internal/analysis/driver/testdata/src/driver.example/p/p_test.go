@@ -1,0 +1,10 @@
+package p
+
+import "testing"
+
+// TestFlag exists so the package has an internal test variant: Load
+// must analyze "driver.example/p [driver.example/p.test]" once, with
+// this file in it, instead of the plain package.
+func TestFlag(t *testing.T) {
+	flagme()
+}

@@ -1,0 +1,144 @@
+// Package goroleak requires every goroutine spawned in non-test code to
+// show a shutdown tie.
+//
+// The clustertest harness asserts zero goroutine leaks at the end of
+// every scenario, but only for the scenarios that run; this analyzer
+// makes the same property structural. A `go` statement passes when the
+// spawned body (a function literal, or a same-package function/method
+// whose declaration the pass can see) contains at least one of:
+//
+//   - a sync.WaitGroup Done call — the ordered-cleanup pattern every
+//     long-lived loop in transport/rendezvous/gossip uses;
+//   - a channel receive — done-channels, context.Done, ticker/timer
+//     channels, and work queues all deliver shutdown this way;
+//   - a range over a channel — the loop ends when the owner closes it;
+//   - a channel send — the result-handoff shape, where a joining
+//     collector awaits the value and bounds the goroutine's life.
+//
+// A goroutine calling a function declared in another package cannot be
+// verified here and is flagged: wrap it in a literal with an explicit
+// tie, or carry a justified //lint:ignore (the obs /metrics server is
+// the one legitimate process-lifetime case in the tree).
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the goroleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "every goroutine in non-test code must show a shutdown tie: WaitGroup.Done, a channel receive or range, or a result send",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Index this package's function declarations so `go x.method()` can
+	// be resolved to a body.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, callee := resolveBody(pass, decls, g.Call)
+			switch {
+			case body == nil:
+				pass.Reportf(g.Pos(), "goroutine calls %s, declared outside this package: its shutdown tie cannot be verified here; wrap it in a func literal with an explicit tie or justify with //lint:ignore goroleak", callee)
+			case !hasShutdownTie(pass, body):
+				pass.Reportf(g.Pos(), "goroutine has no visible shutdown tie (WaitGroup.Done, channel receive/range, or result send): a worker that outlives its owner leaks")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// resolveBody finds the body the go statement will run: the literal
+// itself, or the declaration of a same-package callee. The second
+// result names the callee when the body is out of reach.
+func resolveBody(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) (*ast.BlockStmt, string) {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body, ""
+	case *ast.Ident:
+		if fn, ok := pass.ObjectOf(fun).(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body, ""
+			}
+			return nil, fn.FullName()
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.ObjectOf(fun.Sel).(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body, ""
+			}
+			return nil, fn.FullName()
+		}
+	}
+	return nil, exprString(call.Fun)
+}
+
+// hasShutdownTie scans a goroutine body (including nested literals,
+// which deferred cleanups and select loops routinely use) for any of
+// the recognized shutdown mechanisms.
+func hasShutdownTie(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SendStmt:
+			found = true
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if fn, ok := pass.ObjectOf(sel.Sel).(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	default:
+		return "this function"
+	}
+}

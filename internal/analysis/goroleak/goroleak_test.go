@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, "testdata/src/goro.example", goroleak.Analyzer)
+}

@@ -1,0 +1,3 @@
+module goro.example
+
+go 1.22

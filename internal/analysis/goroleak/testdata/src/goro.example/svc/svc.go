@@ -1,0 +1,66 @@
+// Package svc exercises every goroleak verdict.
+package svc
+
+import "sync"
+
+// Server owns its workers through a WaitGroup and a done channel.
+type Server struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+func (s *Server) start() {
+	s.wg.Add(1)
+	go s.loop() // clean: resolved same-package method, wg.Done inside
+
+	go func() { // want `no visible shutdown tie`
+		work()
+	}()
+
+	go func() { // clean: done-channel receive
+		for {
+			select {
+			case <-s.done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+
+	res := make(chan int, 1)
+	go func() { res <- compute() }() // clean: result handoff
+	<-res
+}
+
+func (s *Server) loop() {
+	defer s.wg.Done()
+	work()
+}
+
+// pump ends when the owner closes the channel.
+func pump(in chan int) {
+	go func() { // clean: range over channel
+		for v := range in {
+			use(v)
+		}
+	}()
+}
+
+// fireAndForget spawns a same-package function with no tie at all.
+func fireAndForget() {
+	go work() // want `no visible shutdown tie`
+}
+
+// deferredDone counts: the tie may sit in a nested literal.
+func deferredDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer func() { wg.Done() }()
+		work()
+	}()
+}
+
+func work()        {}
+func compute() int { return 0 }
+func use(int)      {}

@@ -1,0 +1,9 @@
+package svc
+
+import "testing"
+
+// Test files are exempt: test goroutines are bounded by the test
+// framework's own lifecycle and leak checks.
+func TestSpawn(t *testing.T) {
+	go work()
+}

@@ -1,0 +1,79 @@
+package hookpoint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"testing"
+)
+
+// TestFixtureVocabularyMatchesLiveHooks pins the fixture mirror
+// (testdata/src/hook.example/transport/hooks.go) to the real
+// internal/transport/hooks.go. The analyzer's value cross-check is only
+// as strong as the vocabulary its fixtures exercise: a Point* constant
+// added to the live set but not the mirror would ship untested, and a
+// drifted mirror value would make the fixture wants assert the wrong
+// vocabulary. This test fails on either.
+func TestFixtureVocabularyMatchesLiveHooks(t *testing.T) {
+	live := pointConsts(t, "../../transport/hooks.go")
+	fixture := pointConsts(t, "testdata/src/hook.example/transport/hooks.go")
+	if len(live) == 0 {
+		t.Fatal("no Point* constants parsed from the live hooks.go")
+	}
+	for name, val := range live {
+		got, ok := fixture[name]
+		if !ok {
+			t.Errorf("live hook point %s = %q is missing from the fixture mirror", name, val)
+			continue
+		}
+		if got != val {
+			t.Errorf("fixture mirror has %s = %q, live hooks.go has %q", name, got, val)
+		}
+	}
+	for name := range fixture {
+		if _, ok := live[name]; !ok {
+			t.Errorf("fixture mirror declares %s, which no longer exists in the live hooks.go", name)
+		}
+	}
+}
+
+// pointConsts parses the file and returns its package-level Point*
+// string constants as name -> value. Values must be plain string
+// literals: the closed vocabulary is data, not computation.
+func pointConsts(t *testing.T, path string) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	out := map[string]string{}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for i, id := range vs.Names {
+				if len(id.Name) < 5 || id.Name[:5] != "Point" {
+					continue
+				}
+				if i >= len(vs.Values) {
+					t.Fatalf("%s: %s has no value literal", path, id.Name)
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					t.Fatalf("%s: %s is not a plain string literal", path, id.Name)
+				}
+				val, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("%s: unquote %s: %v", path, lit.Value, err)
+				}
+				out[id.Name] = val
+			}
+		}
+	}
+	return out
+}

@@ -14,7 +14,7 @@ const localAlias = "elastic.round.start"
 
 // PointLocalGood is a Point-named local constant with a live value:
 // accepted by the value cross-check.
-const PointLocalGood = "elastic.grow.send"
+const PointLocalGood = "mpi.grow.send"
 
 func hits(p transport.ProcID, dyn string) {
 	transport.Hit(p, transport.PointUlfmRevoked)  // canonical: ok
@@ -54,7 +54,7 @@ func rules() []chaos.Rule {
 		{Name: "anyproc", Op: chaos.OpKill},                     // field omitted: ok
 		{Name: "raw", Point: "elastic.round.start"},             // want `raw string "elastic.round.start": use the named constant transport.PointElasticRound`
 		{Name: "stale", Point: localStale},                      // want `constant localStale with value "ulfm.repair.revokd", which matches no transport.Point\* hook point`
-		{"pos", 3, "elastic.grow.send", 1, chaos.OpKill},        // want `raw string "elastic.grow.send": use the named constant transport.PointGrowSend`
+		{"pos", 3, "mpi.grow.send", 1, chaos.OpKill},            // want `raw string "mpi.grow.send": use the named constant transport.PointGrowSend`
 		{Name: "gossipok", Point: transport.PointGossipDead, Op: chaos.OpKill}, // canonical gossip point: ok
 		{Name: "gossipraw", Point: "gossip.probe"},              // want `raw string "gossip.probe": use the named constant transport.PointGossipProbe`
 		{Name: "xferok", Point: transport.PointStateRecv, Op: chaos.OpKill},    // canonical state-transfer point: ok

@@ -1,5 +1,7 @@
 // Package transport is a fixture mirror of the real transport hook
-// vocabulary.
+// vocabulary. consistency_test.go parses this file against the real
+// internal/transport/hooks.go and fails on any missing name or drifted
+// value, so the fixture cannot silently fall behind the live set.
 package transport
 
 // ProcID mirrors the real transport.ProcID.
@@ -7,9 +9,22 @@ type ProcID int64
 
 // The closed hook-point vocabulary.
 const (
-	PointUlfmRevoked  = "ulfm.repair.revoked"
-	PointElasticRound = "elastic.round.start"
-	PointGrowSend     = "elastic.grow.send"
+	// The ULFM repair pipeline points, mirroring hooks.go.
+	PointUlfmRevoked = "ulfm.repair.revoked"
+	PointUlfmAgreed  = "ulfm.repair.agreed"
+	PointUlfmShrunk  = "ulfm.repair.shrunk"
+
+	// The collective-protocol points, mirroring hooks.go.
+	PointAgreeContrib    = "mpi.agree.contrib"
+	PointPipelineRSChunk = "mpi.pipeline.rs.chunk"
+	PointPipelineAGChunk = "mpi.pipeline.ag.chunk"
+	PointGrowSend        = "mpi.grow.send"
+	PointJoinRecv        = "mpi.join.recv"
+
+	// The rendezvous and elastic-loop points, mirroring hooks.go.
+	PointRdvWelcome    = "rendezvous.join.welcome"
+	PointElasticRound  = "elastic.round.start"
+	PointElasticCommit = "elastic.commit"
 
 	// The gossip membership points, mirroring hooks.go.
 	PointGossipProbe   = "gossip.probe"

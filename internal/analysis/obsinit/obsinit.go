@@ -1,0 +1,112 @@
+// Package obsinit requires obs metric families to resolve at package
+// init, never on a hot path.
+//
+// Registry.Counter/Gauge/GaugeFunc/Histogram take the registry lock,
+// canonicalize labels, and allocate on first sight of a name+labels
+// pair. The data plane's 0-allocs/op send property holds because every
+// handle is resolved once — in a package-level var block or an init()
+// loop — and the hot path touches only the returned handle's atomics.
+// A registration reached from request processing re-pays the lock and
+// the allocations per call, silently, on every message.
+//
+// The analyzer flags any call to those four methods in non-test code
+// outside a package-level var initializer or an init function. One-shot
+// registrations that are genuinely off the hot path (benchmark setup,
+// a lazily created subsystem) carry //lint:ignore obsinit with the
+// justification — or better, move to a package-level handle: the
+// registry deduplicates by name, so eager registration costs one map
+// entry.
+package obsinit
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the obsinit pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsinit",
+	Doc:  "obs metric families must be resolved in package-level vars or init(), never on a hot path",
+	Run:  run,
+}
+
+// registerMethods are the Registry calls that allocate and lock.
+var registerMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"GaugeFunc": true,
+	"Histogram": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// The obs package itself implements the registry.
+	if analysis.PkgPathIs(pass.Pkg, "obs") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		check(pass, file)
+	}
+	return nil, nil
+}
+
+func check(pass *analysis.Pass, file *ast.File) {
+	// Init-time ranges: package-level var declarations and init bodies.
+	var allowed [][2]token.Pos
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.GenDecl:
+			if d.Tok == token.VAR {
+				allowed = append(allowed, [2]token.Pos{d.Pos(), d.End()})
+			}
+		case *ast.FuncDecl:
+			if d.Recv == nil && d.Name.Name == "init" && d.Body != nil {
+				allowed = append(allowed, [2]token.Pos{d.Body.Pos(), d.Body.End()})
+			}
+		}
+	}
+	atInit := func(pos token.Pos) bool {
+		for _, r := range allowed {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !registerMethods[sel.Sel.Name] {
+			return true
+		}
+		fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil || !analysis.PathHasSuffix(fn.Pkg().Path(), "obs") {
+			return true
+		}
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv == nil {
+			return true
+		}
+		if atInit(call.Pos()) {
+			return true
+		}
+		name := "?"
+		if len(call.Args) > 0 {
+			if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				name = lit.Value
+			}
+		}
+		pass.Reportf(call.Pos(), "obs metric family %s resolved outside package init: registration locks and allocates — resolve into a package-level handle so the hot path stays allocation-free", name)
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package obsinit_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/obsinit"
+)
+
+func TestObsinit(t *testing.T) {
+	analysistest.Run(t, "testdata/src/obsinit.example", obsinit.Analyzer)
+}

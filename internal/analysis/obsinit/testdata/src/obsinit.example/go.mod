@@ -1,0 +1,3 @@
+module obsinit.example
+
+go 1.22

@@ -1,0 +1,35 @@
+// Package obs mirrors the registration surface of the real
+// internal/obs registry; the analyzer recognizes it by path suffix.
+package obs
+
+// Label is one metric label pair.
+type Label struct{ Key, Value string }
+
+// Registry registers and serves metric families.
+type Registry struct{}
+
+// Counter, Gauge, Histogram are live handles.
+type (
+	Counter   struct{}
+	Gauge     struct{}
+	Histogram struct{}
+)
+
+var std = &Registry{}
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }
+
+// Counter registers (or finds) a counter child.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter { return &Counter{} }
+
+// Gauge registers (or finds) a gauge child.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge { return &Gauge{} }
+
+// GaugeFunc registers a gauge backed by a callback.
+func (r *Registry) GaugeFunc(name, help string, f func() float64, labels ...Label) {}
+
+// Histogram registers (or finds) a histogram child.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	return &Histogram{}
+}

@@ -1,0 +1,36 @@
+// Package svc exercises every obsinit verdict.
+package svc
+
+import "obsinit.example/obs"
+
+// Package-level var initializers are init time: clean.
+var (
+	txBytes = obs.Default().Counter("svc_tx_bytes_total", "bytes sent")
+	depth   = obs.Default().Gauge("svc_queue_depth", "queued work items")
+)
+
+// Labeled families resolved in init loops are the canonical idiom.
+var perKind [2]*obs.Counter
+
+func init() {
+	for i, kind := range []string{"a", "b"} {
+		perKind[i] = obs.Default().Counter("svc_events_total", "events by kind",
+			obs.Label{Key: "kind", Value: kind})
+	}
+	obs.Default().GaugeFunc("svc_uptime_seconds", "process uptime", func() float64 { return 0 })
+}
+
+// hot registers per call: the lock and allocations land on every send.
+func hot(n int) {
+	c := obs.Default().Counter("svc_hot_total", "oops") // want `resolved outside package init`
+	_ = c
+	h := obs.Default().Histogram("svc_hot_seconds", "oops", nil) // want `resolved outside package init`
+	_ = h
+}
+
+// benchSetup is the sanctioned escape hatch for one-shot registration
+// off the hot path.
+func benchSetup(r *obs.Registry) *obs.Gauge {
+	//lint:ignore obsinit one-shot benchmark registration, runs once before the measured loop
+	return r.Gauge("svc_bench_gauge", "benchmark-only")
+}

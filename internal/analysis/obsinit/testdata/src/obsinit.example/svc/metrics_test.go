@@ -1,0 +1,11 @@
+package svc
+
+import "testing"
+
+import "obsinit.example/obs"
+
+// Test files are exempt: tests build throwaway registries at will.
+func TestRuntimeRegistration(t *testing.T) {
+	g := obs.Default().Gauge("svc_test_gauge", "test-only")
+	_ = g
+}

@@ -1,0 +1,12 @@
+package rawrelease_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/rawrelease"
+)
+
+func TestRawrelease(t *testing.T) {
+	analysistest.Run(t, "testdata/src/raw.example", rawrelease.Analyzer)
+}

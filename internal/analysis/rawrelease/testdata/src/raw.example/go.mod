@@ -1,0 +1,3 @@
+module raw.example
+
+go 1.22

@@ -1,0 +1,64 @@
+// True positives: every way the checkout protocol breaks.
+package mpi
+
+import "raw.example/transport"
+
+// leakView takes a view and never releases or transfers the payload.
+func leakView(p *transport.RawPayload) {
+	v, _ := transport.RawPayloadView[uint16](p) // want `not Released on every path`
+	_ = v
+}
+
+// partialRelease releases on one branch only; the fall-through leaks.
+func partialRelease(p *transport.RawPayload, cond bool) {
+	v, ok := p.AsF16() // want `not Released on every path`
+	if ok && cond {
+		f16Reduce(nil, v)
+		p.Release()
+		return
+	}
+}
+
+// useAfterRelease reads the view after the buffer went back.
+func useAfterRelease(p *transport.RawPayload) uint16 {
+	v, ok := p.AsF16()
+	if !ok {
+		p.Release()
+		return 0
+	}
+	p.Release()
+	return v[0] // want `view v returned after its payload p was Released`
+}
+
+// passAfterRelease hands a dead view to another consumer.
+func passAfterRelease(dst []float32, p *transport.RawPayload) {
+	v, ok := p.AsF16()
+	if !ok {
+		p.Release()
+		return
+	}
+	p.Release()
+	f16Reduce(dst, v) // want `use of view v after its payload p was Released`
+}
+
+// viewAfterRelease checks the buffer out again after returning it.
+func viewAfterRelease(p *transport.RawPayload) {
+	p.Release()
+	if v, ok := p.AsF16(); ok { // want `view of p taken after Release`
+		_ = v
+	}
+}
+
+// decodeAfterRelease re-reads freed transport bytes.
+func decodeAfterRelease(p *transport.RawPayload) {
+	p.Release()
+	p.Decode() // want `Decode of p after Release`
+}
+
+// escape spawns a goroutine on a view while this function releases the
+// payload out from under it.
+func escape(p *transport.RawPayload) {
+	v, _ := p.AsF16()
+	go f16Reduce(nil, v) // want `goroutine captures payload p`
+	p.Release()
+}

@@ -1,0 +1,13 @@
+package xfer
+
+import "raw.example/transport"
+
+// suppressed shows the escape hatch: a justified //lint:ignore on the
+// acquisition line keeps the audit trail without failing the build.
+func suppressed(p *transport.RawPayload) {
+	//lint:ignore rawrelease the view is registered with an out-of-band reclaimer that releases it
+	v, _ := transport.RawPayloadView[uint8](p)
+	sink = v
+}
+
+var sink []uint8

@@ -1,11 +1,18 @@
-// Package sleepytest flags time.Sleep in test files.
+// Package sleepytest flags scheduling-guess waits in test files:
+// time.Sleep, bare <-time.After, and time.Tick.
 //
 // A time.Sleep in a test encodes a guess about scheduling latency: too
 // short and the test flakes under load (the CI chaos matrix runs with
 // -race and heavy parallelism), too long and the suite crawls. Tests
 // must instead poll for the condition with a bounded deadline
 // (vtime.WaitUntil) or synchronize explicitly (channels, sync.WaitGroup).
-// The rare sleep that is semantically load-bearing — e.g. proving an
+// A bare `<-time.After(d)` — outside a select, or as the only arm of a
+// single-case select — is the same guess in channel clothing, and
+// time.Tick additionally leaks its ticker. A `case <-time.After(d):`
+// arm in a multi-case (or defaulted) select is the legitimate deadline
+// idiom and stays legal.
+//
+// The rare wait that is semantically load-bearing — e.g. proving an
 // event did NOT happen within a window, or letting a detector cross a
 // real wall-clock threshold — must carry a //lint:ignore sleepytest
 // directive with a justification, which doubles as the audit trail of
@@ -14,6 +21,7 @@ package sleepytest
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -23,7 +31,7 @@ import (
 // Analyzer is the sleepytest check.
 var Analyzer = &analysis.Analyzer{
 	Name: "sleepytest",
-	Doc:  "tests must not time.Sleep; poll with a deadline or synchronize explicitly",
+	Doc:  "tests must not time.Sleep, bare <-time.After, or time.Tick; poll with a deadline or synchronize explicitly",
 	Run:  run,
 }
 
@@ -33,22 +41,61 @@ func run(pass *analysis.Pass) (any, error) {
 		if !strings.HasSuffix(name, "_test.go") {
 			continue
 		}
+		// time.After receives appearing as one arm of a select that has
+		// another way out are real deadlines, not scheduling guesses.
+		deadlineArm := map[*ast.UnaryExpr]bool{}
 		ast.Inspect(file, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
+			sel, ok := n.(*ast.SelectStmt)
 			if !ok {
 				return true
 			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || sel.Sel.Name != "Sleep" {
-				return true
+			arms := len(sel.Body.List)
+			if arms < 2 {
+				return true // single-case select blocks exactly like a bare receive
 			}
-			fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
-			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
-				return true
+			for _, cc := range sel.Body.List {
+				clause := cc.(*ast.CommClause)
+				if clause.Comm == nil {
+					continue
+				}
+				ast.Inspect(clause.Comm, func(n ast.Node) bool {
+					if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+						deadlineArm[u] = true
+					}
+					return true
+				})
 			}
-			pass.Reportf(call.Pos(), "time.Sleep in test: poll with vtime.WaitUntil or synchronize explicitly (//lint:ignore sleepytest <why> if the delay is semantic)")
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if timeFunc(pass, n, "Sleep") {
+					pass.Reportf(n.Pos(), "time.Sleep in test: poll with vtime.WaitUntil or synchronize explicitly (//lint:ignore sleepytest <why> if the delay is semantic)")
+				}
+				if timeFunc(pass, n, "Tick") {
+					pass.Reportf(n.Pos(), "time.Tick in test leaks its ticker and encodes a scheduling guess: poll with vtime.WaitUntil or use time.NewTicker with a deferred Stop")
+				}
+			case *ast.UnaryExpr:
+				if n.Op != token.ARROW || deadlineArm[n] {
+					return true
+				}
+				if call, ok := n.X.(*ast.CallExpr); ok && timeFunc(pass, call, "After") {
+					pass.Reportf(n.Pos(), "bare <-time.After in test is time.Sleep in channel clothing: poll with vtime.WaitUntil or select it against the condition you are waiting for")
+				}
+			}
 			return true
 		})
 	}
 	return nil, nil
+}
+
+// timeFunc matches a call to the named function of package time.
+func timeFunc(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "time"
 }

@@ -27,3 +27,36 @@ func TestUnjustifiedDirectiveStillFlagged(t *testing.T) {
 	//lint:ignore sleepytest
 	time.Sleep(time.Millisecond) // want `time.Sleep in test`
 }
+
+func TestBareAfter(t *testing.T) {
+	go Backoff(0)
+	<-time.After(50 * time.Millisecond) // want `bare <-time.After in test`
+}
+
+func TestSingleCaseSelectAfter(t *testing.T) {
+	select {
+	case <-time.After(time.Millisecond): // want `bare <-time.After in test`
+	}
+}
+
+func TestDeadlineSelectAllowed(t *testing.T) {
+	done := make(chan struct{}, 1)
+	done <- struct{}{}
+	select {
+	case <-done:
+	case <-time.After(time.Second): // multi-case deadline arm: legal
+		t.Fatal("timed out")
+	}
+}
+
+func TestTick(t *testing.T) {
+	for range time.Tick(time.Millisecond) { // want `time.Tick in test leaks its ticker`
+		break
+	}
+}
+
+func TestJustifiedAfter(t *testing.T) {
+	go Backoff(0)
+	//lint:ignore sleepytest absence window: the callback must NOT fire before the deadline
+	<-time.After(5 * time.Millisecond)
+}

@@ -1,0 +1,30 @@
+package autopilot
+
+import (
+	"math"
+
+	"repro/internal/obs"
+)
+
+// LoadFromObs builds a Config.Load producer that reads the named
+// metric from reg at every Decide — counters and gauges by level,
+// histograms by mean (see obs.Registry.Value). A nil reg means the
+// process-wide obs.Default() registry.
+//
+// A metric that does not exist (yet) reads as NaN, which is
+// deliberately decision-neutral: NaN compares false against both
+// LoadHigh and LoadLow, so Decide holds until the instrumented package
+// actually publishes. This is what lets a daemon wire -load-metric at
+// startup, before the first step has observed anything.
+func LoadFromObs(reg *obs.Registry, metric string, labels ...obs.Label) func() float64 {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return func() float64 {
+		v, ok := reg.Value(metric, labels...)
+		if !ok {
+			return math.NaN()
+		}
+		return v
+	}
+}

@@ -1,0 +1,53 @@
+package autopilot
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestLoadFromObsDrivesDecide runs Decide's load branch against a real
+// registry: a gauge another subsystem publishes moves the target up and
+// down, and before the metric exists the probe is decision-neutral.
+func TestLoadFromObsDrivesDecide(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Config{
+		Load:     LoadFromObs(reg, "train_step_seconds"),
+		LoadHigh: 0.9,
+		LoadLow:  0.1,
+	})
+	c.ObserveMembers(0, procs(1, 2, 3))
+
+	// The metric is not registered yet: NaN reads must hold, not scale.
+	if d := c.Decide(1, 0); d.Kind != KindHold {
+		t.Fatalf("unregistered metric: Decide = %v, want hold", d.Kind)
+	}
+
+	g := reg.Gauge("train_step_seconds", "per-step wall seconds")
+
+	g.Set(2) // above LoadHigh
+	if d := c.Decide(2, 1); d.Kind != KindScaleUp || d.Target != 4 {
+		t.Fatalf("high load: Decide = %v target %d, want scale-up to 4", d.Kind, d.Target)
+	}
+
+	g.Set(0) // below LoadLow
+	if d := c.Decide(3, 2); d.Kind != KindScaleDown || d.Target != 3 {
+		t.Fatalf("low load: Decide = %v target %d, want scale-down to 3", d.Kind, d.Target)
+	}
+}
+
+// TestLoadFromObsHistogramMean pins the histogram path: the probe reads
+// the mean, so one slow outlier in an otherwise fast distribution does
+// not trip the high-water mark.
+func TestLoadFromObsHistogramMean(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("step_seconds", "per-step latency", obs.SecondsBuckets())
+	probe := LoadFromObs(reg, "step_seconds")
+	for i := 0; i < 9; i++ {
+		h.Observe(0.1)
+	}
+	h.Observe(1.0) // mean 0.19
+	if v := probe(); v < 0.18 || v > 0.20 {
+		t.Fatalf("probe() = %v, want the mean ~0.19", v)
+	}
+}

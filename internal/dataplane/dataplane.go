@@ -214,13 +214,14 @@ func encodeWith(v any, raw bool) ([]byte, error) {
 	return transport.EncodePayload(v)
 }
 
+// txBytes is tcpnet's process-global tx counter; deltas across a timed
+// loop give the wire bytes a row actually moved (per rank, per op).
+var txBytes = obs.Default().Counter("tcpnet_tx_bytes_total",
+	"Wire bytes written to peers, length prefixes included.")
+
 func benchAllreduce(world, elems int, cell allreduceCell) (AllreduceResult, error) {
 	var failure error
 	tensorBytes := int64(elems) * 4
-	// The tx counter is process-global; deltas across the timed loop give
-	// the wire bytes the row actually moved (per rank, per op).
-	txBytes := obs.Default().Counter("tcpnet_tx_bytes_total",
-		"Wire bytes written to peers, length prefixes included.")
 	var wirePerOp int64
 	r := testing.Benchmark(func(b *testing.B) {
 		prev := transport.SetRawCodec(cell.raw)

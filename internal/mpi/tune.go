@@ -55,13 +55,17 @@ type tunerKey struct {
 type tuner struct {
 	mu       sync.Mutex
 	observed map[tunerKey]float64 // EWMA seconds per completed allreduce
-	// flush is the tcpnet write-latency histogram, resolved lazily so
-	// package init order doesn't matter; its mean seeds alpha.
-	flush     *obs.Histogram
-	flushOnce sync.Once
 }
 
 var defaultTuner = &tuner{observed: make(map[tunerKey]float64)}
+
+// tunerFlush is the tcpnet write-latency histogram; its mean seeds
+// alpha. Registration is idempotent by family name, so resolving the
+// handle here coexists with tcpnet's own registration in either init
+// order.
+var tunerFlush = obs.Default().Histogram("tcpnet_write_flush_seconds",
+	"Latency of writing one frame to a peer, dial/retry and flush included.",
+	obs.SecondsBuckets())
 
 func sizeBucket(bytes int64) int {
 	b := 0
@@ -75,13 +79,8 @@ func sizeBucket(bytes int64) int {
 // flush histogram once real frames have been written, the static seed
 // before that.
 func (t *tuner) alpha() float64 {
-	t.flushOnce.Do(func() {
-		t.flush = obs.Default().Histogram("tcpnet_write_flush_seconds",
-			"Latency of writing one frame to a peer, dial/retry and flush included.",
-			obs.SecondsBuckets())
-	})
-	if n := t.flush.Count(); n > 0 {
-		if m := t.flush.Sum() / float64(n); m > 0 {
+	if n := tunerFlush.Count(); n > 0 {
+		if m := tunerFlush.Sum() / float64(n); m > 0 {
 			return m
 		}
 	}

@@ -38,6 +38,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/varz", s.handleVarz)
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	//lint:ignore goroleak the scrape listener lives for the process; Close tears it down via srv.Close
 	go s.srv.Serve(ln)
 	return s, nil
 }

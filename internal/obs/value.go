@@ -1,0 +1,43 @@
+package obs
+
+import "math"
+
+// Value reads the current value of one metric child without creating
+// anything: counters and gauges report their level, gauge funcs are
+// invoked, and histograms report the mean of their observations (NaN
+// before the first sample — a mean of zero would look like data). The
+// second result is false when no family with that name exists or the
+// family has no child with exactly those labels.
+//
+// This is the read half the control plane consumes (e.g. the autopilot
+// load probe): decision code observes what instrumented packages
+// already publish instead of registering families of its own, so the
+// registration-at-init invariant (obsinit) stays intact.
+func (r *Registry) Value(name string, labels ...Label) (float64, bool) {
+	_, key := canonical(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		return 0, false
+	}
+	c := f.byKey[key]
+	if c == nil {
+		return 0, false
+	}
+	switch {
+	case c.c != nil:
+		return float64(c.c.Value()), true
+	case c.g != nil:
+		return float64(c.g.Value()), true
+	case c.gf != nil:
+		return c.gf(), true
+	case c.h != nil:
+		n := c.h.Count()
+		if n == 0 {
+			return math.NaN(), true
+		}
+		return c.h.Sum() / float64(n), true
+	}
+	return 0, false
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestValue pins the read API: every metric kind reads back without
+// creating families, and absence is reported rather than zero-filled.
+func TestValue(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.Counter("ev_total", "events")
+	c.Add(7)
+	if v, ok := r.Value("ev_total"); !ok || v != 7 {
+		t.Errorf("counter Value = %v, %v; want 7, true", v, ok)
+	}
+
+	g := r.Gauge("level", "a level", L("shard", "a"))
+	g.Set(-3)
+	if v, ok := r.Value("level", L("shard", "a")); !ok || v != -3 {
+		t.Errorf("gauge Value = %v, %v; want -3, true", v, ok)
+	}
+	// Same family, different labels: the child does not exist.
+	if _, ok := r.Value("level", L("shard", "b")); ok {
+		t.Error("Value invented a child for unregistered labels")
+	}
+	// Label order must not matter (canonicalized like registration).
+	g2 := r.Gauge("level", "a level", L("shard", "c"), L("zone", "z"))
+	g2.Set(5)
+	if v, ok := r.Value("level", L("zone", "z"), L("shard", "c")); !ok || v != 5 {
+		t.Errorf("label-order-insensitive Value = %v, %v; want 5, true", v, ok)
+	}
+
+	r.GaugeFunc("derived", "computed", func() float64 { return 2.5 })
+	if v, ok := r.Value("derived"); !ok || v != 2.5 {
+		t.Errorf("gauge-func Value = %v, %v; want 2.5, true", v, ok)
+	}
+
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	if v, ok := r.Value("lat_seconds"); !ok || !math.IsNaN(v) {
+		t.Errorf("empty histogram Value = %v, %v; want NaN, true", v, ok)
+	}
+	h.Observe(1)
+	h.Observe(3)
+	if v, ok := r.Value("lat_seconds"); !ok || v != 2 {
+		t.Errorf("histogram mean Value = %v, %v; want 2, true", v, ok)
+	}
+
+	if _, ok := r.Value("never_registered"); ok {
+		t.Error("Value reported a family that was never registered")
+	}
+	if r.families["never_registered"] != nil {
+		t.Error("Value created the family it was asked about")
+	}
+}

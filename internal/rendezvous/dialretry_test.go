@@ -33,7 +33,10 @@ func TestJoinRetriesUntilServerListens(t *testing.T) {
 	}()
 
 	// Let the client hit at least one refused dial before the server
-	// appears.
+	// appears. The dial attempts happen inside JoinWith and are not
+	// observable from here, so this window cannot be converted to a
+	// condition poll: it asserts the server is ABSENT first.
+	//lint:ignore sleepytest absence window: the client must see a refused dial before the late bind
 	<-time.After(300 * time.Millisecond)
 	srvLn, err := net.Listen("tcp", addr)
 	if err != nil {
