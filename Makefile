@@ -9,6 +9,7 @@
 #   make chaos   chaos conformance at the pinned seeds
 #   make cluster clustertest conformance (gossip control plane) at world 32
 #   make grow    grow-path conformance (autopilot + warm spares) at world 32
+#   make policy  recovery-policy conformance (cost-model strategy picks) at world 32
 #   make cover   per-package coverage summary + gates (floors, baseline)
 #   make bench-gate  data-plane benchmarks vs the committed baseline
 #   make check   everything above, in CI order
@@ -17,7 +18,7 @@ GO      ?= go
 BIN     := bin
 SEEDS   ?= 1 7 42
 
-.PHONY: all build vet lint vet-fix-check test race chaos cluster grow cover bench-gate check clean
+.PHONY: all build vet lint vet-fix-check test race chaos cluster grow policy cover bench-gate check clean
 
 # World size for the clustertest conformance suite (CI: 32 per PR,
 # 64/128 nightly).
@@ -96,6 +97,17 @@ grow:
 			-cluster.world=$(CLUSTER_WORLD) -cluster.seed="$$seed" || exit 1; \
 	done
 
+# policy: the six recovery-policy conformance scenarios — rigged costs
+# select each strategy in turn, correlated/cascade/gray chaos shapes
+# drive the classifier — under -race, like the policy-scenarios CI leg.
+policy:
+	@for seed in $(SEEDS); do \
+		echo "=== policy world $(CLUSTER_WORLD) seed $$seed ==="; \
+		$(GO) test -race -count=1 -timeout 20m ./internal/clustertest/ \
+			-run TestPolicyConformance \
+			-cluster.world=$(CLUSTER_WORLD) -cluster.seed="$$seed" || exit 1; \
+	done
+
 # cover: per-package statement coverage, gated. internal/obs carries an
 # absolute 70% floor; transport/mpi/ulfm must stay within 2 points of the
 # committed COVERAGE_baseline.json. Regenerate the baseline after an
@@ -111,6 +123,7 @@ cover:
 		-floor repro/internal/clustertest=70 \
 		-floor repro/internal/autopilot=70 \
 		-floor repro/internal/analysis/driver=70 \
+		-floor repro/internal/policy=70 \
 		-baseline COVERAGE_baseline.json -maxdrop 2
 	$(GO) tool cover -html=cover.out -o cover.html
 
@@ -123,9 +136,9 @@ bench-gate:
 		-fresh fresh_dataplane.json -tolerance 0.30
 	$(GO) run ./cmd/benchtab -controlplane fresh_controlplane.json
 	$(GO) run ./cmd/benchgate -controlplane -baseline BENCH_controlplane.json \
-		-fresh fresh_controlplane.json -tolerance 0.10
+		-fresh fresh_controlplane.json -tolerance 0.10 -max-decision-us 200
 
-check: build vet lint test race chaos cluster grow
+check: build vet lint test race chaos cluster grow policy
 
 clean:
 	rm -rf $(BIN) cover.out cover.html fresh_dataplane.json fresh_controlplane.json

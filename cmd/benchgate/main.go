@@ -40,13 +40,14 @@ func main() {
 	pipeSlack := flag.Float64("pipelined-slack", 0.10, "allowed fractional ns/op excess of raw pipelined over raw ring at the same size (the pipelined floor: chunking must never lose to the plain ring)")
 	minMBps := flag.Float64("min-mbps", 0, "required MB/s for the largest raw pipelined allreduce row in the fresh report (0 = off)")
 	cp := flag.Bool("controlplane", false, "gate gossip control-plane reports instead of data-plane reports")
+	maxDecisionUS := flag.Float64("max-decision-us", 0, "with -controlplane: absolute ceiling on the fresh policy_decision_us rows (0 = off; the one wall-clock number in the report, so it gates on a ceiling, not a diff)")
 	flag.Parse()
 	if *freshPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -fresh is required")
 		os.Exit(2)
 	}
 	if *cp {
-		gateControlplane(*basePath, *freshPath, *tolerance)
+		gateControlplane(*basePath, *freshPath, *tolerance, *maxDecisionUS)
 		return
 	}
 
@@ -208,7 +209,7 @@ func gateInvariants(fresh *dataplane.Report, pipeSlack, minMBps float64) int {
 // latency. The measurements are virtual-time deterministic, so any
 // regression beyond the tolerance is an algorithmic change in the SWIM
 // layer, not runner noise.
-func gateControlplane(basePath, freshPath string, tolerance float64) {
+func gateControlplane(basePath, freshPath string, tolerance, maxDecisionUS float64) {
 	base, err := loadControlplane(basePath)
 	check(err)
 	fresh, err := loadControlplane(freshPath)
@@ -255,6 +256,36 @@ func gateControlplane(basePath, freshPath string, tolerance float64) {
 			}
 			if b.StateXferMBps > 0 {
 				reportThroughput(fmt.Sprintf("state-transfer-throughput/world=%d", b.World), b.StateXferMBps, f.StateXferMBps)
+			}
+			// The regret row is deterministic EWMA arithmetic, so it
+			// diffs exactly; zero baselines (reports predating the
+			// policy engine) skip it like the autopilot rows above.
+			if b.PolicyRegretPct > 0 {
+				compared++
+				ratio := f.PolicyRegretPct / b.PolicyRegretPct
+				status := "ok"
+				if ratio > 1+tolerance {
+					status = "REGRESSION"
+					failures++
+				}
+				fmt.Printf("%-40s %10.2f -> %10.2f %%   %+6.1f%%  %s\n",
+					fmt.Sprintf("policy-regret/world=%d", b.World),
+					b.PolicyRegretPct, f.PolicyRegretPct, (ratio-1)*100, status)
+			}
+			// The decision-latency row is wall clock — the only such
+			// number in a control-plane report — so relative gating
+			// would just measure the runner. An absolute ceiling still
+			// catches an accidental O(world²) scan or allocation storm.
+			if maxDecisionUS > 0 && f.PolicyDecisionUS > 0 {
+				compared++
+				status := "ok"
+				if f.PolicyDecisionUS > maxDecisionUS {
+					status = "ABOVE CEILING"
+					failures++
+				}
+				fmt.Printf("%-40s %10.2f us/op (ceiling %.0f)  %s\n",
+					fmt.Sprintf("policy-decision/world=%d", f.World),
+					f.PolicyDecisionUS, maxDecisionUS, status)
 			}
 		}
 	}

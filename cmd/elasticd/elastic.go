@@ -21,8 +21,10 @@ import (
 	"time"
 
 	"repro/internal/autopilot"
+	"repro/internal/checkpoint"
 	"repro/internal/mpi"
 	"repro/internal/rendezvous"
+	"repro/internal/tensor"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/transport/tcpnet"
@@ -58,7 +60,7 @@ type elastic struct {
 	failed   map[transport.ProcID]bool
 }
 
-func newElastic(cl *rendezvous.Client, rec *trace.Recorder, sched []autopilot.ScheduleStep, rate float64, loadMetric string, loadHigh, loadLow float64) *elastic {
+func newElastic(cl *rendezvous.Client, rec *trace.Recorder, sched []autopilot.ScheduleStep, rate float64, loadMetric string, loadHigh, loadLow float64, gate func(int) bool) *elastic {
 	// The load probe reads whatever the instrumented packages already
 	// publish to the default registry; before the metric's first
 	// registration it reads NaN, which Decide treats as "hold".
@@ -73,6 +75,7 @@ func newElastic(cl *rendezvous.Client, rec *trace.Recorder, sched []autopilot.Sc
 			Load:     load,
 			LoadHigh: loadHigh,
 			LoadLow:  loadLow,
+			SwapGate: gate,
 			Trace:    rec,
 			Proc:     cl.Proc(),
 		}),
@@ -121,7 +124,8 @@ type daemon struct {
 	n            int
 	steps        int
 	stepInterval time.Duration
-	el           *elastic // nil = fixed world, no grow boundaries
+	el           *elastic          // nil = fixed world, no grow boundaries
+	ck           *checkpoint.Store // nil unless -policy: rollback restore points
 }
 
 // runSteps is the training loop from step `start`: one resilient
@@ -141,9 +145,37 @@ func (d *daemon) runSteps(r *ulfm.ResilientComm, start int) error {
 		if err := ulfm.AllreduceOpts(r, data, mpi.OpSum, d.opts); err != nil {
 			return fmt.Errorf("step %d: %w", step, err)
 		}
+		// A repair that adopted the rollback strategy leaves a one-shot
+		// flag on the communicator: discard this round's (retried) result,
+		// restore the last per-step snapshot, and resume from the step
+		// after the one the snapshot is stamped with.
+		if d.ck != nil && r.TakeRollback() {
+			if snap, lerr := d.ck.Load(int(d.cl.Proc())); lerr == nil {
+				d.rec.Membership(d.ep.VClock().Now(), int(d.cl.Proc()), "rollback_restore",
+					map[string]any{"from_step": step, "to_step": snap.Step})
+				log.Printf("elasticd: policy chose rollback, restoring step-%d checkpoint (was at step %d)",
+					snap.Step, step)
+				step = snap.Step
+				continue
+			} else {
+				log.Printf("elasticd: rollback advised but no restore point: %v", lerr)
+			}
+		}
 		fmt.Printf("step %3d  proc %d  size %d  sum %.0f\n",
 			step, d.cl.Proc(), r.Size(), data[0])
 		transport.Hit(d.cl.Proc(), transport.PointElasticCommit)
+		if d.ck != nil {
+			model := make(tensor.Vector, len(data))
+			for i, v := range data {
+				model[i] = float32(v)
+			}
+			d.ck.Save(int(d.cl.Proc()), &checkpoint.Snapshot{
+				Step:       step,
+				Model:      model,
+				WorldSize:  r.Size(),
+				SavedAtSec: d.ep.VClock().Now(),
+			})
+		}
 		if d.el != nil && step < d.steps-1 {
 			evict, err := d.boundary(r, step, data)
 			if err != nil {

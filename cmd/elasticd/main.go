@@ -34,9 +34,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/rendezvous"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -62,6 +64,7 @@ func main() {
 	spare := flag.Bool("spare", false, "join as a warm spare: register idle, wait for the autopilot to swap this process in, receive state, then train")
 	spares := flag.Int("spares", 0, "wait for this many warm spares to register before training (demo choreography)")
 	scalePolicy := flag.String("scale-policy", "", "enable the autopilot grow boundary: 'swap' (replace deaths from the spare pool) or a schedule like '10:+2,20:-1'; every worker and spare must pass the same value")
+	policyMode := flag.String("policy", "", "enable the adaptive recovery-policy engine: auto (pick the predicted-cheapest strategy per failure), shrink, swap, or rollback (force one); every worker and spare must pass the same value — the advice exchange is a collective")
 	xferRate := flag.Float64("xfer-rate", 64<<20, "newcomer state-transfer bandwidth cap in bytes/sec (0 = unlimited)")
 	loadMetric := flag.String("load-metric", "", "obs metric sampled at every grow boundary as the load signal (counter/gauge by level, histogram by mean); enables load-driven scaling — every worker and spare must pass the same value, the target broadcast is a collective")
 	loadHigh := flag.Float64("load-high", 0, "scale up by one worker when -load-metric reads above this (0 disables the high-water mark)")
@@ -238,20 +241,50 @@ func main() {
 	}
 	p := mpi.Attach(tep)
 
-	policy := ulfm.DefaultPolicy()
+	ulfmPolicy := ulfm.DefaultPolicy()
 	reconfigs := 0
-	policy.OnReconfigure = func(nc *mpi.Comm, bd *metrics.Breakdown) {
+	ulfmPolicy.OnReconfigure = func(nc *mpi.Comm, bd *metrics.Breakdown) {
 		reconfigs++
 		rec.Recovery(ep.VClock().Now(), int(cl.Proc()), reconfigs, "failure", bd, false)
 		log.Printf("elasticd: reconfigured to size %d (recovery #%d)", nc.Size(), reconfigs)
 	}
 
+	// With -policy, each member runs a recovery-policy engine in the
+	// advisor seat: the deciding rank classifies every failure, picks the
+	// predicted-cheapest strategy from live obs readings, and the choice
+	// replicates through the repair pipeline. The checkpoint store gives
+	// rollback a candidate restore point (saved every step in runSteps);
+	// the spare pool size comes live from the rendezvous hub.
+	var polEng *policy.Engine
+	var ckStore *checkpoint.Store
+	if *policyMode != "" {
+		mode, err := policy.ParseMode(*policyMode)
+		if err != nil {
+			fatalf("elasticd: %v", err)
+		}
+		ckStore = checkpoint.NewStore()
+		polEng = policy.New(policy.Config{
+			Mode:       mode,
+			Spares:     func() int { return len(cl.SpareProcs()) },
+			Checkpoint: ckStore.AgeProbe(int(cl.Proc()), func() float64 { return ep.VClock().Now() }),
+			Trace:      rec,
+			Proc:       cl.Proc(),
+		})
+		ulfmPolicy.Advisor = polEng
+		log.Printf("elasticd: recovery policy engine on (mode %s)", mode)
+	}
+
 	d := &daemon{
 		cl: cl, ep: ep, rec: rec, opts: opts,
 		n: *n, steps: *steps, stepInterval: *stepInterval,
+		ck: ckStore,
 	}
 	if elasticOn {
-		d.el = newElastic(cl, rec, sched, *xferRate, *loadMetric, *loadHigh, *loadLow)
+		var gate func(int) bool
+		if polEng != nil {
+			gate = polEng.GateSwap
+		}
+		d.el = newElastic(cl, rec, sched, *xferRate, *loadMetric, *loadHigh, *loadLow, gate)
 	}
 
 	// Each worker contributes a constant vector of proc+1, so the
@@ -261,13 +294,13 @@ func main() {
 	// autopilot swaps a newcomer in.
 	runErr := func() error {
 		if *spare {
-			return d.runSpare(p, policy)
+			return d.runSpare(p, ulfmPolicy)
 		}
 		comm, err := mpi.World(p, cl.Procs())
 		if err != nil {
 			return err
 		}
-		r := ulfm.New(comm, nil, policy)
+		r := ulfm.New(comm, nil, ulfmPolicy)
 		// The resolved data-plane plan goes to stdout at startup (what the
 		// first round will run, per the tuner's current model) and into the
 		// journal every round — after a shrink or enough observations the

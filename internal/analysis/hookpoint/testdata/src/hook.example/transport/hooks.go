@@ -38,6 +38,11 @@ const (
 	PointStateChunk = "autopilot.state.chunk"
 	PointStateRecv  = "autopilot.state.recv"
 	PointStateAck   = "autopilot.state.ack"
+
+	// The recovery-policy and cascade points, mirroring hooks.go.
+	PointPolicyDecide   = "policy.decide"
+	PointPolicyRealized = "policy.realized"
+	PointCascadeStage   = "chaos.cascade.stage"
 )
 
 // Hit announces that proc reached the named protocol point.

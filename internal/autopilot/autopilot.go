@@ -117,6 +117,12 @@ type Config struct {
 	Trace *trace.Recorder
 	// Proc stamps trace records with the controlling process.
 	Proc transport.ProcID
+	// SwapGate, when set, delegates the swap-or-shrink call to the
+	// recovery-policy engine (policy.Engine.GateSwap): a deaths-answering
+	// swap-in is issued only if the gate approves it. Scheduled and
+	// load-driven scale-ups are never gated — the policy engine only
+	// owns failure recovery, not capacity planning.
+	SwapGate func(deaths int) bool
 }
 
 // Controller is the sans-IO decision core. Not safe for concurrent use;
@@ -229,6 +235,13 @@ func (c *Controller) decide(step int) Decision {
 
 	missing := c.target - len(c.members)
 	if missing > 0 && len(c.pool) > 0 {
+		if kind == KindHold && c.deaths > 0 && c.cfg.SwapGate != nil && !c.cfg.SwapGate(c.deaths) {
+			// The policy engine chose shrink over swap for this failure:
+			// hold the pool. The deaths stay booked, so a later verdict
+			// that does favor the pool can still answer them.
+			obsSwapVetoes.Inc()
+			return Decision{Kind: KindHold, Target: c.target, Reason: "swap vetoed by recovery policy"}
+		}
 		n := missing
 		if n > len(c.pool) {
 			n = len(c.pool)

@@ -20,6 +20,8 @@ var (
 		"Scale-down decisions issued by the control loop.")
 	obsSwapFailures = obs.Default().Counter("autopilot_swap_failures_total",
 		"Spare swap-ins that failed (newcomer died during admission or state transfer).")
+	obsSwapVetoes = obs.Default().Counter("autopilot_swap_vetoes_total",
+		"Deaths-answering swap-ins suppressed by the recovery-policy gate.")
 	obsSwapRecovery = obs.Default().Histogram("autopilot_spare_swap_recovery_seconds",
 		"Death observed to replacement admitted (VClock seconds).",
 		obs.SecondsBuckets())

@@ -75,6 +75,35 @@ func (st *Store) Load(w int) (*Snapshot, error) {
 	return &cp, nil
 }
 
+// Latest peeks at worker w's most recent snapshot without booking a
+// load — the recovery-policy engine's candidate probe, which must not
+// skew the save/load overhead accounting when rollback merely loses the
+// cost comparison.
+func (st *Store) Latest(w int) (*Snapshot, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.last[w]
+	return s, ok
+}
+
+// AgeProbe adapts the store to the policy engine's checkpoint input
+// (policy.Config.Checkpoint): a probe bound to worker w reporting
+// whether a restore point exists and how stale it is, with `now`
+// supplying the caller's clock (VClock seconds for simulated runs).
+func (st *Store) AgeProbe(w int, now func() float64) func() (float64, bool) {
+	return func() (float64, bool) {
+		s, ok := st.Latest(w)
+		if !ok {
+			return 0, false
+		}
+		age := now() - s.SavedAtSec
+		if age < 0 {
+			age = 0
+		}
+		return age, true
+	}
+}
+
 // Drop forgets worker w's snapshot (worker left the job).
 func (st *Store) Drop(w int) {
 	st.mu.Lock()

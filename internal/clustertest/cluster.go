@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/gossip"
 	"repro/internal/mpi"
+	"repro/internal/policy"
 	"repro/internal/rendezvous"
 	"repro/internal/transport"
 	"repro/internal/transport/chaos"
@@ -66,6 +67,9 @@ type Config struct {
 	// JoinTimeout bounds each worker's rendezvous gather (default
 	// scales with World).
 	JoinTimeout time.Duration
+	// Policy, when non-nil, gives every worker a recovery-policy engine
+	// wired as its ULFM advisor (see policy.go).
+	Policy *PolicyConfig
 }
 
 // DetectorDefaults is the world-scaled gossip tuning New applies when
@@ -101,6 +105,9 @@ type Worker struct {
 	CL   *rendezvous.Client
 	G    *gossip.Runtime
 	R    *ulfm.ResilientComm
+	// Pol is the worker's recovery-policy engine (nil unless
+	// Config.Policy was set).
+	Pol *policy.Engine
 
 	// Killed marks an expected death: the worker's own collectives may
 	// fail without failing the test. Die, Leave, and Mute set it.
@@ -306,7 +313,12 @@ func (c *Cluster) startWorker(full, spare bool) (*Worker, error) {
 		w.Die()
 		return nil, err
 	}
-	w.R = ulfm.New(comm, nil, ulfm.DefaultPolicy())
+	pol := ulfm.DefaultPolicy()
+	if c.cfg.Policy != nil {
+		w.Pol = c.newPolicyEngine(proc, cl.Procs())
+		pol = advisedPolicy(w.Pol)
+	}
+	w.R = ulfm.New(comm, nil, pol)
 	return w, nil
 }
 

@@ -264,7 +264,16 @@ func (p *Pilot) spareBody(sp *Worker, rounds int, opts mpi.AllreduceOptions) *Ou
 	if step != entered {
 		return &Outcome{Err: fmt.Errorf("spare state stamped step %d, admitted at boundary %d", step, entered)}
 	}
-	sp.R = ulfm.New(comm, nil, ulfm.DefaultPolicy())
+	// The advice exchange is collective, so a policy-enabled cluster must
+	// give the newcomer an advisor too (a mixed membership would diverge
+	// at the next repair). The newcomer has no rank-ordered world handy;
+	// without placement it simply never classifies node-level drops.
+	pol := ulfm.DefaultPolicy()
+	if p.c.cfg.Policy != nil {
+		sp.Pol = p.c.newPolicyEngine(sp.Proc, nil)
+		pol = advisedPolicy(sp.Pol)
+	}
+	sp.R = ulfm.New(comm, nil, pol)
 
 	var sums []float64
 	for round := int(entered) + 1; round < rounds; round++ {

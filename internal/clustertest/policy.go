@@ -1,0 +1,79 @@
+package clustertest
+
+// The policy-enabled side of the harness: when Config.Policy is set,
+// every worker gets its own recovery-policy engine wired as the ULFM
+// Advisor, so each repair's revoke→repair boundary runs the full
+// decide/replicate/realize protocol. The harness has no simnet
+// placement, so a node-drop decision cannot evict live node-mates here
+// — conformance scenarios assert the *decision* (via the policy obs
+// families) and the usual uniform-membership/bit-exact invariants over
+// the processes that actually died.
+
+import (
+	"repro/internal/policy"
+	"repro/internal/transport"
+	"repro/internal/ulfm"
+)
+
+// PolicyConfig enables and rigs the per-worker recovery-policy engine.
+type PolicyConfig struct {
+	// Mode is the operator override (ModeAuto compares predicted costs).
+	Mode policy.Mode
+	// Baselines rigs the cost model so a scenario can make one strategy
+	// clearly cheaper and assert the engine picks it.
+	Baselines policy.Baselines
+	// PairNodes installs the two-per-node placement oracle — ranks 2k
+	// and 2k+1 share node k — enabling node-level classification.
+	PairNodes bool
+	// Spares reports the warm-pool size at decision time (nil removes
+	// spare-swap from the candidate set).
+	Spares func() int
+	// Checkpoint reports restore-point availability and age (nil
+	// removes rollback from the candidate set).
+	Checkpoint func() (float64, bool)
+	// Horizon overrides the degraded-capacity planning window (0 =
+	// engine default).
+	Horizon float64
+	// CascadeWindow overrides the cascade classification window (0 =
+	// engine default).
+	CascadeWindow float64
+	// GrayLagMin overrides the straggler-eviction floor (0 = engine
+	// default).
+	GrayLagMin float64
+}
+
+// newPolicyEngine builds one worker's engine from the cluster rig.
+// procs is the rank-ordered gathered world (the placement oracle keys
+// node k to ranks 2k and 2k+1).
+func (c *Cluster) newPolicyEngine(proc transport.ProcID, procs []transport.ProcID) *policy.Engine {
+	pc := c.cfg.Policy
+	cfg := policy.Config{
+		Mode:          pc.Mode,
+		Baselines:     pc.Baselines,
+		Spares:        pc.Spares,
+		Checkpoint:    pc.Checkpoint,
+		Horizon:       pc.Horizon,
+		CascadeWindow: pc.CascadeWindow,
+		GrayLagMin:    pc.GrayLagMin,
+		Proc:          proc,
+	}
+	if pc.PairNodes {
+		cfg.NodeOf = func(p transport.ProcID) (transport.NodeID, bool) {
+			for rank, q := range procs {
+				if q == p {
+					return transport.NodeID(rank / 2), true
+				}
+			}
+			return 0, false
+		}
+	}
+	return policy.New(cfg)
+}
+
+// advisedPolicy is the ULFM policy a policy-enabled worker runs under:
+// the default drop policy with the engine in the advisor seat.
+func advisedPolicy(eng *policy.Engine) ulfm.Policy {
+	p := ulfm.DefaultPolicy()
+	p.Advisor = eng
+	return p
+}

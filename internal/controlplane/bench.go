@@ -68,6 +68,15 @@ type Cell struct {
 	// deliver its configured rate (plus the burst credit), or joins
 	// would stall longer than the cap promises.
 	StateXferMBps float64 `json:"state_xfer_mbps"`
+	// PolicyDecisionUS is the recovery-policy engine's Advise latency
+	// in wall-clock microseconds at this world size — the one
+	// host-dependent number in the report; benchgate holds it to an
+	// absolute ceiling rather than a relative diff (see policybench.go).
+	PolicyDecisionUS float64 `json:"policy_decision_us"`
+	// PolicyRegretPct is the cost model's steady-state prediction miss
+	// on a scripted failure sequence, as a percentage of realized cost —
+	// deterministic, so it diffs exactly (see policybench.go).
+	PolicyRegretPct float64 `json:"policy_regret_pct"`
 }
 
 // Report is the JSON document benchgate diffs.
@@ -134,6 +143,8 @@ func Collect(cfg Config) (*Report, error) {
 		cell.KillRounds = cell.KillDetectMS / 1e3 / period
 		cell.SpareSwapRecoveryMS = cell.KillDetectMS + xferS*1e3
 		cell.StateXferMBps = xferStateBytes / xferS / 1e6
+		cell.PolicyDecisionUS = measurePolicyDecisionUS(world)
+		cell.PolicyRegretPct = measurePolicyRegretPct(world)
 		rep.Cells = append(rep.Cells, cell)
 	}
 	return rep, nil

@@ -19,10 +19,35 @@ func TestCollectDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The decision-latency row is the report's one wall-clock number
+	// (gated by an absolute ceiling, not a diff); everything else must
+	// reproduce bit-for-bit.
+	for i := range a.Cells {
+		a.Cells[i].PolicyDecisionUS = 0
+	}
+	for i := range b.Cells {
+		b.Cells[i].PolicyDecisionUS = 0
+	}
 	ja, _ := a.JSON()
 	jb, _ := b.JSON()
 	if string(ja) != string(jb) {
 		t.Fatalf("virtual-time measurement not reproducible:\n%s\nvs\n%s", ja, jb)
+	}
+}
+
+func TestPolicyRowsShape(t *testing.T) {
+	if us := measurePolicyDecisionUS(16); us <= 0 {
+		t.Fatalf("decision latency %v us, want positive", us)
+	}
+	// The regret row must be a deterministic nonzero residual: zero
+	// would mean the EWMA tracked a moving target exactly (impossible),
+	// and the zero-baseline skip in benchgate would silently ungate it.
+	r1, r2 := measurePolicyRegretPct(16), measurePolicyRegretPct(16)
+	if r1 != r2 {
+		t.Fatalf("regret not reproducible: %v vs %v", r1, r2)
+	}
+	if r1 <= 0 || r1 >= 100 {
+		t.Fatalf("regret %v%%, want a small positive steady-state residual", r1)
 	}
 }
 

@@ -36,6 +36,9 @@ const (
 	PhaseShrink Phase = "shrink"
 	PhaseMerge  Phase = "merge-newcomers"
 	PhaseRetry  Phase = "retry-collective"
+	// PhasePolicy: the recovery-policy decision + its replication
+	// broadcast, between shrink and the drop/rollback application.
+	PhasePolicy Phase = "policy-decide"
 )
 
 // Breakdown is an ordered phase → seconds record for one recovery event.

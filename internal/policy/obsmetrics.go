@@ -1,0 +1,40 @@
+package policy
+
+// Decision-quality metrics: every verdict increments a per-choice
+// counter, predicted and realized recovery costs land in one histogram
+// family split by kind, and the regret histogram (realized minus
+// predicted, clamped at zero) is the single number that says whether
+// the cost model is honest. All families register at init per the
+// obsinit invariant.
+
+import "repro/internal/obs"
+
+var (
+	obsDecisions [strategyCount]*obs.Counter
+	obsClasses   [classCount]*obs.Counter
+
+	obsCostPredicted = obs.Default().Histogram("policy_cost_seconds",
+		"Recovery cost per policy decision (VClock seconds), predicted vs realized.",
+		obs.SecondsBuckets(), obs.L("kind", "predicted"))
+	obsCostRealized = obs.Default().Histogram("policy_cost_seconds",
+		"Recovery cost per policy decision (VClock seconds), predicted vs realized.",
+		obs.SecondsBuckets(), obs.L("kind", "realized"))
+	obsRegret = obs.Default().Histogram("policy_regret_seconds",
+		"Realized minus predicted recovery cost per decision, clamped at zero.",
+		obs.SecondsBuckets())
+	obsGrayEvictions = obs.Default().Counter("policy_gray_evictions_total",
+		"Straggler evictions ordered by the gray-failure verdict.")
+)
+
+func init() {
+	for s := range obsDecisions {
+		obsDecisions[s] = obs.Default().Counter("policy_decisions_total",
+			"Recovery-policy decisions by chosen strategy.",
+			obs.L("choice", Strategy(s).String()))
+	}
+	for c := range obsClasses {
+		obsClasses[c] = obs.Default().Counter("policy_classifications_total",
+			"Failure verdicts by classified shape.",
+			obs.L("class", Class(c).String()))
+	}
+}

@@ -1,0 +1,416 @@
+package policy
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/vtime"
+)
+
+func procs(n int) []transport.ProcID {
+	out := make([]transport.ProcID, n)
+	for i := range out {
+		out[i] = transport.ProcID(i)
+	}
+	return out
+}
+
+// twoPerNode is a placement oracle: procs 2k and 2k+1 share node k.
+func twoPerNode(p transport.ProcID) (transport.NodeID, bool) {
+	return transport.NodeID(p / 2), true
+}
+
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+	}{{"", ModeAuto}, {"auto", ModeAuto}, {"shrink", ModeShrink}, {"swap", ModeSwap}, {"ROLLBACK", ModeRollback}} {
+		got, err := ParseMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseMode("yolo"); err == nil {
+		t.Errorf("ParseMode(yolo): want error")
+	}
+}
+
+func TestClassification(t *testing.T) {
+	clock := &vtime.Clock{}
+	e := New(Config{NodeOf: twoPerNode})
+
+	// A single dead process with no failure history: plain proc drop.
+	d := e.Decide(clock.Now(), procs(8)[1:], procs(8)[:1])
+	if d.Class != ClassProcDrop {
+		t.Fatalf("single isolated death: class %v, want proc_drop", d.Class)
+	}
+
+	// Two dead sharing node 1 (procs 2 and 3): correlated node drop,
+	// even though it arrives inside the cascade window.
+	clock.Advance(1)
+	d = e.Decide(clock.Now(), procs(8)[4:], []transport.ProcID{2, 3})
+	if d.Class != ClassNodeDrop {
+		t.Fatalf("node-mates death: class %v, want node_drop", d.Class)
+	}
+
+	// A further single death right after: cascade.
+	clock.Advance(1)
+	d = e.Decide(clock.Now(), procs(8)[5:], procs(8)[4:5])
+	if d.Class != ClassCascade {
+		t.Fatalf("death within cascade window: class %v, want cascade", d.Class)
+	}
+
+	// And once the window expires, back to proc drop.
+	clock.Advance(100)
+	d = e.Decide(clock.Now(), procs(8)[6:], procs(8)[5:6])
+	if d.Class != ClassProcDrop {
+		t.Fatalf("death after window: class %v, want proc_drop", d.Class)
+	}
+}
+
+func TestClassificationNoOracle(t *testing.T) {
+	// Without placement info, a simultaneous multi-death is the
+	// correlated signature.
+	e := New(Config{})
+	d := e.Decide(0, procs(8)[2:], procs(8)[:2])
+	if d.Class != ClassNodeDrop {
+		t.Fatalf("multi-death without oracle: class %v, want node_drop", d.Class)
+	}
+}
+
+// TestAutoSelectsRiggedCheapest is the unit-level core of the
+// conformance suite: with costs rigged to make each strategy clearly
+// cheaper in turn, ModeAuto must select exactly that strategy.
+func TestAutoSelectsRiggedCheapest(t *testing.T) {
+	world := procs(8)
+	spares := func() int { return 2 }
+	ckpt := func() (float64, bool) { return 2, true }
+
+	t.Run("spare_swap", func(t *testing.T) {
+		e := New(Config{Spares: spares, Checkpoint: ckpt,
+			Baselines: Baselines{ShrinkSeconds: 0.5, XferSeconds: 0.1, RestoreSeconds: 50}})
+		d := e.Decide(0, world[1:], world[:1])
+		if d.Strategy != StrategySpareSwap {
+			t.Fatalf("rigged cheap xfer: chose %v (costs %v), want spare_swap", d.Strategy, d.Costs)
+		}
+	})
+
+	t.Run("shrink_proc", func(t *testing.T) {
+		e := New(Config{Spares: spares, Checkpoint: ckpt,
+			Baselines: Baselines{ShrinkSeconds: 0.5, XferSeconds: 500, RestoreSeconds: 500}})
+		d := e.Decide(0, world[1:], world[:1])
+		if d.Strategy != StrategyShrinkProc {
+			t.Fatalf("rigged expensive alternatives: chose %v (costs %v), want shrink_proc", d.Strategy, d.Costs)
+		}
+	})
+
+	t.Run("shrink_node", func(t *testing.T) {
+		// Procs 0,1 share node 0 and 2,3 share node 1. Both ranks of
+		// node 0 die plus rank 2 of node 1, leaving proc 3 a doomed
+		// node-mate: evicting node 1 wholesale trades the expected
+		// second repair (rigged expensive at 5 s) for the cheap subset
+		// step.
+		e := New(Config{NodeOf: twoPerNode, Spares: spares, Checkpoint: ckpt,
+			Baselines: Baselines{ShrinkSeconds: 5, NodeExtraSeconds: 0.01, XferSeconds: 500, RestoreSeconds: 500}})
+		dead := []transport.ProcID{0, 1, 2}
+		survivors := []transport.ProcID{3, 4, 5, 6, 7}
+		d := e.Decide(0, survivors, dead)
+		if d.Class != ClassNodeDrop || d.Strategy != StrategyShrinkNode {
+			t.Fatalf("doomed node-mates: class %v strategy %v (costs %v), want node_drop/shrink_node", d.Class, d.Strategy, d.Costs)
+		}
+	})
+
+	t.Run("rollback", func(t *testing.T) {
+		e := New(Config{Spares: spares, Checkpoint: ckpt,
+			Baselines: Baselines{ShrinkSeconds: 2, XferSeconds: 500, RestoreSeconds: 0.01, RecomputeSeconds: 0.01}})
+		// Two failures in quick succession: the second classifies as a
+		// cascade, where forward recovery is priced per expected repeat
+		// and a single rollback absorbs the burst.
+		e.Decide(0, world[1:], world[:1])
+		d := e.Decide(1, world[2:], world[1:2])
+		if d.Class != ClassCascade || d.Strategy != StrategyRollback {
+			t.Fatalf("cascade with cheap restore: class %v strategy %v (costs %v), want cascade/rollback", d.Class, d.Strategy, d.Costs)
+		}
+	})
+}
+
+func TestModeForcing(t *testing.T) {
+	world := procs(8)
+	spares := func() int { return 1 }
+	ckpt := func() (float64, bool) { return 1, true }
+	// Baselines rigged so auto would pick swap; the forced modes must
+	// override the cost comparison.
+	b := Baselines{ShrinkSeconds: 5, XferSeconds: 0.01, RestoreSeconds: 0.01}
+
+	for _, tc := range []struct {
+		mode Mode
+		want Strategy
+	}{{ModeShrink, StrategyShrinkProc}, {ModeSwap, StrategySpareSwap}, {ModeRollback, StrategyRollback}} {
+		e := New(Config{Mode: tc.mode, Spares: spares, Checkpoint: ckpt, Baselines: b})
+		if d := e.Decide(0, world[1:], world[:1]); d.Strategy != tc.want {
+			t.Errorf("mode %v: chose %v, want %v", tc.mode, d.Strategy, tc.want)
+		}
+	}
+
+	// Forced modes fall back to shrink when their resource is missing.
+	e := New(Config{Mode: ModeSwap})
+	if d := e.Decide(0, world[1:], world[:1]); d.Strategy != StrategyShrinkProc {
+		t.Errorf("ModeSwap without pool: chose %v, want shrink_proc", d.Strategy)
+	}
+	e = New(Config{Mode: ModeRollback})
+	if d := e.Decide(0, world[1:], world[:1]); d.Strategy != StrategyShrinkProc {
+		t.Errorf("ModeRollback without checkpoint: chose %v, want shrink_proc", d.Strategy)
+	}
+}
+
+// TestTieBreak pins the deterministic tie-break: exactly equal predicted
+// costs resolve in strategy-enum order at every rank, every time.
+func TestTieBreak(t *testing.T) {
+	world := procs(4)
+	// One dead of four, horizon 60: shrink penalty 15s. Swap rec =
+	// shrink + xfer. Rig xfer = penalty so both cost 0.5 + 15 exactly.
+	cfg := Config{Spares: func() int { return 1 },
+		Baselines: Baselines{ShrinkSeconds: 0.5, XferSeconds: 15}}
+	want := New(cfg).Decide(0, world[1:], world[:1])
+	if want.Costs[StrategyShrinkProc] != want.Costs[StrategySpareSwap] {
+		t.Fatalf("setup: costs not tied: %v", want.Costs)
+	}
+	if want.Strategy != StrategyShrinkProc {
+		t.Fatalf("tie resolved to %v, want shrink_proc (enum order)", want.Strategy)
+	}
+	for i := 0; i < 50; i++ {
+		if d := New(cfg).Decide(0, world[1:], world[:1]); d.Strategy != want.Strategy {
+			t.Fatalf("iteration %d: tie resolved to %v, want %v", i, d.Strategy, want.Strategy)
+		}
+	}
+}
+
+// TestEWMARefinement rigs realized costs against the model: swap looks
+// cheap on paper, but realizations keep coming back expensive, so after
+// enough EWMA folding the engine flips to shrink.
+func TestEWMARefinement(t *testing.T) {
+	world := procs(8)
+	e := New(Config{Spares: func() int { return 1 },
+		Baselines: Baselines{ShrinkSeconds: 0.5, XferSeconds: 0.1}})
+
+	now := 0.0
+	d := e.Decide(now, world[1:], world[:1])
+	if d.Strategy != StrategySpareSwap {
+		t.Fatalf("before refinement: chose %v, want spare_swap", d.Strategy)
+	}
+	// Realized cost is rigged way above the shrink alternative; space
+	// the failures past the cascade window so the class stays proc_drop
+	// and the EWMA cell keeps matching.
+	for i := 0; i < 20 && d.Strategy == StrategySpareSwap; i++ {
+		e.Realize(now+0.1, d.Code, 100)
+		now += 1000
+		d = e.Decide(now, world[1:], world[:1])
+	}
+	if d.Strategy != StrategyShrinkProc {
+		t.Fatalf("after rigged realizations: chose %v (costs %v), want shrink_proc", d.Strategy, d.Costs)
+	}
+}
+
+func TestDecodeCode(t *testing.T) {
+	for c := Class(0); int(c) < classCount; c++ {
+		for s := Strategy(0); int(s) < strategyCount; s++ {
+			cl, st, ok := DecodeCode(encode(c, s))
+			if !ok || cl != c || st != s {
+				t.Fatalf("round trip (%v,%v): got (%v,%v,%v)", c, s, cl, st, ok)
+			}
+		}
+	}
+	for _, bad := range []int64{0, 1, 42, codeMagic | 0xff00 | 0xff} {
+		if _, _, ok := DecodeCode(bad); ok {
+			t.Errorf("DecodeCode(%#x): want !ok", bad)
+		}
+	}
+	// An unknown code must degrade to plain shrink at Adopt.
+	e := New(Config{})
+	if dn, rb := e.Adopt(0, procs(4), nil, 42); dn || rb {
+		t.Errorf("Adopt(unknown code) = (%v,%v), want (false,false)", dn, rb)
+	}
+}
+
+// TestAdoptSymmetry: a non-deciding member applying the replicated code
+// reaches the same action as the decider — that is what keeps the
+// membership uniform.
+func TestAdoptSymmetry(t *testing.T) {
+	dead := []transport.ProcID{0, 1, 2}
+	survivors := []transport.ProcID{3, 4, 5, 6, 7}
+	cfg := Config{NodeOf: twoPerNode,
+		Baselines: Baselines{ShrinkSeconds: 5, NodeExtraSeconds: 0.01}}
+
+	decider, follower := New(cfg), New(cfg)
+	dropNode, rollback, code := decider.Advise(0, survivors, dead)
+	gotDrop, gotRoll := follower.Adopt(0, survivors, dead, code)
+	if gotDrop != dropNode || gotRoll != rollback {
+		t.Fatalf("Adopt = (%v,%v), Advise = (%v,%v): divergent", gotDrop, gotRoll, dropNode, rollback)
+	}
+	if !dropNode {
+		t.Fatalf("setup: expected a node-drop decision, got code %#x", code)
+	}
+}
+
+// TestDeterminism feeds the identical failure sequence to independent
+// engines and requires identical decision sequences — the property the
+// seed-matrix CI job leans on.
+func TestDeterminism(t *testing.T) {
+	seq := []struct {
+		now  float64
+		dead []transport.ProcID
+	}{
+		{1, []transport.ProcID{3}},
+		{2, []transport.ProcID{4, 5}},
+		{3, []transport.ProcID{6}},
+		{500, []transport.ProcID{7}},
+	}
+	run := func() []Decision {
+		e := New(Config{NodeOf: twoPerNode, Spares: func() int { return 2 },
+			Checkpoint: func() (float64, bool) { return 5, true }})
+		var out []Decision
+		alive := procs(16)
+		for _, f := range seq {
+			alive = alive[len(f.dead):]
+			out = append(out, e.Decide(f.now, alive, f.dead))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Class != b[i].Class || a[i].Strategy != b[i].Strategy || a[i].Code != b[i].Code {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGateSwap(t *testing.T) {
+	world := procs(8)
+	if !New(Config{}).GateSwap(1) {
+		t.Errorf("fresh auto engine: gate should default open")
+	}
+	if New(Config{Mode: ModeShrink}).GateSwap(1) {
+		t.Errorf("ModeShrink: gate should be closed")
+	}
+	if !New(Config{Mode: ModeSwap}).GateSwap(1) {
+		t.Errorf("ModeSwap: gate should be open")
+	}
+
+	// After a shrink decision the gate closes; after a swap decision it
+	// opens.
+	e := New(Config{Spares: func() int { return 1 },
+		Baselines: Baselines{ShrinkSeconds: 0.5, XferSeconds: 500}})
+	e.Decide(0, world[1:], world[:1])
+	if e.GateSwap(1) {
+		t.Errorf("after shrink decision: gate should veto the swap")
+	}
+	e = New(Config{Spares: func() int { return 1 },
+		Baselines: Baselines{ShrinkSeconds: 0.5, XferSeconds: 0.1}})
+	e.Decide(0, world[1:], world[:1])
+	if !e.GateSwap(1) {
+		t.Errorf("after swap decision: gate should approve the swap")
+	}
+}
+
+func TestGrayVerdict(t *testing.T) {
+	clock := &vtime.Clock{}
+	e := New(Config{Baselines: Baselines{ShrinkSeconds: 0.1}})
+
+	// Below the lag floor: never evict.
+	e.ObserveGray(clock.Now(), 3, 0.01)
+	if _, _, ok := e.GrayVerdict(clock.Now(), 8); ok {
+		t.Fatalf("sub-floor lag: unexpected eviction")
+	}
+
+	// A heavy straggler: keeping it costs lag×horizon, far above the
+	// eviction price; the verdict names the worst offender.
+	e.ObserveGray(clock.Now(), 3, 2.0)
+	e.ObserveGray(clock.Now(), 5, 0.5)
+	victim, d, ok := e.GrayVerdict(clock.Now(), 8)
+	if !ok || victim != 3 {
+		t.Fatalf("gray verdict = (%v, ok=%v), want proc 3", victim, ok)
+	}
+	if d.Class != ClassGray {
+		t.Fatalf("gray verdict class %v, want gray", d.Class)
+	}
+	// The straggler's state is consumed; the milder one remains below
+	// threshold of its own keep cost? proc 5 at 0.5 lag: keep = 30,
+	// evict ≈ 0.1 + 7.5 — still cheaper, so it is evicted next.
+	victim, _, ok = e.GrayVerdict(clock.Now(), 8)
+	if !ok || victim != 5 {
+		t.Fatalf("second gray verdict = (%v, ok=%v), want proc 5", victim, ok)
+	}
+	if _, _, ok = e.GrayVerdict(clock.Now(), 8); ok {
+		t.Fatalf("drained engine: unexpected third eviction")
+	}
+
+	// ModeShrink disables gray evictions outright.
+	e = New(Config{Mode: ModeShrink})
+	e.ObserveGray(clock.Now(), 1, 10)
+	if _, _, ok := e.GrayVerdict(clock.Now(), 8); ok {
+		t.Fatalf("ModeShrink: unexpected gray eviction")
+	}
+}
+
+// TestRealizeFeedsObsAndRegret checks the obs side of the loop: a
+// decision moves policy_decisions_total, a realization lands in
+// policy_cost_seconds{kind=realized} and policy_regret_seconds.
+func TestRealizeFeedsObsAndRegret(t *testing.T) {
+	reg := obs.Default()
+	before, _ := reg.Value("policy_decisions_total", obs.L("choice", "shrink_proc"))
+
+	e := New(Config{Baselines: Baselines{ShrinkSeconds: 1}})
+	world := procs(4)
+	d := e.Decide(0, world[1:], world[:1])
+	if d.Strategy != StrategyShrinkProc {
+		t.Fatalf("setup: chose %v", d.Strategy)
+	}
+	after, ok := reg.Value("policy_decisions_total", obs.L("choice", "shrink_proc"))
+	if !ok || after != before+1 {
+		t.Fatalf("policy_decisions_total{shrink_proc}: %v -> %v, want +1", before, after)
+	}
+
+	e.Realize(1, d.Code, d.Predicted+2.5)
+	if v, ok := reg.Value("policy_cost_seconds", obs.L("kind", "realized")); !ok || math.IsNaN(v) {
+		t.Fatalf("policy_cost_seconds{realized} not sampled (ok=%v v=%v)", ok, v)
+	}
+	if v, ok := reg.Value("policy_regret_seconds"); !ok || math.IsNaN(v) || v <= 0 {
+		t.Fatalf("policy_regret_seconds mean = %v (ok=%v), want > 0", v, ok)
+	}
+}
+
+// TestPolicyJournalRecords pins the engine→journal wiring: one decide
+// and one realized record of kind "policy", with the class in reason
+// and the phase discriminator in extra.
+func TestPolicyJournalRecords(t *testing.T) {
+	var buf bytes.Buffer
+	rec := trace.New(&buf)
+	e := New(Config{Trace: rec, Proc: 7, Baselines: Baselines{ShrinkSeconds: 1}})
+	world := procs(4)
+	d := e.Decide(2.5, world[1:], world[:1])
+	e.Realize(3.5, d.Code, 4.0)
+
+	var phases []string
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var ev trace.Event
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if ev.Kind != "policy" {
+			t.Fatalf("kind %q, want policy", ev.Kind)
+		}
+		if ev.Proc != 7 || ev.Seq != d.Seq {
+			t.Fatalf("record %+v: proc/seq not stamped", ev)
+		}
+		phases = append(phases, ev.Extra["phase"].(string))
+	}
+	if len(phases) != 2 || phases[0] != "decide" || phases[1] != "realized" {
+		t.Fatalf("journal phases %v, want [decide realized]", phases)
+	}
+}

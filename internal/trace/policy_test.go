@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPolicyRecordRoundTrip pins the "policy" journal record schema
+// through a full disk round trip: the decide record carries the failure
+// class in reason plus {phase, choice, predicted, costs} in extra; the
+// realized record carries {phase, choice, predicted, realized, regret}.
+// Journal-analysis tooling keys on exactly these fields — a schema
+// drift must fail here, not downstream.
+func TestPolicyRecordRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "policy.jsonl")
+	jn, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	rec := jn.Recorder()
+	rec.PolicyDecision(1.25, 3, 7, "cascade", "rollback", 2.5,
+		map[string]float64{"shrink_proc": 9.0, "rollback": 2.5})
+	rec.PolicyOutcome(4.75, 3, 7, "rollback", 2.5, 3.0, 0.5)
+	if err := jn.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer f.Close()
+	var evs []Event
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("journal has %d events, want 2", len(evs))
+	}
+
+	dec := evs[0]
+	if dec.Kind != "policy" || dec.T != 1.25 || dec.Proc != 3 || dec.Seq != 7 {
+		t.Fatalf("decide envelope = %+v, want kind=policy t=1.25 proc=3 seq=7", dec)
+	}
+	if dec.Reason != "cascade" {
+		t.Errorf("decide reason = %q, want the failure class", dec.Reason)
+	}
+	if dec.Extra["phase"] != "decide" || dec.Extra["choice"] != "rollback" {
+		t.Errorf("decide extra = %v, want phase=decide choice=rollback", dec.Extra)
+	}
+	if dec.Extra["predicted"] != 2.5 {
+		t.Errorf("decide predicted = %v, want 2.5", dec.Extra["predicted"])
+	}
+	costs, ok := dec.Extra["costs"].(map[string]any)
+	if !ok || costs["shrink_proc"] != 9.0 || costs["rollback"] != 2.5 {
+		t.Errorf("decide costs = %v, want both candidates priced", dec.Extra["costs"])
+	}
+
+	out := evs[1]
+	if out.Kind != "policy" || out.T != 4.75 || out.Proc != 3 || out.Seq != 7 {
+		t.Fatalf("realized envelope = %+v, want kind=policy t=4.75 proc=3 seq=7", out)
+	}
+	if out.Extra["phase"] != "realized" || out.Extra["choice"] != "rollback" {
+		t.Errorf("realized extra = %v, want phase=realized choice=rollback", out.Extra)
+	}
+	for k, want := range map[string]float64{"predicted": 2.5, "realized": 3.0, "regret": 0.5} {
+		if out.Extra[k] != want {
+			t.Errorf("realized %s = %v, want %v", k, out.Extra[k], want)
+		}
+	}
+	// Decide and realized halves of one decision share their Seq — the
+	// join key journal analysis pairs them on.
+	if dec.Seq != out.Seq {
+		t.Errorf("seq mismatch: decide %d vs realized %d", dec.Seq, out.Seq)
+	}
+}

@@ -124,6 +124,27 @@ func (r *Recorder) Decision(t float64, proc, step int, kind string, admits, targ
 	}})
 }
 
+// PolicyDecision emits a recovery-policy record at decision time: the
+// failure class the engine saw (Reason), the strategy it chose, its
+// predicted cost, and the full candidate price list. Seq is the
+// engine's decision ordinal, so decide/realized pairs line up.
+func (r *Recorder) PolicyDecision(t float64, proc, seq int, class, choice string, predicted float64, costs map[string]float64) {
+	r.Emit(Event{T: t, Proc: proc, Kind: "policy", Seq: seq, Reason: class, Extra: map[string]any{
+		"phase": "decide", "choice": choice, "predicted": predicted, "costs": costs,
+	}})
+}
+
+// PolicyOutcome emits the closing half of a policy record once the
+// chosen strategy's realized recovery cost has been measured: predicted
+// vs realized plus the regret (realized minus predicted, clamped at
+// zero) that the policy-quality figures plot.
+func (r *Recorder) PolicyOutcome(t float64, proc, seq int, choice string, predicted, realized, regret float64) {
+	r.Emit(Event{T: t, Proc: proc, Kind: "policy", Seq: seq, Extra: map[string]any{
+		"phase": "realized", "choice": choice, "predicted": predicted,
+		"realized": realized, "regret": regret,
+	}})
+}
+
 // Count reports how many events were written.
 func (r *Recorder) Count() int {
 	if r == nil {

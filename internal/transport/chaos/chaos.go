@@ -62,6 +62,22 @@ const (
 	// result of exhausted dial/write retries). Active from scenario start,
 	// or from the moment Rule.Point is hit when a point is named.
 	OpPartition
+	// OpKillGroup runs the kill actions of EVERY process listed in
+	// Rule.Groups when Rule.Point is hit by a matching process — a
+	// correlated node-level failure (all ranks of one host die together).
+	// Arm with Nth: 1 so one protocol moment fells the whole group once.
+	OpKillGroup
+	// OpCascade is a staged failure cascade: when Rule.Point is hit,
+	// Groups[0] is killed immediately and each further group after
+	// another Rule.Delay of wall time, emitting PointCascadeStage before
+	// each stage — the repeated-verdict shape the policy engine
+	// classifies as a cascade. Arm with Nth: 1.
+	OpCascade
+	// OpSlow is the slow-node gray failure: every matched send is
+	// delayed by Rule.Delay inflated per match — the Nth match waits
+	// Delay·(1 + Inflate·(N−1)), capped at Rule.MaxDelay — so a process
+	// degrades progressively without ever dying.
+	OpSlow
 )
 
 func (o Op) String() string {
@@ -80,6 +96,12 @@ func (o Op) String() string {
 		return "kill"
 	case OpPartition:
 		return "partition"
+	case OpKillGroup:
+		return "killgroup"
+	case OpCascade:
+		return "cascade"
+	case OpSlow:
+		return "slow"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
@@ -125,14 +147,21 @@ type Rule struct {
 
 	// Op is the fault to inject.
 	Op Op
-	// Delay is OpDelay's wall-clock deferral.
+	// Delay is OpDelay's wall-clock deferral, OpSlow's base delay, and
+	// OpCascade's inter-stage interval.
 	Delay time.Duration
-	// Groups are OpPartition's rank sets; a send whose endpoints fall in
-	// different groups fails. Processes in no group are unaffected.
+	// Groups are OpPartition's rank sets (a send whose endpoints fall in
+	// different groups fails; processes in no group are unaffected),
+	// OpKillGroup's correlated kill set, and OpCascade's ordered stages.
 	Groups [][]transport.ProcID
 	// CutAfter is OpReset's byte offset into the matched frame at which
 	// the connection is cut (0 cuts before any byte is written).
 	CutAfter int
+	// Inflate grows OpSlow's delay per match: the Nth matched send waits
+	// Delay·(1 + Inflate·(N−1)). Zero keeps the delay flat.
+	Inflate float64
+	// MaxDelay caps OpSlow's inflated delay (0 = uncapped).
+	MaxDelay time.Duration
 
 	// Disabled rules are skipped until Engine.Enable activates them,
 	// letting a test arm a fault at a specific phase of a scenario.
@@ -337,7 +366,8 @@ func (e *Engine) stateFor(proc transport.ProcID) *procState {
 
 // ruleMatches evaluates the static predicate of rule r against a send.
 func ruleMatches(r *Rule, proc, dst transport.ProcID, tag int, bytes int64) bool {
-	if r.Disabled || r.Point != "" || r.Op == OpKill || r.Op == OpPartition || r.Op == OpReset {
+	if r.Disabled || r.Point != "" || r.Op == OpKill || r.Op == OpKillGroup ||
+		r.Op == OpCascade || r.Op == OpPartition || r.Op == OpReset {
 		return false
 	}
 	if r.Proc != AnyProc && r.Proc != proc {
@@ -373,9 +403,15 @@ func (e *Engine) fireCounted(i int, r *Rule, st *procState) (bool, int) {
 
 // verdict is the engine's decision about one send.
 type verdict struct {
-	drop        bool
-	dup         bool
-	delay       time.Duration
+	drop bool
+	dup  bool
+	// delay defers delivery on a detached goroutine (OpDelay): the send
+	// returns immediately and per-tag FIFO is NOT preserved — a
+	// reorder-class fault.
+	delay time.Duration
+	// slow stalls the sender inline (OpSlow): a slow node's messages
+	// arrive late but in order, exactly the gray-failure shape.
+	slow        time.Duration
 	hold        bool
 	partitioned bool
 }
@@ -411,6 +447,17 @@ func (e *Engine) onSend(proc, dst transport.ProcID, tag int, bytes int64) (verdi
 			v.dup = true
 		case OpDelay:
 			v.delay = r.Delay
+		case OpSlow:
+			d := r.Delay
+			if r.Inflate > 0 && n > 1 {
+				d = time.Duration(float64(r.Delay) * (1 + r.Inflate*float64(n-1)))
+			}
+			if r.MaxDelay > 0 && d > r.MaxDelay {
+				d = r.MaxDelay
+			}
+			if d > v.slow {
+				v.slow = d
+			}
 		case OpHold:
 			v.hold = true
 		}
@@ -476,10 +523,12 @@ func (e *Engine) crossesPartitionLocked(from, to transport.ProcID) bool {
 	return false
 }
 
-// hit is the transport protocol-point hook: it fires OpKill actions and
-// arms point-gated partitions.
+// hit is the transport protocol-point hook: it fires OpKill actions
+// (single, correlated group, or staged cascade) and arms point-gated
+// partitions. Kill actions run after the lock is released — a cascade's
+// stage hook re-enters this function.
 func (e *Engine) hit(proc transport.ProcID, point string) {
-	var kill func()
+	var kills []func()
 	e.mu.Lock()
 	st := e.stateFor(proc)
 	for i := range e.sc.Rules {
@@ -497,15 +546,62 @@ func (e *Engine) hit(proc transport.ProcID, point string) {
 		e.events = append(e.events, Event{Rule: r.Name, Op: r.Op, Proc: proc, Point: point, Seq: n})
 		switch r.Op {
 		case OpKill:
-			kill = e.kills[proc]
+			if f := e.kills[proc]; f != nil {
+				kills = append(kills, f)
+			}
+		case OpKillGroup:
+			for _, g := range r.Groups {
+				for _, p := range g {
+					if f := e.kills[p]; f != nil {
+						kills = append(kills, f)
+					}
+				}
+			}
+		case OpCascade:
+			stages := make([][]transport.ProcID, len(r.Groups))
+			for si, g := range r.Groups {
+				stages[si] = append([]transport.ProcID(nil), g...)
+			}
+			e.wg.Add(1)
+			go e.runCascade(r.Name, stages, r.Delay)
 		case OpPartition:
 			r.Disabled = false
 			e.parts = append(e.parts, i)
 		}
 	}
 	e.mu.Unlock()
-	if kill != nil {
-		kill()
+	for _, f := range kills {
+		f()
+	}
+}
+
+// runCascade fells the cascade's stages in order: the first immediately,
+// each further stage after another inter-stage delay, announcing every
+// stage at PointCascadeStage (through which point-gated rules — or the
+// policy conformance harness — can observe the cascade's progress).
+func (e *Engine) runCascade(rule string, stages [][]transport.ProcID, delay time.Duration) {
+	defer e.wg.Done()
+	for si, stage := range stages {
+		if si > 0 {
+			time.Sleep(delay)
+		}
+		if len(stage) == 0 {
+			continue
+		}
+		transport.Hit(stage[0], transport.PointCascadeStage)
+		var kills []func()
+		e.mu.Lock()
+		for _, p := range stage {
+			if f := e.kills[p]; f != nil {
+				kills = append(kills, f)
+			}
+		}
+		e.events = append(e.events, Event{Rule: rule, Op: OpCascade, Proc: stage[0],
+			Point: transport.PointCascadeStage, Seq: si + 1})
+		e.mu.Unlock()
+		for _, f := range kills {
+			f()
+		}
 	}
 }
 

@@ -40,6 +40,16 @@ func (c *Endpoint) Send(dst transport.ProcID, tag int, data any, bytes int64) er
 		return nil
 	}
 
+	if v.slow > 0 {
+		// The slow-node stall is inline: the sender's own goroutine waits,
+		// so messages arrive late but in per-tag order — delay without the
+		// reordering OpDelay's detached delivery would introduce.
+		select {
+		case <-time.After(v.slow):
+		case <-c.inner.Done():
+		}
+	}
+
 	var err error
 	switch {
 	case v.partitioned:

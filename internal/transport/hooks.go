@@ -62,6 +62,15 @@ const (
 	// PointStateAck: the joining rank has verified the full stream and
 	// acknowledged it back to the sender.
 	PointStateAck = "autopilot.state.ack"
+	// PointPolicyDecide: the recovery-policy engine has classified a
+	// failure and chosen a strategy (deciding rank only).
+	PointPolicyDecide = "policy.decide"
+	// PointPolicyRealized: the realized cost of a policy decision has
+	// been measured and folded back into the cost model.
+	PointPolicyRealized = "policy.realized"
+	// PointCascadeStage: the chaos engine has released one stage of a
+	// staged failure cascade.
+	PointCascadeStage = "chaos.cascade.stage"
 )
 
 // PointHook observes protocol points. proc is the process hitting the

@@ -1,0 +1,254 @@
+package ulfm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// fakeAdvisor is a scripted Advisor: it always returns the configured
+// strategy and records every call so tests can assert the replication
+// protocol (one Advise at the deciding rank, Adopt everywhere else, one
+// Realize after the retried collective succeeds).
+type fakeAdvisor struct {
+	mu       sync.Mutex
+	code     int64
+	dropNode bool
+	rollback bool
+
+	adviseCalls  int
+	adoptCalls   int
+	realizeCalls int
+	adoptedCode  int64
+	realizedSec  float64
+}
+
+func (f *fakeAdvisor) Advise(now float64, survivors, dead []simnet.ProcID) (bool, bool, int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.adviseCalls++
+	return f.dropNode, f.rollback, f.code
+}
+
+func (f *fakeAdvisor) Adopt(now float64, survivors, dead []simnet.ProcID, code int64) (bool, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.adoptCalls++
+	f.adoptedCode = code
+	return f.dropNode, f.rollback
+}
+
+func (f *fakeAdvisor) Realize(now float64, code int64, realizedSeconds float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.realizeCalls++
+	f.realizedSec = realizedSeconds
+}
+
+// runAdvisedWorld is runWorld with a per-rank fakeAdvisor installed on
+// every member before the failure barrier (the advice exchange is
+// collective, so the advisor must be uniform).
+func runAdvisedWorld(t *testing.T, c *simnet.Cluster, mk func(rank int) *fakeAdvisor,
+	body func(rank int, r *ResilientComm, adv *fakeAdvisor, sync func()) error) []*fakeAdvisor {
+	t.Helper()
+	advs := make([]*fakeAdvisor, len(c.Procs()))
+	errs := runWorld(t, c, func(rank int, r *ResilientComm, barrier func()) error {
+		adv := mk(rank)
+		advs[rank] = adv
+		r.policy.Advisor = adv
+		return body(rank, r, adv, barrier)
+	})
+	if err := simnet.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+	return advs
+}
+
+func TestAdvisorDecideAdoptRealize(t *testing.T) {
+	c := testCluster(1, 4)
+	advs := runAdvisedWorld(t, c,
+		func(int) *fakeAdvisor { return &fakeAdvisor{code: 7} },
+		func(rank int, r *ResilientComm, adv *fakeAdvisor, barrier func()) error {
+			barrier()
+			if rank == 1 {
+				c.Kill(r.Comm().Proc().ID())
+				return nil
+			}
+			data := []float64{1}
+			if err := Allreduce(r, data, mpi.OpSum); err != nil {
+				return err
+			}
+			if data[0] != 3 || r.Size() != 3 {
+				return fmt.Errorf("rank %d: sum=%v size=%d, want 3/3", rank, data[0], r.Size())
+			}
+			if r.TakeRollback() {
+				return fmt.Errorf("rank %d: rollback armed without rollback advice", rank)
+			}
+			return nil
+		})
+	// Rank 0 survives as rank 0 of the shrunken communicator, so it is
+	// the deciding member: one Advise, one Realize with the measured
+	// recovery time, no Adopt.
+	if advs[0].adviseCalls != 1 || advs[0].adoptCalls != 0 {
+		t.Fatalf("decider calls: advise=%d adopt=%d, want 1/0", advs[0].adviseCalls, advs[0].adoptCalls)
+	}
+	if advs[0].realizeCalls != 1 || advs[0].realizedSec <= 0 {
+		t.Fatalf("decider realize: calls=%d sec=%v, want 1 call with positive seconds",
+			advs[0].realizeCalls, advs[0].realizedSec)
+	}
+	for _, rank := range []int{2, 3} {
+		a := advs[rank]
+		if a.adviseCalls != 0 || a.adoptCalls != 1 || a.adoptedCode != 7 {
+			t.Fatalf("rank %d: advise=%d adopt=%d code=%d, want 0/1/7",
+				rank, a.adviseCalls, a.adoptCalls, a.adoptedCode)
+		}
+		if a.realizeCalls != 0 {
+			t.Fatalf("rank %d: non-deciding member reported Realize", rank)
+		}
+	}
+}
+
+func TestAdvisorRollbackArmsAllSurvivors(t *testing.T) {
+	c := testCluster(1, 4)
+	runAdvisedWorld(t, c,
+		func(int) *fakeAdvisor { return &fakeAdvisor{code: 9, rollback: true} },
+		func(rank int, r *ResilientComm, adv *fakeAdvisor, barrier func()) error {
+			barrier()
+			if rank == 2 {
+				c.Kill(r.Comm().Proc().ID())
+				return nil
+			}
+			if err := Allreduce(r, []float64{1}, mpi.OpSum); err != nil {
+				return err
+			}
+			// Armed uniformly, and consuming it disarms it.
+			if !r.TakeRollback() {
+				return fmt.Errorf("rank %d: rollback advice not armed", rank)
+			}
+			if r.TakeRollback() {
+				return fmt.Errorf("rank %d: rollback flag not consumed", rank)
+			}
+			return nil
+		})
+}
+
+func TestAdvisorNodeDropOverridesStaticPolicy(t *testing.T) {
+	// Policy.Drop stays KillProcess; the advisor's dropNode verdict must
+	// still evict the dead process's node-mates, exactly like the static
+	// KillNode policy would.
+	c := testCluster(2, 3)
+	var mu sync.Mutex
+	dropped, kept := 0, 0
+	runAdvisedWorld(t, c,
+		func(int) *fakeAdvisor { return &fakeAdvisor{code: 11, dropNode: true} },
+		func(rank int, r *ResilientComm, adv *fakeAdvisor, barrier func()) error {
+			barrier()
+			if rank == 4 { // node 1
+				c.Kill(r.Comm().Proc().ID())
+				return nil
+			}
+			data := []float64{1}
+			err := Allreduce(r, data, mpi.OpSum)
+			if errors.Is(err, ErrDropped) {
+				if n, nerr := c.NodeOf(r.Comm().Proc().ID()); nerr != nil || n != 1 {
+					return fmt.Errorf("rank %d dropped but not a node-mate of the corpse (node=%v err=%v)", rank, n, nerr)
+				}
+				mu.Lock()
+				dropped++
+				mu.Unlock()
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if data[0] != 3 || r.Size() != 3 {
+				return fmt.Errorf("rank %d: sum=%v size=%d, want 3/3", rank, data[0], r.Size())
+			}
+			mu.Lock()
+			kept++
+			mu.Unlock()
+			return nil
+		})
+	if dropped != 2 || kept != 3 {
+		t.Fatalf("dropped=%d kept=%d, want 2/3", dropped, kept)
+	}
+}
+
+func TestAdvisorDeclinesFallsBackToStaticPolicy(t *testing.T) {
+	// Code 0 means "no advice": nobody adopts, nobody realizes, and the
+	// static KillProcess policy shrinks without touching node-mates.
+	c := testCluster(2, 2)
+	advs := runAdvisedWorld(t, c,
+		func(int) *fakeAdvisor { return &fakeAdvisor{code: 0, dropNode: true, rollback: true} },
+		func(rank int, r *ResilientComm, adv *fakeAdvisor, barrier func()) error {
+			barrier()
+			if rank == 3 {
+				c.Kill(r.Comm().Proc().ID())
+				return nil
+			}
+			data := []float64{1}
+			if err := Allreduce(r, data, mpi.OpSum); err != nil {
+				return err
+			}
+			// Rank 2 shares node 1 with the corpse; with the advice
+			// declined it must survive the plain shrink.
+			if data[0] != 3 || r.Size() != 3 {
+				return fmt.Errorf("rank %d: sum=%v size=%d, want 3/3", rank, data[0], r.Size())
+			}
+			if r.TakeRollback() {
+				return fmt.Errorf("rank %d: declined advice armed a rollback", rank)
+			}
+			return nil
+		})
+	for rank, a := range advs {
+		if a == nil || rank == 3 {
+			continue
+		}
+		if a.adoptCalls != 0 || a.realizeCalls != 0 {
+			t.Fatalf("rank %d: adopt=%d realize=%d after declined advice, want 0/0",
+				rank, a.adoptCalls, a.realizeCalls)
+		}
+	}
+}
+
+func TestAllreduceVirtualSurvivesFailure(t *testing.T) {
+	c := testCluster(1, 4)
+	procs := c.Procs()
+	var wg sync.WaitGroup
+	wg.Add(len(procs))
+	errs := simnet.RunAll(c, procs, func(rank int, ep *simnet.Endpoint) error {
+		p := mpi.Attach(ep)
+		comm, err := mpi.World(p, procs)
+		if err != nil {
+			return err
+		}
+		// Zero-value policy: New must fill in the retry budget itself.
+		r := New(comm, c, Policy{})
+		if r.Rank() != rank {
+			return fmt.Errorf("Rank() = %d, want %d", r.Rank(), rank)
+		}
+		wg.Done()
+		wg.Wait()
+		if rank == 1 {
+			c.Kill(ep.ID())
+			return nil
+		}
+		if err := AllreduceVirtual(r, 1<<20); err != nil {
+			return err
+		}
+		if r.Size() != 3 {
+			return fmt.Errorf("rank %d: size=%d after repair, want 3", rank, r.Size())
+		}
+		if len(r.Events()) != 1 {
+			return fmt.Errorf("rank %d: events=%d, want 1", rank, len(r.Events()))
+		}
+		return nil
+	})
+	if err := simnet.FirstError(errs); err != nil {
+		t.Fatal(err)
+	}
+}

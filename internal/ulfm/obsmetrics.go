@@ -16,6 +16,7 @@ const (
 	obsPhaseAgree
 	obsPhaseShrink
 	obsPhaseRetry
+	obsPhasePolicy
 	obsPhaseCount
 )
 
@@ -29,7 +30,7 @@ var (
 )
 
 func init() {
-	for i, phase := range [obsPhaseCount]string{"revoke", "agree", "shrink", "retry"} {
+	for i, phase := range [obsPhaseCount]string{"revoke", "agree", "shrink", "retry", "policy"} {
 		obsPhaseSeconds[i] = obs.Default().Histogram("ulfm_recovery_phase_seconds",
 			"Time spent in one recovery phase of one repair (VClock seconds).",
 			obs.SecondsBuckets(), obs.L("phase", phase))

@@ -30,6 +30,31 @@ import (
 // (alive) process from the communicator: the caller must stop using it.
 var ErrDropped = errors.New("ulfm: this process was dropped by the node-drop policy")
 
+// Advisor is the recovery-policy hook at the revoke→repair boundary
+// (implemented by policy.Engine; the interface keeps this package free
+// of the engine's obs/trace dependencies). Rank 0 of the shrunken
+// communicator calls Advise and replicates the opaque code to the other
+// members, who apply it through Adopt — the strategy is therefore
+// uniform across ranks by construction. After the retried collective
+// succeeds, the deciding rank reports the measured recovery cost
+// through Realize so the engine can refine its cost model.
+//
+// The advice exchange is itself a collective over the shrunken
+// communicator, so an advisor must be installed on either every member
+// or none: a mixed membership would diverge at the exchange.
+type Advisor interface {
+	// Advise classifies the failure and picks a strategy at the deciding
+	// rank. survivors is the post-shrink membership, dead the processes
+	// the shrink removed. The returned code is replicated verbatim.
+	Advise(now float64, survivors, dead []simnet.ProcID) (dropNode, rollback bool, code int64)
+	// Adopt applies a replicated code at a non-deciding rank. Unknown
+	// codes must degrade to (false, false) — plain shrink — everywhere.
+	Adopt(now float64, survivors, dead []simnet.ProcID, code int64) (dropNode, rollback bool)
+	// Realize reports the realized recovery seconds (repair pipeline +
+	// retried collective) of the decision identified by code.
+	Realize(now float64, code int64, realizedSeconds float64)
+}
+
 // Policy configures recovery behavior.
 type Policy struct {
 	// Drop selects the blast radius applied on top of the failed
@@ -42,6 +67,11 @@ type Policy struct {
 	// OnReconfigure, if set, is called after every successful repair with
 	// the new communicator and the cost breakdown of the recovery.
 	OnReconfigure func(newComm *mpi.Comm, bd *metrics.Breakdown)
+	// Advisor, if set, selects the recovery strategy per failure inside
+	// the repair pipeline (overriding the static Drop for that repair).
+	// It costs one extra small broadcast + agreement per repair — the
+	// same uniformity price the retry loop already pays per operation.
+	Advisor Advisor
 }
 
 // DefaultPolicy drops processes only and tolerates up to 8 failures per
@@ -50,12 +80,24 @@ func DefaultPolicy() Policy {
 	return Policy{Drop: failure.KillProcess, MaxRetries: 8}
 }
 
+// pendingPolicy tracks an adopted policy decision across the repair(s)
+// and the retried collective, so the realized cost reported to the
+// advisor covers the whole recovery (cascades accumulate every repair
+// into the final decision's realization).
+type pendingPolicy struct {
+	code     int64
+	decided  bool // this member ran Advise (it owns the Realize)
+	realized float64
+}
+
 // ResilientComm is a self-repairing communicator.
 type ResilientComm struct {
-	comm    *mpi.Comm
-	cluster *simnet.Cluster
-	policy  Policy
-	events  []*metrics.Breakdown
+	comm       *mpi.Comm
+	cluster    *simnet.Cluster
+	policy     Policy
+	events     []*metrics.Breakdown
+	pendingPol *pendingPolicy
+	rollback   bool // a rollback advice is armed (TakeRollback consumes)
 }
 
 // New wraps a communicator. The cluster handle is needed to resolve
@@ -168,8 +210,10 @@ func (r *ResilientComm) retry(op func() error) error {
 			sw = vtime.NewStopwatch(r.comm.Proc().Endpoint().VClock())
 		}
 		err := op()
+		var retrySec float64
 		if sw != nil {
-			observePhase(obsPhaseRetry, sw.Lap())
+			retrySec = sw.Lap()
+			observePhase(obsPhaseRetry, retrySec)
 		}
 		if err != nil && !mpi.IsFault(err) {
 			return err
@@ -184,6 +228,7 @@ func (r *ResilientComm) retry(op func() error) error {
 			return aerr
 		}
 		if agreed == 1 && aerr == nil {
+			r.realizePolicy(retrySec)
 			return nil // success everywhere, membership intact
 		}
 		if attempt >= r.policy.MaxRetries {
@@ -240,8 +285,55 @@ func (r *ResilientComm) repairPipeline() error {
 	bd.Add(metrics.PhaseShrink, shrinkSec)
 	transport.Hit(ep.ID(), transport.PointUlfmShrunk)
 
-	if r.policy.Drop == failure.KillNode && r.cluster != nil {
-		dead := missingFrom(r.comm.Procs(), shrunk.Procs())
+	dead := missingFrom(r.comm.Procs(), shrunk.Procs())
+	dropNode := r.policy.Drop == failure.KillNode
+
+	if r.policy.Advisor != nil {
+		// Rank 0 of the shrunken world decides; the opaque code rides a
+		// broadcast and an agreement seals it, so either every member
+		// applies the same strategy or (if a new fault interleaves) every
+		// member skips the advice uniformly and falls back to the static
+		// drop policy — the next operation's agreement repairs the new
+		// corpse and the advisor gets another look.
+		code := []int64{0}
+		var advDrop, advRollback, decided bool
+		if shrunk.Rank() == 0 {
+			advDrop, advRollback, code[0] = r.policy.Advisor.Advise(ep.VClock().Now(), shrunk.Procs(), dead)
+			decided = true
+		}
+		berr := mpi.Bcast(shrunk, code, 0)
+		if berr != nil && !mpi.IsFault(berr) {
+			return berr
+		}
+		okFlag := uint32(1)
+		if berr != nil {
+			okFlag = 0
+		}
+		shrunk.FailureAck()
+		agreed, aerr := shrunk.Agree(okFlag)
+		if aerr != nil && !mpi.IsProcFailed(aerr) {
+			return aerr
+		}
+		if aerr == nil && agreed == 1 && code[0] != 0 {
+			if !decided {
+				advDrop, advRollback = r.policy.Advisor.Adopt(ep.VClock().Now(), shrunk.Procs(), dead, code[0])
+			}
+			dropNode = advDrop
+			if advRollback {
+				r.rollback = true
+			}
+			carried := 0.0
+			if r.pendingPol != nil {
+				carried = r.pendingPol.realized // cascade: fold earlier repairs in
+			}
+			r.pendingPol = &pendingPolicy{code: code[0], decided: decided, realized: carried}
+		}
+		lap = sw.Lap()
+		bd.Add(metrics.PhasePolicy, lap)
+		observePhase(obsPhasePolicy, lap)
+	}
+
+	if dropNode && r.cluster != nil {
 		deadNodes := map[simnet.NodeID]bool{}
 		for _, d := range dead {
 			if n, nerr := r.cluster.NodeOf(d); nerr == nil {
@@ -270,12 +362,43 @@ func (r *ResilientComm) repairPipeline() error {
 	}
 	observePhase(obsPhaseShrink, shrinkSec)
 
+	if r.pendingPol != nil {
+		r.pendingPol.realized += bd.Total()
+	}
 	r.comm = shrunk
 	r.events = append(r.events, bd)
 	if r.policy.OnReconfigure != nil {
 		r.policy.OnReconfigure(shrunk, bd)
 	}
 	return nil
+}
+
+// realizePolicy closes the loop on an adopted policy decision once the
+// retried collective has succeeded: the member that ran Advise reports
+// the accumulated recovery seconds (every repair's breakdown plus the
+// retry) back to the advisor's cost model.
+func (r *ResilientComm) realizePolicy(retrySec float64) {
+	pp := r.pendingPol
+	if pp == nil {
+		return
+	}
+	r.pendingPol = nil
+	if !pp.decided || r.policy.Advisor == nil {
+		return
+	}
+	r.policy.Advisor.Realize(r.comm.Proc().Endpoint().VClock().Now(), pp.code, pp.realized+retrySec)
+}
+
+// TakeRollback consumes the rollback advice armed by the last repair:
+// true means the policy engine chose checkpoint rollback, and the
+// caller should restore its latest snapshot before continuing (the
+// repaired collective's result is still valid; only the training
+// position rewinds). The flag is armed uniformly at every member of the
+// repaired communicator, so all rewind together.
+func (r *ResilientComm) TakeRollback() bool {
+	rb := r.rollback
+	r.rollback = false
+	return rb
 }
 
 func (r *ResilientComm) rankOfProc(p simnet.ProcID) int {
